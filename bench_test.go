@@ -1,0 +1,326 @@
+package nbticache
+
+// One benchmark per table and figure of the paper's evaluation, plus the
+// characterisation and datapath costs that gate them. Each BenchmarkTableN
+// re-simulates the full benchmark suite per iteration (traces are reused;
+// runs are not), so ns/op is the cost of regenerating that table from
+// traces.
+
+import (
+	"sync"
+	"testing"
+
+	"nbticache/internal/experiment"
+	"nbticache/internal/index"
+	"nbticache/internal/workload"
+)
+
+var (
+	benchSuiteOnce sync.Once
+	benchSuite     *experiment.Suite
+	benchSuiteErr  error
+)
+
+func sharedBenchSuite(b *testing.B) *experiment.Suite {
+	b.Helper()
+	benchSuiteOnce.Do(func() {
+		benchSuite, benchSuiteErr = experiment.NewSuite(experiment.Quick)
+	})
+	if benchSuiteErr != nil {
+		b.Fatal(benchSuiteErr)
+	}
+	return benchSuite
+}
+
+// BenchmarkTable1 regenerates the idleness-distribution table (Table I).
+func BenchmarkTable1(b *testing.B) {
+	s := sharedBenchSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.ClearRuns()
+		t1, err := s.RunTable1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(t1.Average*100, "avg-idle-%")
+	}
+}
+
+// BenchmarkTable2 regenerates the cache-size sweep (Table II).
+func BenchmarkTable2(b *testing.B) {
+	s := sharedBenchSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.ClearRuns()
+		t2, err := s.RunTable2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(t2.AvgLT[1], "LT16kB-years")
+	}
+}
+
+// BenchmarkTable3 regenerates the line-size sweep (Table III).
+func BenchmarkTable3(b *testing.B) {
+	s := sharedBenchSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.ClearRuns()
+		t3, err := s.RunTable3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(t3.AvgEsav[1]*100, "Esav32B-%")
+	}
+}
+
+// BenchmarkTable4 regenerates the bank-count sweep (Table IV).
+func BenchmarkTable4(b *testing.B) {
+	s := sharedBenchSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.ClearRuns()
+		t4, err := s.RunTable4()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(t4.LT[1][2], "LT16kB-M8-years")
+	}
+}
+
+// BenchmarkHeadline regenerates the abstract-level summary.
+func BenchmarkHeadline(b *testing.B) {
+	s := sharedBenchSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.ClearRuns()
+		h, err := s.RunHeadline()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(h.BestFactor, "best-factor-x")
+	}
+}
+
+// BenchmarkOverheadSweep regenerates the §IV-B3 granularity study.
+func BenchmarkOverheadSweep(b *testing.B) {
+	s := sharedBenchSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.ClearRuns()
+		if _, err := s.RunOverheadSweep(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchTrace builds one mid-sized trace for the datapath benches.
+func benchTrace(b *testing.B) *Trace {
+	b.Helper()
+	p, ok := workload.ByName("cjpeg")
+	if !ok {
+		b.Fatal("profile missing")
+	}
+	tr, err := p.Generate(workload.GenParams{
+		Geometry: Geometry16kB(), Phases: 128, AccessesPerPhase: 512,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tr
+}
+
+// BenchmarkFig1DecodeThroughput measures the Fig. 1 datapath: index
+// split, f(), 1-hot encode, Block Control bookkeeping and the bank tag
+// access, per reference.
+func BenchmarkFig1DecodeThroughput(b *testing.B) {
+	tr := benchTrace(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pc, err := New(Config{Geometry: Geometry16kB(), Banks: 4, Policy: Probing})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := pc.Run(tr); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(tr.Len()*b.N)/b.Elapsed().Seconds(), "accesses/s")
+}
+
+// BenchmarkFig2UpdateFlush measures the Fig. 2 update event: policy
+// re-parameterisation plus whole-cache flush.
+func BenchmarkFig2UpdateFlush(b *testing.B) {
+	pc, err := New(Config{Geometry: Geometry16kB(), Banks: 4, Policy: Probing})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pc.Update()
+	}
+}
+
+// BenchmarkFig3Probing measures the probing re-indexer (counter + mod-2^p
+// adder) per mapping.
+func BenchmarkFig3Probing(b *testing.B) {
+	pol, err := index.NewProbing(8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%1024 == 0 {
+			pol.Update()
+		}
+		_ = pol.Map(uint(i & 7))
+	}
+}
+
+// BenchmarkFig3Scrambling measures the scrambling re-indexer (LFSR + XOR)
+// per mapping.
+func BenchmarkFig3Scrambling(b *testing.B) {
+	pol, err := index.NewScrambling(8, 16, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%1024 == 0 {
+			pol.Update()
+		}
+		_ = pol.Map(uint(i & 7))
+	}
+}
+
+// BenchmarkAgingCharacterisation measures the full SPICE-substitute
+// characterisation: fresh SNM, critical-shift bisection, calibration.
+func BenchmarkAgingCharacterisation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := NewAgingModel(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLifetimeQuery measures a lifetime lookup on a characterised
+// model (what the cache simulator pays per bank).
+func BenchmarkLifetimeQuery(b *testing.B) {
+	model, err := NewAgingModel()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := model.Lifetime(float64(i%100)/100, 0.5, VoltageScaled); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWorkloadGenerate measures synthetic-trace generation.
+func BenchmarkWorkloadGenerate(b *testing.B) {
+	p, ok := workload.ByName("lame")
+	if !ok {
+		b.Fatal("profile missing")
+	}
+	gp := workload.GenParams{Geometry: Geometry16kB(), Phases: 128, AccessesPerPhase: 512}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr, err := p.Generate(gp)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(tr.Len()), "accesses")
+	}
+}
+
+// BenchmarkMonolithicBaseline measures the reference simulator for
+// context next to BenchmarkFig1DecodeThroughput.
+func BenchmarkMonolithicBaseline(b *testing.B) {
+	tr := benchTrace(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunMonolithic(Geometry16kB(), DefaultTech(), tr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationBreakeven regenerates the counter-sizing ablation —
+// the design choice behind the paper's "5- or 6-bit counters".
+func BenchmarkAblationBreakeven(b *testing.B) {
+	s := sharedBenchSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a, err := s.RunBreakevenAblation("cjpeg")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric((a.LT[0]-a.LT[len(a.LT)-1])*365, "LT-spread-days")
+	}
+}
+
+// BenchmarkAblationUpdates regenerates the update-frequency ablation —
+// the §III-A3 zero-overhead claim.
+func BenchmarkAblationUpdates(b *testing.B) {
+	s := sharedBenchSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a, err := s.RunUpdateAblation("CRC32")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(a.MissOverhead[1]*100, "miss-ovh-%-at-4upd")
+	}
+}
+
+// BenchmarkAblationTechniques regenerates the related-work comparison.
+func BenchmarkAblationTechniques(b *testing.B) {
+	s := sharedBenchSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.RunTechniqueComparison("gsme", 0.7); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationAssociativity regenerates the set-associative
+// extension sweep.
+func BenchmarkAblationAssociativity(b *testing.B) {
+	s := sharedBenchSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.RunAssocAblation("dijkstra"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationRetention re-characterises the aging model across
+// retention voltages — the Vdd,low design-space sweep.
+func BenchmarkAblationRetention(b *testing.B) {
+	s := sharedBenchSuite(b)
+	voltages := []float64{0.55, 0.70, 0.85}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := s.RunRetentionSweep(voltages)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.StressRatio[1], "s-at-0.70V")
+	}
+}
+
+// BenchmarkLineLevelBaseline measures the [7] line-granularity simulator
+// (1024 power domains instead of 4).
+func BenchmarkLineLevelBaseline(b *testing.B) {
+	tr := benchTrace(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunLineLevel(Geometry16kB(), DefaultTech(), tr, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

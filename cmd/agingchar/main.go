@@ -1,0 +1,133 @@
+// Command agingchar exposes the SPICE-substitute characterisation
+// framework: butterfly curves, SNM-vs-time aging profiles, and the
+// lifetime lookup table the cache simulator consumes.
+//
+// Usage:
+//
+//	agingchar -butterfly                    # fresh-cell read butterfly (CSV)
+//	agingchar -butterfly -aged-mv 40        # after a 40mV balanced shift
+//	agingchar -curve -idle 0.4              # SNM vs years at 40% idleness
+//	agingchar -lut                          # lifetime LUT over (P, p0)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nbticache/internal/aging"
+	"nbticache/internal/device"
+	"nbticache/internal/sram"
+)
+
+func main() {
+	var (
+		butterfly = flag.Bool("butterfly", false, "dump the read butterfly curves as CSV")
+		agedMV    = flag.Float64("aged-mv", 0, "balanced PMOS Vth shift in mV for -butterfly")
+		curve     = flag.Bool("curve", false, "dump SNM vs years as CSV")
+		idle      = flag.Float64("idle", 0, "sleep fraction for -curve")
+		p0        = flag.Float64("p0", 0.5, "probability of storing 0")
+		gated     = flag.Bool("gated", false, "use power gating instead of voltage scaling")
+		lut       = flag.Bool("lut", false, "dump the lifetime lookup table")
+		years     = flag.Float64("years", 12, "time horizon for -curve")
+	)
+	flag.Parse()
+	if err := run(*butterfly, *agedMV, *curve, *idle, *p0, *gated, *lut, *years); err != nil {
+		fmt.Fprintln(os.Stderr, "agingchar:", err)
+		os.Exit(1)
+	}
+}
+
+func run(butterfly bool, agedMV float64, curve bool, idle, p0 float64, gated, lut bool, years float64) error {
+	mode := aging.VoltageScaled
+	if gated {
+		mode = aging.PowerGated
+	}
+	switch {
+	case butterfly:
+		cell, err := sram.NewCell(sram.DefaultCell(device.DefaultTech45()))
+		if err != nil {
+			return err
+		}
+		if agedMV > 0 {
+			if err := cell.SetAging(agedMV/1000, agedMV/1000); err != nil {
+				return err
+			}
+		}
+		xs, ya, yb, err := cell.Butterfly(101)
+		if err != nil {
+			return err
+		}
+		snm, err := cell.ReadSNM()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("# read butterfly, dVth=%.0fmV, SNM=%.1fmV\n", agedMV, snm*1e3)
+		fmt.Println("vin,vtc1,vtc2")
+		for i := range xs {
+			fmt.Printf("%.4f,%.4f,%.4f\n", xs[i], ya[i], yb[i])
+		}
+		return nil
+	case curve:
+		model, err := aging.New(aging.DefaultConfig())
+		if err != nil {
+			return err
+		}
+		lt, err := model.Lifetime(idle, p0, mode)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("# SNM vs time, idleness=%.2f p0=%.2f mode=%s lifetime=%.2fy\n", idle, p0, mode, lt)
+		fmt.Println("years,snm_mV,fraction_of_fresh")
+		fresh := model.FreshSNM()
+		steps := 48
+		for i := 0; i <= steps; i++ {
+			t := years * float64(i) / float64(steps)
+			snm, err := model.SNMAtYears(t, idle, p0, mode)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%.2f,%.2f,%.4f\n", t, snm*1e3, snm/fresh)
+		}
+		return nil
+	case lut:
+		model, err := aging.New(aging.DefaultConfig())
+		if err != nil {
+			return err
+		}
+		sleepGrid := make([]float64, 21)
+		for i := range sleepGrid {
+			sleepGrid[i] = float64(i) / 20
+		}
+		p0Grid := []float64{0.1, 0.3, 0.5, 0.7, 0.9}
+		if mode == aging.PowerGated {
+			sleepGrid = sleepGrid[:20] // sleep=1 is infinite under gating
+		}
+		table, err := model.BuildTable(sleepGrid, p0Grid, mode)
+		if err != nil {
+			return err
+		}
+		worst, err := table.MaxInterpError(model, 41)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("# lifetime LUT (years), mode=%s, cell anchor %.2fy, sleep stress ratio %.3f, interp err %.2f%%\n",
+			mode, table.CellYears, table.SleepRatio, worst*100)
+		fmt.Print("sleep\\p0")
+		for _, p := range p0Grid {
+			fmt.Printf(",%.1f", p)
+		}
+		fmt.Println()
+		for i, s := range table.SleepGrid {
+			fmt.Printf("%.2f", s)
+			for j := range table.P0Grid {
+				fmt.Printf(",%.2f", table.Years[i][j])
+			}
+			_ = i
+			fmt.Println()
+		}
+		return nil
+	default:
+		return fmt.Errorf("need one of -butterfly, -curve, -lut (see -h)")
+	}
+}

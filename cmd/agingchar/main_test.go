@@ -1,0 +1,61 @@
+package main
+
+import (
+	"os"
+	"testing"
+)
+
+func silenceStdout(t *testing.T) {
+	t.Helper()
+	old := os.Stdout
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = devnull
+	t.Cleanup(func() {
+		os.Stdout = old
+		devnull.Close()
+	})
+}
+
+func TestRunButterfly(t *testing.T) {
+	silenceStdout(t)
+	if err := run(true, 0, false, 0, 0.5, false, false, 12); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(true, 40, false, 0, 0.5, false, false, 12); err != nil {
+		t.Fatalf("aged butterfly: %v", err)
+	}
+}
+
+func TestRunCurve(t *testing.T) {
+	if testing.Short() {
+		t.Skip("characterisation is slow")
+	}
+	silenceStdout(t)
+	if err := run(false, 0, true, 0.4, 0.5, false, false, 6); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunLUT(t *testing.T) {
+	if testing.Short() {
+		t.Skip("characterisation is slow")
+	}
+	silenceStdout(t)
+	if err := run(false, 0, false, 0, 0.5, false, true, 12); err != nil {
+		t.Fatal(err)
+	}
+	// Power-gated LUT trims the sleep=1 row rather than erroring.
+	if err := run(false, 0, false, 0, 0.5, true, true, 12); err != nil {
+		t.Fatalf("gated LUT: %v", err)
+	}
+}
+
+func TestRunNoMode(t *testing.T) {
+	silenceStdout(t)
+	if err := run(false, 0, false, 0, 0.5, false, false, 12); err == nil {
+		t.Error("no mode accepted")
+	}
+}

@@ -1,0 +1,232 @@
+// Command nbtisim regenerates the paper's evaluation: Tables I-IV, the
+// headline lifetime claims, and the partitioning-overhead sweep.
+//
+// Usage:
+//
+//	nbtisim -table all                 # print every table
+//	nbtisim -table 2 -quality full     # one table at reporting quality
+//	nbtisim -headline                  # abstract-level summary
+//	nbtisim -overhead                  # §IV-B3 granularity sweep
+//	nbtisim -bench sha -size 32        # one benchmark in detail
+//	nbtisim -experiments-md out.md     # write the EXPERIMENTS.md report
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"nbticache/internal/experiment"
+)
+
+func main() {
+	var (
+		table     = flag.String("table", "", "table to regenerate: 1, 2, 3, 4 or 'all'")
+		headline  = flag.Bool("headline", false, "print the headline lifetime summary")
+		overhead  = flag.Bool("overhead", false, "print the partitioning-overhead sweep")
+		quality   = flag.String("quality", "full", "trace quality: quick or full")
+		bench     = flag.String("bench", "", "single-benchmark detail run")
+		sizeKB    = flag.Int("size", 16, "cache size in kB for -bench")
+		banks     = flag.Int("banks", 4, "bank count for -bench")
+		mdPath    = flag.String("experiments-md", "", "write the full EXPERIMENTS.md report to this path")
+		ablations = flag.String("ablations", "", "run the design-choice ablations on this benchmark")
+		techs     = flag.String("techniques", "", "run the NBTI-technique comparison on this benchmark")
+		rawP0     = flag.Float64("p0", 0.7, "raw storage skew for -techniques")
+	)
+	flag.Parse()
+	if err := run(*table, *headline, *overhead, *quality, *bench, *sizeKB, *banks, *mdPath, *ablations, *techs, *rawP0); err != nil {
+		fmt.Fprintln(os.Stderr, "nbtisim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(table string, headline, overhead bool, quality, bench string, sizeKB, banks int, mdPath, ablations, techs string, rawP0 float64) error {
+	q := experiment.Full
+	switch quality {
+	case "full":
+	case "quick":
+		q = experiment.Quick
+	default:
+		return fmt.Errorf("unknown quality %q (want quick or full)", quality)
+	}
+	if table == "" && !headline && !overhead && bench == "" && mdPath == "" &&
+		ablations == "" && techs == "" {
+		table = "all"
+	}
+	start := time.Now()
+	fmt.Fprintf(os.Stderr, "characterising aging model and preparing suite (%s quality)...\n", quality)
+	suite, err := experiment.NewSuite(q)
+	if err != nil {
+		return err
+	}
+	out := os.Stdout
+	if mdPath != "" {
+		return writeExperimentsMD(suite, mdPath, quality, start)
+	}
+	if bench != "" {
+		if err := detailRun(out, suite, bench, sizeKB, banks); err != nil {
+			return err
+		}
+	}
+	if techs != "" {
+		tc, err := suite.RunTechniqueComparison(techs, rawP0)
+		if err != nil {
+			return err
+		}
+		if err := experiment.WriteTechniqueComparison(out, tc); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+	}
+	if ablations != "" {
+		if err := runAblations(out, suite, ablations); err != nil {
+			return err
+		}
+	}
+	want := func(t string) bool { return table == "all" || table == t }
+	if want("1") {
+		t1, err := suite.RunTable1()
+		if err != nil {
+			return err
+		}
+		if err := experiment.WriteTable1(out, t1); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+	}
+	if want("2") {
+		t2, err := suite.RunTable2()
+		if err != nil {
+			return err
+		}
+		if err := experiment.WriteTable2(out, t2); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+	}
+	if want("3") {
+		t3, err := suite.RunTable3()
+		if err != nil {
+			return err
+		}
+		if err := experiment.WriteTable3(out, t3); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+	}
+	if want("4") {
+		t4, err := suite.RunTable4()
+		if err != nil {
+			return err
+		}
+		if err := experiment.WriteTable4(out, t4); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+	}
+	if headline || table == "all" {
+		h, err := suite.RunHeadline()
+		if err != nil {
+			return err
+		}
+		if err := experiment.WriteHeadline(out, h); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+	}
+	if overhead || table == "all" {
+		o, err := suite.RunOverheadSweep()
+		if err != nil {
+			return err
+		}
+		if err := experiment.WriteOverheadSweep(out, o); err != nil {
+			return err
+		}
+	}
+	if table != "" && table != "all" && !strings.ContainsAny(table, "1234") {
+		return fmt.Errorf("unknown table %q", table)
+	}
+	fmt.Fprintf(os.Stderr, "done in %v\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+func runAblations(w io.Writer, suite *experiment.Suite, bench string) error {
+	be, err := suite.RunBreakevenAblation(bench)
+	if err != nil {
+		return err
+	}
+	if err := experiment.WriteBreakevenAblation(w, be); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+	up, err := suite.RunUpdateAblation(bench)
+	if err != nil {
+		return err
+	}
+	if err := experiment.WriteUpdateAblation(w, up); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+	as, err := suite.RunAssocAblation(bench)
+	if err != nil {
+		return err
+	}
+	if err := experiment.WriteAssocAblation(w, as); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+	pa, err := suite.RunPolicyAgreement()
+	if err != nil {
+		return err
+	}
+	if err := experiment.WritePolicyAgreement(w, pa); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+	rs, err := suite.RunRetentionSweep(experiment.DefaultRetentionVoltages())
+	if err != nil {
+		return err
+	}
+	if err := experiment.WriteRetentionSweep(w, rs); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+	ts, err := suite.RunTemperatureSweep(experiment.DefaultTemperatures())
+	if err != nil {
+		return err
+	}
+	if err := experiment.WriteTemperatureSweep(w, ts); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+	return nil
+}
+
+func detailRun(w io.Writer, suite *experiment.Suite, bench string, sizeKB, banks int) error {
+	g := experiment.Geometry(sizeKB, 16)
+	res, err := suite.Run(bench, g, banks)
+	if err != nil {
+		return err
+	}
+	sum, err := suite.Lifetimes(res)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%s on %dkB / %d banks (%d accesses, %d cycles)\n",
+		bench, sizeKB, banks, res.Reads+res.Writes, res.SpanCycles)
+	fmt.Fprintf(w, "  hit rate           %.2f%%\n", res.HitRate()*100)
+	fmt.Fprintf(w, "  breakeven          %d cycles (%d-bit counters)\n", res.Breakeven, res.CounterWidth)
+	fmt.Fprintf(w, "  region idleness    ")
+	for _, v := range res.RegionUsefulIdleness() {
+		fmt.Fprintf(w, "%.1f%% ", v*100)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "  energy savings     %.1f%%\n", res.Savings*100)
+	fmt.Fprintf(w, "  lifetime           %.2fy monolithic -> %.2fy LT0 -> %.2fy LT\n",
+		sum.MonolithicYears, sum.LT0Years, sum.LTYears)
+	fmt.Fprintln(w)
+	return nil
+}

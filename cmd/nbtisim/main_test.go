@@ -1,0 +1,86 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"nbticache/internal/experiment"
+)
+
+func quickSuite(t *testing.T) *experiment.Suite {
+	t.Helper()
+	s, err := experiment.NewSuite(experiment.Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestDetailRun(t *testing.T) {
+	s := quickSuite(t)
+	var buf bytes.Buffer
+	if err := detailRun(&buf, s, "sha", 16, 4); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"sha on 16kB", "hit rate", "breakeven", "lifetime"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("detail output missing %q:\n%s", want, out)
+		}
+	}
+	if err := detailRun(&buf, s, "bogus", 16, 4); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}
+
+func TestRunAblations(t *testing.T) {
+	s := quickSuite(t)
+	var buf bytes.Buffer
+	if err := runAblations(&buf, s, "CRC32"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"BREAKEVEN", "UPDATE", "ASSOCIATIVITY", "POLICY"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ablation output missing %q", want)
+		}
+	}
+}
+
+func TestRunBadInputs(t *testing.T) {
+	if err := run("1", false, false, "bogus-quality", "", 16, 4, "", "", "", 0.5); err == nil {
+		t.Error("bad quality accepted")
+	}
+	if err := run("9", false, false, "quick", "", 16, 4, "", "", "", 0.5); err == nil {
+		t.Error("unknown table accepted")
+	}
+}
+
+func TestWriteExperimentsMD(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full report generation is slow")
+	}
+	s := quickSuite(t)
+	path := filepath.Join(t.TempDir(), "EXPERIMENTS.md")
+	if err := writeExperimentsMD(s, path, "quick", time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	md := string(data)
+	for _, want := range []string{
+		"## Table I", "## Table II", "## Table III", "## Table IV",
+		"## Headline", "## Beyond the paper", "## Design-choice ablations",
+		"## Figures", "TestPaperExample1",
+	} {
+		if !strings.Contains(md, want) {
+			t.Errorf("EXPERIMENTS.md missing %q", want)
+		}
+	}
+}

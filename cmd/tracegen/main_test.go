@@ -1,0 +1,82 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// silenceStdout redirects os.Stdout to /dev/null for the test's duration
+// so CLI listings don't pollute test logs.
+func silenceStdout(t *testing.T) {
+	t.Helper()
+	old := os.Stdout
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = devnull
+	t.Cleanup(func() {
+		os.Stdout = old
+		devnull.Close()
+	})
+}
+
+func TestRunList(t *testing.T) {
+	silenceStdout(t)
+	if err := run(true, "", 16, 16, 8, 64, "binary", "", ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunGenerateAndStatsRoundTrip(t *testing.T) {
+	silenceStdout(t)
+	out := filepath.Join(t.TempDir(), "sha.trace")
+	if err := run(false, "sha", 16, 16, 16, 64, "binary", out, ""); err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size() == 0 {
+		t.Fatal("empty trace file")
+	}
+	if err := run(false, "", 16, 16, 8, 64, "binary", "", out); err != nil {
+		t.Fatalf("stats pass failed: %v", err)
+	}
+}
+
+func TestRunGenerateText(t *testing.T) {
+	silenceStdout(t)
+	out := filepath.Join(t.TempDir(), "t.txt")
+	if err := run(false, "CRC32", 8, 16, 8, 64, "text", out, ""); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Fatal("empty text trace")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	silenceStdout(t)
+	if err := run(false, "", 16, 16, 8, 64, "binary", "", ""); err == nil {
+		t.Error("no action accepted")
+	}
+	if err := run(false, "bogus", 16, 16, 8, 64, "binary", "", ""); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+	if err := run(false, "sha", 16, 16, 8, 64, "yaml", "", ""); err == nil {
+		t.Error("unknown format accepted")
+	}
+	if err := run(false, "sha", 17, 16, 8, 64, "binary", "", ""); err == nil {
+		t.Error("non-power-of-two size accepted")
+	}
+	if err := run(false, "", 16, 16, 8, 64, "binary", "", "/nonexistent/file"); err == nil {
+		t.Error("missing stats file accepted")
+	}
+}

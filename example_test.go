@@ -1,0 +1,84 @@
+package nbticache_test
+
+import (
+	"fmt"
+	"log"
+
+	"nbticache"
+)
+
+// Example demonstrates the end-to-end flow: configure the partitioned
+// cache, run a workload, and project lifetimes. Aging-model outputs are
+// deterministic, so the exact numbers are assertable.
+func Example() {
+	g := nbticache.Geometry16kB()
+	pc, err := nbticache.New(nbticache.Config{
+		Geometry: g,
+		Banks:    4,
+		Policy:   nbticache.Probing,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr, err := nbticache.GenerateTrace("adpcm.dec", g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := pc.Run(tr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("banks: %d, policy: %s, breakeven: %d cycles\n",
+		res.Banks, res.PolicyName, res.Breakeven)
+	fmt.Printf("accesses: %d, hit rate above 99%%: %v\n",
+		res.Reads+res.Writes, res.HitRate() > 0.99)
+	// Output:
+	// banks: 4, policy: probing, breakeven: 60 cycles
+	// accesses: 650825, hit rate above 99%: true
+}
+
+// ExampleProjectAging shows the lifetime projection directly from a
+// per-region sleep-duty vector (e.g. from your own measurements) without
+// running a trace.
+func ExampleProjectAging() {
+	model, err := nbticache.NewAgingModel()
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Two banks mostly asleep, two mostly busy (adpcm.dec-like).
+	duties := []float64{0.03, 0.99, 0.99, 0.04}
+	identity, err := nbticache.ProjectAging(model, duties, nbticache.Identity, 4096, nbticache.VoltageScaled)
+	if err != nil {
+		log.Fatal(err)
+	}
+	probing, err := nbticache.ProjectAging(model, duties, nbticache.Probing, 4096, nbticache.VoltageScaled)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("no re-indexing: %.2f years\n", identity.LifetimeYears)
+	fmt.Printf("probing:        %.2f years\n", probing.LifetimeYears)
+	// Output:
+	// no re-indexing: 3.00 years
+	// probing:        4.89 years
+}
+
+// ExampleMeasureSignature shows workload onboarding: characterise a trace
+// and resynthesise a statistically matching profile.
+func ExampleMeasureSignature() {
+	g := nbticache.Geometry16kB()
+	tr, err := nbticache.GenerateTrace("sha", g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sig, err := nbticache.MeasureSignature(tr, g, 4, 60)
+	if err != nil {
+		log.Fatal(err)
+	}
+	profile, err := sig.ToProfile("sha-synth", 0.11, 0.02, 0.32, 99)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("banks: %d, derived profile: %s\n", sig.Banks, profile.Name)
+	// Output:
+	// banks: 4, derived profile: sha-synth
+}

@@ -1,0 +1,67 @@
+// Banksweep explores partitioning granularity (the paper's §IV-B3 /
+// Table IV axis) for one workload: how bank count trades energy savings,
+// idleness, lifetime, and decoder overhead — including the M=16 point the
+// paper argues uniform banks make feasible — plus the voltage-scaling vs
+// power-gating ablation on the low-power state itself.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"nbticache"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("banksweep: ")
+	bench := flag.String("bench", "gsme", "benchmark to sweep")
+	sizeKB := flag.Int("size", 16, "cache size in kB")
+	flag.Parse()
+
+	g := nbticache.NewGeometry(*sizeKB, 16)
+	model, err := nbticache.NewAgingModel()
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr, err := nbticache.GenerateTrace(*bench, g)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%s on a %d kB cache, %d accesses\n\n", *bench, *sizeKB, tr.Len())
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "banks\tEsav\tavg idleness\tLT (volt-scaled)\tLT (power-gated)\tbreakeven")
+	for _, m := range []int{2, 4, 8, 16} {
+		pc, err := nbticache.New(nbticache.Config{Geometry: g, Banks: m, Policy: nbticache.Probing})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := pc.Run(tr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		duties := res.RegionSleepFractions()
+		vs, err := nbticache.ProjectAging(model, duties, nbticache.Probing, 4096, nbticache.VoltageScaled)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pg, err := nbticache.ProjectAging(model, duties, nbticache.Probing, 4096, nbticache.PowerGated)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(tw, "%d\t%.1f%%\t%.1f%%\t%.2f y\t%.2f y\t%d cycles\n",
+			m, res.Savings*100, res.AverageIdleness()*100,
+			vs.LifetimeYears, pg.LifetimeYears, res.Breakeven)
+	}
+	if err := tw.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nLifetime keeps rising with M (finer partitions expose more idleness)")
+	fmt.Println("while the quadratic wiring overhead flattens the energy gain — the")
+	fmt.Println("paper caps practical designs at M=16. Power gating nullifies NBTI")
+	fmt.Println("stress during sleep entirely, trading retention for extra years.")
+}

@@ -1,0 +1,319 @@
+package aging
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// The model is characterisation-heavy; share one across the package tests.
+var (
+	modelOnce sync.Once
+	model     *Model
+	modelErr  error
+)
+
+func sharedModel(t *testing.T) *Model {
+	t.Helper()
+	modelOnce.Do(func() {
+		model, modelErr = New(DefaultConfig())
+	})
+	if modelErr != nil {
+		t.Fatal(modelErr)
+	}
+	return model
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config rejected: %v", err)
+	}
+	bad := DefaultConfig()
+	bad.SNMDropCriterion = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero criterion accepted")
+	}
+	bad = DefaultConfig()
+	bad.SNMDropCriterion = 1
+	if err := bad.Validate(); err == nil {
+		t.Error("criterion 1 accepted")
+	}
+	bad = DefaultConfig()
+	bad.CellLifetimeYears = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative anchor accepted")
+	}
+	bad = DefaultConfig()
+	bad.Tech.Vdd = 0
+	if _, err := New(bad); err == nil {
+		t.Error("New accepted bad tech")
+	}
+}
+
+func TestAnchorLifetime(t *testing.T) {
+	m := sharedModel(t)
+	// An always-on cell with p0=0.5 must live exactly the anchor.
+	lt, err := m.Lifetime(0, 0.5, VoltageScaled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(lt-2.93) > 1e-6 {
+		t.Errorf("unmanaged lifetime = %v years, want 2.93", lt)
+	}
+}
+
+func TestSleepStressRatioBand(t *testing.T) {
+	m := sharedModel(t)
+	s := m.SleepStressRatio()
+	if s < 0.20 || s > 0.24 {
+		t.Errorf("sleep stress ratio %v outside the band implied by the paper", s)
+	}
+}
+
+// TestLifetimeMatchesPaperLaw checks the structural law the paper's
+// Tables II/IV follow: LT = 2.93 / (1 - P*(1-s)).
+func TestLifetimeMatchesPaperLaw(t *testing.T) {
+	m := sharedModel(t)
+	s := m.SleepStressRatio()
+	for _, p := range []float64{0.15, 0.41, 0.42, 0.47, 0.58, 0.64, 0.68} {
+		lt, err := m.Lifetime(p, 0.5, VoltageScaled)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 2.93 / (1 - p*(1-s))
+		if math.Abs(lt-want)/want > 1e-9 {
+			t.Errorf("Lifetime(P=%v) = %v, want %v", p, lt, want)
+		}
+	}
+}
+
+// TestTableIVLifetimes spot-checks the model against the paper's Table IV
+// averages: idleness 42% -> 4.34y, 64% -> 5.69y, 15% -> 3.35y etc.
+// (shape match: within ~7%).
+func TestTableIVLifetimes(t *testing.T) {
+	m := sharedModel(t)
+	cases := []struct{ idle, paper float64 }{
+		{0.15, 3.34}, {0.42, 4.34}, {0.58, 5.30},
+		{0.41, 4.31}, {0.64, 5.69},
+		{0.47, 4.62}, {0.68, 5.98},
+	}
+	for _, c := range cases {
+		lt, err := m.Lifetime(c.idle, 0.5, VoltageScaled)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rel := math.Abs(lt-c.paper) / c.paper; rel > 0.07 {
+			t.Errorf("idleness %v: lifetime %v years vs paper %v (%.1f%% off)",
+				c.idle, lt, c.paper, rel*100)
+		}
+	}
+}
+
+func TestLifetimeMonotoneInSleep(t *testing.T) {
+	m := sharedModel(t)
+	prev := 0.0
+	for p := 0.0; p <= 1.0001; p += 0.1 {
+		pp := math.Min(p, 1)
+		lt, err := m.Lifetime(pp, 0.5, VoltageScaled)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lt <= prev {
+			t.Fatalf("lifetime not increasing with sleep: %v at P=%v (prev %v)", lt, pp, prev)
+		}
+		prev = lt
+	}
+}
+
+func TestPowerGatedBeatsVoltageScaled(t *testing.T) {
+	m := sharedModel(t)
+	vs, err := m.Lifetime(0.5, 0.5, VoltageScaled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg, err := m.Lifetime(0.5, 0.5, PowerGated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pg <= vs {
+		t.Errorf("power gating (%v y) not better than voltage scaling (%v y)", pg, vs)
+	}
+	// Fully gated: no stress at all -> infinite lifetime.
+	inf, err := m.Lifetime(1, 0.5, PowerGated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(inf, 1) {
+		t.Errorf("always-gated lifetime = %v, want +Inf", inf)
+	}
+}
+
+func TestUnbalancedP0Hurts(t *testing.T) {
+	m := sharedModel(t)
+	balanced, err := m.Lifetime(0, 0.5, VoltageScaled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p0 := range []float64{0.8, 1.0} {
+		lt, err := m.Lifetime(0, p0, VoltageScaled)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lt >= balanced {
+			t.Errorf("p0=%v lifetime %v not below balanced %v ([11]'s observation)", p0, lt, balanced)
+		}
+	}
+}
+
+func TestLifetimeArgErrors(t *testing.T) {
+	m := sharedModel(t)
+	if _, err := m.Lifetime(-0.1, 0.5, VoltageScaled); err == nil {
+		t.Error("negative sleep fraction accepted")
+	}
+	if _, err := m.Lifetime(1.1, 0.5, VoltageScaled); err == nil {
+		t.Error("sleep fraction > 1 accepted")
+	}
+	if _, err := m.Lifetime(0.5, -0.5, VoltageScaled); err == nil {
+		t.Error("negative p0 accepted")
+	}
+	if _, err := m.Lifetime(0.5, 1.5, VoltageScaled); err == nil {
+		t.Error("p0 > 1 accepted")
+	}
+}
+
+func TestLifetimeVector(t *testing.T) {
+	m := sharedModel(t)
+	lts, err := m.LifetimeVector([]float64{0, 0.5, 0.9}, 0.5, VoltageScaled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lts) != 3 || !(lts[0] < lts[1] && lts[1] < lts[2]) {
+		t.Errorf("vector not increasing: %v", lts)
+	}
+	if _, err := m.LifetimeVector([]float64{0.5, 2}, 0.5, VoltageScaled); err == nil {
+		t.Error("bad vector entry accepted")
+	}
+}
+
+func TestSNMAtYearsCrossesCriterionAtLifetime(t *testing.T) {
+	m := sharedModel(t)
+	target := (1 - 0.20) * m.FreshSNM()
+	lt, err := m.Lifetime(0.3, 0.5, VoltageScaled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := m.SNMAtYears(lt*0.9, 0.3, 0.5, VoltageScaled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := m.SNMAtYears(lt*1.1, 0.3, 0.5, VoltageScaled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(before > target && after < target) {
+		t.Errorf("SNM does not cross criterion at lifetime: before=%v after=%v target=%v",
+			before, after, target)
+	}
+}
+
+func TestSNMAtYearsMonotone(t *testing.T) {
+	m := sharedModel(t)
+	prev := math.Inf(1)
+	for _, y := range []float64{0, 1, 3, 6, 12} {
+		snm, err := m.SNMAtYears(y, 0, 0.5, VoltageScaled)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if snm > prev+1e-4 {
+			t.Fatalf("SNM rose with age at %v years: %v > %v", y, snm, prev)
+		}
+		prev = snm
+	}
+}
+
+func TestSNMAtYearsErrors(t *testing.T) {
+	m := sharedModel(t)
+	if _, err := m.SNMAtYears(-1, 0, 0.5, VoltageScaled); err == nil {
+		t.Error("negative years accepted")
+	}
+	if _, err := m.SNMAtYears(1, 2, 0.5, VoltageScaled); err == nil {
+		t.Error("bad sleep fraction accepted")
+	}
+	if _, err := m.SNMAtYears(1, 0, 2, VoltageScaled); err == nil {
+		t.Error("bad p0 accepted")
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if VoltageScaled.String() != "voltage-scaled" || PowerGated.String() != "power-gated" {
+		t.Error("mode strings wrong")
+	}
+}
+
+func TestBuildTableAndLookup(t *testing.T) {
+	m := sharedModel(t)
+	sleepGrid := make([]float64, 11) // lifetime is convex in P; 0.1 spacing holds interp error down
+	for i := range sleepGrid {
+		sleepGrid[i] = float64(i) / 10
+	}
+	tab, err := m.BuildTable(
+		sleepGrid,
+		[]float64{0.3, 0.5, 0.7},
+		VoltageScaled,
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Grid points are exact.
+	exact, _ := m.Lifetime(0.5, 0.5, VoltageScaled)
+	if got := tab.Lookup(0.5, 0.5); math.Abs(got-exact)/exact > 1e-9 {
+		t.Errorf("grid-point lookup %v != exact %v", got, exact)
+	}
+	// Interpolation error stays small on this smooth function.
+	worst, err := tab.MaxInterpError(m, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if worst > 0.05 {
+		t.Errorf("interpolation error %v > 5%%", worst)
+	}
+	// Clamping beyond the grid.
+	if tab.Lookup(-1, 0.5) != tab.Lookup(0, 0.5) {
+		t.Error("low clamp broken")
+	}
+	if tab.Lookup(2, 0.5) != tab.Lookup(1, 0.5) {
+		t.Error("high clamp broken")
+	}
+	if tab.Lookup(0.5, 0) != tab.Lookup(0.5, 0.3) {
+		t.Error("p0 clamp broken")
+	}
+}
+
+func TestBuildTableErrors(t *testing.T) {
+	m := sharedModel(t)
+	if _, err := m.BuildTable([]float64{0.5}, []float64{0.3, 0.5}, VoltageScaled); err == nil {
+		t.Error("single-point grid accepted")
+	}
+	if _, err := m.BuildTable([]float64{0.5, 0.2}, []float64{0.3, 0.5}, VoltageScaled); err == nil {
+		t.Error("descending grid accepted")
+	}
+	if _, err := m.BuildTable([]float64{0.2, 0.2}, []float64{0.3, 0.5}, VoltageScaled); err == nil {
+		t.Error("duplicate grid point accepted")
+	}
+	if _, err := m.BuildTable([]float64{0, 2}, []float64{0.3, 0.5}, VoltageScaled); err == nil {
+		t.Error("out-of-range grid accepted")
+	}
+	if _, err := m.BuildTable([]float64{0, 1}, []float64{0.3, 0.5}, PowerGated); err == nil {
+		t.Error("power-gated table with sleep=1 accepted")
+	}
+	if _, err := m.BuildTable(nil, []float64{0.3, 0.5}, VoltageScaled); err == nil {
+		t.Error("nil grid accepted")
+	}
+	tab, err := m.BuildTable([]float64{0, 0.5}, []float64{0.4, 0.6}, VoltageScaled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tab.MaxInterpError(m, 1); err == nil {
+		t.Error("1-probe interp check accepted")
+	}
+}

@@ -1,0 +1,134 @@
+package aging
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Table is the lifetime lookup table of the paper's §IV-A: "the collected
+// data are stored in a lookup table, which is used by the cache simulator
+// to estimate the aging of the cache banks". Rows span the sleep-fraction
+// grid, columns the p0 grid; lookups interpolate bilinearly. The cache
+// simulator can use the Model directly (exact), but the Table reproduces
+// the paper's artifact, serialises cheaply, and decouples the simulator
+// from the characterisation cost.
+type Table struct {
+	Mode       SleepMode
+	SleepGrid  []float64   // ascending, within [0,1]
+	P0Grid     []float64   // ascending, within [0,1]
+	Years      [][]float64 // [sleep][p0]
+	CellYears  float64     // unmanaged anchor, for reports
+	SleepRatio float64     // retention stress ratio, for reports
+}
+
+// BuildTable evaluates the model over the given grids. Grids must be
+// ascending with at least two points each and lie within [0,1]. Sleep
+// fractions of exactly 1 under power gating would be +Inf; BuildTable
+// rejects that combination to keep the table finite.
+func (m *Model) BuildTable(sleepGrid, p0Grid []float64, mode SleepMode) (*Table, error) {
+	if err := checkGrid("sleep", sleepGrid); err != nil {
+		return nil, err
+	}
+	if err := checkGrid("p0", p0Grid); err != nil {
+		return nil, err
+	}
+	if mode != VoltageScaled && sleepGrid[len(sleepGrid)-1] >= 1 {
+		return nil, fmt.Errorf("aging: %s table cannot include sleep=1 (infinite lifetime)", mode)
+	}
+	t := &Table{
+		Mode:       mode,
+		SleepGrid:  append([]float64(nil), sleepGrid...),
+		P0Grid:     append([]float64(nil), p0Grid...),
+		Years:      make([][]float64, len(sleepGrid)),
+		CellYears:  m.CellLifetimeYears(),
+		SleepRatio: m.SleepStressRatio(),
+	}
+	for i, s := range sleepGrid {
+		t.Years[i] = make([]float64, len(p0Grid))
+		for j, p0 := range p0Grid {
+			lt, err := m.Lifetime(s, p0, mode)
+			if err != nil {
+				return nil, err
+			}
+			t.Years[i][j] = lt
+		}
+	}
+	return t, nil
+}
+
+func checkGrid(name string, g []float64) error {
+	if len(g) < 2 {
+		return fmt.Errorf("aging: %s grid needs >= 2 points, got %d", name, len(g))
+	}
+	if !sort.Float64sAreSorted(g) {
+		return fmt.Errorf("aging: %s grid not ascending", name)
+	}
+	for i := 1; i < len(g); i++ {
+		if g[i] == g[i-1] {
+			return fmt.Errorf("aging: %s grid has duplicate point %v", name, g[i])
+		}
+	}
+	if g[0] < 0 || g[len(g)-1] > 1 {
+		return fmt.Errorf("aging: %s grid outside [0,1]", name)
+	}
+	return nil
+}
+
+// Lookup interpolates the lifetime at (sleepFrac, p0), clamping to the
+// grid edges.
+func (t *Table) Lookup(sleepFrac, p0 float64) float64 {
+	i, fs := locate(t.SleepGrid, sleepFrac)
+	j, fp := locate(t.P0Grid, p0)
+	a := t.Years[i][j]*(1-fp) + t.Years[i][j+1]*fp
+	b := t.Years[i+1][j]*(1-fp) + t.Years[i+1][j+1]*fp
+	return a*(1-fs) + b*fs
+}
+
+// locate returns the lower grid index and the interpolation fraction for
+// x, clamped to the grid range.
+func locate(grid []float64, x float64) (int, float64) {
+	n := len(grid)
+	if x <= grid[0] {
+		return 0, 0
+	}
+	if x >= grid[n-1] {
+		return n - 2, 1
+	}
+	i := sort.SearchFloat64s(grid, x)
+	if grid[i] == x {
+		if i == n-1 {
+			return n - 2, 1
+		}
+		return i, 0
+	}
+	i--
+	return i, (x - grid[i]) / (grid[i+1] - grid[i])
+}
+
+// MaxInterpError compares the table against the exact model over a denser
+// probe grid and returns the worst relative error; the characterisation
+// CLI reports it so users can size their grids.
+func (t *Table) MaxInterpError(m *Model, probes int) (float64, error) {
+	if probes < 2 {
+		return 0, fmt.Errorf("aging: need >= 2 probes")
+	}
+	worst := 0.0
+	sLo, sHi := t.SleepGrid[0], t.SleepGrid[len(t.SleepGrid)-1]
+	pLo, pHi := t.P0Grid[0], t.P0Grid[len(t.P0Grid)-1]
+	for i := 0; i < probes; i++ {
+		s := sLo + (sHi-sLo)*float64(i)/float64(probes-1)
+		for j := 0; j < probes; j++ {
+			p0 := pLo + (pHi-pLo)*float64(j)/float64(probes-1)
+			exact, err := m.Lifetime(s, p0, t.Mode)
+			if err != nil {
+				return 0, err
+			}
+			got := t.Lookup(s, p0)
+			if rel := math.Abs(got-exact) / exact; rel > worst {
+				worst = rel
+			}
+		}
+	}
+	return worst, nil
+}

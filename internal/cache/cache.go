@@ -1,0 +1,183 @@
+// Package cache provides the trace-driven cache model underneath the
+// partitioned architecture: geometry arithmetic (index/offset/tag splits),
+// a tag store with hit/miss accounting, and flush support. The paper
+// assumes a direct-mapped cache ("a direct-mapped cache with L = 2^n
+// lines"); set-associativity is supported for generality and used by the
+// extension experiments.
+package cache
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Geometry fixes a cache organisation. All sizes are in bytes and must be
+// powers of two.
+type Geometry struct {
+	// Size is the total data capacity in bytes.
+	Size uint64
+	// LineSize is the line (block) size in bytes.
+	LineSize uint64
+	// Ways is the associativity; 1 means direct-mapped.
+	Ways int
+	// AddressBits bounds the physical address, fixing the tag width.
+	AddressBits int
+}
+
+// Validate reports geometry errors.
+func (g Geometry) Validate() error {
+	switch {
+	case g.Size == 0 || g.Size&(g.Size-1) != 0:
+		return fmt.Errorf("cache: size %d is not a power of two", g.Size)
+	case g.LineSize == 0 || g.LineSize&(g.LineSize-1) != 0:
+		return fmt.Errorf("cache: line size %d is not a power of two", g.LineSize)
+	case g.LineSize > g.Size:
+		return fmt.Errorf("cache: line size %d exceeds cache size %d", g.LineSize, g.Size)
+	case g.Ways < 1:
+		return fmt.Errorf("cache: associativity %d must be >= 1", g.Ways)
+	case g.Ways&(g.Ways-1) != 0:
+		return fmt.Errorf("cache: associativity %d is not a power of two", g.Ways)
+	case uint64(g.Ways) > g.Size/g.LineSize:
+		return fmt.Errorf("cache: associativity %d exceeds line count %d", g.Ways, g.Size/g.LineSize)
+	case g.AddressBits < 1 || g.AddressBits > 64:
+		return fmt.Errorf("cache: address width %d outside [1,64]", g.AddressBits)
+	}
+	if g.IndexBits()+g.OffsetBits() > g.AddressBits {
+		return fmt.Errorf("cache: index (%d) + offset (%d) bits exceed address width %d",
+			g.IndexBits(), g.OffsetBits(), g.AddressBits)
+	}
+	return nil
+}
+
+// Lines returns L, the number of cache lines.
+func (g Geometry) Lines() int { return int(g.Size / g.LineSize) }
+
+// Sets returns the number of sets (Lines for a direct-mapped cache).
+func (g Geometry) Sets() int { return g.Lines() / g.Ways }
+
+// OffsetBits returns log2(LineSize).
+func (g Geometry) OffsetBits() int { return bits.TrailingZeros64(g.LineSize) }
+
+// IndexBits returns log2(Sets) — the paper's n for a direct-mapped cache.
+func (g Geometry) IndexBits() int { return bits.TrailingZeros64(uint64(g.Sets())) }
+
+// TagBits returns the tag width per line, including the valid bit.
+func (g Geometry) TagBits() int {
+	return g.AddressBits - g.IndexBits() - g.OffsetBits() + 1
+}
+
+// TagArrayBytes returns the total tag storage, rounded up per line.
+func (g Geometry) TagArrayBytes() uint64 {
+	perLine := (uint64(g.TagBits()) + 7) / 8
+	return perLine * uint64(g.Lines())
+}
+
+// LineAddr returns the line-granular address (addr / LineSize).
+func (g Geometry) LineAddr(addr uint64) uint64 { return addr >> g.OffsetBits() }
+
+// Index returns the set index of addr.
+func (g Geometry) Index(addr uint64) uint64 {
+	return g.LineAddr(addr) & uint64(g.Sets()-1)
+}
+
+// Tag returns the tag of addr (line address above the index).
+func (g Geometry) Tag(addr uint64) uint64 {
+	return g.LineAddr(addr) >> g.IndexBits()
+}
+
+// Cache is a tag store with LRU replacement. It models only presence (the
+// simulator never needs data contents).
+type Cache struct {
+	geom   Geometry
+	tags   []uint64 // [set*ways + way]
+	valid  []bool
+	stamp  []uint64 // LRU timestamps
+	clock  uint64
+	hits   uint64
+	misses uint64
+}
+
+// New builds an empty cache.
+func New(g Geometry) (*Cache, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	n := g.Sets() * g.Ways
+	return &Cache{
+		geom:  g,
+		tags:  make([]uint64, n),
+		valid: make([]bool, n),
+		stamp: make([]uint64, n),
+	}, nil
+}
+
+// Geometry returns the cache organisation.
+func (c *Cache) Geometry() Geometry { return c.geom }
+
+// Access looks up addr, fills on miss (LRU victim), and reports whether it
+// hit.
+func (c *Cache) Access(addr uint64) bool {
+	set := int(c.geom.Index(addr))
+	tag := c.geom.Tag(addr)
+	base := set * c.geom.Ways
+	c.clock++
+	victim := base
+	var victimStamp uint64 = ^uint64(0)
+	for w := 0; w < c.geom.Ways; w++ {
+		i := base + w
+		if c.valid[i] && c.tags[i] == tag {
+			c.stamp[i] = c.clock
+			c.hits++
+			return true
+		}
+		if !c.valid[i] {
+			victim = i
+			victimStamp = 0
+		} else if c.stamp[i] < victimStamp {
+			victim = i
+			victimStamp = c.stamp[i]
+		}
+	}
+	c.valid[victim] = true
+	c.tags[victim] = tag
+	c.stamp[victim] = c.clock
+	c.misses++
+	return false
+}
+
+// Contains reports presence without updating LRU or counters.
+func (c *Cache) Contains(addr uint64) bool {
+	set := int(c.geom.Index(addr))
+	tag := c.geom.Tag(addr)
+	base := set * c.geom.Ways
+	for w := 0; w < c.geom.Ways; w++ {
+		i := base + w
+		if c.valid[i] && c.tags[i] == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Flush invalidates every line (the mandatory action on a re-indexing
+// update).
+func (c *Cache) Flush() {
+	for i := range c.valid {
+		c.valid[i] = false
+	}
+}
+
+// Stats returns cumulative hit/miss counts.
+func (c *Cache) Stats() (hits, misses uint64) { return c.hits, c.misses }
+
+// ResetStats zeroes the counters without touching contents.
+func (c *Cache) ResetStats() { c.hits, c.misses = 0, 0 }
+
+// HitRate returns hits/(hits+misses), or 0 before any access.
+func (c *Cache) HitRate() float64 {
+	total := c.hits + c.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.hits) / float64(total)
+}

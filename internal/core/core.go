@@ -1,0 +1,266 @@
+// Package core implements the paper's contribution: the M-block uniformly
+// partitioned cache with coarse-grain dynamic indexing (Figs. 1-3). It
+// composes the substrates — decoder hardware models (internal/hw), the
+// time-varying indexing policies (internal/index), per-bank tag stores
+// (internal/cache), the breakeven power-management unit (internal/pmu)
+// and the energy model (internal/power) — into a trace-driven simulator,
+// and projects the measured idleness into multi-year bank lifetimes
+// through the aging characterisation (internal/aging).
+//
+// Structure of a simulated access (Fig. 1b / Fig. 2):
+//
+//	index  = (addr / lineSize) mod 2^n
+//	region = index >> (n-p)            // p MSBs
+//	line   = index & (2^(n-p) - 1)     // routed to every bank
+//	bank   = f(region)                 // f() = Identity/Probing/Scrambling
+//	1-hot select activates the bank; Block Control counters track
+//	idleness and drop idle banks to Vdd,low after the breakeven time.
+//
+// An `update` event re-parameterises f() and flushes the cache, exactly
+// as §III-A3 prescribes.
+package core
+
+import (
+	"fmt"
+
+	"nbticache/internal/cache"
+	"nbticache/internal/hw"
+	"nbticache/internal/index"
+	"nbticache/internal/pmu"
+	"nbticache/internal/power"
+	"nbticache/internal/trace"
+)
+
+// Config assembles a partitioned cache.
+type Config struct {
+	// Geometry is the overall cache organisation (the paper uses
+	// direct-mapped; Ways=1).
+	Geometry cache.Geometry
+	// Banks is M, a power of two in [2, 256].
+	Banks int
+	// Policy selects the dynamic-indexing function f().
+	Policy index.Kind
+	// Tech is the energy model; zero value means power.DefaultTech().
+	Tech power.Tech
+	// BreakevenOverride forces the Block Control threshold (cycles);
+	// 0 derives it from the energy model.
+	BreakevenOverride uint64
+	// UpdateEvery fires a re-indexing update (and cache flush) every
+	// that many accesses during trace simulation; 0 disables in-trace
+	// updates (the realistic setting: updates are ~daily, far apart
+	// relative to any trace).
+	UpdateEvery uint64
+	// LFSRSeed seeds the Scrambling policy (ignored otherwise);
+	// 0 means 1.
+	LFSRSeed uint
+}
+
+// normalised fills defaults.
+func (c Config) normalised() Config {
+	if c.Tech == (power.Tech{}) {
+		c.Tech = power.DefaultTech()
+	}
+	if c.LFSRSeed == 0 {
+		c.LFSRSeed = 1
+	}
+	return c
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	c = c.normalised()
+	if err := c.Geometry.Validate(); err != nil {
+		return err
+	}
+	if c.Banks < 2 || c.Banks&(c.Banks-1) != 0 {
+		return fmt.Errorf("core: bank count %d is not a power of two >= 2", c.Banks)
+	}
+	// The paper's architecture is direct-mapped; set-associative
+	// organisations are supported as an extension — the p MSBs of the
+	// set index select the bank, and each bank keeps the original
+	// associativity over Sets/M sets.
+	if log2(c.Banks) > c.Geometry.IndexBits() {
+		return fmt.Errorf("core: %d banks need %d index bits, cache has %d",
+			c.Banks, log2(c.Banks), c.Geometry.IndexBits())
+	}
+	if err := c.Tech.Validate(); err != nil {
+		return err
+	}
+	switch c.Policy {
+	case index.KindIdentity, index.KindProbing, index.KindScrambling:
+	default:
+		return fmt.Errorf("core: unknown policy %q", c.Policy)
+	}
+	return nil
+}
+
+func log2(m int) int {
+	p := 0
+	for ; m > 1; m >>= 1 {
+		p++
+	}
+	return p
+}
+
+// PartitionedCache is a live simulation instance. Not safe for concurrent
+// use; run one per goroutine.
+type PartitionedCache struct {
+	cfg       Config
+	policy    index.Policy
+	banks     []*cache.Cache
+	encoder   *hw.OneHotEncoder
+	regionPMU *pmu.PMU // keyed by logical region (pre-f); feeds aging projection
+	bankPMU   *pmu.PMU // keyed by physical bank (post-f); feeds energy accounting
+	breakeven uint64
+	width     int
+
+	regionShift uint
+	regionMask  uint64
+
+	reads, writes uint64
+	updates       uint64
+	accessCount   uint64
+	finished      bool
+	span          uint64
+}
+
+// New builds a partitioned cache from the configuration.
+func New(cfg Config) (*PartitionedCache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.normalised()
+	var pol index.Policy
+	var err error
+	switch cfg.Policy {
+	case index.KindScrambling:
+		pol, err = index.NewScrambling(cfg.Banks, index.DefaultLFSRWidth, cfg.LFSRSeed)
+	default:
+		pol, err = index.New(cfg.Policy, cfg.Banks)
+	}
+	if err != nil {
+		return nil, err
+	}
+	p := log2(cfg.Banks)
+	enc, err := hw.NewOneHotEncoder(p)
+	if err != nil {
+		return nil, err
+	}
+	be := cfg.BreakevenOverride
+	if be == 0 {
+		beF, err := cfg.Tech.BreakevenCycles(cfg.Geometry, cfg.Banks)
+		if err != nil {
+			return nil, err
+		}
+		be = uint64(beF)
+		if be < 1 {
+			be = 1
+		}
+	}
+	regionPMU, err := pmu.New(cfg.Banks, be)
+	if err != nil {
+		return nil, err
+	}
+	bankPMU, err := pmu.New(cfg.Banks, be)
+	if err != nil {
+		return nil, err
+	}
+	bankGeom := cache.Geometry{
+		Size:        cfg.Geometry.Size / uint64(cfg.Banks),
+		LineSize:    cfg.Geometry.LineSize,
+		Ways:        cfg.Geometry.Ways,
+		AddressBits: cfg.Geometry.AddressBits,
+	}
+	banks := make([]*cache.Cache, cfg.Banks)
+	for i := range banks {
+		b, err := cache.New(bankGeom)
+		if err != nil {
+			return nil, err
+		}
+		banks[i] = b
+	}
+	return &PartitionedCache{
+		cfg:         cfg,
+		policy:      pol,
+		banks:       banks,
+		encoder:     enc,
+		regionPMU:   regionPMU,
+		bankPMU:     bankPMU,
+		breakeven:   be,
+		width:       power.CounterWidth(float64(be)),
+		regionShift: uint(cfg.Geometry.IndexBits() - p),
+		regionMask:  uint64(cfg.Banks - 1),
+	}, nil
+}
+
+// Breakeven returns the Block Control threshold in cycles.
+func (pc *PartitionedCache) Breakeven() uint64 { return pc.breakeven }
+
+// CounterWidth returns the Block Control counter width in bits (the
+// paper's "5- or 6-bit counters suffice").
+func (pc *PartitionedCache) CounterWidth() int { return pc.width }
+
+// Policy exposes the active indexing policy.
+func (pc *PartitionedCache) Policy() index.Policy { return pc.policy }
+
+// Region returns the logical region (p MSBs of the index) of addr.
+func (pc *PartitionedCache) Region(addr uint64) uint {
+	return uint((pc.cfg.Geometry.Index(addr) >> pc.regionShift) & pc.regionMask)
+}
+
+// Access simulates one reference. It returns whether it hit and which
+// physical bank served it.
+func (pc *PartitionedCache) Access(cycle, addr uint64, kind trace.Kind) (hit bool, bank uint, err error) {
+	if pc.finished {
+		return false, 0, fmt.Errorf("core: access after Finish")
+	}
+	region := pc.Region(addr)
+	bank = pc.policy.Map(region)
+	// The 1-hot encoder is the real datapath (Fig. 1b); Encode panics on
+	// out-of-range banks, enforcing the policy bijection at runtime.
+	pc.encoder.Encode(bank)
+	if err := pc.regionPMU.Access(int(region), cycle); err != nil {
+		return false, 0, err
+	}
+	if err := pc.bankPMU.Access(int(bank), cycle); err != nil {
+		return false, 0, err
+	}
+	hit = pc.banks[bank].Access(addr)
+	if kind == trace.Write {
+		pc.writes++
+	} else {
+		pc.reads++
+	}
+	pc.accessCount++
+	if pc.cfg.UpdateEvery > 0 && pc.accessCount%pc.cfg.UpdateEvery == 0 {
+		pc.Update()
+	}
+	return hit, bank, nil
+}
+
+// Update fires the re-indexing update: f() advances and the entire cache
+// is flushed ("every time the indexing is updated ... a cache flush is
+// required").
+func (pc *PartitionedCache) Update() {
+	pc.policy.Update()
+	for _, b := range pc.banks {
+		b.Flush()
+	}
+	pc.updates++
+}
+
+// Finish closes the simulation at endCycle (normally the trace span).
+func (pc *PartitionedCache) Finish(endCycle uint64) error {
+	if pc.finished {
+		return fmt.Errorf("core: Finish called twice")
+	}
+	if err := pc.regionPMU.Finish(endCycle); err != nil {
+		return err
+	}
+	if err := pc.bankPMU.Finish(endCycle); err != nil {
+		return err
+	}
+	pc.span = endCycle
+	pc.finished = true
+	return nil
+}

@@ -1,0 +1,220 @@
+package core
+
+import (
+	"fmt"
+
+	"nbticache/internal/cache"
+	"nbticache/internal/pmu"
+	"nbticache/internal/power"
+	"nbticache/internal/stats"
+	"nbticache/internal/trace"
+)
+
+// RunResult collects everything a trace simulation measured.
+type RunResult struct {
+	// Name is the trace name.
+	Name string
+	// Banks is M.
+	Banks int
+	// PolicyName is the indexing policy that ran.
+	PolicyName string
+	// Reads, Writes, Hits, Misses count accesses.
+	Reads, Writes uint64
+	Hits, Misses  uint64
+	// SpanCycles is the simulated duration.
+	SpanCycles uint64
+	// Updates counts in-trace re-indexing events (each flushed the
+	// cache).
+	Updates uint64
+	// Breakeven is the Block Control threshold used (cycles);
+	// CounterWidth the counter size implementing it.
+	Breakeven    uint64
+	CounterWidth int
+	// RegionStats is keyed by logical region (stable across updates);
+	// it feeds the aging projection and Table I.
+	RegionStats []pmu.BankStats
+	// BankStats is keyed by physical bank (what the rails see); it
+	// feeds the energy accounting.
+	BankStats []pmu.BankStats
+	// Energy is the partitioned, power-managed energy; Baseline is the
+	// monolithic unmanaged reference; Savings = 1 - Energy/Baseline
+	// (the paper's Esav).
+	Energy   power.Breakdown
+	Baseline power.Breakdown
+	Savings  float64
+}
+
+// HitRate returns hits over accesses.
+func (r *RunResult) HitRate() float64 {
+	total := r.Hits + r.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(r.Hits) / float64(total)
+}
+
+// RegionUsefulIdleness projects the I_j vector of Table I.
+func (r *RunResult) RegionUsefulIdleness() []float64 {
+	out := make([]float64, len(r.RegionStats))
+	for i, s := range r.RegionStats {
+		out[i] = s.UsefulIdleness
+	}
+	return out
+}
+
+// RegionSleepFractions projects the per-region sleep duty feeding aging.
+func (r *RunResult) RegionSleepFractions() []float64 {
+	out := make([]float64, len(r.RegionStats))
+	for i, s := range r.RegionStats {
+		out[i] = s.SleepFraction
+	}
+	return out
+}
+
+// AverageIdleness is the mean of the per-region useful idleness (the
+// "Average" column of Table I).
+func (r *RunResult) AverageIdleness() float64 {
+	return stats.Mean(r.RegionUsefulIdleness())
+}
+
+// Run drives a full trace through the cache, finishes it at the trace
+// span, and assembles the result, including energy against the monolithic
+// unmanaged baseline.
+func (pc *PartitionedCache) Run(tr *trace.Trace) (*RunResult, error) {
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	if tr.Len() == 0 {
+		return nil, fmt.Errorf("core: empty trace")
+	}
+	var hits uint64
+	for i := range tr.Accesses {
+		a := &tr.Accesses[i]
+		hit, _, err := pc.Access(a.Cycle, a.Addr, a.Kind)
+		if err != nil {
+			return nil, fmt.Errorf("core: access %d: %w", i, err)
+		}
+		if hit {
+			hits++
+		}
+	}
+	if err := pc.Finish(tr.Cycles); err != nil {
+		return nil, err
+	}
+	return pc.Result(tr.Name, hits)
+}
+
+// Result assembles the RunResult after Finish. hits is the hit count
+// observed by the driver (Run tracks it; external drivers pass their
+// own).
+func (pc *PartitionedCache) Result(name string, hits uint64) (*RunResult, error) {
+	if !pc.finished {
+		return nil, fmt.Errorf("core: Result before Finish")
+	}
+	regionStats, err := pc.regionPMU.Results()
+	if err != nil {
+		return nil, err
+	}
+	bankStats, err := pc.bankPMU.Results()
+	if err != nil {
+		return nil, err
+	}
+	res := &RunResult{
+		Name:         name,
+		Banks:        pc.cfg.Banks,
+		PolicyName:   pc.policy.Name(),
+		Reads:        pc.reads,
+		Writes:       pc.writes,
+		Hits:         hits,
+		Misses:       pc.reads + pc.writes - hits,
+		SpanCycles:   pc.span,
+		Updates:      pc.updates,
+		Breakeven:    pc.breakeven,
+		CounterWidth: pc.width,
+		RegionStats:  regionStats,
+		BankStats:    bankStats,
+	}
+	sleep := make([]uint64, len(bankStats))
+	wakes := make([]uint64, len(bankStats))
+	for i, s := range bankStats {
+		sleep[i] = s.SleepCycles
+		wakes[i] = s.Wakeups
+	}
+	usage := power.Usage{
+		Reads:       pc.reads,
+		Writes:      pc.writes,
+		SpanCycles:  pc.span,
+		SleepCycles: sleep,
+		Wakeups:     wakes,
+	}
+	res.Energy, err = pc.cfg.Tech.Energy(pc.cfg.Geometry, pc.cfg.Banks, usage)
+	if err != nil {
+		return nil, err
+	}
+	res.Baseline, err = pc.cfg.Tech.Energy(pc.cfg.Geometry, 1, power.Usage{
+		Reads:      pc.reads,
+		Writes:     pc.writes,
+		SpanCycles: pc.span,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Savings = power.Savings(res.Baseline, res.Energy)
+	return res, nil
+}
+
+// MonolithicResult summarises a conventional non-partitioned cache run —
+// the reference for the "no degradation of miss rate" claim.
+type MonolithicResult struct {
+	Name          string
+	Hits, Misses  uint64
+	Reads, Writes uint64
+	SpanCycles    uint64
+	Energy        power.Breakdown
+}
+
+// HitRate returns hits over accesses.
+func (r *MonolithicResult) HitRate() float64 {
+	total := r.Hits + r.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(r.Hits) / float64(total)
+}
+
+// RunMonolithic simulates a conventional unmanaged cache over the trace.
+func RunMonolithic(g cache.Geometry, tech power.Tech, tr *trace.Trace) (*MonolithicResult, error) {
+	if tech == (power.Tech{}) {
+		tech = power.DefaultTech()
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	c, err := cache.New(g)
+	if err != nil {
+		return nil, err
+	}
+	res := &MonolithicResult{Name: tr.Name, SpanCycles: tr.Cycles}
+	for i := range tr.Accesses {
+		a := &tr.Accesses[i]
+		if c.Access(a.Addr) {
+			res.Hits++
+		} else {
+			res.Misses++
+		}
+		if a.Kind == trace.Write {
+			res.Writes++
+		} else {
+			res.Reads++
+		}
+	}
+	res.Energy, err = tech.Energy(g, 1, power.Usage{
+		Reads:      res.Reads,
+		Writes:     res.Writes,
+		SpanCycles: tr.Cycles,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}

@@ -1,0 +1,185 @@
+// Package device provides the transistor-level current models underneath
+// the SRAM characterisation framework. The paper characterises a 6T cell
+// with HSPICE against an industrial 45nm kit; this package is the
+// analytical stand-in: an alpha-power-law MOSFET model (Sakurai–Newton)
+// with channel-length modulation and a numerical minimum conductance, the
+// standard abstraction for hand analysis of deep-submicron CMOS VTCs.
+//
+// All voltages in this package are magnitudes: callers map PMOS polarities
+// (source-referenced negative Vgs/Vds) onto positive effective values, as
+// internal/sram does.
+package device
+
+import (
+	"fmt"
+	"math"
+)
+
+// Kind distinguishes device polarity. The current equations are identical
+// in magnitude form; Kind is carried for reporting and parameter lookup.
+type Kind uint8
+
+// Device polarities.
+const (
+	NMOS Kind = iota
+	PMOS
+)
+
+// String returns "nmos" or "pmos".
+func (k Kind) String() string {
+	if k == PMOS {
+		return "pmos"
+	}
+	return "nmos"
+}
+
+// Device is one transistor instance: alpha-power-law parameters plus a
+// W/L strength multiplier.
+type Device struct {
+	Kind Kind
+	// Vth is the threshold voltage magnitude in volts.
+	Vth float64
+	// K is the saturation transconductance in A/V^Alpha for W/L = 1.
+	K float64
+	// WL is the W/L strength multiplier.
+	WL float64
+	// Alpha is the velocity-saturation index (2.0 long-channel,
+	// ~1.3 at 45nm).
+	Alpha float64
+	// VdsatCoeff scales the saturation voltage:
+	// Vdsat = VdsatCoeff * overdrive^(Alpha/2).
+	VdsatCoeff float64
+	// Lambda is the channel-length-modulation coefficient (1/V).
+	Lambda float64
+	// Gmin is a numerical shunt conductance (S) that stands in for
+	// subthreshold leakage and keeps nodal equations strictly monotone,
+	// the same trick SPICE uses (GMIN stepping).
+	Gmin float64
+}
+
+// Validate reports parameter errors.
+func (d Device) Validate() error {
+	switch {
+	case d.Vth <= 0:
+		return fmt.Errorf("device: %s Vth %v must be positive", d.Kind, d.Vth)
+	case d.K <= 0:
+		return fmt.Errorf("device: %s K %v must be positive", d.Kind, d.K)
+	case d.WL <= 0:
+		return fmt.Errorf("device: %s W/L %v must be positive", d.Kind, d.WL)
+	case d.Alpha < 1 || d.Alpha > 2:
+		return fmt.Errorf("device: %s alpha %v outside [1,2]", d.Kind, d.Alpha)
+	case d.VdsatCoeff <= 0:
+		return fmt.Errorf("device: %s Vdsat coefficient %v must be positive", d.Kind, d.VdsatCoeff)
+	case d.Lambda < 0:
+		return fmt.Errorf("device: %s lambda %v must be non-negative", d.Kind, d.Lambda)
+	case d.Gmin < 0:
+		return fmt.Errorf("device: %s gmin %v must be non-negative", d.Kind, d.Gmin)
+	}
+	return nil
+}
+
+// Ids returns the drain current magnitude (A) for gate and drain voltage
+// magnitudes vgs, vds >= 0, per the Sakurai–Newton alpha-power law:
+//
+//	off        : Ids = Gmin*vds
+//	saturation : Ids = WL*K*(vgs-Vth)^alpha * (1+lambda*vds)
+//	linear     : Ids = Idsat(vds) * (2 - vds/vdsat)*(vds/vdsat)
+//
+// The linear branch is continuous with saturation at vds = vdsat.
+func (d Device) Ids(vgs, vds float64) float64 {
+	if vds < 0 {
+		// Devices in this code base are always driven source-referenced;
+		// negative vds indicates a caller polarity bug.
+		panic(fmt.Sprintf("device: negative vds %v", vds))
+	}
+	leak := d.Gmin * vds
+	od := vgs - d.Vth
+	if od <= 0 {
+		return leak
+	}
+	sat := d.WL * d.K * math.Pow(od, d.Alpha) * (1 + d.Lambda*vds)
+	vdsat := d.VdsatCoeff * math.Pow(od, d.Alpha/2)
+	if vds >= vdsat {
+		return sat + leak
+	}
+	x := vds / vdsat
+	return sat*(2-x)*x + leak
+}
+
+// WithVthShift returns a copy with the threshold raised by dvth (the NBTI
+// degradation applied during post-stress simulation).
+func (d Device) WithVthShift(dvth float64) Device {
+	d.Vth += dvth
+	return d
+}
+
+// Tech45 is the synthetic 45nm-class parameter set standing in for the
+// STMicroelectronics kit the paper used. Values are representative of
+// published 45nm LP data: |Vth| ~ 0.35-0.4 V, alpha ~ 1.3, PMOS mobility
+// roughly half NMOS.
+type Tech45 struct {
+	// Vdd is the nominal supply (V).
+	Vdd float64
+	// VddRetention is the voltage-scaled standby supply (V), the
+	// "Vdd,low" of Fig. 1.
+	VddRetention float64
+	// TempK is the characterisation temperature (K).
+	TempK float64
+	// NMOS and PMOS are the unit-strength device templates.
+	NMOS, PMOS Device
+}
+
+// DefaultTech45 returns the parameter set used throughout the experiments.
+// VddRetention = 0.70 V is the operating point at which the NBTI stress
+// rate falls to ((0.70-0.35)/(1.10-0.35))^2 ~ 0.218 of nominal — the value
+// the paper's lifetime numbers imply (see DESIGN.md §4).
+func DefaultTech45() Tech45 {
+	return Tech45{
+		Vdd:          1.10,
+		VddRetention: 0.70,
+		TempK:        358, // 85C, standard reliability corner
+		NMOS: Device{
+			Kind:       NMOS,
+			Vth:        0.35,
+			K:          3.0e-4,
+			WL:         1,
+			Alpha:      1.3,
+			VdsatCoeff: 0.45,
+			Lambda:     0.09,
+			Gmin:       1e-7,
+		},
+		PMOS: Device{
+			Kind:       PMOS,
+			Vth:        0.35,
+			K:          1.5e-4,
+			WL:         1,
+			Alpha:      1.3,
+			VdsatCoeff: 0.50,
+			Lambda:     0.11,
+			Gmin:       1e-7,
+		},
+	}
+}
+
+// Validate checks the full technology record.
+func (t Tech45) Validate() error {
+	if t.Vdd <= 0 {
+		return fmt.Errorf("device: Vdd %v must be positive", t.Vdd)
+	}
+	if t.VddRetention <= 0 || t.VddRetention >= t.Vdd {
+		return fmt.Errorf("device: retention voltage %v outside (0, Vdd)", t.VddRetention)
+	}
+	if t.TempK <= 0 {
+		return fmt.Errorf("device: temperature %v K must be positive", t.TempK)
+	}
+	if err := t.NMOS.Validate(); err != nil {
+		return err
+	}
+	if err := t.PMOS.Validate(); err != nil {
+		return err
+	}
+	if t.NMOS.Kind != NMOS || t.PMOS.Kind != PMOS {
+		return fmt.Errorf("device: template polarities swapped")
+	}
+	return nil
+}

@@ -1,0 +1,164 @@
+package device
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func testDev() Device {
+	return DefaultTech45().NMOS
+}
+
+func TestIdsOffRegion(t *testing.T) {
+	d := testDev()
+	if got := d.Ids(0, 1.0); got != d.Gmin*1.0 {
+		t.Errorf("off current = %v, want gmin leak %v", got, d.Gmin)
+	}
+	if got := d.Ids(d.Vth, 0.5); got != d.Gmin*0.5 {
+		t.Errorf("at-threshold current = %v, want leak only", got)
+	}
+}
+
+func TestIdsZeroVds(t *testing.T) {
+	d := testDev()
+	if got := d.Ids(1.1, 0); got != 0 {
+		t.Errorf("Ids(vds=0) = %v, want 0", got)
+	}
+}
+
+func TestIdsNegativeVdsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative vds did not panic")
+		}
+	}()
+	testDev().Ids(1.0, -0.1)
+}
+
+func TestIdsContinuousAtVdsat(t *testing.T) {
+	d := testDev()
+	vgs := 1.1
+	od := vgs - d.Vth
+	vdsat := d.VdsatCoeff * math.Pow(od, d.Alpha/2)
+	below := d.Ids(vgs, vdsat*(1-1e-9))
+	above := d.Ids(vgs, vdsat*(1+1e-9))
+	if rel := math.Abs(below-above) / above; rel > 1e-6 {
+		t.Errorf("discontinuity at vdsat: %v vs %v (rel %v)", below, above, rel)
+	}
+}
+
+func TestIdsMagnitudeReasonable(t *testing.T) {
+	// A unit-strength 45nm NMOS at full drive should carry on the order
+	// of a hundred microamps.
+	d := testDev()
+	i := d.Ids(1.1, 1.1)
+	if i < 50e-6 || i > 1e-3 {
+		t.Errorf("full-drive current %v A outside plausible 45nm range", i)
+	}
+}
+
+// Property: Ids is non-decreasing in vgs and in vds (required for the
+// nodal bisection in internal/sram to be well-posed).
+func TestIdsMonotone(t *testing.T) {
+	d := testDev()
+	f := func(a, b, c uint16) bool {
+		vgs1 := float64(a%1200) / 1000
+		vgs2 := vgs1 + float64(b%200)/1000
+		vds := float64(c%1200) / 1000
+		if d.Ids(vgs2, vds) < d.Ids(vgs1, vds)-1e-15 {
+			return false
+		}
+		vds2 := vds + float64(b%300)/1000
+		return d.Ids(vgs2, vds2) >= d.Ids(vgs2, vds)-1e-15
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWithVthShift(t *testing.T) {
+	d := testDev()
+	shifted := d.WithVthShift(0.05)
+	if shifted.Vth != d.Vth+0.05 {
+		t.Errorf("Vth = %v, want %v", shifted.Vth, d.Vth+0.05)
+	}
+	if d.Vth != testDev().Vth {
+		t.Error("WithVthShift mutated the receiver")
+	}
+	// A higher threshold must weaken the device.
+	if shifted.Ids(1.0, 1.0) >= d.Ids(1.0, 1.0) {
+		t.Error("Vth shift did not reduce current")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := testDev()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("good device rejected: %v", err)
+	}
+	cases := []func(*Device){
+		func(d *Device) { d.Vth = 0 },
+		func(d *Device) { d.K = -1 },
+		func(d *Device) { d.WL = 0 },
+		func(d *Device) { d.Alpha = 0.5 },
+		func(d *Device) { d.Alpha = 2.5 },
+		func(d *Device) { d.VdsatCoeff = 0 },
+		func(d *Device) { d.Lambda = -0.1 },
+		func(d *Device) { d.Gmin = -1 },
+	}
+	for i, mutate := range cases {
+		d := testDev()
+		mutate(&d)
+		if err := d.Validate(); err == nil {
+			t.Errorf("case %d: bad device accepted", i)
+		}
+	}
+}
+
+func TestTech45Validate(t *testing.T) {
+	tech := DefaultTech45()
+	if err := tech.Validate(); err != nil {
+		t.Fatalf("default tech rejected: %v", err)
+	}
+	bad := tech
+	bad.VddRetention = tech.Vdd // must be strictly below Vdd
+	if err := bad.Validate(); err == nil {
+		t.Error("retention >= Vdd accepted")
+	}
+	bad = tech
+	bad.TempK = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero temperature accepted")
+	}
+	bad = tech
+	bad.NMOS.Kind = PMOS
+	if err := bad.Validate(); err == nil {
+		t.Error("swapped polarities accepted")
+	}
+	bad = tech
+	bad.Vdd = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative Vdd accepted")
+	}
+	bad = tech
+	bad.PMOS.K = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("bad PMOS accepted")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if NMOS.String() != "nmos" || PMOS.String() != "pmos" {
+		t.Error("kind strings wrong")
+	}
+}
+
+func TestPMOSWeakerThanNMOS(t *testing.T) {
+	tech := DefaultTech45()
+	in := tech.NMOS.Ids(1.1, 1.1)
+	ip := tech.PMOS.Ids(1.1, 1.1)
+	if ip >= in {
+		t.Errorf("PMOS current %v not below NMOS %v (mobility ratio)", ip, in)
+	}
+}

@@ -1,0 +1,308 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+
+	"nbticache/internal/aging"
+	"nbticache/internal/core"
+	"nbticache/internal/index"
+	"nbticache/internal/mitigate"
+	"nbticache/internal/stats"
+	"nbticache/internal/workload"
+)
+
+// TechniqueRow is one NBTI-mitigation technique evaluated on a common
+// workload — the §II-B related-work comparison made quantitative.
+type TechniqueRow struct {
+	Technique string
+	// LifetimeYears under the technique.
+	LifetimeYears float64
+	// EnergySavings vs the monolithic unmanaged cache (0 when the
+	// technique does not manage power).
+	EnergySavings float64
+	// ArrayModified marks techniques that require touching the SRAM
+	// array internals (ruled out by memory-compiler flows — the paper's
+	// §III constraint).
+	ArrayModified bool
+	// StateLost marks techniques whose low-power state loses contents.
+	StateLost bool
+}
+
+// TechniqueComparison is the full comparison table.
+type TechniqueComparison struct {
+	Benchmark string
+	RawP0     float64
+	Rows      []TechniqueRow
+}
+
+// RunTechniqueComparison evaluates, on one benchmark at 16 kB / M=4:
+//
+//   - the unmanaged monolithic cache (with the workload's raw p0 skew);
+//   - cell flipping [11]/[15] (restores balanced p0, no power management);
+//   - bank-level power management without re-indexing (LT0);
+//   - the paper's architecture: partitioning + dynamic indexing (LT);
+//   - the same with flipping composed on top;
+//   - the same with power gating and with recovery boosting [18];
+//   - line-level dynamic indexing [7] (ideal, array-modifying).
+func (s *Suite) RunTechniqueComparison(bench string, rawP0 float64) (*TechniqueComparison, error) {
+	if rawP0 < 0 || rawP0 > 1 {
+		return nil, fmt.Errorf("experiment: raw p0 %v outside [0,1]", rawP0)
+	}
+	g := Geometry(16, 16)
+	res, err := s.Run(bench, g, 4)
+	if err != nil {
+		return nil, err
+	}
+	duties := res.RegionSleepFractions()
+	flip := mitigate.Flipping{PeriodCycles: 1 << 20}
+	flippedP0, err := flip.EffectiveP0(rawP0)
+	if err != nil {
+		return nil, err
+	}
+
+	project := func(kind index.Kind, p0 float64, mode aging.SleepMode) (float64, error) {
+		proj, err := core.ProjectAging(s.Aging, duties, kind, s.Epochs, mode)
+		if err != nil {
+			return 0, err
+		}
+		// Re-evaluate the duty vector at the requested p0/mode.
+		lts, err := s.Aging.LifetimeVector(proj.BankDuty, p0, mode)
+		if err != nil {
+			return 0, err
+		}
+		return stats.Min(lts), nil
+	}
+
+	mono, err := s.Aging.Lifetime(0, rawP0, aging.VoltageScaled)
+	if err != nil {
+		return nil, err
+	}
+	monoFlip, err := s.Aging.Lifetime(0, flippedP0, aging.VoltageScaled)
+	if err != nil {
+		return nil, err
+	}
+	lt0, err := project(index.KindIdentity, rawP0, aging.VoltageScaled)
+	if err != nil {
+		return nil, err
+	}
+	lt, err := project(index.KindProbing, rawP0, aging.VoltageScaled)
+	if err != nil {
+		return nil, err
+	}
+	ltFlip, err := project(index.KindProbing, flippedP0, aging.VoltageScaled)
+	if err != nil {
+		return nil, err
+	}
+	ltGated, err := project(index.KindProbing, rawP0, aging.PowerGated)
+	if err != nil {
+		return nil, err
+	}
+	ltBoost, err := project(index.KindProbing, rawP0, aging.RecoveryBoosted)
+	if err != nil {
+		return nil, err
+	}
+
+	tr, err := s.Trace(bench, g)
+	if err != nil {
+		return nil, err
+	}
+	line, err := mitigate.RunLineLevel(g, s.Tech, tr, 0)
+	if err != nil {
+		return nil, err
+	}
+	ltLine, err := line.IdealLifetime(s.Aging, rawP0, aging.VoltageScaled)
+	if err != nil {
+		return nil, err
+	}
+
+	return &TechniqueComparison{
+		Benchmark: bench,
+		RawP0:     rawP0,
+		Rows: []TechniqueRow{
+			{"monolithic, unmanaged", mono, 0, false, false},
+			{"cell flipping [11,15]", monoFlip, 0, false, false},
+			{"partitioned + sleep (LT0)", lt0, res.Savings, false, false},
+			{"partitioned + dynamic indexing (LT, this paper)", lt, res.Savings, false, false},
+			{"  + cell flipping", ltFlip, res.Savings, false, false},
+			{"  + power gating [3]", ltGated, res.Savings, false, true},
+			{"  + recovery boosting [18]", ltBoost, res.Savings, true, false},
+			{"line-level dynamic indexing [7] (ideal)", ltLine, res.Savings, true, false},
+		},
+	}, nil
+}
+
+// BreakevenAblation sweeps the Block Control threshold — the design
+// choice behind the "5- or 6-bit counters" sizing.
+type BreakevenAblation struct {
+	Benchmark  string
+	Breakevens []uint64
+	// Per breakeven: mean sleep fraction, energy savings, lifetime.
+	MeanSleep []float64
+	Esav      []float64
+	LT        []float64
+}
+
+// RunBreakevenAblation evaluates breakeven thresholds of 4..9-bit
+// counters on one benchmark (16 kB, M=4).
+func (s *Suite) RunBreakevenAblation(bench string) (*BreakevenAblation, error) {
+	g := Geometry(16, 16)
+	tr, err := s.Trace(bench, g)
+	if err != nil {
+		return nil, err
+	}
+	out := &BreakevenAblation{Benchmark: bench, Breakevens: []uint64{15, 31, 63, 127, 255, 511}}
+	for _, be := range out.Breakevens {
+		pc, err := core.New(core.Config{
+			Geometry: g, Banks: 4, Policy: index.KindIdentity,
+			Tech: s.Tech, BreakevenOverride: be,
+		})
+		if err != nil {
+			return nil, err
+		}
+		res, err := pc.Run(tr)
+		if err != nil {
+			return nil, err
+		}
+		sum, err := s.Lifetimes(res)
+		if err != nil {
+			return nil, err
+		}
+		out.MeanSleep = append(out.MeanSleep, stats.Mean(res.RegionSleepFractions()))
+		out.Esav = append(out.Esav, res.Savings)
+		out.LT = append(out.LT, sum.LTYears)
+	}
+	return out, nil
+}
+
+// UpdateAblation quantifies the in-trace cost of re-indexing updates —
+// the zero-overhead claim of §III-A3.
+type UpdateAblation struct {
+	Benchmark string
+	// UpdatesPerTrace counts update events; MissOverhead the added miss
+	// fraction relative to no updates; HitRate the resulting hit rate.
+	UpdatesPerTrace []uint64
+	MissOverhead    []float64
+	HitRate         []float64
+}
+
+// RunUpdateAblation sweeps the update frequency on one benchmark.
+func (s *Suite) RunUpdateAblation(bench string) (*UpdateAblation, error) {
+	g := Geometry(16, 16)
+	tr, err := s.Trace(bench, g)
+	if err != nil {
+		return nil, err
+	}
+	divisors := []uint64{0, 4, 16, 64} // 0 updates, then 4, 16, 64 per trace
+	out := &UpdateAblation{Benchmark: bench}
+	var baseMisses uint64
+	for i, d := range divisors {
+		cfg := core.Config{Geometry: g, Banks: 4, Policy: index.KindProbing, Tech: s.Tech}
+		if d > 0 {
+			cfg.UpdateEvery = uint64(tr.Len()) / d
+		}
+		pc, err := core.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		res, err := pc.Run(tr)
+		if err != nil {
+			return nil, err
+		}
+		if i == 0 {
+			baseMisses = res.Misses
+		}
+		out.UpdatesPerTrace = append(out.UpdatesPerTrace, res.Updates)
+		out.MissOverhead = append(out.MissOverhead,
+			float64(res.Misses-baseMisses)/float64(res.Reads+res.Writes))
+		out.HitRate = append(out.HitRate, res.HitRate())
+	}
+	return out, nil
+}
+
+// PolicyAgreement quantifies §IV-B2: probing and scrambling give de facto
+// identical lifetimes across the whole suite.
+type PolicyAgreement struct {
+	// MaxRelDiff is the worst relative lifetime difference over all
+	// benchmarks; MeanRelDiff the average.
+	MaxRelDiff  float64
+	MeanRelDiff float64
+	// WorstBench is the benchmark with the largest difference.
+	WorstBench string
+}
+
+// RunPolicyAgreement compares probing and scrambling on every benchmark.
+func (s *Suite) RunPolicyAgreement() (*PolicyAgreement, error) {
+	g := Geometry(16, 16)
+	names := workload.Names()
+	diffs := make([]float64, len(names))
+	err := forEachBench(func(i int, bench string) error {
+		res, err := s.Run(bench, g, 4)
+		if err != nil {
+			return err
+		}
+		duties := res.RegionSleepFractions()
+		pr, err := core.ProjectAging(s.Aging, duties, index.KindProbing, s.Epochs, aging.VoltageScaled)
+		if err != nil {
+			return err
+		}
+		sc, err := core.ProjectAging(s.Aging, duties, index.KindScrambling, s.Epochs, aging.VoltageScaled)
+		if err != nil {
+			return err
+		}
+		diffs[i] = math.Abs(sc.LifetimeYears-pr.LifetimeYears) / pr.LifetimeYears
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &PolicyAgreement{}
+	for i, d := range diffs {
+		if d > out.MaxRelDiff {
+			out.MaxRelDiff = d
+			out.WorstBench = names[i]
+		}
+		out.MeanRelDiff += d
+	}
+	out.MeanRelDiff /= float64(len(diffs))
+	return out, nil
+}
+
+// AssocAblation explores the set-associative extension: associativity vs
+// miss rate, savings and lifetime at 16 kB / M=4.
+type AssocAblation struct {
+	Benchmark string
+	Ways      []int
+	HitRate   []float64
+	Esav      []float64
+	LT        []float64
+}
+
+// RunAssocAblation sweeps associativity on one benchmark.
+func (s *Suite) RunAssocAblation(bench string) (*AssocAblation, error) {
+	out := &AssocAblation{Benchmark: bench, Ways: []int{1, 2, 4}}
+	for _, ways := range out.Ways {
+		g := Geometry(16, 16)
+		g.Ways = ways
+		tr, err := s.Trace(bench, Geometry(16, 16)) // same trace for all
+		if err != nil {
+			return nil, err
+		}
+		pc, err := core.New(core.Config{Geometry: g, Banks: 4, Policy: index.KindIdentity, Tech: s.Tech})
+		if err != nil {
+			return nil, err
+		}
+		res, err := pc.Run(tr)
+		if err != nil {
+			return nil, err
+		}
+		sum, err := s.Lifetimes(res)
+		if err != nil {
+			return nil, err
+		}
+		out.HitRate = append(out.HitRate, res.HitRate())
+		out.Esav = append(out.Esav, res.Savings)
+		out.LT = append(out.LT, sum.LTYears)
+	}
+	return out, nil
+}

@@ -1,0 +1,76 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"math"
+)
+
+// WriteTechniqueComparison prints the §II-B comparison table.
+func WriteTechniqueComparison(w io.Writer, t *TechniqueComparison) error {
+	tw := newTab(w)
+	fmt.Fprintf(tw, "TECHNIQUES — NBTI mitigation on %s (16 kB, M=4, raw p0=%.2f)\n",
+		t.Benchmark, t.RawP0)
+	fmt.Fprintln(tw, "technique\tlifetime\tEsav\tarray mods\tstate")
+	for _, r := range t.Rows {
+		mods, state := "no", "kept"
+		if r.ArrayModified {
+			mods = "YES"
+		}
+		if r.StateLost {
+			state = "LOST"
+		}
+		lt := fmt.Sprintf("%.2f y", r.LifetimeYears)
+		if math.IsInf(r.LifetimeYears, 1) {
+			lt = "inf"
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%.1f%%\t%s\t%s\n",
+			r.Technique, lt, r.EnergySavings*100, mods, state)
+	}
+	return tw.Flush()
+}
+
+// WriteBreakevenAblation prints the counter-sizing sweep.
+func WriteBreakevenAblation(w io.Writer, a *BreakevenAblation) error {
+	tw := newTab(w)
+	fmt.Fprintf(tw, "BREAKEVEN ABLATION — %s (16 kB, M=4)\n", a.Benchmark)
+	fmt.Fprintln(tw, "breakeven (cycles)\tmean sleep\tEsav\tLT")
+	for i, be := range a.Breakevens {
+		fmt.Fprintf(tw, "%d\t%.1f%%\t%.1f%%\t%.2f y\n",
+			be, a.MeanSleep[i]*100, a.Esav[i]*100, a.LT[i])
+	}
+	return tw.Flush()
+}
+
+// WriteUpdateAblation prints the update-frequency sweep.
+func WriteUpdateAblation(w io.Writer, a *UpdateAblation) error {
+	tw := newTab(w)
+	fmt.Fprintf(tw, "UPDATE ABLATION — %s (16 kB, M=4, probing)\n", a.Benchmark)
+	fmt.Fprintln(tw, "updates/trace\tadded misses\thit rate")
+	for i := range a.UpdatesPerTrace {
+		fmt.Fprintf(tw, "%d\t%.3f%%\t%.2f%%\n",
+			a.UpdatesPerTrace[i], a.MissOverhead[i]*100, a.HitRate[i]*100)
+	}
+	return tw.Flush()
+}
+
+// WritePolicyAgreement prints the probing/scrambling equivalence check.
+func WritePolicyAgreement(w io.Writer, a *PolicyAgreement) error {
+	_, err := fmt.Fprintf(w,
+		"POLICY AGREEMENT — probing vs scrambling lifetimes across 18 benchmarks\n"+
+			"mean relative difference %.3f%%, worst %.3f%% (%s)\n",
+		a.MeanRelDiff*100, a.MaxRelDiff*100, a.WorstBench)
+	return err
+}
+
+// WriteAssocAblation prints the associativity sweep.
+func WriteAssocAblation(w io.Writer, a *AssocAblation) error {
+	tw := newTab(w)
+	fmt.Fprintf(tw, "ASSOCIATIVITY ABLATION — %s (16 kB, M=4)\n", a.Benchmark)
+	fmt.Fprintln(tw, "ways\thit rate\tEsav\tLT")
+	for i, ways := range a.Ways {
+		fmt.Fprintf(tw, "%d\t%.2f%%\t%.1f%%\t%.2f y\n",
+			ways, a.HitRate[i]*100, a.Esav[i]*100, a.LT[i])
+	}
+	return tw.Flush()
+}

@@ -1,0 +1,267 @@
+package experiment
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// One quick-quality suite shared across the package tests (the aging
+// characterisation and trace generation dominate setup cost).
+var (
+	suiteOnce sync.Once
+	suite     *Suite
+	suiteErr  error
+)
+
+func sharedSuite(t *testing.T) *Suite {
+	t.Helper()
+	suiteOnce.Do(func() {
+		suite, suiteErr = NewSuite(Quick)
+	})
+	if suiteErr != nil {
+		t.Fatal(suiteErr)
+	}
+	return suite
+}
+
+func TestGeometryHelper(t *testing.T) {
+	g := Geometry(16, 16)
+	if g.Size != 16*1024 || g.LineSize != 16 || g.Ways != 1 {
+		t.Errorf("geometry wrong: %+v", g)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTraceMemoised(t *testing.T) {
+	s := sharedSuite(t)
+	a, err := s.Trace("sha", Geometry(16, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Trace("sha", Geometry(16, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("trace not memoised")
+	}
+	if _, err := s.Trace("bogus", Geometry(16, 16)); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}
+
+func TestRunMemoised(t *testing.T) {
+	s := sharedSuite(t)
+	a, err := s.Run("sha", Geometry(16, 16), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Run("sha", Geometry(16, 16), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("run not memoised")
+	}
+}
+
+func TestTable1ShapeAndBands(t *testing.T) {
+	s := sharedSuite(t)
+	t1, err := s.RunTable1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t1.Rows) != 18 {
+		t.Fatalf("rows = %d", len(t1.Rows))
+	}
+	// Grand average near the paper's 41.71%.
+	if math.Abs(t1.Average-PaperTable1Average) > 0.04 {
+		t.Errorf("Table I average %.3f vs paper %.3f", t1.Average, PaperTable1Average)
+	}
+	// The adpcm.dec signature: banks 1-2 nearly always idle, 0 and 3
+	// nearly never.
+	r := t1.Rows[0]
+	if r.Benchmark != "adpcm.dec" {
+		t.Fatalf("row order wrong: %s", r.Benchmark)
+	}
+	if r.Idleness[1] < 0.95 || r.Idleness[2] < 0.95 {
+		t.Errorf("adpcm hot-idle banks: %v", r.Idleness)
+	}
+	if r.Idleness[0] > 0.10 || r.Idleness[3] > 0.12 {
+		t.Errorf("adpcm busy banks: %v", r.Idleness)
+	}
+	var buf bytes.Buffer
+	if err := WriteTable1(&buf, t1); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "TABLE I") || !strings.Contains(buf.String(), "adpcm.dec") {
+		t.Error("report missing content")
+	}
+}
+
+func TestTable2ShapeAndBands(t *testing.T) {
+	s := sharedSuite(t)
+	t2, err := s.RunTable2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t2.Rows) != 18 || len(t2.SizesKB) != 3 {
+		t.Fatal("shape wrong")
+	}
+	// Energy savings grow with size and sit near the paper's averages.
+	for si := range t2.SizesKB {
+		if math.Abs(t2.AvgEsav[si]-PaperTable2Averages.Esav[si]) > 0.05 {
+			t.Errorf("size %dkB: Esav %.3f vs paper %.3f",
+				t2.SizesKB[si], t2.AvgEsav[si], PaperTable2Averages.Esav[si])
+		}
+		if math.Abs(t2.AvgLT0[si]-PaperTable2Averages.LT0[si]) > 0.35 {
+			t.Errorf("size %dkB: LT0 %.2f vs paper %.2f",
+				t2.SizesKB[si], t2.AvgLT0[si], PaperTable2Averages.LT0[si])
+		}
+		if math.Abs(t2.AvgLT[si]-PaperTable2Averages.LT[si]) > 0.45 {
+			t.Errorf("size %dkB: LT %.2f vs paper %.2f",
+				t2.SizesKB[si], t2.AvgLT[si], PaperTable2Averages.LT[si])
+		}
+		// Re-indexing always beats plain power management.
+		if t2.AvgLT[si] <= t2.AvgLT0[si] {
+			t.Errorf("size %dkB: LT %.2f <= LT0 %.2f", t2.SizesKB[si], t2.AvgLT[si], t2.AvgLT0[si])
+		}
+	}
+	if !(t2.AvgEsav[0] < t2.AvgEsav[1] && t2.AvgEsav[1] < t2.AvgEsav[2]) {
+		t.Errorf("savings not increasing with size: %v", t2.AvgEsav)
+	}
+	var buf bytes.Buffer
+	if err := WriteTable2(&buf, t2); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "TABLE II") {
+		t.Error("report missing header")
+	}
+}
+
+func TestTable3LineSizeTrend(t *testing.T) {
+	s := sharedSuite(t)
+	t3, err := s.RunTable3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t3.AvgEsav[1] >= t3.AvgEsav[0] {
+		t.Errorf("larger lines did not cut savings: %v", t3.AvgEsav)
+	}
+	if math.Abs(t3.AvgEsav[1]-PaperTable3Averages.Esav[1]) > 0.05 {
+		t.Errorf("LS=32 Esav %.3f vs paper %.3f", t3.AvgEsav[1], PaperTable3Averages.Esav[1])
+	}
+	// Lifetime barely moves with line size (paper: 4.31 -> 4.23).
+	if math.Abs(t3.AvgLT[0]-t3.AvgLT[1]) > 0.35 {
+		t.Errorf("lifetime moved too much with line size: %v", t3.AvgLT)
+	}
+	var buf bytes.Buffer
+	if err := WriteTable3(&buf, t3); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "TABLE III") {
+		t.Error("report missing header")
+	}
+}
+
+func TestTable4BankTrend(t *testing.T) {
+	s := sharedSuite(t)
+	t4, err := s.RunTable4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for si := range t4.SizesKB {
+		// Idleness and lifetime rise with bank count.
+		for bi := 1; bi < len(t4.Banks); bi++ {
+			if t4.Idleness[si][bi] <= t4.Idleness[si][bi-1] {
+				t.Errorf("size %d: idleness not rising with M: %v", t4.SizesKB[si], t4.Idleness[si])
+			}
+			if t4.LT[si][bi] <= t4.LT[si][bi-1] {
+				t.Errorf("size %d: LT not rising with M: %v", t4.SizesKB[si], t4.LT[si])
+			}
+		}
+		for bi := range t4.Banks {
+			if math.Abs(t4.LT[si][bi]-PaperTable4.LT[si][bi]) > 0.6 {
+				t.Errorf("size %d M=%d: LT %.2f vs paper %.2f",
+					t4.SizesKB[si], t4.Banks[bi], t4.LT[si][bi], PaperTable4.LT[si][bi])
+			}
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteTable4(&buf, t4); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "TABLE IV") {
+		t.Error("report missing header")
+	}
+}
+
+func TestHeadlineClaims(t *testing.T) {
+	s := sharedSuite(t)
+	h, err := s.RunHeadline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.MonolithicYears != 2.93 {
+		t.Errorf("monolithic = %v", h.MonolithicYears)
+	}
+	// "a mere 9%" for power management alone (band 5-14%).
+	if h.PMOnlyExtension < 0.05 || h.PMOnlyExtension > 0.14 {
+		t.Errorf("PM-only extension %.1f%%, paper ~9%%", h.PMOnlyExtension*100)
+	}
+	// "a further 38%" from re-indexing (band 25-50%).
+	if h.ReindexOverPM < 0.25 || h.ReindexOverPM > 0.50 {
+		t.Errorf("re-indexing extension %.1f%%, paper ~38%%", h.ReindexOverPM*100)
+	}
+	// Best case ~2x (sha at 32kB in the paper; our signatures are
+	// size-invariant so the witness may differ, the factor must not).
+	if h.BestFactor < 1.6 || h.BestFactor > 2.4 {
+		t.Errorf("best factor %.2fx, paper ~2x", h.BestFactor)
+	}
+	if h.WorstFactor < 1.1 {
+		t.Errorf("worst factor %.2fx — even the worst case should gain >10%%", h.WorstFactor)
+	}
+	var buf bytes.Buffer
+	if err := WriteHeadline(&buf, h); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "HEADLINE") {
+		t.Error("report missing header")
+	}
+}
+
+func TestOverheadSweep(t *testing.T) {
+	s := sharedSuite(t)
+	o, err := s.RunOverheadSweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(o.Banks) != 4 || o.Banks[3] != 16 {
+		t.Fatalf("banks = %v", o.Banks)
+	}
+	// Lifetime keeps rising with M; energy savings flatten as the
+	// wiring overhead bites (M=16 must gain less Esav per doubling than
+	// M=4 did).
+	for i := 1; i < len(o.Banks); i++ {
+		if o.LT[i] <= o.LT[i-1] {
+			t.Errorf("LT not rising: %v", o.LT)
+		}
+	}
+	gainEarly := o.Esav[1] - o.Esav[0]
+	gainLate := o.Esav[3] - o.Esav[2]
+	if gainLate >= gainEarly {
+		t.Errorf("wiring overhead not biting: gains %v then %v (Esav %v)", gainEarly, gainLate, o.Esav)
+	}
+	var buf bytes.Buffer
+	if err := WriteOverheadSweep(&buf, o); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "OVERHEAD") {
+		t.Error("report missing header")
+	}
+}

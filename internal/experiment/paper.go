@@ -1,0 +1,125 @@
+package experiment
+
+// This file embeds the published numbers of the DATE'11 paper so reports
+// can print measured-vs-paper deltas. Values are transcribed from the
+// paper's Tables I-IV; Esav is stored as a fraction, lifetimes in years.
+
+// PaperTable1 is Table I: per-bank useful idleness of a 4-bank cache,
+// in benchmark (table) order. It coincides with the workload signatures
+// by construction — the substitution calibrates the generator against it.
+var PaperTable1Average = 0.4171
+
+// PaperTable2Row holds one benchmark's published Table II values.
+type PaperTable2Row struct {
+	Benchmark string
+	Esav      [3]float64 // 8, 16, 32 kB
+	LT0       [3]float64
+	LT        [3]float64
+}
+
+// PaperTable2 is Table II in table order.
+var PaperTable2 = []PaperTable2Row{
+	{"adpcm.dec", [3]float64{0.306, 0.438, 0.557}, [3]float64{2.98, 3.04, 3.04}, [3]float64{4.82, 3.76, 4.03}},
+	{"cjpeg", [3]float64{0.315, 0.440, 0.556}, [3]float64{3.18, 3.17, 3.11}, [3]float64{4.07, 4.32, 4.75}},
+	{"CRC32", [3]float64{0.333, 0.450, 0.561}, [3]float64{2.98, 2.93, 2.93}, [3]float64{3.40, 3.88, 4.00}},
+	{"dijkstra", [3]float64{0.312, 0.444, 0.555}, [3]float64{3.26, 3.31, 3.29}, [3]float64{3.99, 4.31, 3.99}},
+	{"djpeg", [3]float64{0.322, 0.442, 0.552}, [3]float64{3.61, 3.36, 3.52}, [3]float64{4.12, 4.02, 4.35}},
+	{"fft_1", [3]float64{0.322, 0.442, 0.556}, [3]float64{3.17, 2.96, 3.24}, [3]float64{4.30, 4.46, 4.44}},
+	{"fft_2", [3]float64{0.322, 0.442, 0.556}, [3]float64{3.11, 2.97, 3.18}, [3]float64{4.34, 4.42, 4.40}},
+	{"gsmd", [3]float64{0.313, 0.442, 0.552}, [3]float64{2.94, 3.08, 3.03}, [3]float64{4.59, 3.81, 5.10}},
+	{"gsme", [3]float64{0.315, 0.439, 0.551}, [3]float64{2.94, 2.94, 3.03}, [3]float64{4.90, 4.50, 4.37}},
+	{"ispell", [3]float64{0.336, 0.452, 0.559}, [3]float64{3.50, 3.40, 3.42}, [3]float64{4.55, 4.74, 4.75}},
+	{"lame", [3]float64{0.321, 0.444, 0.557}, [3]float64{3.31, 3.55, 3.33}, [3]float64{4.06, 4.12, 4.49}},
+	{"mad", [3]float64{0.321, 0.437, 0.550}, [3]float64{3.73, 3.74, 3.72}, [3]float64{4.10, 4.76, 4.59}},
+	{"rijndael_i", [3]float64{0.329, 0.444, 0.550}, [3]float64{3.02, 3.11, 3.26}, [3]float64{4.02, 4.10, 4.90}},
+	{"rijndael_o", [3]float64{0.331, 0.444, 0.552}, [3]float64{3.01, 3.13, 2.96}, [3]float64{3.96, 4.16, 5.23}},
+	{"say", [3]float64{0.319, 0.439, 0.554}, [3]float64{3.27, 3.06, 3.38}, [3]float64{4.92, 5.09, 4.43}},
+	{"search", [3]float64{0.334, 0.453, 0.561}, [3]float64{3.57, 3.58, 3.07}, [3]float64{4.67, 4.27, 4.24}},
+	{"sha", [3]float64{0.311, 0.436, 0.550}, [3]float64{3.00, 3.03, 3.02}, [3]float64{4.74, 4.48, 6.09}},
+	{"tiff2bw", [3]float64{0.334, 0.447, 0.556}, [3]float64{3.41, 3.13, 3.09}, [3]float64{4.57, 4.31, 4.98}},
+}
+
+// PaperTable2Averages are the published per-size averages.
+var PaperTable2Averages = struct {
+	Esav [3]float64
+	LT0  [3]float64
+	LT   [3]float64
+}{
+	Esav: [3]float64{0.322, 0.443, 0.555},
+	LT0:  [3]float64{3.22, 3.19, 3.20},
+	LT:   [3]float64{4.34, 4.31, 4.62},
+}
+
+// PaperTable3Row holds one benchmark's published Table III values
+// (16 kB cache; line sizes 16 B and 32 B).
+type PaperTable3Row struct {
+	Benchmark string
+	Esav      [2]float64
+	LT        [2]float64
+}
+
+// PaperTable3 is Table III in table order.
+var PaperTable3 = []PaperTable3Row{
+	{"adpcm.dec", [2]float64{0.438, 0.310}, [2]float64{3.76, 3.61}},
+	{"cjpeg", [2]float64{0.440, 0.312}, [2]float64{4.32, 4.26}},
+	{"CRC32", [2]float64{0.450, 0.335}, [2]float64{3.88, 3.82}},
+	{"dijkstra", [2]float64{0.444, 0.310}, [2]float64{4.31, 4.17}},
+	{"djpeg", [2]float64{0.442, 0.317}, [2]float64{4.02, 3.95}},
+	{"fft_1", [2]float64{0.442, 0.319}, [2]float64{4.46, 4.38}},
+	{"fft_2", [2]float64{0.442, 0.319}, [2]float64{4.42, 4.35}},
+	{"gsmd", [2]float64{0.442, 0.316}, [2]float64{3.81, 3.71}},
+	{"gsme", [2]float64{0.439, 0.317}, [2]float64{4.50, 4.46}},
+	{"ispell", [2]float64{0.452, 0.333}, [2]float64{4.74, 4.66}},
+	{"lame", [2]float64{0.444, 0.321}, [2]float64{4.12, 4.07}},
+	{"mad", [2]float64{0.437, 0.312}, [2]float64{4.76, 4.66}},
+	{"rijndael_i", [2]float64{0.444, 0.316}, [2]float64{4.10, 3.99}},
+	{"rijndael_o", [2]float64{0.444, 0.316}, [2]float64{4.16, 4.03}},
+	{"say", [2]float64{0.439, 0.314}, [2]float64{5.09, 5.05}},
+	{"search", [2]float64{0.453, 0.331}, [2]float64{4.27, 4.17}},
+	{"sha", [2]float64{0.436, 0.312}, [2]float64{4.48, 4.47}},
+	{"tiff2bw", [2]float64{0.448, 0.330}, [2]float64{4.31, 4.32}},
+}
+
+// PaperTable3Averages are the published line-size averages.
+var PaperTable3Averages = struct {
+	Esav [2]float64
+	LT   [2]float64
+}{
+	Esav: [2]float64{0.443, 0.319},
+	LT:   [2]float64{4.31, 4.23},
+}
+
+// PaperTable4 is Table IV: per (size, bank-count) average idleness
+// (fraction) and lifetime (years). Rows: 8/16/32 kB; columns: M=2/4/8.
+var PaperTable4 = struct {
+	SizesKB  []int
+	Banks    []int
+	Idleness [3][3]float64
+	LT       [3][3]float64
+}{
+	SizesKB: []int{8, 16, 32},
+	Banks:   []int{2, 4, 8},
+	Idleness: [3][3]float64{
+		{0.15, 0.42, 0.58},
+		{0.15, 0.41, 0.64},
+		{0.25, 0.47, 0.68},
+	},
+	LT: [3][3]float64{
+		{3.34, 4.34, 5.30},
+		{3.35, 4.31, 5.69},
+		{3.68, 4.62, 5.98},
+	},
+}
+
+// PaperHeadline carries the abstract's claims: the monolithic cell
+// lifetime, the ~9% extension from power management alone, and the
+// 22%..2x range with re-indexing.
+var PaperHeadline = struct {
+	MonolithicYears float64
+	PMOnlyExtension float64
+	BestFactor      float64
+}{
+	MonolithicYears: 2.93,
+	PMOnlyExtension: 0.09,
+	BestFactor:      2.0,
+}

@@ -1,0 +1,145 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+
+	"nbticache/internal/aging"
+)
+
+// RetentionSweep explores the design choice DESIGN.md §4 pins down: the
+// retention supply Vdd,low sets the residual NBTI stress ratio s =
+// ((Vdd,low - |Vtp|)/(Vdd - |Vtp|))^2, and with it how much lifetime a
+// given idleness buys. The paper's numbers imply s ~ 0.22, i.e.
+// Vdd,low ~ 0.70 V; lower retention voltages age slower but erode the
+// cell's retention margin (approximated here by the hold SNM criterion —
+// the supply must stay comfortably above the data-retention voltage).
+type RetentionSweep struct {
+	// VddLow lists the retention supplies swept (V).
+	VddLow []float64
+	// StressRatio is the per-point s.
+	StressRatio []float64
+	// LifetimeYears is the projected cache lifetime at the reference
+	// idleness (Table IV's 16 kB / M=4 average, 41%).
+	LifetimeYears []float64
+}
+
+// ReferenceIdleness is the operating point the sweep evaluates lifetime
+// at: the paper's 16 kB / M=4 average idleness.
+const ReferenceIdleness = 0.41
+
+// RunRetentionSweep re-characterises the aging model at each retention
+// voltage. It is independent of the suite's trace state.
+func (s *Suite) RunRetentionSweep(voltages []float64) (*RetentionSweep, error) {
+	if len(voltages) < 2 {
+		return nil, fmt.Errorf("experiment: retention sweep needs >= 2 voltages")
+	}
+	out := &RetentionSweep{VddLow: append([]float64(nil), voltages...)}
+	for _, v := range voltages {
+		cfg := aging.DefaultConfig()
+		if v <= 0 || v >= cfg.Tech.Vdd {
+			return nil, fmt.Errorf("experiment: retention voltage %v outside (0, Vdd)", v)
+		}
+		cfg.Tech.VddRetention = v
+		model, err := aging.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		lt, err := model.Lifetime(ReferenceIdleness, 0.5, aging.VoltageScaled)
+		if err != nil {
+			return nil, err
+		}
+		out.StressRatio = append(out.StressRatio, model.SleepStressRatio())
+		out.LifetimeYears = append(out.LifetimeYears, lt)
+	}
+	return out, nil
+}
+
+// DefaultRetentionVoltages spans the plausible retention range for a
+// 1.1 V / 0.35 V-threshold technology.
+func DefaultRetentionVoltages() []float64 {
+	return []float64{0.45, 0.55, 0.65, 0.70, 0.80, 0.90, 1.00}
+}
+
+// TemperatureSweep completes the PVT axes the characterisation framework
+// supports: operating temperature accelerates NBTI through the Arrhenius
+// term, shortening absolute lifetimes while leaving the retention-state
+// stress ratio (and so every relative conclusion of the paper) unchanged.
+type TemperatureSweep struct {
+	// TempK lists the operating temperatures swept.
+	TempK []float64
+	// ActiveRate is the per-point stress acceleration relative to the
+	// 358 K reference corner.
+	ActiveRate []float64
+	// LifetimeYears is the projected lifetime at ReferenceIdleness.
+	LifetimeYears []float64
+	// StressRatio verifies the temperature-invariance of s.
+	StressRatio []float64
+}
+
+// RunTemperatureSweep re-characterises the aging model at each operating
+// temperature.
+func (s *Suite) RunTemperatureSweep(tempsK []float64) (*TemperatureSweep, error) {
+	if len(tempsK) < 2 {
+		return nil, fmt.Errorf("experiment: temperature sweep needs >= 2 points")
+	}
+	out := &TemperatureSweep{TempK: append([]float64(nil), tempsK...)}
+	for _, tk := range tempsK {
+		if tk <= 0 {
+			return nil, fmt.Errorf("experiment: temperature %v K must be positive", tk)
+		}
+		cfg := aging.DefaultConfig()
+		cfg.Tech.TempK = tk
+		model, err := aging.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		lt, err := model.Lifetime(ReferenceIdleness, 0.5, aging.VoltageScaled)
+		if err != nil {
+			return nil, err
+		}
+		out.ActiveRate = append(out.ActiveRate, model.ActiveStressRate())
+		out.LifetimeYears = append(out.LifetimeYears, lt)
+		out.StressRatio = append(out.StressRatio, model.SleepStressRatio())
+	}
+	return out, nil
+}
+
+// DefaultTemperatures spans commercial to burn-in corners around the
+// 358 K (85C) reference.
+func DefaultTemperatures() []float64 {
+	return []float64{318, 338, 358, 378, 398}
+}
+
+// WriteTemperatureSweep prints the sweep.
+func WriteTemperatureSweep(w io.Writer, t *TemperatureSweep) error {
+	tw := newTab(w)
+	fmt.Fprintf(tw, "TEMPERATURE SWEEP — lifetime at %.0f%% idleness (reference corner 358 K / 85C)\n",
+		ReferenceIdleness*100)
+	fmt.Fprintln(tw, "temp\tstress accel\tstress ratio s\tlifetime")
+	for i, tk := range t.TempK {
+		marker := ""
+		if tk == 358 {
+			marker = "  <- characterisation corner"
+		}
+		fmt.Fprintf(tw, "%.0f K (%.0f C)\t%.2fx\t%.3f\t%.2f y%s\n",
+			tk, tk-273.15, t.ActiveRate[i], t.StressRatio[i], t.LifetimeYears[i], marker)
+	}
+	return tw.Flush()
+}
+
+// WriteRetentionSweep prints the sweep.
+func WriteRetentionSweep(w io.Writer, r *RetentionSweep) error {
+	tw := newTab(w)
+	fmt.Fprintf(tw, "RETENTION-VOLTAGE SWEEP — lifetime at %.0f%% idleness (16 kB, M=4 reference point)\n",
+		ReferenceIdleness*100)
+	fmt.Fprintln(tw, "Vdd,low\tstress ratio s\tlifetime")
+	for i, v := range r.VddLow {
+		marker := ""
+		if v == 0.70 {
+			marker = "  <- paper-implied operating point"
+		}
+		fmt.Fprintf(tw, "%.2f V\t%.3f\t%.2f y%s\n", v, r.StressRatio[i], r.LifetimeYears[i], marker)
+	}
+	return tw.Flush()
+}

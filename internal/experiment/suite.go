@@ -1,0 +1,204 @@
+// Package experiment regenerates the paper's evaluation: Tables I-IV, the
+// headline lifetime claims, and the partitioning-overhead discussion, all
+// from the synthetic workloads and calibrated models of the sibling
+// packages. Each runner returns structured results that the report
+// formatters print side by side with the paper's published numbers.
+package experiment
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"nbticache/internal/aging"
+	"nbticache/internal/cache"
+	"nbticache/internal/core"
+	"nbticache/internal/index"
+	"nbticache/internal/power"
+	"nbticache/internal/trace"
+	"nbticache/internal/workload"
+)
+
+// Quality trades experiment fidelity against runtime.
+type Quality int
+
+const (
+	// Quick generates short traces for tests and smoke runs (signature
+	// error a few percentage points).
+	Quick Quality = iota
+	// Full is the reporting quality used for EXPERIMENTS.md.
+	Full
+)
+
+// genParams maps quality to workload generation parameters.
+func genParams(q Quality, g cache.Geometry) workload.GenParams {
+	switch q {
+	case Full:
+		return workload.GenParams{Geometry: g, Phases: 640, AccessesPerPhase: 1024}
+	default:
+		return workload.GenParams{Geometry: g, Phases: 192, AccessesPerPhase: 512}
+	}
+}
+
+// Suite owns the shared state of an experiment session: the calibrated
+// aging model, the energy technology, and memoised traces and runs. It is
+// safe for concurrent use.
+type Suite struct {
+	Aging   *aging.Model
+	Tech    power.Tech
+	Quality Quality
+	// Epochs is the service-life update count used for lifetime
+	// projection.
+	Epochs int
+	// Reindex is the policy standing in for "dynamic indexing" in LT
+	// columns (probing, per the paper's default; scrambling is de facto
+	// identical — §IV-B2).
+	Reindex index.Kind
+
+	mu     sync.Mutex
+	traces map[traceKey]*trace.Trace
+	runs   map[runKey]*core.RunResult
+}
+
+type traceKey struct {
+	bench  string
+	sizeKB int
+	lineB  int
+}
+
+type runKey struct {
+	bench  string
+	sizeKB int
+	lineB  int
+	banks  int
+}
+
+// NewSuite characterises the aging model and prepares a suite.
+func NewSuite(q Quality) (*Suite, error) {
+	model, err := aging.New(aging.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	return &Suite{
+		Aging:   model,
+		Tech:    power.DefaultTech(),
+		Quality: q,
+		Epochs:  core.DefaultServiceEpochs,
+		Reindex: index.KindProbing,
+		traces:  make(map[traceKey]*trace.Trace),
+		runs:    make(map[runKey]*core.RunResult),
+	}, nil
+}
+
+// ClearRuns drops memoised simulation results (generated traces are
+// kept). Benchmarks use it so every iteration re-simulates.
+func (s *Suite) ClearRuns() {
+	s.mu.Lock()
+	s.runs = make(map[runKey]*core.RunResult)
+	s.mu.Unlock()
+}
+
+// Geometry builds the direct-mapped geometry used throughout the paper.
+func Geometry(sizeKB int, lineB uint64) cache.Geometry {
+	return cache.Geometry{
+		Size:        uint64(sizeKB) * 1024,
+		LineSize:    lineB,
+		Ways:        1,
+		AddressBits: 32,
+	}
+}
+
+// Trace returns (generating and memoising) the benchmark's trace for a
+// geometry.
+func (s *Suite) Trace(bench string, g cache.Geometry) (*trace.Trace, error) {
+	key := traceKey{bench, int(g.Size / 1024), int(g.LineSize)}
+	s.mu.Lock()
+	tr, ok := s.traces[key]
+	s.mu.Unlock()
+	if ok {
+		return tr, nil
+	}
+	p, ok := workload.ByName(bench)
+	if !ok {
+		return nil, fmt.Errorf("experiment: unknown benchmark %q", bench)
+	}
+	tr, err := p.Generate(genParams(s.Quality, g))
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.traces[key] = tr
+	s.mu.Unlock()
+	return tr, nil
+}
+
+// Run simulates (and memoises) a benchmark on a partitioned cache. The
+// identity policy is used: region statistics and energy are
+// policy-independent, and re-indexing enters through the aging
+// projection.
+func (s *Suite) Run(bench string, g cache.Geometry, banks int) (*core.RunResult, error) {
+	key := runKey{bench, int(g.Size / 1024), int(g.LineSize), banks}
+	s.mu.Lock()
+	res, ok := s.runs[key]
+	s.mu.Unlock()
+	if ok {
+		return res, nil
+	}
+	tr, err := s.Trace(bench, g)
+	if err != nil {
+		return nil, err
+	}
+	pc, err := core.New(core.Config{
+		Geometry: g,
+		Banks:    banks,
+		Policy:   index.KindIdentity,
+		Tech:     s.Tech,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res, err = pc.Run(tr)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.runs[key] = res
+	s.mu.Unlock()
+	return res, nil
+}
+
+// Lifetimes projects LT0 (identity) and LT (re-indexed) for a run.
+func (s *Suite) Lifetimes(res *core.RunResult) (*core.AgingSummary, error) {
+	return core.SummariseAging(s.Aging, res, s.Reindex, s.Epochs, aging.VoltageScaled)
+}
+
+// forEachBench applies fn to every benchmark profile concurrently,
+// preserving per-index result slots; the first error aborts the batch.
+func forEachBench(fn func(i int, bench string) error) error {
+	names := workload.Names()
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(names) {
+		workers = len(names)
+	}
+	jobs := make(chan int)
+	errs := make(chan error, len(names))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				if err := fn(i, names[i]); err != nil {
+					errs <- fmt.Errorf("%s: %w", names[i], err)
+				}
+			}
+		}()
+	}
+	for i := range names {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	close(errs)
+	return <-errs
+}

@@ -1,0 +1,359 @@
+package experiment
+
+import (
+	"math"
+
+	"nbticache/internal/stats"
+	"nbticache/internal/workload"
+)
+
+// Table1 is the idleness-distribution experiment (paper Table I): per-bank
+// useful idleness of a 4-bank 16 kB cache with 16 B lines.
+type Table1 struct {
+	Rows    []Table1Row
+	Average float64 // grand average of the per-benchmark averages
+}
+
+// Table1Row is one benchmark's idleness signature.
+type Table1Row struct {
+	Benchmark string
+	Idleness  [4]float64
+	Average   float64
+}
+
+// RunTable1 regenerates Table I.
+func (s *Suite) RunTable1() (*Table1, error) {
+	g := Geometry(16, 16)
+	rows := make([]Table1Row, len(workload.Names()))
+	err := forEachBench(func(i int, bench string) error {
+		res, err := s.Run(bench, g, 4)
+		if err != nil {
+			return err
+		}
+		idle := res.RegionUsefulIdleness()
+		row := Table1Row{Benchmark: bench}
+		copy(row.Idleness[:], idle)
+		row.Average = stats.Mean(idle)
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	t := &Table1{Rows: rows}
+	for _, r := range rows {
+		t.Average += r.Average
+	}
+	t.Average /= float64(len(rows))
+	return t, nil
+}
+
+// Table2 is the cache-size experiment (paper Table II): energy savings
+// and lifetimes without (LT0) and with (LT) re-indexing for 8/16/32 kB,
+// 16 B lines, M=4.
+type Table2 struct {
+	SizesKB []int
+	Rows    []Table2Row
+	// Avg* index parallel to SizesKB.
+	AvgEsav []float64
+	AvgLT0  []float64
+	AvgLT   []float64
+}
+
+// Table2Row carries one benchmark across the size sweep.
+type Table2Row struct {
+	Benchmark string
+	Esav      []float64 // fraction, per size
+	LT0       []float64 // years
+	LT        []float64 // years
+}
+
+// RunTable2 regenerates Table II.
+func (s *Suite) RunTable2() (*Table2, error) {
+	sizes := []int{8, 16, 32}
+	rows := make([]Table2Row, len(workload.Names()))
+	err := forEachBench(func(i int, bench string) error {
+		row := Table2Row{
+			Benchmark: bench,
+			Esav:      make([]float64, len(sizes)),
+			LT0:       make([]float64, len(sizes)),
+			LT:        make([]float64, len(sizes)),
+		}
+		for si, kb := range sizes {
+			res, err := s.Run(bench, Geometry(kb, 16), 4)
+			if err != nil {
+				return err
+			}
+			sum, err := s.Lifetimes(res)
+			if err != nil {
+				return err
+			}
+			row.Esav[si] = res.Savings
+			row.LT0[si] = sum.LT0Years
+			row.LT[si] = sum.LTYears
+		}
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	t := &Table2{SizesKB: sizes, Rows: rows,
+		AvgEsav: make([]float64, len(sizes)),
+		AvgLT0:  make([]float64, len(sizes)),
+		AvgLT:   make([]float64, len(sizes)),
+	}
+	for _, r := range rows {
+		for si := range sizes {
+			t.AvgEsav[si] += r.Esav[si]
+			t.AvgLT0[si] += r.LT0[si]
+			t.AvgLT[si] += r.LT[si]
+		}
+	}
+	n := float64(len(rows))
+	for si := range sizes {
+		t.AvgEsav[si] /= n
+		t.AvgLT0[si] /= n
+		t.AvgLT[si] /= n
+	}
+	return t, nil
+}
+
+// Table3 is the line-size experiment (paper Table III): energy savings
+// and lifetime for 16 B vs 32 B lines at 16 kB, M=4.
+type Table3 struct {
+	LineSizes []int
+	Rows      []Table3Row
+	AvgEsav   []float64
+	AvgLT     []float64
+}
+
+// Table3Row carries one benchmark across the line-size sweep.
+type Table3Row struct {
+	Benchmark string
+	Esav      []float64
+	LT        []float64
+}
+
+// RunTable3 regenerates Table III.
+func (s *Suite) RunTable3() (*Table3, error) {
+	lineSizes := []int{16, 32}
+	rows := make([]Table3Row, len(workload.Names()))
+	err := forEachBench(func(i int, bench string) error {
+		row := Table3Row{
+			Benchmark: bench,
+			Esav:      make([]float64, len(lineSizes)),
+			LT:        make([]float64, len(lineSizes)),
+		}
+		for li, ls := range lineSizes {
+			res, err := s.Run(bench, Geometry(16, uint64(ls)), 4)
+			if err != nil {
+				return err
+			}
+			sum, err := s.Lifetimes(res)
+			if err != nil {
+				return err
+			}
+			row.Esav[li] = res.Savings
+			row.LT[li] = sum.LTYears
+		}
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	t := &Table3{LineSizes: lineSizes, Rows: rows,
+		AvgEsav: make([]float64, len(lineSizes)),
+		AvgLT:   make([]float64, len(lineSizes)),
+	}
+	for _, r := range rows {
+		for li := range lineSizes {
+			t.AvgEsav[li] += r.Esav[li]
+			t.AvgLT[li] += r.LT[li]
+		}
+	}
+	n := float64(len(rows))
+	for li := range lineSizes {
+		t.AvgEsav[li] /= n
+		t.AvgLT[li] /= n
+	}
+	return t, nil
+}
+
+// Table4 is the bank-count experiment (paper Table IV): average idleness
+// and lifetime across cache sizes and M = 2/4/8.
+type Table4 struct {
+	SizesKB []int
+	Banks   []int
+	// Idleness[si][bi] and LT[si][bi] are averages over benchmarks.
+	Idleness [][]float64
+	LT       [][]float64
+}
+
+// RunTable4 regenerates Table IV.
+func (s *Suite) RunTable4() (*Table4, error) {
+	sizes := []int{8, 16, 32}
+	banks := []int{2, 4, 8}
+	t := &Table4{SizesKB: sizes, Banks: banks,
+		Idleness: make([][]float64, len(sizes)),
+		LT:       make([][]float64, len(sizes)),
+	}
+	for si := range sizes {
+		t.Idleness[si] = make([]float64, len(banks))
+		t.LT[si] = make([]float64, len(banks))
+	}
+	type cell struct{ idle, lt float64 }
+	results := make([][][]cell, len(sizes))
+	for si := range sizes {
+		results[si] = make([][]cell, len(banks))
+		for bi := range banks {
+			results[si][bi] = make([]cell, len(workload.Names()))
+		}
+	}
+	err := forEachBench(func(i int, bench string) error {
+		for si, kb := range sizes {
+			for bi, m := range banks {
+				res, err := s.Run(bench, Geometry(kb, 16), m)
+				if err != nil {
+					return err
+				}
+				sum, err := s.Lifetimes(res)
+				if err != nil {
+					return err
+				}
+				results[si][bi][i] = cell{idle: res.AverageIdleness(), lt: sum.LTYears}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	n := float64(len(workload.Names()))
+	for si := range sizes {
+		for bi := range banks {
+			for _, c := range results[si][bi] {
+				t.Idleness[si][bi] += c.idle
+				t.LT[si][bi] += c.lt
+			}
+			t.Idleness[si][bi] /= n
+			t.LT[si][bi] /= n
+		}
+	}
+	return t, nil
+}
+
+// Headline condenses the abstract's claims: monolithic lifetime, the
+// modest extension from power management alone, the further extension
+// from re-indexing, and the best case.
+type Headline struct {
+	MonolithicYears float64
+	// AvgLT0/AvgLT average the 16 kB column of Table II.
+	AvgLT0Years float64
+	AvgLTYears  float64
+	// PMOnlyExtension is avg LT0 vs monolithic ("a mere 9%").
+	PMOnlyExtension float64
+	// ReindexOverPM is avg LT vs avg LT0 ("a further 38%").
+	ReindexOverPM float64
+	// BestFactor is max LT vs monolithic across Table II ("2x"), with
+	// the witness benchmark and size.
+	BestFactor float64
+	BestBench  string
+	BestSizeKB int
+	// WorstFactor is the minimum extension across Table II cells (the
+	// "22% for the worst configuration" end of the abstract's range
+	// refers to the worst M/size configuration; across Table II rows it
+	// is the weakest benchmark/size pair).
+	WorstFactor float64
+}
+
+// RunHeadline derives the headline numbers from Table II.
+func (s *Suite) RunHeadline() (*Headline, error) {
+	t2, err := s.RunTable2()
+	if err != nil {
+		return nil, err
+	}
+	mono := s.Aging.CellLifetimeYears()
+	h := &Headline{MonolithicYears: mono, WorstFactor: math.Inf(1)}
+	// The paper's 9%/38% figures are averages over all sizes.
+	var lt0Sum, ltSum float64
+	for si := range t2.SizesKB {
+		lt0Sum += t2.AvgLT0[si]
+		ltSum += t2.AvgLT[si]
+	}
+	h.AvgLT0Years = lt0Sum / float64(len(t2.SizesKB))
+	h.AvgLTYears = ltSum / float64(len(t2.SizesKB))
+	h.PMOnlyExtension = h.AvgLT0Years/mono - 1
+	h.ReindexOverPM = h.AvgLTYears/h.AvgLT0Years - 1
+	for _, r := range t2.Rows {
+		for si, kb := range t2.SizesKB {
+			f := r.LT[si] / mono
+			if f > h.BestFactor {
+				h.BestFactor = f
+				h.BestBench = r.Benchmark
+				h.BestSizeKB = kb
+			}
+			if f < h.WorstFactor {
+				h.WorstFactor = f
+			}
+		}
+	}
+	return h, nil
+}
+
+// OverheadSweep explores partitioning granularity beyond Table IV,
+// including the M=16 point the paper argues is feasible for uniform
+// banks: per-M average energy savings, idleness and lifetime at 16 kB.
+type OverheadSweep struct {
+	Banks    []int
+	Esav     []float64
+	Idleness []float64
+	LT       []float64
+}
+
+// RunOverheadSweep regenerates the §IV-B3 overhead discussion.
+func (s *Suite) RunOverheadSweep() (*OverheadSweep, error) {
+	banks := []int{2, 4, 8, 16}
+	o := &OverheadSweep{Banks: banks,
+		Esav:     make([]float64, len(banks)),
+		Idleness: make([]float64, len(banks)),
+		LT:       make([]float64, len(banks)),
+	}
+	g := Geometry(16, 16)
+	names := workload.Names()
+	sums := make([][3]float64, len(banks))
+	perBench := make([][][3]float64, len(banks))
+	for bi := range banks {
+		perBench[bi] = make([][3]float64, len(names))
+	}
+	err := forEachBench(func(i int, bench string) error {
+		for bi, m := range banks {
+			res, err := s.Run(bench, g, m)
+			if err != nil {
+				return err
+			}
+			sum, err := s.Lifetimes(res)
+			if err != nil {
+				return err
+			}
+			perBench[bi][i] = [3]float64{res.Savings, res.AverageIdleness(), sum.LTYears}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for bi := range banks {
+		for _, v := range perBench[bi] {
+			sums[bi][0] += v[0]
+			sums[bi][1] += v[1]
+			sums[bi][2] += v[2]
+		}
+		n := float64(len(names))
+		o.Esav[bi] = sums[bi][0] / n
+		o.Idleness[bi] = sums[bi][1] / n
+		o.LT[bi] = sums[bi][2] / n
+	}
+	return o, nil
+}

@@ -1,0 +1,68 @@
+package hw
+
+import "fmt"
+
+// ModAdder is the p-bit adder of the Probing re-indexer (Fig. 3a): it sums
+// the bank address with an update counter, and the modulo-M wrap is
+// obtained for free by discarding the carry out of the top bit ("Modulo M
+// operations are automatically achieved by restricting all signals to p
+// bits").
+type ModAdder struct {
+	bits int
+	mask uint
+}
+
+// NewModAdder returns a p-bit modulo-2^p adder.
+func NewModAdder(bits int) (*ModAdder, error) {
+	if bits < 1 || bits > MaxSelectBits {
+		return nil, fmt.Errorf("hw: adder width %d outside [1,%d]", bits, MaxSelectBits)
+	}
+	return &ModAdder{bits: bits, mask: (1 << bits) - 1}, nil
+}
+
+// Bits returns the operand width p.
+func (a *ModAdder) Bits() int { return a.bits }
+
+// Add returns (x + y) mod 2^p. Operands wider than p bits are masked
+// first, mirroring the hardware truncation.
+func (a *ModAdder) Add(x, y uint) uint { return (x + y) & a.mask }
+
+// Cost models a ripple-carry adder: one full adder (≈5 gates) per bit and
+// roughly 2 gate levels of carry propagation per bit. At p <= 4 this is a
+// handful of gates — negligible next to the SRAM access, as the paper
+// argues.
+func (a *ModAdder) Cost() GateCost {
+	return GateCost{Gates: 5 * a.bits, Levels: 2 * a.bits, InputsPerGate: 2}
+}
+
+// UpdateCounter is the "cnt" register of Fig. 3a: a p-bit counter bumped
+// once per update event. Its value is the current rotation offset of the
+// Probing scheme.
+type UpdateCounter struct {
+	adder *ModAdder
+	value uint
+}
+
+// NewUpdateCounter returns a p-bit update counter starting at 0.
+func NewUpdateCounter(bits int) (*UpdateCounter, error) {
+	a, err := NewModAdder(bits)
+	if err != nil {
+		return nil, err
+	}
+	return &UpdateCounter{adder: a}, nil
+}
+
+// Value returns the current offset.
+func (c *UpdateCounter) Value() uint { return c.value }
+
+// Bump advances the counter by one (mod 2^p) and returns the new value.
+func (c *UpdateCounter) Bump() uint {
+	c.value = c.adder.Add(c.value, 1)
+	return c.value
+}
+
+// Reset returns the counter to zero.
+func (c *UpdateCounter) Reset() { c.value = 0 }
+
+// Bits returns the counter width.
+func (c *UpdateCounter) Bits() int { return c.adder.Bits() }

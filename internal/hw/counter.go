@@ -1,0 +1,124 @@
+package hw
+
+import "fmt"
+
+// SatCounter is one of the M saturating idle counters inside Block Control
+// (Fig. 1b): incremented on every cycle its bank's 1-hot select line is 0
+// (a non-access), reset on a 1 (an access). When the counter saturates its
+// terminal-count output goes high and the Block Selector drops the bank to
+// Vdd,low. The paper sizes these at 5–6 bits ("a few tens of cycles").
+type SatCounter struct {
+	width int
+	max   uint
+	value uint
+}
+
+// NewSatCounter returns a saturating up-counter of the given width
+// (1..32 bits), starting at zero.
+func NewSatCounter(width int) (*SatCounter, error) {
+	if width < 1 || width > 32 {
+		return nil, fmt.Errorf("hw: counter width %d outside [1,32]", width)
+	}
+	return &SatCounter{width: width, max: 1<<width - 1}, nil
+}
+
+// Width returns the counter width in bits.
+func (c *SatCounter) Width() int { return c.width }
+
+// Max returns the saturation value 2^width - 1.
+func (c *SatCounter) Max() uint { return c.max }
+
+// Value returns the current count.
+func (c *SatCounter) Value() uint { return c.value }
+
+// Tick advances one cycle. accessed mirrors the bank's 1-hot select bit:
+// true resets the counter, false increments it (saturating). It returns
+// the terminal-count output after the tick.
+func (c *SatCounter) Tick(accessed bool) bool {
+	if accessed {
+		c.value = 0
+		return false
+	}
+	if c.value < c.max {
+		c.value++
+	}
+	return c.value == c.max
+}
+
+// Saturated reports whether the terminal count is asserted.
+func (c *SatCounter) Saturated() bool { return c.value == c.max }
+
+// Reset clears the counter (e.g. on a re-indexing update/flush).
+func (c *SatCounter) Reset() { c.value = 0 }
+
+// Cost models a synchronous counter: ~8 gates per bit (flop + increment
+// logic) and a carry chain of ~1 level per bit, plus the terminal-count
+// AND.
+func (c *SatCounter) Cost() GateCost {
+	return GateCost{Gates: 8*c.width + 1, Levels: c.width + 1, InputsPerGate: 2}
+}
+
+// BlockControl aggregates the M saturating counters of Fig. 1b and exposes
+// the per-bank sleep decision. It is the cycle-accurate structural twin of
+// the behavioural power-management unit in internal/pmu; the two are
+// cross-checked in tests.
+type BlockControl struct {
+	counters []*SatCounter
+}
+
+// NewBlockControl builds M counters of the given width.
+func NewBlockControl(banks, width int) (*BlockControl, error) {
+	if banks < 1 {
+		return nil, fmt.Errorf("hw: block control needs at least one bank, got %d", banks)
+	}
+	bc := &BlockControl{counters: make([]*SatCounter, banks)}
+	for i := range bc.counters {
+		c, err := NewSatCounter(width)
+		if err != nil {
+			return nil, err
+		}
+		bc.counters[i] = c
+	}
+	return bc, nil
+}
+
+// Banks returns the number of managed banks.
+func (b *BlockControl) Banks() int { return len(b.counters) }
+
+// Tick advances all counters one cycle given the 1-hot access code for
+// this cycle (0 means no bank accessed). It returns the select mask:
+// bit i set means bank i is asleep (counter saturated).
+func (b *BlockControl) Tick(onehot uint) uint {
+	var sleep uint
+	for i, c := range b.counters {
+		if c.Tick(onehot&(1<<i) != 0) {
+			sleep |= 1 << i
+		}
+	}
+	return sleep
+}
+
+// SleepMask returns the current select mask without advancing time.
+func (b *BlockControl) SleepMask() uint {
+	var sleep uint
+	for i, c := range b.counters {
+		if c.Saturated() {
+			sleep |= 1 << i
+		}
+	}
+	return sleep
+}
+
+// Reset clears every counter.
+func (b *BlockControl) Reset() {
+	for _, c := range b.counters {
+		c.Reset()
+	}
+}
+
+// Cost sums the per-counter costs; the counters operate in parallel so the
+// depth is that of one counter.
+func (b *BlockControl) Cost() GateCost {
+	one := b.counters[0].Cost()
+	return GateCost{Gates: one.Gates * len(b.counters), Levels: one.Levels, InputsPerGate: one.InputsPerGate}
+}

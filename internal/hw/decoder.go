@@ -1,0 +1,125 @@
+package hw
+
+import "fmt"
+
+// DecoderD assembles the full decode-and-control block of Fig. 1b /
+// Fig. 2 structurally: the index bit-slice (free — wiring only), the
+// optional re-indexing stage f() ahead of the 1-hot encoder, the encoder
+// itself, and the Block Control counters. It exists to make the paper's
+// overhead claims checkable in one place: the address-to-bank-select
+// combinational path is the f() stage plus a single gate level.
+type DecoderD struct {
+	indexBits int // n
+	bankBits  int // p
+	encoder   *OneHotEncoder
+	control   *BlockControl
+	// reindexCost is the combinational cost of the f() stage feeding
+	// the encoder (zero for a hard-wired identity mapping).
+	reindexCost GateCost
+}
+
+// NewDecoderD builds the decoder for a cache with n index bits split into
+// 2^p banks, with counterWidth-bit Block Control counters. reindexCost
+// describes the f() hardware on the critical path (use ProbingCost or
+// ScramblingCost; the zero GateCost models identity).
+func NewDecoderD(indexBits, bankBits, counterWidth int, reindexCost GateCost) (*DecoderD, error) {
+	if indexBits < 1 || indexBits > 32 {
+		return nil, fmt.Errorf("hw: index width %d outside [1,32]", indexBits)
+	}
+	if bankBits < 1 || bankBits > indexBits {
+		return nil, fmt.Errorf("hw: bank address width %d outside [1,%d]", bankBits, indexBits)
+	}
+	enc, err := NewOneHotEncoder(bankBits)
+	if err != nil {
+		return nil, err
+	}
+	ctl, err := NewBlockControl(1<<bankBits, counterWidth)
+	if err != nil {
+		return nil, err
+	}
+	return &DecoderD{
+		indexBits:   indexBits,
+		bankBits:    bankBits,
+		encoder:     enc,
+		control:     ctl,
+		reindexCost: reindexCost,
+	}, nil
+}
+
+// Banks returns M.
+func (d *DecoderD) Banks() int { return 1 << d.bankBits }
+
+// Slice splits a cache index into the bank address (p MSBs, before f())
+// and the in-bank line address (n-p LSBs routed to every bank).
+func (d *DecoderD) Slice(index uint64) (bankAddr uint, line uint64) {
+	shift := uint(d.indexBits - d.bankBits)
+	mask := uint64(1)<<shift - 1
+	return uint(index>>shift) & uint(d.Banks()-1), index & mask
+}
+
+// Decode runs one cycle of the datapath: slice the index, map the bank
+// address through f(), raise that bank's select line, and tick Block
+// Control. It returns the selected bank, its in-bank line, and the sleep
+// mask after the access.
+func (d *DecoderD) Decode(index uint64, f func(uint) uint) (bank uint, line uint64, sleepMask uint) {
+	bankAddr, line := d.Slice(index)
+	if f != nil {
+		bankAddr = f(bankAddr)
+	}
+	onehot := d.encoder.Encode(bankAddr)
+	sleepMask = d.control.Tick(onehot)
+	return bankAddr, line, sleepMask
+}
+
+// IdleTick advances Block Control one cycle with no access.
+func (d *DecoderD) IdleTick() uint { return d.control.Tick(0) }
+
+// Reset clears the Block Control counters (e.g. after a flush).
+func (d *DecoderD) Reset() { d.control.Reset() }
+
+// CriticalPath returns the combinational address-to-select cost: the
+// f() stage in series with the 1-hot encoder. The bit slice is wiring.
+// Block Control is off the access path (it gates supplies, not reads).
+func (d *DecoderD) CriticalPath() GateCost {
+	return d.reindexCost.Add(d.encoder.Cost())
+}
+
+// TotalCost adds the sequential machinery (Block Control) for area
+// accounting.
+func (d *DecoderD) TotalCost() GateCost {
+	cp := d.CriticalPath()
+	bc := d.control.Cost()
+	return GateCost{
+		Gates:         cp.Gates + bc.Gates,
+		Levels:        cp.Levels, // control is parallel to the datapath
+		InputsPerGate: max(cp.InputsPerGate, bc.InputsPerGate),
+	}
+}
+
+// ProbingCost returns the critical-path cost of the Fig. 3a probing stage
+// for a p-bit bank address: the ripple mod-2^p adder (the update counter
+// is sequential and off the path).
+func ProbingCost(bankBits int) (GateCost, error) {
+	a, err := NewModAdder(bankBits)
+	if err != nil {
+		return GateCost{}, err
+	}
+	return a.Cost(), nil
+}
+
+// ScramblingCost returns the critical-path cost of the Fig. 3b
+// scrambling stage: one XOR level (the LFSR itself is sequential and off
+// the path).
+func ScramblingCost(bankBits int) (GateCost, error) {
+	if bankBits < 1 || bankBits > MaxSelectBits {
+		return GateCost{}, fmt.Errorf("hw: bank address width %d outside [1,%d]", bankBits, MaxSelectBits)
+	}
+	return GateCost{Gates: bankBits, Levels: 1, InputsPerGate: 2}, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

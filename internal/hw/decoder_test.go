@@ -1,0 +1,145 @@
+package hw
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func newDecoder(t *testing.T, reindex GateCost) *DecoderD {
+	t.Helper()
+	d, err := NewDecoderD(10, 2, 6, reindex) // 16kB/16B geometry, M=4
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestDecoderSlice(t *testing.T) {
+	d := newDecoder(t, GateCost{})
+	// n=10, p=2: bank = index >> 8, line = index & 0xFF.
+	cases := []struct {
+		index uint64
+		bank  uint
+		line  uint64
+	}{
+		{0, 0, 0}, {0xFF, 0, 0xFF}, {0x100, 1, 0}, {0x2AB, 2, 0xAB}, {0x3FF, 3, 0xFF},
+	}
+	for _, c := range cases {
+		bank, line := d.Slice(c.index)
+		if bank != c.bank || line != c.line {
+			t.Errorf("Slice(%#x) = (%d, %#x), want (%d, %#x)", c.index, bank, line, c.bank, c.line)
+		}
+	}
+	if d.Banks() != 4 {
+		t.Errorf("Banks = %d", d.Banks())
+	}
+}
+
+func TestDecoderDecodeWithF(t *testing.T) {
+	d := newDecoder(t, GateCost{})
+	rotate := func(b uint) uint { return (b + 1) % 4 }
+	bank, line, _ := d.Decode(0x100, rotate)
+	if bank != 2 || line != 0 {
+		t.Errorf("Decode with f = (%d, %d), want (2, 0)", bank, line)
+	}
+	bank, _, _ = d.Decode(0x100, nil)
+	if bank != 1 {
+		t.Errorf("Decode without f = %d, want 1", bank)
+	}
+}
+
+func TestDecoderSleepIntegration(t *testing.T) {
+	d := newDecoder(t, GateCost{})
+	// Hammer bank 0; let the others idle to saturation (63 cycles).
+	var mask uint
+	for i := 0; i < 63; i++ {
+		_, _, mask = d.Decode(0x00, nil)
+	}
+	if mask != 0b1110 {
+		t.Errorf("sleep mask = %04b, want 1110", mask)
+	}
+	// An idle cycle keeps everyone counting; bank 0 needs 63 more.
+	mask = d.IdleTick()
+	if mask != 0b1110 {
+		t.Errorf("after idle tick, mask = %04b", mask)
+	}
+	d.Reset()
+	if d.IdleTick() != 0 {
+		t.Error("Reset did not clear counters")
+	}
+}
+
+// TestDecoderCriticalPath checks the paper's overhead claim in gate
+// terms: identity decode is one gate level; probing adds the small p-bit
+// adder; scrambling adds a single XOR level.
+func TestDecoderCriticalPath(t *testing.T) {
+	identity := newDecoder(t, GateCost{})
+	if cp := identity.CriticalPath(); cp.Levels != 1 {
+		t.Errorf("identity critical path %d levels, want 1", cp.Levels)
+	}
+	pc, err := ProbingCost(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probing := newDecoder(t, pc)
+	// 2-bit ripple adder = 4 levels + 1 encoder level.
+	if cp := probing.CriticalPath(); cp.Levels != 5 {
+		t.Errorf("probing critical path %d levels, want 5", cp.Levels)
+	}
+	sc, err := ScramblingCost(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scrambling := newDecoder(t, sc)
+	if cp := scrambling.CriticalPath(); cp.Levels != 2 {
+		t.Errorf("scrambling critical path %d levels, want 2", cp.Levels)
+	}
+	// With a 20ps gate the worst variant stays near a tenth of a 1ns
+	// cycle — negligible, as §III-A1 argues.
+	if delay := probing.CriticalPath().Delay(20e-12); delay > 0.15e-9 {
+		t.Errorf("probing decode delay %v s implausibly large", delay)
+	}
+	if tc := probing.TotalCost(); tc.Gates <= probing.CriticalPath().Gates {
+		t.Error("TotalCost does not include Block Control area")
+	}
+}
+
+func TestScramblingCostErrors(t *testing.T) {
+	if _, err := ScramblingCost(0); err == nil {
+		t.Error("width 0 accepted")
+	}
+	if _, err := ScramblingCost(MaxSelectBits + 1); err == nil {
+		t.Error("oversized width accepted")
+	}
+}
+
+func TestNewDecoderDErrors(t *testing.T) {
+	if _, err := NewDecoderD(0, 1, 6, GateCost{}); err == nil {
+		t.Error("index width 0 accepted")
+	}
+	if _, err := NewDecoderD(10, 0, 6, GateCost{}); err == nil {
+		t.Error("bank width 0 accepted")
+	}
+	if _, err := NewDecoderD(4, 5, 6, GateCost{}); err == nil {
+		t.Error("bank width > index width accepted")
+	}
+	if _, err := NewDecoderD(10, 2, 0, GateCost{}); err == nil {
+		t.Error("counter width 0 accepted")
+	}
+	if _, err := NewDecoderD(40, 2, 6, GateCost{}); err == nil {
+		t.Error("index width 40 accepted")
+	}
+}
+
+// Property: Slice is a bijection — (bank, line) reconstructs the index.
+func TestDecoderSliceBijective(t *testing.T) {
+	d := newDecoder(t, GateCost{})
+	f := func(raw uint16) bool {
+		index := uint64(raw) & 0x3FF
+		bank, line := d.Slice(index)
+		return uint64(bank)<<8|line == index
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,370 @@
+package hw
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestOneHotEncodeTruthTable(t *testing.T) {
+	e, err := NewOneHotEncoder(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: "Bank 0 corresponds to the M-bit encoding 00...1, Bank M-1
+	// corresponds to 100...0".
+	want := []uint{0b0001, 0b0010, 0b0100, 0b1000}
+	for in, w := range want {
+		if got := e.Encode(uint(in)); got != w {
+			t.Errorf("Encode(%d) = %04b, want %04b", in, got, w)
+		}
+	}
+	if e.Bits() != 2 || e.Outputs() != 4 {
+		t.Errorf("geometry wrong: bits=%d outputs=%d", e.Bits(), e.Outputs())
+	}
+}
+
+func TestOneHotDecode(t *testing.T) {
+	e, _ := NewOneHotEncoder(3)
+	for in := uint(0); in < 8; in++ {
+		got, err := e.Decode(e.Encode(in))
+		if err != nil {
+			t.Fatalf("Decode(Encode(%d)): %v", in, err)
+		}
+		if got != in {
+			t.Errorf("Decode(Encode(%d)) = %d", in, got)
+		}
+	}
+	for _, bad := range []uint{0, 0b11, 0b101, 1 << 8} {
+		if _, err := e.Decode(bad); err == nil {
+			t.Errorf("Decode(%#b) accepted non-1-hot code", bad)
+		}
+	}
+}
+
+func TestOneHotBounds(t *testing.T) {
+	if _, err := NewOneHotEncoder(0); err == nil {
+		t.Error("width 0 accepted")
+	}
+	if _, err := NewOneHotEncoder(MaxSelectBits + 1); err == nil {
+		t.Error("oversized width accepted")
+	}
+	e, _ := NewOneHotEncoder(2)
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range Encode did not panic")
+		}
+	}()
+	e.Encode(4)
+}
+
+func TestOneHotSingleLevelCost(t *testing.T) {
+	// The paper's delay claim: one gate level through the encoder.
+	for p := 1; p <= 4; p++ {
+		e, _ := NewOneHotEncoder(p)
+		c := e.Cost()
+		if c.Levels != 1 {
+			t.Errorf("p=%d: levels = %d, want 1", p, c.Levels)
+		}
+		if c.Gates != 1<<p {
+			t.Errorf("p=%d: gates = %d, want %d", p, c.Gates, 1<<p)
+		}
+		if c.Delay(20e-12) != 20e-12 {
+			t.Errorf("p=%d: delay = %v, want one gate delay", p, c.Delay(20e-12))
+		}
+	}
+}
+
+func TestGateCostAdd(t *testing.T) {
+	a := GateCost{Gates: 4, Levels: 1, InputsPerGate: 2}
+	b := GateCost{Gates: 10, Levels: 3, InputsPerGate: 4}
+	c := a.Add(b)
+	if c.Gates != 14 || c.Levels != 4 || c.InputsPerGate != 4 {
+		t.Errorf("Add = %+v", c)
+	}
+}
+
+func TestModAdderWraps(t *testing.T) {
+	a, err := NewModAdder(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct{ x, y, want uint }{
+		{0, 0, 0}, {1, 1, 2}, {3, 1, 0}, {2, 3, 1}, {7, 1, 0}, // 7 masked to 3
+	}
+	for _, c := range cases {
+		if got := a.Add(c.x, c.y); got != c.want {
+			t.Errorf("Add(%d,%d) = %d, want %d", c.x, c.y, got, c.want)
+		}
+	}
+	if a.Bits() != 2 {
+		t.Errorf("Bits = %d", a.Bits())
+	}
+	if _, err := NewModAdder(0); err == nil {
+		t.Error("width 0 accepted")
+	}
+}
+
+// Property: the adder implements addition modulo 2^p.
+func TestModAdderProperty(t *testing.T) {
+	a, _ := NewModAdder(4)
+	f := func(x, y uint16) bool {
+		return a.Add(uint(x), uint(y)) == (uint(x)+uint(y))%16
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUpdateCounter(t *testing.T) {
+	c, err := NewUpdateCounter(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []uint{1, 2, 3, 0, 1}
+	for i, w := range want {
+		if got := c.Bump(); got != w {
+			t.Errorf("bump %d = %d, want %d", i, got, w)
+		}
+	}
+	c.Reset()
+	if c.Value() != 0 {
+		t.Errorf("Reset left value %d", c.Value())
+	}
+	if c.Bits() != 2 {
+		t.Errorf("Bits = %d", c.Bits())
+	}
+	if _, err := NewUpdateCounter(99); err == nil {
+		t.Error("bad width accepted")
+	}
+}
+
+func TestLFSRMaximalPeriod(t *testing.T) {
+	// Every supported width must produce a maximal-length sequence:
+	// starting from state 1, the register returns to 1 after exactly
+	// 2^w - 1 steps and never hits 0.
+	for w := 2; w <= 12; w++ { // cap at 12 to keep the test fast
+		l, err := NewLFSR(w, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := make(map[uint]bool)
+		period := 0
+		for {
+			s := l.Step()
+			if s == 0 {
+				t.Fatalf("width %d: LFSR hit the all-zero lock-up state", w)
+			}
+			period++
+			if s == 1 {
+				break
+			}
+			if seen[s] {
+				t.Fatalf("width %d: premature cycle at state %#x", w, s)
+			}
+			seen[s] = true
+			if period > 1<<w {
+				t.Fatalf("width %d: no return to seed after %d steps", w, period)
+			}
+		}
+		if want := int(l.Period()); period != want {
+			t.Errorf("width %d: period %d, want %d", w, period, want)
+		}
+	}
+}
+
+func TestLFSRWide(t *testing.T) {
+	// Spot-check the wide registers for non-degeneracy without walking
+	// the full period: 1e5 steps must not repeat the seed prematurely
+	// in a way that implies a short cycle, and must never be zero.
+	for _, w := range []int{13, 14, 15, 16} {
+		l, err := NewLFSR(w, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 1e5 && i < int(l.Period())-1; i++ {
+			if s := l.Step(); s == 0 {
+				t.Fatalf("width %d: zero state", w)
+			} else if s == 1 {
+				t.Fatalf("width %d: period divides %d < 2^%d-1", w, i+1, w)
+			}
+		}
+	}
+}
+
+func TestLFSRSeedZeroCoerced(t *testing.T) {
+	l, _ := NewLFSR(4, 0)
+	if l.State() != 1 {
+		t.Errorf("zero seed gave state %d, want 1", l.State())
+	}
+	l.Seed(0x1F) // masked to 0xF
+	if l.State() != 0xF {
+		t.Errorf("Seed masking wrong: %#x", l.State())
+	}
+}
+
+func TestLFSRUnsupportedWidth(t *testing.T) {
+	for _, w := range []int{0, 1, 17} {
+		if _, err := NewLFSR(w, 1); err == nil {
+			t.Errorf("width %d accepted", w)
+		}
+	}
+}
+
+func TestLFSRLowAndStepN(t *testing.T) {
+	l, _ := NewLFSR(8, 0xA5)
+	l2, _ := NewLFSR(8, 0xA5)
+	for i := 0; i < 7; i++ {
+		l.Step()
+	}
+	if l2.StepN(7) != l.State() {
+		t.Error("StepN diverges from repeated Step")
+	}
+	if got := l.Low(3); got != l.State()&7 {
+		t.Errorf("Low(3) = %d, want %d", got, l.State()&7)
+	}
+	if l.Width() != 8 {
+		t.Errorf("Width = %d", l.Width())
+	}
+}
+
+// Property: the low p bits of a maximal-length LFSR visit all values
+// nearly uniformly over a full period — the quasi-uniformity the
+// Scrambling scheme relies on.
+func TestLFSRLowBitsUniformOverPeriod(t *testing.T) {
+	l, _ := NewLFSR(10, 1)
+	const p = 2
+	counts := make([]int, 1<<p)
+	n := int(l.Period())
+	for i := 0; i < n; i++ {
+		counts[l.Step()&(1<<p-1)]++
+	}
+	// Over one period each pattern appears 2^(w-p) times except the
+	// all-zero pattern which appears one fewer (the zero state is
+	// excluded).
+	want := 1 << (10 - p)
+	for v, c := range counts {
+		expect := want
+		if v == 0 {
+			expect = want - 1
+		}
+		if c != expect {
+			t.Errorf("pattern %d seen %d times, want %d", v, c, expect)
+		}
+	}
+}
+
+func TestLFSRCost(t *testing.T) {
+	l, _ := NewLFSR(8, 1)
+	c := l.Cost()
+	if c.Gates <= 0 || c.Levels <= 0 {
+		t.Errorf("degenerate cost %+v", c)
+	}
+	if c.Levels > 3 {
+		t.Errorf("feedback depth %d too deep for 4 taps", c.Levels)
+	}
+}
+
+func TestSatCounter(t *testing.T) {
+	c, err := NewSatCounter(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Max() != 3 || c.Width() != 2 {
+		t.Fatalf("geometry wrong: max=%d width=%d", c.Max(), c.Width())
+	}
+	// Three idle ticks to saturate a 2-bit counter.
+	for i := 0; i < 2; i++ {
+		if c.Tick(false) {
+			t.Fatalf("saturated after %d ticks", i+1)
+		}
+	}
+	if !c.Tick(false) {
+		t.Fatal("not saturated at max")
+	}
+	if !c.Saturated() {
+		t.Fatal("Saturated() false at max")
+	}
+	// Stays saturated while idle.
+	if !c.Tick(false) {
+		t.Fatal("left saturation while idle")
+	}
+	// Access resets immediately.
+	if c.Tick(true) {
+		t.Fatal("terminal count asserted on access")
+	}
+	if c.Value() != 0 {
+		t.Fatalf("access did not reset: %d", c.Value())
+	}
+	c.Tick(false)
+	c.Reset()
+	if c.Value() != 0 {
+		t.Error("Reset failed")
+	}
+	if _, err := NewSatCounter(0); err == nil {
+		t.Error("width 0 accepted")
+	}
+	if _, err := NewSatCounter(33); err == nil {
+		t.Error("width 33 accepted")
+	}
+}
+
+func TestBlockControl(t *testing.T) {
+	bc, err := NewBlockControl(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bc.Banks() != 4 {
+		t.Fatalf("Banks = %d", bc.Banks())
+	}
+	// Keep bank 0 busy, let the rest idle: after 3 cycles banks 1..3
+	// saturate.
+	var mask uint
+	for i := 0; i < 3; i++ {
+		mask = bc.Tick(0b0001)
+	}
+	if mask != 0b1110 {
+		t.Errorf("sleep mask = %04b, want 1110", mask)
+	}
+	if bc.SleepMask() != 0b1110 {
+		t.Errorf("SleepMask = %04b", bc.SleepMask())
+	}
+	// Touch bank 2: it wakes, others stay asleep.
+	mask = bc.Tick(0b0100)
+	if mask != 0b1010 {
+		t.Errorf("after touch, mask = %04b, want 1010", mask)
+	}
+	bc.Reset()
+	if bc.SleepMask() != 0 {
+		t.Error("Reset left counters saturated")
+	}
+	if _, err := NewBlockControl(0, 2); err == nil {
+		t.Error("0 banks accepted")
+	}
+	if _, err := NewBlockControl(2, 0); err == nil {
+		t.Error("0-width counters accepted")
+	}
+	if c := bc.Cost(); c.Gates <= 0 {
+		t.Errorf("cost %+v", c)
+	}
+}
+
+// Property: a saturating counter's value never exceeds Max and is zero
+// right after any access.
+func TestSatCounterInvariant(t *testing.T) {
+	f := func(pattern []bool) bool {
+		c, _ := NewSatCounter(3)
+		for _, accessed := range pattern {
+			c.Tick(accessed)
+			if c.Value() > c.Max() {
+				return false
+			}
+			if accessed && c.Value() != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,109 @@
+package hw
+
+import "fmt"
+
+// LFSR is a Fibonacci linear-feedback shift register used as the random
+// number generator of the Scrambling re-indexer (Fig. 3b). The tap sets
+// below give maximal-length sequences (period 2^w - 1; the all-zero state
+// is the single excluded fixed point) for every supported width.
+type LFSR struct {
+	width int
+	taps  uint
+	state uint
+	mask  uint
+}
+
+// lfsrTaps maps register width to a maximal-length tap mask (bit i set
+// means stage i+1 feeds the XOR). Standard tables (Xilinx XAPP052).
+var lfsrTaps = map[int]uint{
+	2:  0x3,    // x^2 + x + 1
+	3:  0x6,    // x^3 + x^2 + 1
+	4:  0xC,    // x^4 + x^3 + 1
+	5:  0x14,   // x^5 + x^3 + 1
+	6:  0x30,   // x^6 + x^5 + 1
+	7:  0x60,   // x^7 + x^6 + 1
+	8:  0xB8,   // x^8 + x^6 + x^5 + x^4 + 1
+	9:  0x110,  // x^9 + x^5 + 1
+	10: 0x240,  // x^10 + x^7 + 1
+	11: 0x500,  // x^11 + x^9 + 1
+	12: 0xE08,  // x^12 + x^11 + x^10 + x^4 + 1
+	13: 0x1C80, // x^13 + x^12 + x^11 + x^8 + 1
+	14: 0x3802, // x^14 + x^13 + x^12 + x^2 + 1
+	15: 0x6000, // x^15 + x^14 + 1
+	16: 0xD008, // x^16 + x^15 + x^13 + x^4 + 1
+}
+
+// NewLFSR returns a maximal-length LFSR of the given width seeded with
+// seed. A zero seed (the lock-up state) is replaced by 1.
+func NewLFSR(width int, seed uint) (*LFSR, error) {
+	taps, ok := lfsrTaps[width]
+	if !ok {
+		return nil, fmt.Errorf("hw: no maximal-length taps for width %d (supported 2..16)", width)
+	}
+	l := &LFSR{width: width, taps: taps, mask: (1 << width) - 1}
+	l.Seed(seed)
+	return l, nil
+}
+
+// Seed sets the register state; zero is coerced to 1 to avoid lock-up.
+func (l *LFSR) Seed(seed uint) {
+	seed &= l.mask
+	if seed == 0 {
+		seed = 1
+	}
+	l.state = seed
+}
+
+// Width returns the register width in bits.
+func (l *LFSR) Width() int { return l.width }
+
+// State returns the current register contents.
+func (l *LFSR) State() uint { return l.state }
+
+// Step advances the register one shift and returns the new state.
+func (l *LFSR) Step() uint {
+	fb := parity(l.state & l.taps)
+	l.state = ((l.state << 1) | fb) & l.mask
+	return l.state
+}
+
+// StepN advances the register n shifts and returns the final state.
+func (l *LFSR) StepN(n int) uint {
+	for i := 0; i < n; i++ {
+		l.Step()
+	}
+	return l.state
+}
+
+// Period returns the sequence period, 2^width - 1 for maximal-length taps.
+func (l *LFSR) Period() uint64 { return (1 << uint(l.width)) - 1 }
+
+// Low returns the low n bits of the state — the p-bit random word XORed
+// with the bank address by the Scrambling scheme.
+func (l *LFSR) Low(n int) uint { return l.state & ((1 << n) - 1) }
+
+// Cost models the register (1 flop per stage, ~6 gates each) plus the
+// feedback XOR tree: depth log2(taps) levels, at most width-1 XOR gates.
+func (l *LFSR) Cost() GateCost {
+	nt := 0
+	for t := l.taps; t != 0; t &= t - 1 {
+		nt++
+	}
+	levels := 0
+	for n := nt; n > 1; n = (n + 1) / 2 {
+		levels++
+	}
+	if levels == 0 {
+		levels = 1
+	}
+	return GateCost{Gates: 6*l.width + (nt - 1), Levels: levels, InputsPerGate: 2}
+}
+
+func parity(x uint) uint {
+	x ^= x >> 16
+	x ^= x >> 8
+	x ^= x >> 4
+	x ^= x >> 2
+	x ^= x >> 1
+	return x & 1
+}

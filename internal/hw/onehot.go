@@ -1,0 +1,94 @@
+// Package hw provides bit-accurate structural models of the hardware
+// blocks the paper's decoder D is built from (Fig. 1b, Fig. 2, Fig. 3):
+// the 1-hot bank-select encoder, the p-bit modulo adder used by the
+// Probing re-indexer, maximal-length LFSRs for the Scrambling re-indexer,
+// and the saturating idle counters inside Block Control. Each model also
+// carries a first-order gate-level cost estimate (logic depth and gate
+// count) so the experiments can substantiate the paper's "negligible
+// overhead" claims quantitatively.
+package hw
+
+import "fmt"
+
+// MaxSelectBits bounds the supported bank-address width. The paper caps
+// partitioning at M=16 (p=4); we allow some headroom for exploration.
+const MaxSelectBits = 8
+
+// OneHotEncoder converts a p-bit bank address into a 2^p-bit 1-hot code,
+// exactly as the "1-hot encoder" block of Fig. 1b: output bit i is the
+// minterm of the p inputs matching binary i, i.e. a single p-input AND
+// gate per output. Bank 0 encodes as 0...01, bank M-1 as 10...0.
+type OneHotEncoder struct {
+	bits int
+}
+
+// NewOneHotEncoder returns an encoder for p-bit inputs, 1 <= p <= MaxSelectBits.
+func NewOneHotEncoder(bits int) (*OneHotEncoder, error) {
+	if bits < 1 || bits > MaxSelectBits {
+		return nil, fmt.Errorf("hw: one-hot width %d outside [1,%d]", bits, MaxSelectBits)
+	}
+	return &OneHotEncoder{bits: bits}, nil
+}
+
+// Bits returns the input width p.
+func (e *OneHotEncoder) Bits() int { return e.bits }
+
+// Outputs returns the output width 2^p.
+func (e *OneHotEncoder) Outputs() int { return 1 << e.bits }
+
+// Encode returns the 1-hot code for bank address in. It panics if in is
+// out of range: the decoder feeding it is a hard-wired bit slice, so an
+// out-of-range value indicates a bug, not bad user input.
+func (e *OneHotEncoder) Encode(in uint) uint {
+	if in >= uint(e.Outputs()) {
+		panic(fmt.Sprintf("hw: one-hot input %d exceeds %d banks", in, e.Outputs()))
+	}
+	return 1 << in
+}
+
+// Decode is the inverse of Encode; it returns an error if code is not a
+// valid 1-hot pattern (zero or multiple hot bits), which the Block
+// Selector would treat as a fault.
+func (e *OneHotEncoder) Decode(code uint) (uint, error) {
+	if code == 0 || code&(code-1) != 0 || code >= 1<<uint(e.Outputs()) {
+		return 0, fmt.Errorf("hw: %#x is not a valid %d-bit 1-hot code", code, e.Outputs())
+	}
+	var i uint
+	for code>>1 != 0 {
+		code >>= 1
+		i++
+	}
+	return i, nil
+}
+
+// Cost estimates the encoder hardware: one p-input AND per output, so the
+// input-to-output combinational depth is a single gate level — the basis
+// of the paper's claim that "the longest combinational input/output delay
+// in the 1-hot encoder goes through a single logic gate".
+func (e *OneHotEncoder) Cost() GateCost {
+	return GateCost{
+		Gates:         e.Outputs(), // one AND minterm per bank
+		Levels:        1,           // single gate level input->output
+		InputsPerGate: e.bits,      // p-input AND
+	}
+}
+
+// GateCost is a first-order structural cost estimate: total gate count and
+// worst-case combinational depth in gate levels.
+type GateCost struct {
+	Gates         int
+	Levels        int
+	InputsPerGate int
+}
+
+// Delay converts logic depth into time given a per-level gate delay.
+func (c GateCost) Delay(perLevel float64) float64 { return float64(c.Levels) * perLevel }
+
+// Add composes two costs in series: gates add, levels add.
+func (c GateCost) Add(o GateCost) GateCost {
+	in := c.InputsPerGate
+	if o.InputsPerGate > in {
+		in = o.InputsPerGate
+	}
+	return GateCost{Gates: c.Gates + o.Gates, Levels: c.Levels + o.Levels, InputsPerGate: in}
+}

@@ -1,0 +1,250 @@
+// Package index implements the time-varying bank-indexing function f() of
+// the paper's dynamic-indexing architecture (Fig. 2). A Policy maps the p
+// MSBs of the cache index (the "logical region") to a physical bank and is
+// re-shuffled by infrequent update events (tied to cache flushes). Probing
+// (Fig. 3a) rotates regions by an update counter; Scrambling (Fig. 3b)
+// XORs them with an LFSR word. Identity is the degenerate policy of a
+// conventional partitioned cache.
+//
+// The package also provides the share analysis used for lifetime
+// projection: how much of the cache's multi-year life each physical bank
+// spends hosting each logical region. Probing provably converges to a
+// perfectly uniform 1/M share after M updates; Scrambling approaches it
+// with an error that shrinks as 1/sqrt(N) in the number of updates N
+// (both properties are verified by tests).
+package index
+
+import (
+	"fmt"
+
+	"nbticache/internal/hw"
+)
+
+// Policy is a time-varying mapping from logical region to physical bank.
+// Implementations must be bijective at every epoch: distinct regions map
+// to distinct banks, otherwise two regions would collide in one bank and
+// the cache would lose capacity.
+type Policy interface {
+	// Name identifies the policy in reports ("identity", "probing",
+	// "scrambling").
+	Name() string
+	// Banks returns M, the number of banks (and of logical regions).
+	Banks() int
+	// Map returns the physical bank currently hosting region r, for
+	// r in [0, Banks()).
+	Map(region uint) uint
+	// Update advances to the next epoch (the "update" signal of
+	// Fig. 2). The entire cache must be flushed when this fires.
+	Update()
+	// Epoch returns the number of updates applied so far.
+	Epoch() uint64
+	// Reset returns the policy to its time-zero mapping.
+	Reset()
+}
+
+// bitsFor returns p = log2(banks), or an error when banks is not a power
+// of two in [2, 2^MaxSelectBits]. M=1 is rejected: a single bank has no
+// mapping to vary.
+func bitsFor(banks int) (int, error) {
+	if banks < 2 || banks&(banks-1) != 0 {
+		return 0, fmt.Errorf("index: bank count %d is not a power of two >= 2", banks)
+	}
+	p := 0
+	for m := banks; m > 1; m >>= 1 {
+		p++
+	}
+	if p > hw.MaxSelectBits {
+		return 0, fmt.Errorf("index: %d banks exceeds the %d-bit select budget", banks, hw.MaxSelectBits)
+	}
+	return p, nil
+}
+
+// Identity is the fixed mapping of a conventional partitioned cache
+// (Fig. 1): region i lives in bank i forever. Update is a no-op beyond
+// counting epochs, so flush-on-update semantics stay uniform across
+// policies.
+type Identity struct {
+	banks int
+	epoch uint64
+}
+
+// NewIdentity returns the identity policy for the given bank count.
+func NewIdentity(banks int) (*Identity, error) {
+	if _, err := bitsFor(banks); err != nil {
+		return nil, err
+	}
+	return &Identity{banks: banks}, nil
+}
+
+// Name implements Policy.
+func (p *Identity) Name() string { return "identity" }
+
+// Banks implements Policy.
+func (p *Identity) Banks() int { return p.banks }
+
+// Map implements Policy.
+func (p *Identity) Map(region uint) uint { return region % uint(p.banks) }
+
+// Update implements Policy.
+func (p *Identity) Update() { p.epoch++ }
+
+// Epoch implements Policy.
+func (p *Identity) Epoch() uint64 { return p.epoch }
+
+// Reset implements Policy.
+func (p *Identity) Reset() { p.epoch = 0 }
+
+// Probing mimics linear probing in open-addressed hash tables: at epoch e,
+// region i maps to bank (i + e) mod M. In hardware it is the p-bit adder
+// plus update counter of Fig. 3a.
+type Probing struct {
+	banks int
+	adder *hw.ModAdder
+	cnt   *hw.UpdateCounter
+	epoch uint64
+}
+
+// NewProbing returns a probing policy over the given bank count.
+func NewProbing(banks int) (*Probing, error) {
+	p, err := bitsFor(banks)
+	if err != nil {
+		return nil, err
+	}
+	adder, err := hw.NewModAdder(p)
+	if err != nil {
+		return nil, err
+	}
+	cnt, err := hw.NewUpdateCounter(p)
+	if err != nil {
+		return nil, err
+	}
+	return &Probing{banks: banks, adder: adder, cnt: cnt}, nil
+}
+
+// Name implements Policy.
+func (p *Probing) Name() string { return "probing" }
+
+// Banks implements Policy.
+func (p *Probing) Banks() int { return p.banks }
+
+// Map implements Policy.
+func (p *Probing) Map(region uint) uint {
+	return p.adder.Add(region, p.cnt.Value())
+}
+
+// Update implements Policy.
+func (p *Probing) Update() {
+	p.cnt.Bump()
+	p.epoch++
+}
+
+// Epoch implements Policy.
+func (p *Probing) Epoch() uint64 { return p.epoch }
+
+// Reset implements Policy.
+func (p *Probing) Reset() {
+	p.cnt.Reset()
+	p.epoch = 0
+}
+
+// Offset exposes the current rotation for tests and reports.
+func (p *Probing) Offset() uint { return p.cnt.Value() }
+
+// Scrambling XORs the region with a pseudo-random p-bit word drawn from a
+// maximal-length LFSR on every update (Fig. 3b). XOR with any constant is
+// a bijection, so capacity is preserved at every epoch; uniformity of the
+// LFSR sequence yields quasi-uniform long-term shares.
+type Scrambling struct {
+	banks int
+	lfsr  *hw.LFSR
+	word  uint
+	epoch uint64
+	seed  uint
+}
+
+// DefaultLFSRWidth is the register width used when the caller does not
+// need to control it: wide enough that the sequence does not repeat over
+// any realistic number of daily updates within a cache lifetime.
+const DefaultLFSRWidth = 16
+
+// NewScrambling returns a scrambling policy using an LFSR of the given
+// width seeded with seed. The p XOR bits are the LFSR's low bits.
+func NewScrambling(banks, lfsrWidth int, seed uint) (*Scrambling, error) {
+	p, err := bitsFor(banks)
+	if err != nil {
+		return nil, err
+	}
+	if lfsrWidth < p {
+		return nil, fmt.Errorf("index: LFSR width %d narrower than bank address (%d bits)", lfsrWidth, p)
+	}
+	l, err := hw.NewLFSR(lfsrWidth, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Scrambling{banks: banks, lfsr: l, seed: seed}, nil
+}
+
+// Name implements Policy.
+func (s *Scrambling) Name() string { return "scrambling" }
+
+// Banks implements Policy.
+func (s *Scrambling) Banks() int { return s.banks }
+
+// Map implements Policy.
+func (s *Scrambling) Map(region uint) uint {
+	return (region ^ s.word) % uint(s.banks)
+}
+
+// Update implements Policy.
+func (s *Scrambling) Update() {
+	s.lfsr.Step()
+	s.word = s.lfsr.Low(log2(s.banks))
+	s.epoch++
+}
+
+// Epoch implements Policy.
+func (s *Scrambling) Epoch() uint64 { return s.epoch }
+
+// Reset implements Policy.
+func (s *Scrambling) Reset() {
+	s.lfsr.Seed(s.seed)
+	s.word = 0
+	s.epoch = 0
+}
+
+// Word exposes the current XOR mask for tests and reports.
+func (s *Scrambling) Word() uint { return s.word }
+
+func log2(m int) int {
+	p := 0
+	for ; m > 1; m >>= 1 {
+		p++
+	}
+	return p
+}
+
+// Kind names a policy for configuration surfaces (CLIs, experiment
+// configs).
+type Kind string
+
+// Supported policy kinds.
+const (
+	KindIdentity   Kind = "identity"
+	KindProbing    Kind = "probing"
+	KindScrambling Kind = "scrambling"
+)
+
+// New constructs a policy by kind with default parameters (scrambling uses
+// DefaultLFSRWidth and the seed 1).
+func New(kind Kind, banks int) (Policy, error) {
+	switch kind {
+	case KindIdentity:
+		return NewIdentity(banks)
+	case KindProbing:
+		return NewProbing(banks)
+	case KindScrambling:
+		return NewScrambling(banks, DefaultLFSRWidth, 1)
+	default:
+		return nil, fmt.Errorf("index: unknown policy kind %q", kind)
+	}
+}

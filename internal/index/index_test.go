@@ -1,0 +1,309 @@
+package index
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBadBankCounts(t *testing.T) {
+	for _, m := range []int{0, 1, 3, 6, 1 << 12} {
+		if _, err := NewIdentity(m); err == nil {
+			t.Errorf("identity accepted %d banks", m)
+		}
+		if _, err := NewProbing(m); err == nil {
+			t.Errorf("probing accepted %d banks", m)
+		}
+		if _, err := NewScrambling(m, 16, 1); err == nil {
+			t.Errorf("scrambling accepted %d banks", m)
+		}
+	}
+}
+
+func TestIdentity(t *testing.T) {
+	p, err := NewIdentity(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := uint(0); r < 4; r++ {
+		if p.Map(r) != r {
+			t.Errorf("Map(%d) = %d", r, p.Map(r))
+		}
+	}
+	p.Update()
+	if p.Epoch() != 1 {
+		t.Errorf("Epoch = %d", p.Epoch())
+	}
+	for r := uint(0); r < 4; r++ {
+		if p.Map(r) != r {
+			t.Errorf("after update, Map(%d) = %d", r, p.Map(r))
+		}
+	}
+	p.Reset()
+	if p.Epoch() != 0 {
+		t.Errorf("Reset left epoch %d", p.Epoch())
+	}
+	if p.Name() != "identity" || p.Banks() != 4 {
+		t.Error("metadata wrong")
+	}
+}
+
+// TestPaperExample1 reproduces Example 1 of the paper: N=256 lines, M=4
+// banks, 64 lines per bank, address (index) i=70. At time 0 it lives in
+// bank 1; after each update probing advances it to banks 2, 3, 0.
+// (The paper's printed arithmetic "70 mod 63 = 7" is a typo; the standard
+// bit-slice gives line 70 mod 64 = 6, bank 70 div 64 = 1, and the same
+// bank walk.)
+func TestPaperExample1(t *testing.T) {
+	const (
+		lines        = 256
+		banks        = 4
+		linesPerBank = lines / banks
+		addr         = 70
+	)
+	p, err := NewProbing(banks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	region := uint(addr / linesPerBank)
+	line := uint(addr % linesPerBank)
+	if region != 1 || line != 6 {
+		t.Fatalf("slice: region=%d line=%d, want 1, 6", region, line)
+	}
+	walk := []uint{1, 2, 3, 0, 1}
+	for step, want := range walk {
+		if got := p.Map(region); got != want {
+			t.Errorf("after %d updates, bank = %d, want %d", step, got, want)
+		}
+		p.Update()
+	}
+}
+
+func TestProbingRotation(t *testing.T) {
+	p, _ := NewProbing(8)
+	for e := 0; e < 20; e++ {
+		for r := uint(0); r < 8; r++ {
+			want := (r + uint(e)) % 8
+			if got := p.Map(r); got != want {
+				t.Fatalf("epoch %d: Map(%d) = %d, want %d", e, r, got, want)
+			}
+		}
+		p.Update()
+	}
+	if p.Offset() != 20%8 {
+		t.Errorf("Offset = %d", p.Offset())
+	}
+	p.Reset()
+	if p.Offset() != 0 || p.Epoch() != 0 {
+		t.Error("Reset incomplete")
+	}
+}
+
+func TestScramblingBijective(t *testing.T) {
+	s, err := NewScrambling(8, 16, 0xBEEF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := 0; e < 100; e++ {
+		seen := make(map[uint]bool)
+		for r := uint(0); r < 8; r++ {
+			b := s.Map(r)
+			if b >= 8 {
+				t.Fatalf("epoch %d: bank %d out of range", e, b)
+			}
+			if seen[b] {
+				t.Fatalf("epoch %d: bank %d hit twice (word %#x)", e, b, s.Word())
+			}
+			seen[b] = true
+		}
+		s.Update()
+	}
+}
+
+func TestScramblingNarrowLFSRRejected(t *testing.T) {
+	if _, err := NewScrambling(16, 3, 1); err == nil {
+		t.Error("LFSR narrower than bank address accepted")
+	}
+}
+
+func TestScramblingReset(t *testing.T) {
+	s, _ := NewScrambling(4, 8, 0x5A)
+	first := make([]uint, 10)
+	for i := range first {
+		s.Update()
+		first[i] = s.Word()
+	}
+	s.Reset()
+	if s.Word() != 0 || s.Epoch() != 0 {
+		t.Fatal("Reset incomplete")
+	}
+	for i := range first {
+		s.Update()
+		if s.Word() != first[i] {
+			t.Fatalf("replay diverged at update %d", i)
+		}
+	}
+}
+
+// Property: every policy is a bijection at every epoch.
+func TestPoliciesBijectiveProperty(t *testing.T) {
+	mk := []func() Policy{
+		func() Policy { p, _ := NewIdentity(16); return p },
+		func() Policy { p, _ := NewProbing(16); return p },
+		func() Policy { p, _ := NewScrambling(16, 16, 3); return p },
+	}
+	for _, make := range mk {
+		p := make()
+		f := func(updates uint8) bool {
+			p.Reset()
+			for i := uint8(0); i < updates; i++ {
+				p.Update()
+			}
+			var mask uint
+			for r := uint(0); r < 16; r++ {
+				mask |= 1 << p.Map(r)
+			}
+			return mask == 0xFFFF
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+			t.Errorf("%s: %v", p.Name(), err)
+		}
+	}
+}
+
+func TestNewByKind(t *testing.T) {
+	for _, k := range []Kind{KindIdentity, KindProbing, KindScrambling} {
+		p, err := New(k, 4)
+		if err != nil {
+			t.Fatalf("New(%s): %v", k, err)
+		}
+		if p.Name() != string(k) {
+			t.Errorf("New(%s).Name() = %s", k, p.Name())
+		}
+	}
+	if _, err := New("bogus", 4); err == nil {
+		t.Error("bogus kind accepted")
+	}
+}
+
+func TestSharesProbingExactlyUniform(t *testing.T) {
+	// The paper (via [7]): probing with increment 1 is perfectly uniform
+	// once the number of updates is >= the number of slots (here, any
+	// multiple of M).
+	p, _ := NewProbing(4)
+	sm, err := Shares(p, 8) // 2 full rotations
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := sm.MaxError(); e != 0 {
+		t.Errorf("probing share error = %v, want exactly 0", e)
+	}
+}
+
+func TestSharesIdentityDegenerate(t *testing.T) {
+	p, _ := NewIdentity(4)
+	sm, err := Shares(p, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Identity never moves anything: share matrix is the identity matrix.
+	for b := 0; b < 4; b++ {
+		for r := 0; r < 4; r++ {
+			want := 0.0
+			if b == r {
+				want = 1.0
+			}
+			if sm.Share[b][r] != want {
+				t.Errorf("Share[%d][%d] = %v, want %v", b, r, sm.Share[b][r], want)
+			}
+		}
+	}
+	if sm.MaxError() != 0.75 { // |1 - 1/4|
+		t.Errorf("identity MaxError = %v, want 0.75", sm.MaxError())
+	}
+}
+
+func TestSharesRowColSums(t *testing.T) {
+	s, _ := NewScrambling(8, 12, 7)
+	sm, err := Shares(s, 333)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b := 0; b < 8; b++ {
+		rowSum, colSum := 0.0, 0.0
+		for r := 0; r < 8; r++ {
+			rowSum += sm.Share[b][r]
+			colSum += sm.Share[r][b]
+		}
+		if math.Abs(rowSum-1) > 1e-9 || math.Abs(colSum-1) > 1e-9 {
+			t.Fatalf("bank %d: row sum %v col sum %v", b, rowSum, colSum)
+		}
+	}
+}
+
+// TestScramblingErrorDecaysRootN reproduces the paper's §IV-B2 argument:
+// the scrambling share error is inversely proportional to sqrt(N).
+func TestScramblingErrorDecaysRootN(t *testing.T) {
+	s, _ := NewScrambling(4, 16, 1)
+	scan, err := UniformityScan(s, []int{100, 10000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e100, e10k := scan[100], scan[10000]
+	if e100 <= 0 {
+		t.Fatalf("error at N=100 is %v, expected > 0", e100)
+	}
+	// 100x more epochs should shrink the error by about 10x; allow a
+	// generous band (3x .. 40x) since a single LFSR stream is one sample
+	// path, and in particular demand clear improvement.
+	ratio := e100 / e10k
+	if ratio < 3 || ratio > 40 {
+		t.Errorf("error ratio e(100)/e(10000) = %v, want ~10 (band [3,40])", ratio)
+	}
+	// And by N=10000 the distribution should be close to uniform in
+	// absolute terms.
+	if e10k > 0.01 {
+		t.Errorf("error at N=10000 = %v, want < 1%%", e10k)
+	}
+}
+
+func TestSharesErrors(t *testing.T) {
+	p, _ := NewProbing(4)
+	if _, err := Shares(p, 0); err == nil {
+		t.Error("Shares(0 epochs) accepted")
+	}
+	sm, _ := Shares(p, 4)
+	if _, err := sm.BankDuty([]float64{1, 2}); err == nil {
+		t.Error("BankDuty with wrong-length vector accepted")
+	}
+}
+
+func TestBankDutyProbingAverages(t *testing.T) {
+	p, _ := NewProbing(4)
+	sm, err := Shares(p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	duty := []float64{0.0246, 0.9998, 0.9998, 0.0375} // adpcm.dec, Table I
+	got, err := sm.BankDuty(duty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (0.0246 + 0.9998 + 0.9998 + 0.0375) / 4
+	for b, d := range got {
+		if math.Abs(d-want) > 1e-12 {
+			t.Errorf("bank %d duty = %v, want uniform %v", b, d, want)
+		}
+	}
+}
+
+func TestSharesLeavePolicyReset(t *testing.T) {
+	p, _ := NewProbing(4)
+	p.Update()
+	if _, err := Shares(p, 6); err != nil {
+		t.Fatal(err)
+	}
+	if p.Epoch() != 0 || p.Offset() != 0 {
+		t.Error("Shares left the policy perturbed")
+	}
+}

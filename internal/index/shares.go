@@ -1,0 +1,100 @@
+package index
+
+import (
+	"fmt"
+	"math"
+)
+
+// ShareMatrix describes how a policy distributes logical regions over
+// physical banks across many epochs: Share[bank][region] is the fraction
+// of epochs during which the bank hosted the region. Rows and columns each
+// sum to 1 because the mapping is bijective at every epoch.
+type ShareMatrix struct {
+	Banks  int
+	Epochs int
+	Share  [][]float64
+}
+
+// Shares simulates n epochs of the policy (including the initial epoch-0
+// mapping, before any update) and tallies hosting shares. The policy is
+// Reset first and left reset after, so analysis never perturbs a live
+// simulation. n must be >= 1.
+func Shares(p Policy, n int) (*ShareMatrix, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("index: share analysis needs >= 1 epoch, got %d", n)
+	}
+	m := p.Banks()
+	sm := &ShareMatrix{Banks: m, Epochs: n, Share: make([][]float64, m)}
+	for b := range sm.Share {
+		sm.Share[b] = make([]float64, m)
+	}
+	p.Reset()
+	for e := 0; e < n; e++ {
+		for r := 0; r < m; r++ {
+			b := p.Map(uint(r))
+			if b >= uint(m) {
+				return nil, fmt.Errorf("index: policy %s mapped region %d to bank %d of %d", p.Name(), r, b, m)
+			}
+			sm.Share[b][r]++
+		}
+		p.Update()
+	}
+	p.Reset()
+	inv := 1 / float64(n)
+	for b := range sm.Share {
+		for r := range sm.Share[b] {
+			sm.Share[b][r] *= inv
+		}
+	}
+	return sm, nil
+}
+
+// MaxError returns the largest absolute deviation of any share from the
+// ideal 1/M — the paper's "error of the RNG" for Scrambling, exactly zero
+// for Probing once Epochs is a multiple of M.
+func (sm *ShareMatrix) MaxError() float64 {
+	ideal := 1 / float64(sm.Banks)
+	worst := 0.0
+	for _, row := range sm.Share {
+		for _, s := range row {
+			if d := math.Abs(s - ideal); d > worst {
+				worst = d
+			}
+		}
+	}
+	return worst
+}
+
+// BankDuty folds a per-region duty vector (e.g. per-region aging stress or
+// sleep fractions) through the share matrix, returning the long-term
+// per-bank duty: duty[b] = sum_r Share[b][r] * regionDuty[r]. This is the
+// bridge from trace-level per-region measurements to multi-year per-bank
+// aging exposure.
+func (sm *ShareMatrix) BankDuty(regionDuty []float64) ([]float64, error) {
+	if len(regionDuty) != sm.Banks {
+		return nil, fmt.Errorf("index: duty vector has %d entries for %d banks", len(regionDuty), sm.Banks)
+	}
+	out := make([]float64, sm.Banks)
+	for b, row := range sm.Share {
+		for r, s := range row {
+			out[b] += s * regionDuty[r]
+		}
+	}
+	return out, nil
+}
+
+// UniformityScan measures MaxError as a function of the number of epochs,
+// at the given sample points, reproducing the paper's argument that the
+// Scrambling error decays like 1/sqrt(N) while Probing is exactly uniform
+// at multiples of M.
+func UniformityScan(p Policy, points []int) (map[int]float64, error) {
+	out := make(map[int]float64, len(points))
+	for _, n := range points {
+		sm, err := Shares(p, n)
+		if err != nil {
+			return nil, err
+		}
+		out[n] = sm.MaxError()
+	}
+	return out, nil
+}

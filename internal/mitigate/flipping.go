@@ -1,0 +1,84 @@
+// Package mitigate implements the NBTI-mitigation baselines the paper's
+// related-work section (§II-B) positions the partitioned architecture
+// against, so the comparison can be made quantitative:
+//
+//   - Cell flipping ([11] Kumar et al., [15] Kunitake et al.): the memory
+//     content is periodically inverted so each pMOS sees a balanced
+//     storage probability, removing the p0 penalty but doing nothing
+//     about the power-state stress itself.
+//   - Line-level dynamic indexing ([7] Calimera et al., ISLPED'10): the
+//     paper's own predecessor — per-line power management with an ideal
+//     uniform distribution of idleness. Optimal, but requires modifying
+//     the cache's internal array structure, which memory-compiler flows
+//     do not allow.
+//   - Recovery boosting ([18] Siddiqua & Gurumurthi) is exposed through
+//     aging.RecoveryBoosted: zero stress while idle, state preserved, at
+//     the cost of per-cell modifications.
+package mitigate
+
+import (
+	"fmt"
+
+	"nbticache/internal/cache"
+	"nbticache/internal/nbti"
+	"nbticache/internal/power"
+)
+
+// Flipping is the periodic content-inversion technique. A flip signal
+// toggles every PeriodCycles; data is stored (and read back) inverted on
+// odd epochs, so over any horizon much longer than the period each pMOS
+// is stressed for the average of p0 and 1-p0 — exactly 1/2.
+type Flipping struct {
+	// PeriodCycles is the inversion period. [11] flips the whole memory
+	// on an OS tick (millions of cycles); [15] flips per word every few
+	// thousand cycles. Any value far below the aging horizon gives the
+	// same balanced duty; the period only sets the flip energy.
+	PeriodCycles uint64
+}
+
+// Validate reports configuration errors.
+func (f Flipping) Validate() error {
+	if f.PeriodCycles == 0 {
+		return fmt.Errorf("mitigate: flip period must be positive")
+	}
+	return nil
+}
+
+// EffectiveP0 returns the storage duty each pMOS sees under flipping:
+// the balanced 0.5, independent of the raw workload skew. (The long-term
+// R-D model is insensitive to the alternation frequency; see
+// nbti.Recovery for the sub-period transient.)
+func (f Flipping) EffectiveP0(rawP0 float64) (float64, error) {
+	if err := f.Validate(); err != nil {
+		return 0, err
+	}
+	if rawP0 < 0 || rawP0 > 1 {
+		return 0, fmt.Errorf("mitigate: raw p0 %v outside [0,1]", rawP0)
+	}
+	return 0.5, nil
+}
+
+// FlipEnergy returns the energy spent re-writing the whole array once per
+// period over a horizon of years: flips * lines * write energy. This is
+// the overhead [11] pays that the partitioned architecture does not.
+func (f Flipping) FlipEnergy(tech power.Tech, g cache.Geometry, horizonYears float64) (float64, error) {
+	if err := f.Validate(); err != nil {
+		return 0, err
+	}
+	if err := g.Validate(); err != nil {
+		return 0, err
+	}
+	if err := tech.Validate(); err != nil {
+		return 0, err
+	}
+	if horizonYears < 0 {
+		return 0, fmt.Errorf("mitigate: negative horizon %v", horizonYears)
+	}
+	seconds := horizonYears * nbti.SecondsPerYear
+	flips := seconds / (float64(f.PeriodCycles) * tech.CycleSeconds)
+	writeEnergy, err := tech.AccessEnergy(g, 1, true)
+	if err != nil {
+		return 0, err
+	}
+	return flips * float64(g.Lines()) * writeEnergy, nil
+}

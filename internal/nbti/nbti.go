@@ -1,0 +1,186 @@
+// Package nbti implements the Negative Bias Temperature Instability
+// degradation model used by the aging characterisation framework. It
+// follows the long-term reaction–diffusion (R-D) formulation standard in
+// the literature the paper builds on (Alam; Vattikonda et al.; Kang et
+// al., the paper's [23]): under cyclostationary stress with duty factor
+// alpha, the pMOS threshold shift grows as
+//
+//	dVth(t) = Phi * (alpha * r * t)^n ,  n = 1/6 (H2 diffusion)
+//
+// where r is the relative stress rate set by the gate overdrive and the
+// temperature, normalised to 1 at the nominal supply and reference
+// temperature. The inverse-sixth-root time law means lifetime against any
+// fixed dVth criterion is exactly inversely proportional to alpha*r —
+// which is precisely the structure the paper's lifetime tables exhibit
+// (see DESIGN.md §4).
+//
+// The package also provides the frequency-independent recovery expression
+// for a single stress/recovery episode, used to sanity-check the duty
+// abstraction and exposed for users who want sub-cycle resolution.
+package nbti
+
+import (
+	"fmt"
+	"math"
+)
+
+// SecondsPerYear converts the simulator's natural reporting unit. Julian
+// year; the third decimal of a lifetime in years is far below model
+// accuracy anyway.
+const SecondsPerYear = 365.25 * 24 * 3600
+
+// Params collects the model constants. The zero value is invalid; start
+// from DefaultParams.
+type Params struct {
+	// N is the time exponent (1/6 for H2-diffusion R-D).
+	N float64
+	// Phi is the degradation prefactor in volts per (second^N of
+	// unit-duty nominal stress). It is set by Calibrate, not by hand.
+	Phi float64
+	// VddNom is the supply at which the stress rate is 1 (V).
+	VddNom float64
+	// VthP is the pMOS threshold magnitude entering the overdrive (V).
+	VthP float64
+	// OverdriveExp is the exponent of the gate-overdrive dependence of
+	// the stress rate. 2.0 reproduces the field-squared dependence of
+	// the R-D trap-generation term within the supply range of interest.
+	OverdriveExp float64
+	// EaEV is the activation energy (eV) of the Arrhenius temperature
+	// acceleration.
+	EaEV float64
+	// TRefK is the temperature at which the stress rate is 1 (K).
+	TRefK float64
+}
+
+// DefaultParams returns the 45nm-class constants used by the experiments,
+// with Phi left at zero until Calibrate anchors it (internal/aging does
+// this against the paper's 2.93-year cell lifetime).
+func DefaultParams() Params {
+	return Params{
+		N:            1.0 / 6.0,
+		VddNom:       1.10,
+		VthP:         0.35,
+		OverdriveExp: 2.0,
+		EaEV:         0.49,
+		TRefK:        358,
+	}
+}
+
+// Validate reports constant errors. Phi may be zero (uncalibrated) but
+// not negative.
+func (p Params) Validate() error {
+	switch {
+	case p.N <= 0 || p.N >= 1:
+		return fmt.Errorf("nbti: exponent n=%v outside (0,1)", p.N)
+	case p.Phi < 0:
+		return fmt.Errorf("nbti: negative prefactor %v", p.Phi)
+	case p.VddNom <= p.VthP:
+		return fmt.Errorf("nbti: nominal supply %v not above |VthP| %v", p.VddNom, p.VthP)
+	case p.VthP <= 0:
+		return fmt.Errorf("nbti: |VthP| %v must be positive", p.VthP)
+	case p.OverdriveExp <= 0:
+		return fmt.Errorf("nbti: overdrive exponent %v must be positive", p.OverdriveExp)
+	case p.EaEV < 0:
+		return fmt.Errorf("nbti: negative activation energy %v", p.EaEV)
+	case p.TRefK <= 0:
+		return fmt.Errorf("nbti: reference temperature %v K must be positive", p.TRefK)
+	}
+	return nil
+}
+
+// boltzmannEV is the Boltzmann constant in eV/K.
+const boltzmannEV = 8.617333262e-5
+
+// StressRate returns the stress rate at supply vdd and temperature tempK,
+// relative to (VddNom, TRefK). A supply at or below |VthP| produces zero
+// stress: with no inversion layer bias there is no NBTI. This is also how
+// power gating enters the model — the floating nodes rise to a logic 1,
+// removing the negative gate bias entirely, so the gated state maps to
+// rate 0 (the paper's [3], [17]).
+func (p Params) StressRate(vdd, tempK float64) float64 {
+	od := vdd - p.VthP
+	if od <= 0 {
+		return 0
+	}
+	odNom := p.VddNom - p.VthP
+	rate := math.Pow(od/odNom, p.OverdriveExp)
+	if p.EaEV > 0 && tempK > 0 && tempK != p.TRefK {
+		rate *= math.Exp(-p.EaEV / boltzmannEV * (1/tempK - 1/p.TRefK))
+	}
+	return rate
+}
+
+// DeltaVth returns the threshold shift (V) after seconds of operation
+// with the given effective stress duty (already folded with StressRate;
+// see EffectiveDuty). Zero duty means zero shift at any horizon.
+func (p Params) DeltaVth(duty, seconds float64) float64 {
+	if duty <= 0 || seconds <= 0 {
+		return 0
+	}
+	return p.Phi * math.Pow(duty*seconds, p.N)
+}
+
+// LifetimeSeconds inverts DeltaVth: the time at which the shift reaches
+// dvthCrit under the given duty. It returns +Inf for zero duty (no stress,
+// no aging) and an error for a non-positive criterion or uncalibrated Phi.
+func (p Params) LifetimeSeconds(duty, dvthCrit float64) (float64, error) {
+	if dvthCrit <= 0 {
+		return 0, fmt.Errorf("nbti: non-positive dVth criterion %v", dvthCrit)
+	}
+	if p.Phi <= 0 {
+		return 0, fmt.Errorf("nbti: prefactor not calibrated")
+	}
+	if duty <= 0 {
+		return math.Inf(1), nil
+	}
+	return math.Pow(dvthCrit/p.Phi, 1/p.N) / duty, nil
+}
+
+// Calibrate returns a copy of p with Phi set so that a device under
+// constant duty reaches dvthCrit at exactly targetSeconds:
+// Phi = dvthCrit / (duty*targetSeconds)^N.
+func (p Params) Calibrate(dvthCrit, duty, targetSeconds float64) (Params, error) {
+	if dvthCrit <= 0 || duty <= 0 || targetSeconds <= 0 {
+		return p, fmt.Errorf("nbti: calibration needs positive criterion/duty/target, got %v/%v/%v",
+			dvthCrit, duty, targetSeconds)
+	}
+	p.Phi = dvthCrit / math.Pow(duty*targetSeconds, p.N)
+	return p, nil
+}
+
+// EffectiveDuty folds a sleep schedule into the scalar duty the R-D law
+// consumes. storageDuty is the fraction of time this pMOS's gate sees a
+// logic 0 while the cell is powered (p0 for one side, 1-p0 for the
+// other); sleepFrac is the fraction of time the bank spends in the
+// low-power state; sleepRate and activeRate are StressRate values for the
+// two supplies.
+//
+//	duty = storageDuty * (activeRate*(1-sleepFrac) + sleepRate*sleepFrac)
+func (p Params) EffectiveDuty(storageDuty, sleepFrac, activeRate, sleepRate float64) (float64, error) {
+	if storageDuty < 0 || storageDuty > 1 {
+		return 0, fmt.Errorf("nbti: storage duty %v outside [0,1]", storageDuty)
+	}
+	if sleepFrac < 0 || sleepFrac > 1 {
+		return 0, fmt.Errorf("nbti: sleep fraction %v outside [0,1]", sleepFrac)
+	}
+	if activeRate < 0 || sleepRate < 0 {
+		return 0, fmt.Errorf("nbti: negative stress rate (%v, %v)", activeRate, sleepRate)
+	}
+	return storageDuty * (activeRate*(1-sleepFrac) + sleepRate*sleepFrac), nil
+}
+
+// Recovery returns the remaining fraction of a threshold shift after a
+// single stress episode of tStress seconds followed by tRecover seconds
+// of relaxation, per the standard R-D recovery expression
+//
+//	dVth(ts+tr)/dVth(ts) = 1 / (1 + eta*sqrt(tr/ts))
+//
+// with eta ~ 0.35 (Vattikonda et al.). It is exposed for sub-cycle
+// analyses; the duty-factor abstraction above is its long-term limit.
+func Recovery(tStress, tRecover float64) (float64, error) {
+	if tStress <= 0 || tRecover < 0 {
+		return 0, fmt.Errorf("nbti: recovery needs tStress > 0, tRecover >= 0 (got %v, %v)", tStress, tRecover)
+	}
+	const eta = 0.35
+	return 1 / (1 + eta*math.Sqrt(tRecover/tStress)), nil
+}

@@ -1,0 +1,240 @@
+package nbti
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func calibrated(t *testing.T) Params {
+	t.Helper()
+	p, err := DefaultParams().Calibrate(0.05, 0.5, 2.93*SecondsPerYear)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestValidate(t *testing.T) {
+	if err := DefaultParams().Validate(); err != nil {
+		t.Fatalf("default params rejected: %v", err)
+	}
+	cases := []func(*Params){
+		func(p *Params) { p.N = 0 },
+		func(p *Params) { p.N = 1 },
+		func(p *Params) { p.Phi = -1 },
+		func(p *Params) { p.VddNom = 0.2 }, // below VthP
+		func(p *Params) { p.VthP = 0 },
+		func(p *Params) { p.OverdriveExp = 0 },
+		func(p *Params) { p.EaEV = -1 },
+		func(p *Params) { p.TRefK = 0 },
+	}
+	for i, mutate := range cases {
+		p := DefaultParams()
+		mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: bad params accepted", i)
+		}
+	}
+}
+
+func TestStressRateNominalIsOne(t *testing.T) {
+	p := DefaultParams()
+	if got := p.StressRate(p.VddNom, p.TRefK); math.Abs(got-1) > 1e-12 {
+		t.Errorf("nominal stress rate = %v, want 1", got)
+	}
+}
+
+func TestStressRateRetentionValue(t *testing.T) {
+	// The design hinges on the retention-state stress ratio being ~0.218
+	// at 0.70 V: ((0.70-0.35)/(1.10-0.35))^2.
+	p := DefaultParams()
+	got := p.StressRate(0.70, p.TRefK)
+	want := math.Pow(0.35/0.75, 2)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("retention stress rate = %v, want %v", got, want)
+	}
+	if got < 0.20 || got > 0.24 {
+		t.Errorf("retention stress rate %v outside the band the paper's numbers imply", got)
+	}
+}
+
+func TestStressRateGatedIsZero(t *testing.T) {
+	p := DefaultParams()
+	if got := p.StressRate(0, p.TRefK); got != 0 {
+		t.Errorf("power-gated stress rate = %v, want 0", got)
+	}
+	if got := p.StressRate(p.VthP, p.TRefK); got != 0 {
+		t.Errorf("at-threshold stress rate = %v, want 0", got)
+	}
+}
+
+func TestStressRateTemperature(t *testing.T) {
+	p := DefaultParams()
+	hot := p.StressRate(p.VddNom, p.TRefK+40)
+	cold := p.StressRate(p.VddNom, p.TRefK-40)
+	if hot <= 1 || cold >= 1 {
+		t.Errorf("Arrhenius direction wrong: hot=%v cold=%v", hot, cold)
+	}
+	// Ea = 0.49 eV over 40 K around 358 K is roughly a 4-6x swing.
+	if hot < 2 || hot > 10 {
+		t.Errorf("hot acceleration %v implausible", hot)
+	}
+}
+
+func TestCalibrateAnchors(t *testing.T) {
+	p := calibrated(t)
+	target := 2.93 * SecondsPerYear
+	if got := p.DeltaVth(0.5, target); math.Abs(got-0.05) > 1e-12 {
+		t.Errorf("dVth at anchor = %v, want 0.05", got)
+	}
+	life, err := p.LifetimeSeconds(0.5, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(life-target)/target > 1e-9 {
+		t.Errorf("lifetime at anchor = %v yr, want 2.93", life/SecondsPerYear)
+	}
+}
+
+func TestCalibrateRejectsBadInput(t *testing.T) {
+	p := DefaultParams()
+	for _, c := range [][3]float64{{0, 1, 1}, {1, 0, 1}, {1, 1, 0}, {-1, 1, 1}} {
+		if _, err := p.Calibrate(c[0], c[1], c[2]); err == nil {
+			t.Errorf("Calibrate(%v) accepted", c)
+		}
+	}
+}
+
+// TestLifetimeInverseInDuty verifies the structural property the paper's
+// tables rely on: lifetime scales exactly as 1/duty.
+func TestLifetimeInverseInDuty(t *testing.T) {
+	p := calibrated(t)
+	base, err := p.LifetimeSeconds(1.0, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, duty := range []float64{0.9, 0.5, 0.25, 0.1, 0.01} {
+		life, err := p.LifetimeSeconds(duty, 0.05)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rel := math.Abs(life*duty-base) / base; rel > 1e-9 {
+			t.Errorf("duty %v: lifetime*duty = %v, want %v", duty, life*duty, base)
+		}
+	}
+}
+
+func TestLifetimeZeroDutyInfinite(t *testing.T) {
+	p := calibrated(t)
+	life, err := p.LifetimeSeconds(0, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(life, 1) {
+		t.Errorf("zero-duty lifetime = %v, want +Inf", life)
+	}
+}
+
+func TestLifetimeErrors(t *testing.T) {
+	p := calibrated(t)
+	if _, err := p.LifetimeSeconds(0.5, 0); err == nil {
+		t.Error("zero criterion accepted")
+	}
+	if _, err := DefaultParams().LifetimeSeconds(0.5, 0.05); err == nil {
+		t.Error("uncalibrated lifetime accepted")
+	}
+}
+
+func TestDeltaVthSixthRoot(t *testing.T) {
+	p := calibrated(t)
+	// 64x the time -> 2x the shift (64^(1/6) = 2).
+	d1 := p.DeltaVth(1, 1e6)
+	d64 := p.DeltaVth(1, 64e6)
+	if math.Abs(d64/d1-2) > 1e-9 {
+		t.Errorf("64x time gave %vx shift, want 2x", d64/d1)
+	}
+	if p.DeltaVth(0, 1e6) != 0 || p.DeltaVth(1, 0) != 0 {
+		t.Error("zero duty or time gave nonzero shift")
+	}
+}
+
+func TestEffectiveDuty(t *testing.T) {
+	p := DefaultParams()
+	// Always active at nominal: duty = storageDuty.
+	d, err := p.EffectiveDuty(0.5, 0, 1, 0.22)
+	if err != nil || d != 0.5 {
+		t.Errorf("EffectiveDuty active = %v, %v", d, err)
+	}
+	// Fully asleep: duty = storageDuty * sleepRate.
+	d, err = p.EffectiveDuty(0.5, 1, 1, 0.22)
+	if err != nil || math.Abs(d-0.11) > 1e-12 {
+		t.Errorf("EffectiveDuty asleep = %v, %v", d, err)
+	}
+	// The paper's structure: 1 - P*(1-s).
+	d, _ = p.EffectiveDuty(1.0, 0.4, 1, 0.218)
+	want := 1 - 0.4*(1-0.218)
+	if math.Abs(d-want) > 1e-12 {
+		t.Errorf("EffectiveDuty = %v, want %v", d, want)
+	}
+}
+
+func TestEffectiveDutyErrors(t *testing.T) {
+	p := DefaultParams()
+	for _, c := range [][4]float64{
+		{-0.1, 0, 1, 0}, {1.1, 0, 1, 0},
+		{0.5, -0.1, 1, 0}, {0.5, 1.1, 1, 0},
+		{0.5, 0.5, -1, 0}, {0.5, 0.5, 1, -1},
+	} {
+		if _, err := p.EffectiveDuty(c[0], c[1], c[2], c[3]); err == nil {
+			t.Errorf("EffectiveDuty(%v) accepted", c)
+		}
+	}
+}
+
+// Property: EffectiveDuty is monotone decreasing in sleepFrac whenever
+// the sleep state stresses less than the active state.
+func TestEffectiveDutyMonotoneInSleep(t *testing.T) {
+	p := DefaultParams()
+	f := func(a, b uint8) bool {
+		s1 := float64(a%101) / 100
+		s2 := float64(b%101) / 100
+		if s1 > s2 {
+			s1, s2 = s2, s1
+		}
+		d1, err1 := p.EffectiveDuty(0.5, s1, 1, 0.22)
+		d2, err2 := p.EffectiveDuty(0.5, s2, 1, 0.22)
+		return err1 == nil && err2 == nil && d2 <= d1+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRecovery(t *testing.T) {
+	// No recovery time: the full shift remains.
+	r, err := Recovery(100, 0)
+	if err != nil || r != 1 {
+		t.Errorf("Recovery(ts,0) = %v, %v", r, err)
+	}
+	// Equal stress and recovery: 1/(1+0.35) ~ 0.74.
+	r, _ = Recovery(100, 100)
+	if math.Abs(r-1/1.35) > 1e-12 {
+		t.Errorf("Recovery equal = %v", r)
+	}
+	// Long recovery drives the residual down monotonically.
+	prev := 1.0
+	for _, tr := range []float64{1, 10, 100, 1000} {
+		r, _ := Recovery(1, tr)
+		if r >= prev {
+			t.Errorf("recovery not monotone at tr=%v: %v >= %v", tr, r, prev)
+		}
+		prev = r
+	}
+	if _, err := Recovery(0, 1); err == nil {
+		t.Error("zero stress time accepted")
+	}
+	if _, err := Recovery(1, -1); err == nil {
+		t.Error("negative recovery time accepted")
+	}
+}

@@ -1,0 +1,217 @@
+// Package pmu is the behavioural power-management unit of the partitioned
+// cache: the interval-level twin of the Block Control hardware of Fig. 1b.
+// It tracks per-bank idle intervals against the breakeven time and
+// accumulates the two quantities the paper's evaluation is built on:
+//
+//   - useful idleness I_j: the time-weighted share of idle intervals
+//     longer than the breakeven time (§III-A2), the "energy saving
+//     potential" of bank j;
+//   - sleep fraction P_j: the share of total time the bank actually
+//     spends in the low-power state (the counter must run for breakeven
+//     cycles before the rail drops, so P_j < I_j).
+//
+// The implementation is event-driven (one update per access) rather than
+// cycle-driven, so multi-million-cycle traces simulate in milliseconds;
+// the equivalence with the cycle-accurate hw.BlockControl is established
+// by a cross-check test.
+package pmu
+
+import (
+	"fmt"
+
+	"nbticache/internal/stats"
+)
+
+// PMU tracks idle intervals for a set of banks.
+type PMU struct {
+	banks     int
+	breakeven uint64
+
+	last      []uint64 // cycle of most recent access, per bank
+	touched   []bool   // has the bank ever been accessed?
+	accesses  []uint64
+	useful    []uint64 // cycles in idle intervals > breakeven
+	sleep     []uint64 // cycles actually spent asleep
+	intervals []uint64 // number of sleep episodes (= wake-ups, bar the last)
+	hist      []*stats.Histogram
+	cursor    uint64
+	finished  bool
+	endCycle  uint64
+}
+
+// New builds a PMU for the given bank count and breakeven time in cycles.
+// breakeven must be >= 1: a zero breakeven would mean free transitions,
+// which the architecture never has.
+func New(banks int, breakeven uint64) (*PMU, error) {
+	if banks < 1 {
+		return nil, fmt.Errorf("pmu: need >= 1 bank, got %d", banks)
+	}
+	if breakeven < 1 {
+		return nil, fmt.Errorf("pmu: breakeven %d must be >= 1 cycle", breakeven)
+	}
+	return &PMU{
+		banks:     banks,
+		breakeven: breakeven,
+		last:      make([]uint64, banks),
+		touched:   make([]bool, banks),
+		accesses:  make([]uint64, banks),
+		useful:    make([]uint64, banks),
+		sleep:     make([]uint64, banks),
+		intervals: make([]uint64, banks),
+		hist:      make([]*stats.Histogram, banks),
+	}, nil
+}
+
+// EnableHistograms allocates per-bank idle-interval histograms with the
+// given bucketing (in cycles). Call before the first Access.
+func (p *PMU) EnableHistograms(lo, hi float64, buckets int) {
+	for i := range p.hist {
+		p.hist[i] = stats.NewHistogram(lo, hi, buckets)
+	}
+}
+
+// Banks returns the bank count.
+func (p *PMU) Banks() int { return p.banks }
+
+// Breakeven returns the breakeven threshold in cycles.
+func (p *PMU) Breakeven() uint64 { return p.breakeven }
+
+// Access records an access to bank at the given cycle. Cycles must be
+// non-decreasing across calls (they come from a validated trace).
+func (p *PMU) Access(bank int, cycle uint64) error {
+	if p.finished {
+		return fmt.Errorf("pmu: access after Finish")
+	}
+	if bank < 0 || bank >= p.banks {
+		return fmt.Errorf("pmu: bank %d outside [0,%d)", bank, p.banks)
+	}
+	if cycle < p.cursor {
+		return fmt.Errorf("pmu: access at cycle %d after cycle %d", cycle, p.cursor)
+	}
+	p.cursor = cycle
+	p.closeInterval(bank, cycle)
+	p.last[bank] = cycle
+	p.touched[bank] = true
+	p.accesses[bank]++
+	return nil
+}
+
+// closeInterval accounts the idle gap ending now for the bank. Banks
+// never touched idle from cycle 0.
+func (p *PMU) closeInterval(bank int, now uint64) {
+	start := uint64(0)
+	if p.touched[bank] {
+		start = p.last[bank]
+	}
+	if now <= start {
+		return
+	}
+	gap := now - start
+	if p.hist[bank] != nil {
+		p.hist[bank].Add(float64(gap))
+	}
+	if gap > p.breakeven {
+		p.useful[bank] += gap
+		p.sleep[bank] += gap - p.breakeven
+		p.intervals[bank]++
+	}
+}
+
+// Finish closes the trailing idle interval of every bank at endCycle (the
+// trace span) and freezes the PMU. It must be called exactly once.
+func (p *PMU) Finish(endCycle uint64) error {
+	if p.finished {
+		return fmt.Errorf("pmu: Finish called twice")
+	}
+	if endCycle < p.cursor {
+		return fmt.Errorf("pmu: end cycle %d before last access %d", endCycle, p.cursor)
+	}
+	for b := 0; b < p.banks; b++ {
+		p.closeInterval(b, endCycle)
+	}
+	p.endCycle = endCycle
+	p.finished = true
+	return nil
+}
+
+// BankStats summarises one bank after Finish.
+type BankStats struct {
+	// Accesses is the number of references decoded to this bank.
+	Accesses uint64
+	// UsefulIdleness is I_j: time in >breakeven idle intervals over
+	// total time.
+	UsefulIdleness float64
+	// SleepFraction is P_j: time actually asleep over total time.
+	SleepFraction float64
+	// SleepCycles is the raw asleep time (SleepFraction * span, exact).
+	SleepCycles uint64
+	// SleepIntervals is the number of sleep episodes (power-down
+	// transitions).
+	SleepIntervals uint64
+	// Wakeups is the number of power-up transitions (one per episode,
+	// except an episode still open at the end of the trace).
+	Wakeups uint64
+	// IdleHistogram is non-nil if EnableHistograms was called.
+	IdleHistogram *stats.Histogram
+}
+
+// Results returns per-bank statistics. It errors before Finish or on a
+// zero-length span.
+func (p *PMU) Results() ([]BankStats, error) {
+	if !p.finished {
+		return nil, fmt.Errorf("pmu: Results before Finish")
+	}
+	if p.endCycle == 0 {
+		return nil, fmt.Errorf("pmu: zero-length span")
+	}
+	out := make([]BankStats, p.banks)
+	span := float64(p.endCycle)
+	for b := range out {
+		wake := p.intervals[b]
+		// The final interval (after the last access, or the whole trace
+		// for an untouched bank) never wakes up.
+		lastStart := uint64(0)
+		if p.touched[b] {
+			lastStart = p.last[b]
+		}
+		if wake > 0 && p.endCycle-lastStart > p.breakeven {
+			wake--
+		}
+		out[b] = BankStats{
+			Accesses:       p.accesses[b],
+			UsefulIdleness: float64(p.useful[b]) / span,
+			SleepFraction:  float64(p.sleep[b]) / span,
+			SleepCycles:    p.sleep[b],
+			SleepIntervals: p.intervals[b],
+			Wakeups:        wake,
+			IdleHistogram:  p.hist[b],
+		}
+	}
+	return out, nil
+}
+
+// UsefulIdlenessVector is a convenience projection of Results.
+func (p *PMU) UsefulIdlenessVector() ([]float64, error) {
+	res, err := p.Results()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(res))
+	for i, r := range res {
+		out[i] = r.UsefulIdleness
+	}
+	return out, nil
+}
+
+// SleepFractionVector is a convenience projection of Results.
+func (p *PMU) SleepFractionVector() ([]float64, error) {
+	res, err := p.Results()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(res))
+	for i, r := range res {
+		out[i] = r.SleepFraction
+	}
+	return out, nil
+}

@@ -1,0 +1,191 @@
+// Package power models cache energy: per-access dynamic energy, leakage
+// in the active and voltage-scaled retention states, wake-up transition
+// penalties, the decode/wiring overhead of partitioning, and the
+// breakeven time that drives the Block Control policy.
+//
+// The paper's energy numbers come from an industrial 45nm kit plus the
+// partitioning-overhead characterisation of its [10]; this package is the
+// parametric substitute. Constants in DefaultTech are calibrated so the
+// paper's operating points are reproduced (see DESIGN.md §2): energy
+// savings of a 4-bank power-managed cache ~32/44/56% at 8/16/32 kB with
+// 16 B lines, dropping to ~32% at 32 B lines, and a breakeven time of a
+// few tens of cycles fitting the paper's 5-6 bit counters.
+//
+// Model shape:
+//
+//	E_access(bank)  = EDynFixed + EDynPerLineByte*LS + EDynPerByte*bankBytes
+//	                + ETagPerBit*tagBits [+ EDecodePerBank*M + EWirePerBankSq*M^2]
+//	P_leak(array)   = PLeakPerByte * (dataBytes + tagBytes)
+//	P_leak(sleep)   = RetentionLeakRatio * P_leak
+//	E_wake(bank)    = ETransPerByte*dataBytes + ETransTagPerByte*tagBytes
+//	t_BE            = E_wake / (P_leak(bank) * (1-RetentionLeakRatio) * t_cycle)
+//
+// The affine dynamic term makes bank accesses genuinely cheaper than
+// full-array accesses (the [8]-style partitioning gain), with the fixed
+// and line-width parts capturing decoder/sense/IO energy that does not
+// shrink with banking.
+package power
+
+import (
+	"fmt"
+	"math/bits"
+
+	"nbticache/internal/cache"
+)
+
+// Tech is the energy-model parameter set. All energies are joules, powers
+// watts, times seconds.
+type Tech struct {
+	// CycleSeconds is the clock period.
+	CycleSeconds float64
+	// EDynFixed is the per-access energy independent of array and line
+	// size (global decode, control).
+	EDynFixed float64
+	// EDynPerLineByte charges the read-out path per byte of line width.
+	EDynPerLineByte float64
+	// EDynPerByte charges bitline/wordline energy per byte of the
+	// accessed array (the capacity term).
+	EDynPerByte float64
+	// ETagPerBit charges the tag read/compare per tag bit.
+	ETagPerBit float64
+	// EDecodePerBank is the per-access decoder-D overhead, linear in the
+	// bank count (1-hot fanout, Fig. 1b).
+	EDecodePerBank float64
+	// EWirePerBankSq is the per-access wiring overhead, quadratic in the
+	// bank count (bus replication and floorplan stretch; the [10]-style
+	// penalty that caps useful partitioning).
+	EWirePerBankSq float64
+	// PLeakPerByte is the active leakage power density.
+	PLeakPerByte float64
+	// RetentionLeakRatio is sleep leakage relative to active (Vdd,low
+	// retention state).
+	RetentionLeakRatio float64
+	// ETransPerByte and ETransTagPerByte charge each wake-up transition
+	// for restoring the data and tag rails. Tags carry the larger
+	// reactivation penalty (§IV-B1).
+	ETransPerByte    float64
+	ETransTagPerByte float64
+	// WriteEnergyFactor scales dynamic energy for writes.
+	WriteEnergyFactor float64
+}
+
+// DefaultTech returns the calibrated 45nm-class model.
+func DefaultTech() Tech {
+	return Tech{
+		CycleSeconds:       1e-9,
+		EDynFixed:          0.86e-12,
+		EDynPerLineByte:    0.484e-12,
+		EDynPerByte:        0.78e-15,
+		ETagPerBit:         1.0e-14,
+		EDecodePerBank:     1.5e-14,
+		EWirePerBankSq:     8.0e-15,
+		PLeakPerByte:       2.29e-8,
+		RetentionLeakRatio: 0.10,
+		ETransPerByte:      1.0e-15,
+		ETransTagPerByte:   2.5e-15,
+		WriteEnergyFactor:  1.2,
+	}
+}
+
+// Validate reports parameter errors.
+func (t Tech) Validate() error {
+	pos := []struct {
+		name string
+		v    float64
+	}{
+		{"cycle time", t.CycleSeconds},
+		{"fixed dynamic energy", t.EDynFixed},
+		{"line dynamic energy", t.EDynPerLineByte},
+		{"capacity dynamic energy", t.EDynPerByte},
+		{"tag energy", t.ETagPerBit},
+		{"leakage density", t.PLeakPerByte},
+		{"data transition energy", t.ETransPerByte},
+		{"tag transition energy", t.ETransTagPerByte},
+	}
+	for _, p := range pos {
+		if p.v <= 0 {
+			return fmt.Errorf("power: %s %v must be positive", p.name, p.v)
+		}
+	}
+	if t.EDecodePerBank < 0 || t.EWirePerBankSq < 0 {
+		return fmt.Errorf("power: negative partitioning overhead")
+	}
+	if t.RetentionLeakRatio <= 0 || t.RetentionLeakRatio >= 1 {
+		return fmt.Errorf("power: retention leak ratio %v outside (0,1)", t.RetentionLeakRatio)
+	}
+	if t.WriteEnergyFactor < 1 {
+		return fmt.Errorf("power: write factor %v below 1", t.WriteEnergyFactor)
+	}
+	return nil
+}
+
+// AccessEnergy returns the dynamic energy of one access to a cache of the
+// given geometry split into M banks (M=1 for monolithic). write selects
+// the write factor.
+func (t Tech) AccessEnergy(g cache.Geometry, banksM int, write bool) (float64, error) {
+	if err := g.Validate(); err != nil {
+		return 0, err
+	}
+	if banksM < 1 || g.Size%uint64(banksM) != 0 {
+		return 0, fmt.Errorf("power: bank count %d does not divide cache size %d", banksM, g.Size)
+	}
+	bankBytes := g.Size / uint64(banksM)
+	e := t.EDynFixed +
+		t.EDynPerLineByte*float64(g.LineSize) +
+		t.EDynPerByte*float64(bankBytes) +
+		t.ETagPerBit*float64(g.TagBits())
+	if banksM > 1 {
+		m := float64(banksM)
+		e += t.EDecodePerBank*m + t.EWirePerBankSq*m*m
+	}
+	if write {
+		e *= t.WriteEnergyFactor
+	}
+	return e, nil
+}
+
+// BankBytes returns the data and tag bytes of one bank.
+func BankBytes(g cache.Geometry, banksM int) (data, tag uint64, err error) {
+	if err := g.Validate(); err != nil {
+		return 0, 0, err
+	}
+	if banksM < 1 || g.Size%uint64(banksM) != 0 {
+		return 0, 0, fmt.Errorf("power: bank count %d does not divide cache size %d", banksM, g.Size)
+	}
+	return g.Size / uint64(banksM), g.TagArrayBytes() / uint64(banksM), nil
+}
+
+// LeakPower returns active leakage (W) of an array with the given data
+// and tag bytes.
+func (t Tech) LeakPower(dataBytes, tagBytes uint64) float64 {
+	return t.PLeakPerByte * float64(dataBytes+tagBytes)
+}
+
+// WakeEnergy returns the transition energy (J) of re-activating a bank.
+func (t Tech) WakeEnergy(dataBytes, tagBytes uint64) float64 {
+	return t.ETransPerByte*float64(dataBytes) + t.ETransTagPerByte*float64(tagBytes)
+}
+
+// BreakevenCycles returns the idle length beyond which sleeping a bank
+// pays off: wake energy divided by the leakage power saved per cycle.
+func (t Tech) BreakevenCycles(g cache.Geometry, banksM int) (float64, error) {
+	data, tag, err := BankBytes(g, banksM)
+	if err != nil {
+		return 0, err
+	}
+	saved := t.LeakPower(data, tag) * (1 - t.RetentionLeakRatio) * t.CycleSeconds
+	return t.WakeEnergy(data, tag) / saved, nil
+}
+
+// CounterWidth returns the Block Control counter width needed to time a
+// breakeven of be cycles: the smallest w with 2^w - 1 >= ceil(be).
+func CounterWidth(be float64) int {
+	if be <= 1 {
+		return 1
+	}
+	n := uint64(be)
+	if float64(n) < be {
+		n++
+	}
+	return bits.Len64(n)
+}

@@ -1,0 +1,312 @@
+package power
+
+import (
+	"math"
+	"testing"
+
+	"nbticache/internal/cache"
+)
+
+func geom(sizeKB int, lineB uint64) cache.Geometry {
+	return cache.Geometry{Size: uint64(sizeKB) * 1024, LineSize: lineB, Ways: 1, AddressBits: 32}
+}
+
+func TestValidate(t *testing.T) {
+	if err := DefaultTech().Validate(); err != nil {
+		t.Fatalf("default tech rejected: %v", err)
+	}
+	mutations := []func(*Tech){
+		func(x *Tech) { x.CycleSeconds = 0 },
+		func(x *Tech) { x.EDynFixed = 0 },
+		func(x *Tech) { x.EDynPerLineByte = -1 },
+		func(x *Tech) { x.EDynPerByte = 0 },
+		func(x *Tech) { x.ETagPerBit = 0 },
+		func(x *Tech) { x.EDecodePerBank = -1 },
+		func(x *Tech) { x.EWirePerBankSq = -1 },
+		func(x *Tech) { x.PLeakPerByte = 0 },
+		func(x *Tech) { x.RetentionLeakRatio = 0 },
+		func(x *Tech) { x.RetentionLeakRatio = 1 },
+		func(x *Tech) { x.ETransPerByte = 0 },
+		func(x *Tech) { x.ETransTagPerByte = 0 },
+		func(x *Tech) { x.WriteEnergyFactor = 0.5 },
+	}
+	for i, mutate := range mutations {
+		bad := DefaultTech()
+		mutate(&bad)
+		if err := bad.Validate(); err == nil {
+			t.Errorf("case %d: bad tech accepted", i)
+		}
+	}
+}
+
+func TestAccessEnergyShrinksWithBanking(t *testing.T) {
+	tech := DefaultTech()
+	g := geom(16, 16)
+	mono, err := tech.AccessEnergy(g, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	banked, err := tech.AccessEnergy(g, 4, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if banked >= mono {
+		t.Errorf("bank access %v J not below monolithic %v J", banked, mono)
+	}
+	// The calibration point: a 16kB monolithic access is ~21-22 pJ.
+	if mono < 18e-12 || mono > 26e-12 {
+		t.Errorf("monolithic 16kB access = %v pJ, outside calibration band", mono*1e12)
+	}
+}
+
+func TestAccessEnergyWriteFactor(t *testing.T) {
+	tech := DefaultTech()
+	g := geom(16, 16)
+	r, _ := tech.AccessEnergy(g, 4, false)
+	w, _ := tech.AccessEnergy(g, 4, true)
+	if math.Abs(w/r-tech.WriteEnergyFactor) > 1e-12 {
+		t.Errorf("write/read ratio = %v, want %v", w/r, tech.WriteEnergyFactor)
+	}
+}
+
+func TestAccessEnergyErrors(t *testing.T) {
+	tech := DefaultTech()
+	if _, err := tech.AccessEnergy(cache.Geometry{}, 1, false); err == nil {
+		t.Error("bad geometry accepted")
+	}
+	if _, err := tech.AccessEnergy(geom(16, 16), 0, false); err == nil {
+		t.Error("0 banks accepted")
+	}
+	if _, err := tech.AccessEnergy(geom(16, 16), 5000, false); err == nil {
+		t.Error("non-dividing bank count accepted")
+	}
+}
+
+func TestOverheadGrowsWithBanks(t *testing.T) {
+	tech := DefaultTech()
+	g := geom(16, 16)
+	prevOverhead := 0.0
+	for _, m := range []int{2, 4, 8, 16} {
+		e, err := tech.AccessEnergy(g, m, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base := tech.EDynFixed + tech.EDynPerLineByte*16 +
+			tech.EDynPerByte*float64(g.Size/uint64(m)) + tech.ETagPerBit*float64(g.TagBits())
+		overhead := e - base
+		if overhead <= prevOverhead {
+			t.Errorf("M=%d: overhead %v not growing", m, overhead)
+		}
+		prevOverhead = overhead
+	}
+}
+
+func TestBreakevenInPaperBand(t *testing.T) {
+	tech := DefaultTech()
+	// "The value ... is in the order of a few tens of cycles ...
+	// Therefore, 5- or 6-bit counters suffice."
+	for _, kb := range []int{8, 16, 32} {
+		for _, m := range []int{2, 4, 8} {
+			be, err := tech.BreakevenCycles(geom(kb, 16), m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if be < 20 || be > 63 {
+				t.Errorf("%dkB M=%d: breakeven %v cycles outside paper band", kb, m, be)
+			}
+			if w := CounterWidth(be); w < 5 || w > 6 {
+				t.Errorf("%dkB M=%d: counter width %d, want 5-6", kb, m, w)
+			}
+		}
+	}
+}
+
+func TestCounterWidth(t *testing.T) {
+	cases := []struct {
+		be   float64
+		want int
+	}{
+		{0.5, 1}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {7, 3}, {8, 4}, {60, 6}, {63, 6}, {64, 7},
+	}
+	for _, c := range cases {
+		if got := CounterWidth(c.be); got != c.want {
+			t.Errorf("CounterWidth(%v) = %d, want %d", c.be, got, c.want)
+		}
+	}
+}
+
+func TestUsageValidate(t *testing.T) {
+	good := Usage{Reads: 10, SpanCycles: 100,
+		SleepCycles: []uint64{5, 5}, Wakeups: []uint64{1, 1}}
+	if err := good.Validate(2); err != nil {
+		t.Fatalf("good usage rejected: %v", err)
+	}
+	if err := (Usage{}).Validate(1); err == nil {
+		t.Error("zero span accepted")
+	}
+	if err := (Usage{SpanCycles: 10, SleepCycles: []uint64{1}}).Validate(1); err == nil {
+		t.Error("sleep without wakeups accepted")
+	}
+	if err := (Usage{SpanCycles: 10, SleepCycles: []uint64{1}, Wakeups: []uint64{0, 0}}).Validate(2); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if err := (Usage{SpanCycles: 10, SleepCycles: []uint64{11}, Wakeups: []uint64{0}}).Validate(1); err == nil {
+		t.Error("oversleeping accepted")
+	}
+}
+
+func TestEnergyUnmanagedHasNoSleepTerms(t *testing.T) {
+	tech := DefaultTech()
+	g := geom(16, 16)
+	u := Usage{Reads: 1000, Writes: 100, SpanCycles: 3300}
+	bd, err := tech.Energy(g, 1, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bd.SleepLeakage != 0 || bd.Transitions != 0 {
+		t.Errorf("unmanaged run has sleep terms: %+v", bd)
+	}
+	if bd.Dynamic <= 0 || bd.Leakage <= 0 {
+		t.Errorf("missing energy components: %+v", bd)
+	}
+	if math.Abs(bd.Total()-(bd.Dynamic+bd.Leakage)) > 1e-18 {
+		t.Error("Total does not sum components")
+	}
+}
+
+func TestEnergySleepSaves(t *testing.T) {
+	tech := DefaultTech()
+	g := geom(16, 16)
+	base := Usage{Reads: 1000, SpanCycles: 3300}
+	mono, err := tech.Energy(g, 1, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asleep := Usage{Reads: 1000, SpanCycles: 3300,
+		SleepCycles: []uint64{1650, 1650, 1650, 1650},
+		Wakeups:     []uint64{2, 2, 2, 2}}
+	part, err := tech.Energy(g, 4, asleep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if part.Total() >= mono.Total() {
+		t.Errorf("partitioned+sleep %v J not below monolithic %v J", part.Total(), mono.Total())
+	}
+	if s := Savings(mono, part); s <= 0 || s >= 1 {
+		t.Errorf("savings = %v", s)
+	}
+}
+
+// TestTableIICalibration drives the model at the paper's three operating
+// points with the measured average idleness of Table IV and checks the
+// savings land near Table II's averages (within 4 percentage points).
+func TestTableIICalibration(t *testing.T) {
+	tech := DefaultTech()
+	cases := []struct {
+		kb        int
+		idleness  float64
+		paperEsav float64
+	}{
+		{8, 0.42, 0.322},
+		{16, 0.41, 0.443},
+		{32, 0.47, 0.555},
+	}
+	for _, c := range cases {
+		g := geom(c.kb, 16)
+		const accesses = 1_000_000
+		span := uint64(3 * accesses)
+		mono, err := tech.Energy(g, 1, Usage{Reads: accesses, SpanCycles: span})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sleep := uint64(c.idleness * float64(span))
+		part, err := tech.Energy(g, 4, Usage{
+			Reads: accesses, SpanCycles: span,
+			SleepCycles: []uint64{sleep, sleep, sleep, sleep},
+			Wakeups:     []uint64{1000, 1000, 1000, 1000},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := Savings(mono, part)
+		if math.Abs(got-c.paperEsav) > 0.04 {
+			t.Errorf("%dkB: savings %.1f%%, paper %.1f%% (>4pp off)",
+				c.kb, got*100, c.paperEsav*100)
+		}
+	}
+}
+
+// TestTableIIILineSize checks the line-size trend: doubling the line size
+// at 16kB must cut savings to roughly the paper's 31.9%.
+func TestTableIIILineSize(t *testing.T) {
+	tech := DefaultTech()
+	const accesses = 1_000_000
+	span := uint64(3 * accesses)
+	esav := func(lineB uint64, idle float64) float64 {
+		g := geom(16, lineB)
+		mono, err := tech.Energy(g, 1, Usage{Reads: accesses, SpanCycles: span})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sleep := uint64(idle * float64(span))
+		part, err := tech.Energy(g, 4, Usage{
+			Reads: accesses, SpanCycles: span,
+			SleepCycles: []uint64{sleep, sleep, sleep, sleep},
+			Wakeups:     []uint64{1000, 1000, 1000, 1000},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return Savings(mono, part)
+	}
+	e16 := esav(16, 0.41)
+	e32 := esav(32, 0.40)
+	if e32 >= e16 {
+		t.Fatalf("larger lines did not reduce savings: %v vs %v", e32, e16)
+	}
+	if math.Abs(e32-0.319) > 0.04 {
+		t.Errorf("LS=32B savings %.1f%%, paper 31.9%% (>4pp off)", e32*100)
+	}
+}
+
+func TestEnergyErrors(t *testing.T) {
+	tech := DefaultTech()
+	g := geom(16, 16)
+	if _, err := tech.Energy(g, 1, Usage{}); err == nil {
+		t.Error("bad usage accepted")
+	}
+	bad := tech
+	bad.CycleSeconds = 0
+	if _, err := bad.Energy(g, 1, Usage{Reads: 1, SpanCycles: 10}); err == nil {
+		t.Error("bad tech accepted")
+	}
+	if _, err := tech.Energy(g, 3, Usage{Reads: 1, SpanCycles: 10}); err == nil {
+		t.Error("bank count 3 accepted")
+	}
+}
+
+func TestSavingsDegenerate(t *testing.T) {
+	if Savings(Breakdown{}, Breakdown{Dynamic: 1}) != 0 {
+		t.Error("zero baseline did not return 0")
+	}
+}
+
+func TestBankBytes(t *testing.T) {
+	g := geom(16, 16)
+	data, tag, err := BankBytes(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data != 4096 {
+		t.Errorf("bank data = %d, want 4096", data)
+	}
+	if tag != g.TagArrayBytes()/4 {
+		t.Errorf("bank tag = %d, want %d", tag, g.TagArrayBytes()/4)
+	}
+	if _, _, err := BankBytes(g, 3); err == nil {
+		t.Error("bank count 3 accepted")
+	}
+	if _, _, err := BankBytes(cache.Geometry{}, 1); err == nil {
+		t.Error("bad geometry accepted")
+	}
+}

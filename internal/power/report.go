@@ -1,0 +1,110 @@
+package power
+
+import (
+	"fmt"
+
+	"nbticache/internal/cache"
+)
+
+// Usage aggregates what a simulation run observed, in the units the
+// energy model needs.
+type Usage struct {
+	// Reads and Writes count accesses.
+	Reads, Writes uint64
+	// SpanCycles is the total duration.
+	SpanCycles uint64
+	// SleepCycles[b] and Wakeups[b] describe bank b's power management;
+	// both nil means an unmanaged cache. Lengths must equal the bank
+	// count when present.
+	SleepCycles []uint64
+	Wakeups     []uint64
+}
+
+// Validate checks the usage record against a bank count.
+func (u Usage) Validate(banksM int) error {
+	if u.SpanCycles == 0 {
+		return fmt.Errorf("power: zero-span usage")
+	}
+	if (u.SleepCycles == nil) != (u.Wakeups == nil) {
+		return fmt.Errorf("power: sleep cycles and wakeups must come together")
+	}
+	if u.SleepCycles != nil {
+		if len(u.SleepCycles) != banksM || len(u.Wakeups) != banksM {
+			return fmt.Errorf("power: residency vectors have %d/%d entries for %d banks",
+				len(u.SleepCycles), len(u.Wakeups), banksM)
+		}
+		for b, s := range u.SleepCycles {
+			if s > u.SpanCycles {
+				return fmt.Errorf("power: bank %d sleeps %d of %d cycles", b, s, u.SpanCycles)
+			}
+		}
+	}
+	return nil
+}
+
+// Breakdown itemises the energy of one run in joules.
+type Breakdown struct {
+	// Dynamic is the access energy including tag reads and, for a
+	// partitioned cache, decode/wiring overhead.
+	Dynamic float64
+	// Leakage is the active-state leakage.
+	Leakage float64
+	// SleepLeakage is the retention-state leakage.
+	SleepLeakage float64
+	// Transitions is the wake-up energy.
+	Transitions float64
+}
+
+// Total sums the components.
+func (b Breakdown) Total() float64 {
+	return b.Dynamic + b.Leakage + b.SleepLeakage + b.Transitions
+}
+
+// Energy evaluates the model for a run over a cache of geometry g split
+// into banksM banks.
+func (t Tech) Energy(g cache.Geometry, banksM int, u Usage) (Breakdown, error) {
+	if err := t.Validate(); err != nil {
+		return Breakdown{}, err
+	}
+	if err := u.Validate(banksM); err != nil {
+		return Breakdown{}, err
+	}
+	eRead, err := t.AccessEnergy(g, banksM, false)
+	if err != nil {
+		return Breakdown{}, err
+	}
+	eWrite, err := t.AccessEnergy(g, banksM, true)
+	if err != nil {
+		return Breakdown{}, err
+	}
+	data, tag, err := BankBytes(g, banksM)
+	if err != nil {
+		return Breakdown{}, err
+	}
+	var out Breakdown
+	out.Dynamic = float64(u.Reads)*eRead + float64(u.Writes)*eWrite
+
+	leakBank := t.LeakPower(data, tag) * t.CycleSeconds
+	span := float64(u.SpanCycles)
+	if u.SleepCycles == nil {
+		out.Leakage = leakBank * span * float64(banksM)
+		return out, nil
+	}
+	wake := t.WakeEnergy(data, tag)
+	for b := 0; b < banksM; b++ {
+		sleep := float64(u.SleepCycles[b])
+		out.Leakage += leakBank * (span - sleep)
+		out.SleepLeakage += leakBank * t.RetentionLeakRatio * sleep
+		out.Transitions += wake * float64(u.Wakeups[b])
+	}
+	return out, nil
+}
+
+// Savings returns the fractional energy saving of managed relative to
+// baseline: 1 - managed/baseline.
+func Savings(baseline, managed Breakdown) float64 {
+	if baseline.Total() <= 0 {
+		return 0
+	}
+	return 1 - managed.Total()/baseline.Total()
+}

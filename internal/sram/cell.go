@@ -1,0 +1,207 @@
+// Package sram models the 6T SRAM bitcell and computes its Static Noise
+// Margin, the aging metric of the paper ("the minimum DC noise voltage
+// necessary to change the state of an SRAM cell"). The read-mode VTC of
+// each half cell — cross-coupled inverter with its access transistor
+// pulling the storage node toward the precharged bitline — is solved
+// numerically by nodal bisection on the alpha-power device models, the
+// butterfly diagram is composed from the two VTCs, and the SNM is found as
+// the largest tolerable series noise (equivalently, the maximal inscribed
+// square of the butterfly).
+//
+// NBTI enters through per-side PMOS threshold shifts (SetAging): the
+// post-stress SNM divided by the pre-stress SNM is the degradation the
+// aging framework tracks against the paper's 20% end-of-life criterion.
+package sram
+
+import (
+	"fmt"
+	"math"
+
+	"nbticache/internal/device"
+)
+
+// CellParams describes a 6T cell: supply plus the three device templates
+// with their W/L ratios. Defaults follow standard 6T sizing practice
+// (cell ratio PD/AX ~ 1.5, pull-up ratio PU/AX ~ 0.6).
+type CellParams struct {
+	Vdd      float64
+	PullDown device.Device // NMOS driver
+	Access   device.Device // NMOS pass gate
+	PullUp   device.Device // PMOS load
+}
+
+// DefaultCell returns the cell used for all experiments, built on the
+// given technology.
+func DefaultCell(tech device.Tech45) CellParams {
+	pd := tech.NMOS
+	pd.WL = 2.0
+	ax := tech.NMOS
+	ax.WL = 1.3
+	pu := tech.PMOS
+	pu.WL = 0.8
+	return CellParams{Vdd: tech.Vdd, PullDown: pd, Access: ax, PullUp: pu}
+}
+
+// Validate checks the cell parameters.
+func (p CellParams) Validate() error {
+	if p.Vdd <= 0 {
+		return fmt.Errorf("sram: Vdd %v must be positive", p.Vdd)
+	}
+	for _, d := range []struct {
+		dev  device.Device
+		kind device.Kind
+		name string
+	}{
+		{p.PullDown, device.NMOS, "pull-down"},
+		{p.Access, device.NMOS, "access"},
+		{p.PullUp, device.PMOS, "pull-up"},
+	} {
+		if err := d.dev.Validate(); err != nil {
+			return fmt.Errorf("sram: %s: %w", d.name, err)
+		}
+		if d.dev.Kind != d.kind {
+			return fmt.Errorf("sram: %s transistor has polarity %s", d.name, d.dev.Kind)
+		}
+	}
+	return nil
+}
+
+// Cell is a 6T cell instance with per-side NBTI threshold shifts.
+// Side 0 is the inverter driving node Q (its PMOS is stressed while the
+// cell stores 0 on Q); side 1 drives Qbar.
+type Cell struct {
+	p     CellParams
+	dvthP [2]float64
+}
+
+// NewCell builds a cell; it returns an error for invalid parameters.
+func NewCell(p CellParams) (*Cell, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &Cell{p: p}, nil
+}
+
+// SetAging applies NBTI threshold shifts (magnitudes, in volts) to the two
+// pull-up PMOS devices. Negative shifts are rejected: NBTI only weakens.
+func (c *Cell) SetAging(dvth0, dvth1 float64) error {
+	if dvth0 < 0 || dvth1 < 0 {
+		return fmt.Errorf("sram: negative Vth shift (%v, %v)", dvth0, dvth1)
+	}
+	c.dvthP[0], c.dvthP[1] = dvth0, dvth1
+	return nil
+}
+
+// Aging returns the current per-side PMOS threshold shifts.
+func (c *Cell) Aging() (dvth0, dvth1 float64) { return c.dvthP[0], c.dvthP[1] }
+
+// Vdd returns the cell supply voltage.
+func (c *Cell) Vdd() float64 { return c.p.Vdd }
+
+// nodeCurrent returns the net current pulled OUT of the storage node at
+// voltage v when the inverter input (the opposite node) is at vin.
+// Positive means the node is being discharged. withAccess includes the
+// pass gate with wordline high and bitline precharged to Vdd (read mode).
+func (c *Cell) nodeCurrent(side int, vin, v float64, withAccess bool) float64 {
+	vdd := c.p.Vdd
+	// Pull-down NMOS: gate vin, drain at node, source at ground.
+	down := c.p.PullDown.Ids(vin, v)
+	// Pull-up PMOS: source at Vdd, gate vin -> |Vgs| = Vdd-vin,
+	// drain at node -> |Vds| = Vdd-v. Current flows INTO the node.
+	pu := c.p.PullUp.WithVthShift(c.dvthP[side])
+	up := pu.Ids(vdd-vin, vdd-v)
+	// Access NMOS in read mode: gate Vdd, bitline (drain) at Vdd,
+	// node is the source: Vgs = Vdd-v, Vds = Vdd-v. Current INTO node.
+	acc := 0.0
+	if withAccess {
+		acc = c.p.Access.Ids(vdd-v, vdd-v)
+	}
+	return down - up - acc
+}
+
+// solveNode finds the storage-node voltage where the nodal current
+// balances, by bisection over [0, Vdd]. The Gmin conductances in the
+// device models make the current strictly increasing in v, so the zero is
+// unique.
+func (c *Cell) solveNode(side int, vin float64, withAccess bool) float64 {
+	lo, hi := 0.0, c.p.Vdd
+	// The net discharge current is negative at v=0 (everything pulls the
+	// node up) and positive at v=Vdd in all but degenerate corners.
+	for i := 0; i < 60 && hi-lo > 1e-9; i++ {
+		mid := 0.5 * (lo + hi)
+		if c.nodeCurrent(side, vin, mid, withAccess) > 0 {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return 0.5 * (lo + hi)
+}
+
+// VTC is a sampled voltage-transfer curve with linear interpolation.
+type VTC struct {
+	vdd  float64
+	vout []float64 // sampled at vin = i*vdd/(len-1)
+}
+
+// ReadVTC samples the read-mode transfer curve of the given side's
+// inverter (input = opposite node voltage, output = this side's storage
+// node with its access transistor fighting the transition). samples must
+// be >= 2.
+func (c *Cell) ReadVTC(side int, samples int) (*VTC, error) {
+	return c.vtc(side, samples, true)
+}
+
+// HoldVTC samples the standby transfer curve (wordline low, access
+// transistor off). Hold SNM is larger than read SNM; it is exposed for
+// completeness and used by tests as a sanity bound.
+func (c *Cell) HoldVTC(side int, samples int) (*VTC, error) {
+	return c.vtc(side, samples, false)
+}
+
+func (c *Cell) vtc(side, samples int, withAccess bool) (*VTC, error) {
+	if side != 0 && side != 1 {
+		return nil, fmt.Errorf("sram: side %d (want 0 or 1)", side)
+	}
+	if samples < 2 {
+		return nil, fmt.Errorf("sram: need >= 2 VTC samples, got %d", samples)
+	}
+	v := &VTC{vdd: c.p.Vdd, vout: make([]float64, samples)}
+	step := c.p.Vdd / float64(samples-1)
+	for i := range v.vout {
+		v.vout[i] = c.solveNode(side, float64(i)*step, withAccess)
+	}
+	return v, nil
+}
+
+// Eval returns the interpolated output voltage for input vin, clamping
+// vin to [0, Vdd].
+func (v *VTC) Eval(vin float64) float64 {
+	if vin <= 0 {
+		return v.vout[0]
+	}
+	if vin >= v.vdd {
+		return v.vout[len(v.vout)-1]
+	}
+	pos := vin / v.vdd * float64(len(v.vout)-1)
+	i := int(pos)
+	if i >= len(v.vout)-1 {
+		return v.vout[len(v.vout)-1]
+	}
+	frac := pos - float64(i)
+	return v.vout[i]*(1-frac) + v.vout[i+1]*frac
+}
+
+// Swing returns the output range of the curve.
+func (v *VTC) Swing() (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for _, y := range v.vout {
+		if y < lo {
+			lo = y
+		}
+		if y > hi {
+			hi = y
+		}
+	}
+	return lo, hi
+}

@@ -1,0 +1,141 @@
+package sram
+
+import (
+	"fmt"
+)
+
+// snmSamples is the VTC sampling density used by the SNM solver; snmGrid
+// is the state-space grid for the bistability test. Both are chosen so
+// the SNM converges to well under a millivolt, which is far finer than
+// the 20%-degradation criterion needs.
+const (
+	snmSamples = 257
+	snmGrid    = 513
+	snmTol     = 1e-5 // volts
+)
+
+// ReadSNM computes the read static noise margin: the largest series DC
+// noise voltage the cell tolerates on both inverter inputs (adversarial
+// polarity) without flipping, in read mode (wordlines high, bitlines
+// precharged). It equals the side of the maximal square inscribed in the
+// read butterfly diagram. For an asymmetric (unevenly aged) cell the
+// worse of the two noise polarities is returned, matching the paper's
+// use of read SNM as "the worst case condition for aging".
+func (c *Cell) ReadSNM() (float64, error) {
+	g0, err := c.ReadVTC(0, snmSamples)
+	if err != nil {
+		return 0, err
+	}
+	g1, err := c.ReadVTC(1, snmSamples)
+	if err != nil {
+		return 0, err
+	}
+	return snmFromVTCs(g0, g1, c.p.Vdd)
+}
+
+// HoldSNM computes the standby (access transistors off) noise margin.
+func (c *Cell) HoldSNM() (float64, error) {
+	g0, err := c.HoldVTC(0, snmSamples)
+	if err != nil {
+		return 0, err
+	}
+	g1, err := c.HoldVTC(1, snmSamples)
+	if err != nil {
+		return 0, err
+	}
+	return snmFromVTCs(g0, g1, c.p.Vdd)
+}
+
+func snmFromVTCs(g0, g1 *VTC, vdd float64) (float64, error) {
+	// The cell is the loop x -> y = g1(x) -> x' = g0(y). Without noise it
+	// must be bistable; with series noise n of adversarial polarity the
+	// loop map is perturbed and the SNM is the largest n keeping three
+	// fixed points.
+	if !bistable(g0, g1, vdd, 0, +1) || !bistable(g0, g1, vdd, 0, -1) {
+		return 0, nil // already monostable: the cell is dead
+	}
+	snmPlus := maxNoise(g0, g1, vdd, +1)
+	snmMinus := maxNoise(g0, g1, vdd, -1)
+	if snmMinus < snmPlus {
+		return snmMinus, nil
+	}
+	return snmPlus, nil
+}
+
+// maxNoise bisects for the largest noise amplitude that keeps the loop
+// bistable for one polarity.
+func maxNoise(g0, g1 *VTC, vdd float64, polarity int) float64 {
+	lo, hi := 0.0, vdd/2
+	if bistable(g0, g1, vdd, hi, polarity) {
+		return hi // pathological, but bounded
+	}
+	for hi-lo > snmTol {
+		mid := 0.5 * (lo + hi)
+		if bistable(g0, g1, vdd, mid, polarity) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return 0.5 * (lo + hi)
+}
+
+// bistable evaluates the noise-perturbed loop map over a grid and counts
+// fixed-point crossings; three or more sign changes of h(x)-x mean both
+// stable states (and the metastable point) survive.
+//
+// Polarity +1 attacks the state with x (node Q) high: the noise subtracts
+// from inverter 1's input and adds to inverter 0's input. Polarity -1
+// attacks the x-low state symmetrically.
+func bistable(g0, g1 *VTC, vdd, n float64, polarity int) bool {
+	s := float64(polarity)
+	crossings := 0
+	prevSign := 0
+	for i := 0; i < snmGrid; i++ {
+		x := vdd * float64(i) / float64(snmGrid-1)
+		y := g1.Eval(x - s*n)
+		hx := g0.Eval(y + s*n)
+		d := hx - x
+		sign := 0
+		if d > 0 {
+			sign = 1
+		} else if d < 0 {
+			sign = -1
+		}
+		if sign != 0 && prevSign != 0 && sign != prevSign {
+			crossings++
+		}
+		if sign != 0 {
+			prevSign = sign
+		}
+	}
+	return crossings >= 2 // 3 fixed points = 2 sign flips of h(x)-x
+}
+
+// Butterfly returns the two read-mode VTC branches sampled on a common
+// input grid, in the orientation of the classic butterfly plot: branch A
+// is (x, g1(x)) and branch B is (g0(y), y). It is used by cmd/agingchar
+// to dump plottable curves.
+func (c *Cell) Butterfly(samples int) (xs, ya, yb []float64, err error) {
+	if samples < 2 {
+		return nil, nil, nil, fmt.Errorf("sram: need >= 2 butterfly samples")
+	}
+	g0, err := c.ReadVTC(0, samples)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	g1, err := c.ReadVTC(1, samples)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	xs = make([]float64, samples)
+	ya = make([]float64, samples)
+	yb = make([]float64, samples)
+	for i := range xs {
+		x := c.p.Vdd * float64(i) / float64(samples-1)
+		xs[i] = x
+		ya[i] = g1.Eval(x)
+		yb[i] = g0.Eval(x) // interpreted as x(y) when plotted transposed
+	}
+	return xs, ya, yb, nil
+}

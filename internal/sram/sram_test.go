@@ -1,0 +1,263 @@
+package sram
+
+import (
+	"math"
+	"testing"
+
+	"nbticache/internal/device"
+)
+
+func newTestCell(t *testing.T) *Cell {
+	t.Helper()
+	c, err := NewCell(DefaultCell(device.DefaultTech45()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestCellParamsValidate(t *testing.T) {
+	good := DefaultCell(device.DefaultTech45())
+	if err := good.Validate(); err != nil {
+		t.Fatalf("good cell rejected: %v", err)
+	}
+	bad := good
+	bad.Vdd = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero Vdd accepted")
+	}
+	bad = good
+	bad.PullUp.Kind = device.NMOS
+	if err := bad.Validate(); err == nil {
+		t.Error("NMOS pull-up accepted")
+	}
+	bad = good
+	bad.Access.WL = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("bad access device accepted")
+	}
+	if _, err := NewCell(bad); err == nil {
+		t.Error("NewCell accepted bad params")
+	}
+}
+
+func TestSetAging(t *testing.T) {
+	c := newTestCell(t)
+	if err := c.SetAging(0.01, 0.02); err != nil {
+		t.Fatal(err)
+	}
+	d0, d1 := c.Aging()
+	if d0 != 0.01 || d1 != 0.02 {
+		t.Errorf("Aging() = %v, %v", d0, d1)
+	}
+	if err := c.SetAging(-0.01, 0); err == nil {
+		t.Error("negative shift accepted")
+	}
+}
+
+func TestHoldVTCRailToRail(t *testing.T) {
+	c := newTestCell(t)
+	v, err := c.HoldVTC(0, 129)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := v.Swing()
+	if lo > 0.05 {
+		t.Errorf("hold VTC low level %v V, want near 0", lo)
+	}
+	if hi < c.Vdd()-0.05 {
+		t.Errorf("hold VTC high level %v V, want near Vdd", hi)
+	}
+	// Inverting: output at vin=0 is high, at vin=Vdd is low.
+	if v.Eval(0) < v.Eval(c.Vdd()) {
+		t.Error("VTC is not inverting")
+	}
+}
+
+func TestReadVTCReadDisturb(t *testing.T) {
+	c := newTestCell(t)
+	v, err := c.ReadVTC(0, 129)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, _ := v.Swing()
+	// In read mode the access transistor fights the pull-down, so the
+	// low level rises above ground (the classic read disturb) but must
+	// stay well below the trip point for a functional cell.
+	if lo < 0.01 {
+		t.Errorf("read-disturb level %v V suspiciously low (access off?)", lo)
+	}
+	if lo > 0.4 {
+		t.Errorf("read-disturb level %v V too high for a functional cell", lo)
+	}
+}
+
+func TestVTCMonotoneDecreasing(t *testing.T) {
+	c := newTestCell(t)
+	v, err := c.ReadVTC(1, 257)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := math.Inf(1)
+	for i := 0; i <= 100; i++ {
+		x := c.Vdd() * float64(i) / 100
+		y := v.Eval(x)
+		if y > prev+1e-6 {
+			t.Fatalf("VTC not monotone at vin=%v: %v > %v", x, y, prev)
+		}
+		prev = y
+	}
+}
+
+func TestVTCEvalClamps(t *testing.T) {
+	c := newTestCell(t)
+	v, _ := c.ReadVTC(0, 65)
+	if v.Eval(-1) != v.Eval(0) {
+		t.Error("Eval below 0 not clamped")
+	}
+	if v.Eval(99) != v.Eval(c.Vdd()) {
+		t.Error("Eval above Vdd not clamped")
+	}
+}
+
+func TestVTCArgErrors(t *testing.T) {
+	c := newTestCell(t)
+	if _, err := c.ReadVTC(2, 64); err == nil {
+		t.Error("side 2 accepted")
+	}
+	if _, err := c.ReadVTC(0, 1); err == nil {
+		t.Error("1 sample accepted")
+	}
+	if _, err := c.HoldVTC(-1, 64); err == nil {
+		t.Error("side -1 accepted")
+	}
+}
+
+func TestFreshSNMPlausible(t *testing.T) {
+	c := newTestCell(t)
+	read, err := c.ReadSNM()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hold, err := c.HoldSNM()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("fresh cell: read SNM = %.1f mV, hold SNM = %.1f mV", read*1e3, hold*1e3)
+	// Plausibility band for a 1.1 V 45nm cell.
+	if read < 0.05 || read > 0.40 {
+		t.Errorf("read SNM %v V outside plausible band", read)
+	}
+	if hold <= read {
+		t.Errorf("hold SNM %v not above read SNM %v", hold, read)
+	}
+}
+
+func TestSNMSymmetricCellBalanced(t *testing.T) {
+	// With identical sides, both noise polarities must give the same
+	// margin, so aging both PMOS equally should degrade gracefully.
+	c := newTestCell(t)
+	base, _ := c.ReadSNM()
+	if err := c.SetAging(0.05, 0.05); err != nil {
+		t.Fatal(err)
+	}
+	aged, _ := c.ReadSNM()
+	if aged >= base {
+		t.Errorf("balanced aging did not degrade SNM: %v -> %v", base, aged)
+	}
+	if aged < base*0.3 {
+		t.Errorf("50mV balanced shift collapsed SNM implausibly: %v -> %v", base, aged)
+	}
+}
+
+func TestSNMMonotoneInAging(t *testing.T) {
+	c := newTestCell(t)
+	prev := math.Inf(1)
+	for _, dv := range []float64{0, 0.02, 0.05, 0.10, 0.15} {
+		if err := c.SetAging(dv, dv); err != nil {
+			t.Fatal(err)
+		}
+		snm, err := c.ReadSNM()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if snm > prev+1e-4 {
+			t.Fatalf("SNM not monotone in dVth: %v V at shift %v (prev %v)", snm, dv, prev)
+		}
+		prev = snm
+	}
+}
+
+func TestSNMAsymmetricWorseThanBalanced(t *testing.T) {
+	// The paper's background ([11]): balanced degradation (p0 = 0.5) is
+	// the best case. One-sided stress of 2x the per-side shift must hurt
+	// at least as much as the balanced split of the same total.
+	c := newTestCell(t)
+	if err := c.SetAging(0.04, 0.04); err != nil {
+		t.Fatal(err)
+	}
+	balanced, _ := c.ReadSNM()
+	if err := c.SetAging(0.08, 0.0); err != nil {
+		t.Fatal(err)
+	}
+	oneSided, _ := c.ReadSNM()
+	if oneSided > balanced+1e-3 {
+		t.Errorf("one-sided aging (%.1f mV) beat balanced (%.1f mV)", oneSided*1e3, balanced*1e3)
+	}
+}
+
+func TestButterfly(t *testing.T) {
+	c := newTestCell(t)
+	xs, ya, yb, err := c.Butterfly(33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(xs) != 33 || len(ya) != 33 || len(yb) != 33 {
+		t.Fatal("wrong sample counts")
+	}
+	if xs[0] != 0 || math.Abs(xs[32]-c.Vdd()) > 1e-12 {
+		t.Errorf("x grid endpoints wrong: %v .. %v", xs[0], xs[32])
+	}
+	if _, _, _, err := c.Butterfly(1); err == nil {
+		t.Error("1 sample accepted")
+	}
+}
+
+func TestHeavyAgingDegradesFar(t *testing.T) {
+	// An enormous threshold shift must push the read SNM far below the
+	// fresh value and never below zero. (It does not reach exactly zero
+	// in read mode: with the wordline high the bitline-side access
+	// transistor still props up the high node even with dead pull-ups,
+	// which is faithful read-disturb physics.)
+	c := newTestCell(t)
+	fresh, err := c.ReadSNM()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetAging(0.7, 0.7); err != nil {
+		t.Fatal(err)
+	}
+	snm, err := c.ReadSNM()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snm < 0 {
+		t.Errorf("SNM went negative: %v", snm)
+	}
+	if snm > 0.6*fresh {
+		t.Errorf("dead cell SNM = %v, want far below fresh %v", snm, fresh)
+	}
+}
+
+func BenchmarkReadSNM(b *testing.B) {
+	c, err := NewCell(DefaultCell(device.DefaultTech45()))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.ReadSNM(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

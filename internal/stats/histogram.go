@@ -1,0 +1,143 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Histogram is a fixed-width linear histogram over [Lo, Hi) with overflow
+// and underflow buckets. It is used to summarise idle-interval length
+// distributions per bank.
+type Histogram struct {
+	Lo, Hi    float64
+	Counts    []int64
+	Under     int64
+	Over      int64
+	total     int64
+	sum       float64
+	widthRecp float64
+}
+
+// NewHistogram builds a histogram with n equal buckets covering [lo, hi).
+// It panics if n <= 0 or hi <= lo, which are programming errors.
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if n <= 0 {
+		panic("stats: histogram needs at least one bucket")
+	}
+	if hi <= lo {
+		panic("stats: histogram range is empty")
+	}
+	return &Histogram{
+		Lo:        lo,
+		Hi:        hi,
+		Counts:    make([]int64, n),
+		widthRecp: float64(n) / (hi - lo),
+	}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	h.total++
+	h.sum += x
+	switch {
+	case x < h.Lo:
+		h.Under++
+	case x >= h.Hi:
+		h.Over++
+	default:
+		i := int((x - h.Lo) * h.widthRecp)
+		if i >= len(h.Counts) { // guard float rounding at the top edge
+			i = len(h.Counts) - 1
+		}
+		h.Counts[i]++
+	}
+}
+
+// Total returns the number of observations including under/overflow.
+func (h *Histogram) Total() int64 { return h.total }
+
+// Mean returns the mean of all observations (including out-of-range ones).
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.sum / float64(h.total)
+}
+
+// BucketBounds returns the [lo, hi) bounds of bucket i.
+func (h *Histogram) BucketBounds(i int) (lo, hi float64) {
+	w := (h.Hi - h.Lo) / float64(len(h.Counts))
+	return h.Lo + float64(i)*w, h.Lo + float64(i+1)*w
+}
+
+// FractionAbove returns the fraction of observations >= x, using bucket
+// granularity (observations inside the bucket containing x count as above
+// when their bucket lower bound >= x).
+func (h *Histogram) FractionAbove(x float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	var above int64 = h.Over
+	for i := range h.Counts {
+		lo, _ := h.BucketBounds(i)
+		if lo >= x {
+			above += h.Counts[i]
+		}
+	}
+	return float64(above) / float64(h.total)
+}
+
+// String renders a compact ASCII bar chart, one row per non-empty bucket.
+func (h *Histogram) String() string {
+	var b strings.Builder
+	peak := int64(1)
+	for _, c := range h.Counts {
+		if c > peak {
+			peak = c
+		}
+	}
+	if h.Under > 0 {
+		fmt.Fprintf(&b, "%12s | %d\n", "<lo", h.Under)
+	}
+	for i, c := range h.Counts {
+		if c == 0 {
+			continue
+		}
+		lo, hi := h.BucketBounds(i)
+		bar := strings.Repeat("#", int(math.Ceil(float64(c)/float64(peak)*40)))
+		fmt.Fprintf(&b, "[%5.3g,%5.3g) | %-40s %d\n", lo, hi, bar, c)
+	}
+	if h.Over > 0 {
+		fmt.Fprintf(&b, "%12s | %d\n", ">=hi", h.Over)
+	}
+	return b.String()
+}
+
+// Percentiles computes several quantiles of xs at once, returning them in
+// the same order as qs. The input is sorted once.
+func Percentiles(xs []float64, qs ...float64) ([]float64, error) {
+	if len(xs) == 0 {
+		return nil, ErrEmpty
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	out := make([]float64, len(qs))
+	for i, q := range qs {
+		if q < 0 || q > 1 {
+			return nil, fmt.Errorf("stats: quantile %v outside [0,1]", q)
+		}
+		pos := q * float64(len(sorted)-1)
+		lo := int(math.Floor(pos))
+		hi := int(math.Ceil(pos))
+		if lo == hi {
+			out[i] = sorted[lo]
+			continue
+		}
+		frac := pos - float64(lo)
+		out[i] = sorted[lo]*(1-frac) + sorted[hi]*frac
+	}
+	return out, nil
+}

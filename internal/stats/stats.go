@@ -1,0 +1,215 @@
+// Package stats provides the small statistical toolkit used throughout the
+// simulator: running moments, quantiles, histograms and a few vector
+// helpers. Everything is allocation-conscious because the cache simulator
+// calls into this package on hot paths (per-bank idle-interval accounting).
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned by reductions over empty data sets.
+var ErrEmpty = errors.New("stats: empty data set")
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// GeoMean returns the geometric mean of xs. All values must be positive;
+// non-positive entries make the result NaN, mirroring math.Log behaviour.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs)))
+}
+
+// Min returns the minimum of xs. It panics on an empty slice: callers in
+// this code base always reduce per-bank vectors whose length is a compile-
+// time-checked power of two, so an empty input is a programming error.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Min of empty slice")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the maximum of xs. See Min for the empty-slice policy.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Max of empty slice")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Sum returns the sum of xs.
+func Sum(xs []float64) float64 {
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum
+}
+
+// Variance returns the population variance of xs (division by n, not n-1);
+// the simulator reports over complete populations of banks, not samples.
+func Variance(xs []float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	mean := Mean(xs)
+	sum := 0.0
+	for _, x := range xs {
+		d := x - mean
+		sum += d * d
+	}
+	return sum / float64(n)
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Quantile returns the q-quantile (0 <= q <= 1) of xs using linear
+// interpolation between order statistics. It returns ErrEmpty for empty
+// input and an error for q outside [0, 1].
+func Quantile(xs []float64, q float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	if q < 0 || q > 1 || math.IsNaN(q) {
+		return 0, fmt.Errorf("stats: quantile %v outside [0,1]", q)
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0], nil
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo], nil
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac, nil
+}
+
+// Imbalance quantifies how far xs is from uniform as
+// (max-min)/mean. A perfectly balanced vector scores 0. It is the metric
+// the experiments use to show that re-indexing uniformises idleness.
+func Imbalance(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	mean := Mean(xs)
+	if mean == 0 {
+		return 0
+	}
+	return (Max(xs) - Min(xs)) / mean
+}
+
+// Running accumulates streaming first and second moments plus extrema
+// without retaining samples. The zero value is ready to use.
+type Running struct {
+	n        int64
+	mean     float64
+	m2       float64
+	min, max float64
+}
+
+// Add folds x into the accumulator using Welford's update.
+func (r *Running) Add(x float64) {
+	r.n++
+	if r.n == 1 {
+		r.min, r.max = x, x
+	} else {
+		if x < r.min {
+			r.min = x
+		}
+		if x > r.max {
+			r.max = x
+		}
+	}
+	delta := x - r.mean
+	r.mean += delta / float64(r.n)
+	r.m2 += delta * (x - r.mean)
+}
+
+// N returns the number of accumulated samples.
+func (r *Running) N() int64 { return r.n }
+
+// Mean returns the running mean (0 when empty).
+func (r *Running) Mean() float64 { return r.mean }
+
+// Variance returns the running population variance (0 when empty).
+func (r *Running) Variance() float64 {
+	if r.n == 0 {
+		return 0
+	}
+	return r.m2 / float64(r.n)
+}
+
+// StdDev returns the running population standard deviation.
+func (r *Running) StdDev() float64 { return math.Sqrt(r.Variance()) }
+
+// Min returns the smallest accumulated sample (0 when empty).
+func (r *Running) Min() float64 { return r.min }
+
+// Max returns the largest accumulated sample (0 when empty).
+func (r *Running) Max() float64 { return r.max }
+
+// Merge folds another accumulator into r (parallel Welford merge).
+func (r *Running) Merge(o *Running) {
+	if o.n == 0 {
+		return
+	}
+	if r.n == 0 {
+		*r = *o
+		return
+	}
+	n := r.n + o.n
+	delta := o.mean - r.mean
+	r.m2 += o.m2 + delta*delta*float64(r.n)*float64(o.n)/float64(n)
+	r.mean += delta * float64(o.n) / float64(n)
+	if o.min < r.min {
+		r.min = o.min
+	}
+	if o.max > r.max {
+		r.max = o.max
+	}
+	r.n = n
+}
+
+func (r *Running) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g sd=%.4g min=%.4g max=%.4g",
+		r.n, r.Mean(), r.StdDev(), r.min, r.max)
+}

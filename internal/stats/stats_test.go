@@ -1,0 +1,281 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return false
+	}
+	return math.Abs(a-b) <= tol
+}
+
+func TestMeanBasic(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{5}, 5},
+		{[]float64{1, 2, 3, 4}, 2.5},
+		{[]float64{-1, 1}, 0},
+	}
+	for _, c := range cases {
+		if got := Mean(c.in); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("Mean(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{1, 4}); !almostEqual(got, 2, 1e-12) {
+		t.Errorf("GeoMean(1,4) = %v, want 2", got)
+	}
+	if got := GeoMean([]float64{2, 2, 2}); !almostEqual(got, 2, 1e-12) {
+		t.Errorf("GeoMean(2,2,2) = %v, want 2", got)
+	}
+}
+
+func TestMinMaxSum(t *testing.T) {
+	xs := []float64{3, -1, 7, 0}
+	if Min(xs) != -1 {
+		t.Errorf("Min = %v, want -1", Min(xs))
+	}
+	if Max(xs) != 7 {
+		t.Errorf("Max = %v, want 7", Max(xs))
+	}
+	if Sum(xs) != 9 {
+		t.Errorf("Sum = %v, want 9", Sum(xs))
+	}
+}
+
+func TestMinPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Min(nil) did not panic")
+		}
+	}()
+	Min(nil)
+}
+
+func TestVarianceStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Variance(xs); !almostEqual(got, 4, 1e-12) {
+		t.Errorf("Variance = %v, want 4", got)
+	}
+	if got := StdDev(xs); !almostEqual(got, 2, 1e-12) {
+		t.Errorf("StdDev = %v, want 2", got)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	for _, c := range []struct{ q, want float64 }{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5},
+	} {
+		got, err := Quantile(xs, c.q)
+		if err != nil {
+			t.Fatalf("Quantile(%v): %v", c.q, err)
+		}
+		if !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if _, err := Quantile(nil, 0.5); err != ErrEmpty {
+		t.Errorf("Quantile(empty) err = %v, want ErrEmpty", err)
+	}
+	if _, err := Quantile(xs, 1.5); err == nil {
+		t.Error("Quantile(q=1.5) did not error")
+	}
+}
+
+func TestImbalance(t *testing.T) {
+	if got := Imbalance([]float64{5, 5, 5, 5}); got != 0 {
+		t.Errorf("Imbalance(uniform) = %v, want 0", got)
+	}
+	// max=3, min=1, mean=2 -> (3-1)/2 = 1
+	if got := Imbalance([]float64{1, 3, 2, 2}); !almostEqual(got, 1, 1e-12) {
+		t.Errorf("Imbalance = %v, want 1", got)
+	}
+	if got := Imbalance([]float64{0, 0}); got != 0 {
+		t.Errorf("Imbalance(zero-mean) = %v, want 0", got)
+	}
+}
+
+func TestRunningMatchesBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, 1000)
+	var r Running
+	for i := range xs {
+		xs[i] = rng.NormFloat64()*3 + 1
+		r.Add(xs[i])
+	}
+	if !almostEqual(r.Mean(), Mean(xs), 1e-9) {
+		t.Errorf("running mean %v != batch %v", r.Mean(), Mean(xs))
+	}
+	if !almostEqual(r.Variance(), Variance(xs), 1e-9) {
+		t.Errorf("running var %v != batch %v", r.Variance(), Variance(xs))
+	}
+	if r.Min() != Min(xs) || r.Max() != Max(xs) {
+		t.Errorf("running extrema (%v,%v) != batch (%v,%v)", r.Min(), r.Max(), Min(xs), Max(xs))
+	}
+	if r.N() != 1000 {
+		t.Errorf("N = %d, want 1000", r.N())
+	}
+}
+
+func TestRunningMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var a, b, whole Running
+	for i := 0; i < 500; i++ {
+		x := rng.Float64() * 100
+		a.Add(x)
+		whole.Add(x)
+	}
+	for i := 0; i < 300; i++ {
+		x := rng.Float64()*10 - 50
+		b.Add(x)
+		whole.Add(x)
+	}
+	a.Merge(&b)
+	if a.N() != whole.N() {
+		t.Fatalf("merged N = %d, want %d", a.N(), whole.N())
+	}
+	if !almostEqual(a.Mean(), whole.Mean(), 1e-9) {
+		t.Errorf("merged mean %v != %v", a.Mean(), whole.Mean())
+	}
+	if !almostEqual(a.Variance(), whole.Variance(), 1e-6) {
+		t.Errorf("merged var %v != %v", a.Variance(), whole.Variance())
+	}
+}
+
+func TestRunningMergeEmpty(t *testing.T) {
+	var a, b Running
+	a.Add(1)
+	a.Merge(&b) // no-op
+	if a.N() != 1 || a.Mean() != 1 {
+		t.Errorf("merge with empty changed accumulator: %v", a.String())
+	}
+	b.Merge(&a)
+	if b.N() != 1 || b.Mean() != 1 {
+		t.Errorf("merge into empty failed: %v", b.String())
+	}
+}
+
+// Property: mean is always within [min, max] and variance is non-negative.
+func TestRunningInvariants(t *testing.T) {
+	f := func(xs []float64) bool {
+		var r Running
+		ok := true
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e150 {
+				continue // Welford squares deltas; keep inputs representable
+			}
+			r.Add(x)
+		}
+		if r.N() > 0 {
+			ok = ok && r.Mean() >= r.Min()-1e-9 && r.Mean() <= r.Max()+1e-9
+			ok = ok && r.Variance() >= -1e-9
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Quantile is monotone in q.
+func TestQuantileMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	xs := make([]float64, 64)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	prev := math.Inf(-1)
+	for q := 0.0; q <= 1.0; q += 0.05 {
+		v, err := Quantile(xs, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v < prev-1e-12 {
+			t.Fatalf("quantile not monotone at q=%v: %v < %v", q, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for i := 0; i < 10; i++ {
+		h.Add(float64(i) + 0.5)
+	}
+	h.Add(-1) // underflow
+	h.Add(12) // overflow
+	if h.Total() != 12 {
+		t.Fatalf("Total = %d, want 12", h.Total())
+	}
+	if h.Under != 1 || h.Over != 1 {
+		t.Errorf("under/over = %d/%d, want 1/1", h.Under, h.Over)
+	}
+	for i, c := range h.Counts {
+		if c != 1 {
+			t.Errorf("bucket %d count = %d, want 1", i, c)
+		}
+	}
+	// 5 in-range samples at >=5 plus one overflow out of 12 total.
+	if got := h.FractionAbove(5); !almostEqual(got, 6.0/12.0, 1e-12) {
+		t.Errorf("FractionAbove(5) = %v, want 0.5", got)
+	}
+	if s := h.String(); s == "" {
+		t.Error("String() empty")
+	}
+}
+
+func TestHistogramTopEdgeRounding(t *testing.T) {
+	h := NewHistogram(0, 1, 3)
+	// A value infinitesimally below Hi must not index out of range.
+	h.Add(math.Nextafter(1, 0))
+	if h.Counts[2] != 1 {
+		t.Errorf("top-edge value not in last bucket: %v", h.Counts)
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewHistogram(0, 1, 0) },
+		func() { NewHistogram(1, 1, 4) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestPercentiles(t *testing.T) {
+	xs := []float64{10, 20, 30, 40, 50}
+	got, err := Percentiles(xs, 0, 0.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{10, 30, 50}
+	for i := range want {
+		if !almostEqual(got[i], want[i], 1e-12) {
+			t.Errorf("Percentiles[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if _, err := Percentiles(nil, 0.5); err != ErrEmpty {
+		t.Errorf("err = %v, want ErrEmpty", err)
+	}
+	if _, err := Percentiles(xs, -0.1); err == nil {
+		t.Error("negative quantile did not error")
+	}
+}

@@ -1,0 +1,89 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestReadBinaryNeverPanics feeds arbitrary byte soup to the binary
+// decoder: it must reject or accept, never panic, and anything it
+// accepts must validate.
+func TestReadBinaryNeverPanics(t *testing.T) {
+	f := func(data []byte) bool {
+		tr, err := ReadBinary(bytes.NewReader(data))
+		if err != nil {
+			return true
+		}
+		return tr.Validate() == nil
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(11))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestReadBinaryNearValidMutations corrupts single bytes of a valid
+// encoding: the decoder must never panic and never silently return a
+// trace that fails validation.
+func TestReadBinaryNearValidMutations(t *testing.T) {
+	tr := &Trace{Name: "mut"}
+	rng := rand.New(rand.NewSource(5))
+	cycle := uint64(0)
+	for i := 0; i < 200; i++ {
+		cycle += uint64(rng.Intn(5) + 1)
+		tr.Append(cycle, uint64(rng.Intn(1<<16)), Kind(i%2))
+	}
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.Bytes()
+	for trial := 0; trial < 500; trial++ {
+		mutated := make([]byte, len(valid))
+		copy(mutated, valid)
+		pos := rng.Intn(len(mutated))
+		mutated[pos] ^= byte(1 << rng.Intn(8))
+		got, err := ReadBinary(bytes.NewReader(mutated))
+		if err != nil {
+			continue
+		}
+		if verr := got.Validate(); verr != nil {
+			t.Fatalf("trial %d (byte %d): decoder accepted invalid trace: %v", trial, pos, verr)
+		}
+	}
+}
+
+// TestReadTextNeverPanics does the same for the text decoder.
+func TestReadTextNeverPanics(t *testing.T) {
+	f := func(lines []string) bool {
+		in := strings.Join(lines, "\n")
+		tr, err := ReadText(strings.NewReader(in))
+		if err != nil {
+			return true
+		}
+		return tr.Validate() == nil
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(13))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBinaryTruncations checks every prefix of a valid stream errors
+// cleanly (no panic, no partial acceptance beyond the declared count).
+func TestBinaryTruncations(t *testing.T) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for n := 0; n < len(full); n++ {
+		if _, err := ReadBinary(bytes.NewReader(full[:n])); err == nil {
+			t.Fatalf("truncation at %d of %d accepted", n, len(full))
+		}
+	}
+}

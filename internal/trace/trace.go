@@ -1,0 +1,152 @@
+// Package trace defines the memory-access trace substrate the cache
+// simulator consumes. The paper drives an in-house cache simulator from
+// MediaBench traces; this package provides the equivalent trace plumbing:
+// an access record carrying a cycle stamp and a byte address, an in-memory
+// Trace container, streaming codecs (a compact delta/varint binary format
+// and a human-readable text format), and footprint/density statistics.
+package trace
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Kind distinguishes reads from writes. The DATE'11 architecture is
+// insensitive to the access direction (both reset the bank idle counter),
+// but the energy model charges writes slightly differently and downstream
+// users of the library may care.
+type Kind uint8
+
+const (
+	// Read is a data load.
+	Read Kind = iota
+	// Write is a data store.
+	Write
+	numKinds
+)
+
+// String returns "R" or "W".
+func (k Kind) String() string {
+	switch k {
+	case Read:
+		return "R"
+	case Write:
+		return "W"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Valid reports whether k is a defined access kind.
+func (k Kind) Valid() bool { return k < numKinds }
+
+// Access is one memory reference: the cycle it occurs on and the byte
+// address it touches. Cycles must be non-decreasing within a trace.
+type Access struct {
+	Cycle uint64
+	Addr  uint64
+	Kind  Kind
+}
+
+// Trace is an in-memory access sequence plus the total cycle span it
+// covers. Cycles covers the tail after the last access too (a trailing
+// idle period is part of the workload and counts toward bank idleness).
+type Trace struct {
+	Name     string
+	Accesses []Access
+	// Cycles is the total duration of the trace in cycles. It must be
+	// greater than the cycle stamp of the last access.
+	Cycles uint64
+}
+
+// ErrUnordered is returned when access cycle stamps decrease.
+var ErrUnordered = errors.New("trace: accesses not in cycle order")
+
+// Validate checks internal consistency: ordered cycle stamps, valid kinds,
+// and a Cycles span that covers every access.
+func (t *Trace) Validate() error {
+	var prev uint64
+	for i, a := range t.Accesses {
+		if a.Cycle < prev {
+			return fmt.Errorf("%w: access %d at cycle %d after cycle %d",
+				ErrUnordered, i, a.Cycle, prev)
+		}
+		if !a.Kind.Valid() {
+			return fmt.Errorf("trace: access %d has invalid kind %d", i, a.Kind)
+		}
+		prev = a.Cycle
+	}
+	if n := len(t.Accesses); n > 0 && t.Cycles <= t.Accesses[n-1].Cycle {
+		return fmt.Errorf("trace: span %d cycles does not cover last access at cycle %d",
+			t.Cycles, t.Accesses[n-1].Cycle)
+	}
+	return nil
+}
+
+// Len returns the number of accesses.
+func (t *Trace) Len() int { return len(t.Accesses) }
+
+// Density returns accesses per cycle over the whole span (0 for an empty
+// or zero-length trace).
+func (t *Trace) Density() float64 {
+	if t.Cycles == 0 {
+		return 0
+	}
+	return float64(len(t.Accesses)) / float64(t.Cycles)
+}
+
+// Append adds one access, extending the span to at least cycle+1.
+func (t *Trace) Append(cycle, addr uint64, kind Kind) {
+	t.Accesses = append(t.Accesses, Access{Cycle: cycle, Addr: addr, Kind: kind})
+	if cycle+1 > t.Cycles {
+		t.Cycles = cycle + 1
+	}
+}
+
+// Stats summarises a trace for reporting and for sanity-checking generated
+// workloads.
+type Stats struct {
+	Accesses   int
+	Cycles     uint64
+	Reads      int
+	Writes     int
+	MinAddr    uint64
+	MaxAddr    uint64
+	UniqueLine int // distinct line addresses at the given line size
+	Density    float64
+}
+
+// ComputeStats scans the trace once. lineSize is used for the unique-line
+// (footprint) count; it must be a power of two >= 1.
+func ComputeStats(t *Trace, lineSize uint64) Stats {
+	s := Stats{Accesses: len(t.Accesses), Cycles: t.Cycles, Density: t.Density()}
+	if len(t.Accesses) == 0 {
+		return s
+	}
+	if lineSize == 0 {
+		lineSize = 1
+	}
+	lines := make(map[uint64]struct{})
+	s.MinAddr = t.Accesses[0].Addr
+	for _, a := range t.Accesses {
+		if a.Kind == Write {
+			s.Writes++
+		} else {
+			s.Reads++
+		}
+		if a.Addr < s.MinAddr {
+			s.MinAddr = a.Addr
+		}
+		if a.Addr > s.MaxAddr {
+			s.MaxAddr = a.Addr
+		}
+		lines[a.Addr/lineSize] = struct{}{}
+	}
+	s.UniqueLine = len(lines)
+	return s
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("accesses=%d cycles=%d density=%.3f reads=%d writes=%d addr=[%#x,%#x] lines=%d",
+		s.Accesses, s.Cycles, s.Density, s.Reads, s.Writes, s.MinAddr, s.MaxAddr, s.UniqueLine)
+}

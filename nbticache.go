@@ -1,0 +1,211 @@
+// Package nbticache is a library-level reproduction of "Partitioned Cache
+// Architectures for Reduced NBTI-Induced Aging" (Calimera, Loghi, Macii,
+// Poncino — DATE 2011): an M-block uniformly partitioned SRAM cache whose
+// bank-indexing function is re-shuffled over time (coarse-grain dynamic
+// indexing) so that idleness — and with it NBTI recovery in the
+// voltage-scaled low-power state — is distributed uniformly across banks,
+// extending cache lifetime at no energy cost.
+//
+// The package is a façade over the internal implementation:
+//
+//   - Geometry/Config/PartitionedCache: the trace-driven simulator of the
+//     partitioned architecture (decoder D, Block Control breakeven
+//     counters, probing/scrambling re-indexing, per-bank tag stores).
+//   - AgingModel: the 45nm 6T-cell characterisation (analytical device
+//     models + reaction-diffusion NBTI) that converts measured idleness
+//     into bank lifetimes, anchored at the paper's 2.93-year cell.
+//   - Profiles/Generate: the 18 MediaBench-signature synthetic workloads.
+//   - Suite: the experiment harness regenerating the paper's Tables I-IV.
+//
+// Quickstart:
+//
+//	model, _ := nbticache.NewAgingModel()
+//	tr, _ := nbticache.GenerateTrace("sha", nbticache.Geometry16kB())
+//	pc, _ := nbticache.New(nbticache.Config{
+//		Geometry: nbticache.Geometry16kB(),
+//		Banks:    4,
+//		Policy:   nbticache.Probing,
+//	})
+//	res, _ := pc.Run(tr)
+//	sum, _ := nbticache.Lifetimes(model, res)
+//	fmt.Printf("LT0 %.2f years -> LT %.2f years\n", sum.LT0Years, sum.LTYears)
+package nbticache
+
+import (
+	"fmt"
+	"io"
+
+	"nbticache/internal/aging"
+	"nbticache/internal/cache"
+	"nbticache/internal/core"
+	"nbticache/internal/experiment"
+	"nbticache/internal/index"
+	"nbticache/internal/mitigate"
+	"nbticache/internal/power"
+	"nbticache/internal/trace"
+	"nbticache/internal/workload"
+)
+
+// Core simulator types.
+type (
+	// Geometry is the cache organisation (size, line size, ways,
+	// address width).
+	Geometry = cache.Geometry
+	// Config assembles a partitioned cache simulation.
+	Config = core.Config
+	// PartitionedCache is a live simulation instance.
+	PartitionedCache = core.PartitionedCache
+	// RunResult is the outcome of simulating one trace.
+	RunResult = core.RunResult
+	// MonolithicResult is the unmanaged non-partitioned reference run.
+	MonolithicResult = core.MonolithicResult
+	// AgingSummary compares monolithic, LT0 and LT lifetimes.
+	AgingSummary = core.AgingSummary
+	// Projection is a per-policy lifetime projection.
+	Projection = core.Projection
+	// AgingModel is the calibrated cell-aging characterisation.
+	AgingModel = aging.Model
+	// SleepMode selects voltage scaling or power gating.
+	SleepMode = aging.SleepMode
+	// Tech is the energy-model parameter set.
+	Tech = power.Tech
+	// EnergyBreakdown itemises a run's energy.
+	EnergyBreakdown = power.Breakdown
+	// Trace is an address trace.
+	Trace = trace.Trace
+	// Access is one trace record.
+	Access = trace.Access
+	// WorkloadProfile is a synthetic benchmark description.
+	WorkloadProfile = workload.Profile
+	// GenParams controls trace generation.
+	GenParams = workload.GenParams
+	// PolicyKind names an indexing policy.
+	PolicyKind = index.Kind
+	// Suite is the experiment harness.
+	Suite = experiment.Suite
+	// TechniqueComparison is the related-work comparison table
+	// (§II-B quantified).
+	TechniqueComparison = experiment.TechniqueComparison
+	// Flipping is the periodic content-inversion baseline ([11], [15]).
+	Flipping = mitigate.Flipping
+	// LineLevelResult is the [7] line-granularity baseline run.
+	LineLevelResult = mitigate.LineLevelResult
+	// Signature is a measured bank-idleness characterisation of a
+	// trace (the Table-I view of a workload).
+	Signature = workload.Signature
+)
+
+// Indexing policies.
+const (
+	// Identity is the conventional partitioned cache (no re-indexing).
+	Identity = index.KindIdentity
+	// Probing rotates regions across banks (Fig. 3a).
+	Probing = index.KindProbing
+	// Scrambling XORs regions with an LFSR word (Fig. 3b).
+	Scrambling = index.KindScrambling
+)
+
+// Sleep modes.
+const (
+	// VoltageScaled is the paper's retention low-power state.
+	VoltageScaled = aging.VoltageScaled
+	// PowerGated nullifies NBTI stress but loses state.
+	PowerGated = aging.PowerGated
+	// RecoveryBoosted nullifies stress while keeping state, at the
+	// price of modifying every cell ([18]).
+	RecoveryBoosted = aging.RecoveryBoosted
+)
+
+// Trace access kinds.
+const (
+	Read  = trace.Read
+	Write = trace.Write
+)
+
+// Geometry16kB returns the paper's default configuration: 16 kB,
+// 16 B lines, direct-mapped, 32-bit addresses.
+func Geometry16kB() Geometry { return experiment.Geometry(16, 16) }
+
+// NewGeometry builds a direct-mapped geometry of the given size.
+func NewGeometry(sizeKB int, lineBytes uint64) Geometry {
+	return experiment.Geometry(sizeKB, lineBytes)
+}
+
+// New builds a partitioned cache simulator.
+func New(cfg Config) (*PartitionedCache, error) { return core.New(cfg) }
+
+// RunMonolithic simulates the conventional unmanaged cache.
+func RunMonolithic(g Geometry, tech Tech, tr *Trace) (*MonolithicResult, error) {
+	return core.RunMonolithic(g, tech, tr)
+}
+
+// NewAgingModel characterises the default 45nm technology (calibrated to
+// the paper's 2.93-year unmanaged cell lifetime).
+func NewAgingModel() (*AgingModel, error) { return aging.New(aging.DefaultConfig()) }
+
+// DefaultTech returns the calibrated energy model.
+func DefaultTech() Tech { return power.DefaultTech() }
+
+// Benchmarks lists the 18 paper benchmarks in table order.
+func Benchmarks() []string { return workload.Names() }
+
+// Profile returns a benchmark's workload profile.
+func Profile(name string) (WorkloadProfile, error) {
+	p, ok := workload.ByName(name)
+	if !ok {
+		return WorkloadProfile{}, fmt.Errorf("nbticache: unknown benchmark %q (see Benchmarks())", name)
+	}
+	return p, nil
+}
+
+// GenerateTrace produces a benchmark's synthetic trace for a geometry
+// with default generation parameters.
+func GenerateTrace(benchmark string, g Geometry) (*Trace, error) {
+	p, err := Profile(benchmark)
+	if err != nil {
+		return nil, err
+	}
+	return p.Generate(workload.DefaultGenParams(g))
+}
+
+// Lifetimes projects the LT0 (no re-indexing) and LT (probing) lifetimes
+// for a run, using the paper's defaults (voltage-scaled sleep, daily
+// updates over the service life, p0 = 0.5).
+func Lifetimes(model *AgingModel, res *RunResult) (*AgingSummary, error) {
+	return core.SummariseAging(model, res, Probing, core.DefaultServiceEpochs, VoltageScaled)
+}
+
+// ProjectAging folds measured per-region sleep duties through a policy's
+// long-term bank-hosting shares and returns per-bank lifetimes.
+func ProjectAging(model *AgingModel, regionSleep []float64, policy PolicyKind, epochs int, mode SleepMode) (*Projection, error) {
+	return core.ProjectAging(model, regionSleep, policy, epochs, mode)
+}
+
+// NewSuite prepares the experiment harness. quick selects short traces
+// (smoke quality) instead of reporting quality.
+func NewSuite(quick bool) (*Suite, error) {
+	q := experiment.Full
+	if quick {
+		q = experiment.Quick
+	}
+	return experiment.NewSuite(q)
+}
+
+// WriteTechniqueComparison renders a technique-comparison table.
+func WriteTechniqueComparison(w io.Writer, t *TechniqueComparison) error {
+	return experiment.WriteTechniqueComparison(w, t)
+}
+
+// RunLineLevel replays a trace under line-granularity power management
+// (the [7] baseline). A zero breakeven derives the threshold from the
+// energy model.
+func RunLineLevel(g Geometry, tech Tech, tr *Trace, breakeven uint64) (*LineLevelResult, error) {
+	return mitigate.RunLineLevel(g, tech, tr, breakeven)
+}
+
+// MeasureSignature characterises any trace's bank-idleness signature —
+// the onboarding path for real traces: measure, then Signature.ToProfile
+// to synthesise statistically matching workloads of any length.
+func MeasureSignature(tr *Trace, g Geometry, banks int, breakeven uint64) (*Signature, error) {
+	return workload.MeasureSignature(tr, g, banks, breakeven)
+}
