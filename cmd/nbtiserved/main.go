@@ -1,0 +1,85 @@
+// Nbtiserved serves batch NBTI-aging sweeps over HTTP: clients POST a
+// sweep spec (explicit jobs and/or cartesian axes over workload ×
+// geometry × banks × policy × sleep mode), the engine fans it out on a
+// bounded worker pool with content-addressed result caching, and clients
+// poll for per-job lifetimes, energy and idleness.
+//
+//	POST   /v1/sweeps       submit a sweep (engine.SweepSpec JSON) -> 202 {id, job_ids}
+//	GET    /v1/sweeps/{id}  progress + resolved results
+//	DELETE /v1/sweeps/{id}  cancel
+//	GET    /v1/jobs/{id}    one job by content address
+//	GET    /healthz         liveness
+//	GET    /metrics         engine counters (Prometheus text)
+//
+// Example:
+//
+//	nbtiserved -addr :8080 &
+//	curl -s -X POST localhost:8080/v1/sweeps \
+//	  -d '{"benches":["sha","gsme"],"banks":[2,4,8,16],"policies":["identity","probing"]}'
+//	curl -s localhost:8080/v1/sweeps/sweep-1
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"nbticache/internal/cache"
+	"nbticache/internal/engine"
+	"nbticache/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("nbtiserved: ")
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	quick := flag.Bool("quick", false, "generate short traces (smoke quality) instead of reporting quality")
+	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain window")
+	flag.Parse()
+
+	opts := engine.Options{Workers: *workers}
+	if *quick {
+		opts.Gen = func(g cache.Geometry) workload.GenParams {
+			return workload.GenParams{Geometry: g, Phases: 192, AccessesPerPhase: 512}
+		}
+	}
+	eng, err := engine.New(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           newServer(eng).handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("listening on %s (%d workers)", *addr, eng.Workers())
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("shutting down (drain %s)", *drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("shutdown: %v", err)
+	}
+	eng.Close() // cancels in-flight sweeps, unblocks any waiters
+	log.Printf("bye")
+}

@@ -1,0 +1,256 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"nbticache/internal/cache"
+	"nbticache/internal/engine"
+	"nbticache/internal/workload"
+)
+
+func testServer(t *testing.T) (*httptest.Server, *engine.Engine) {
+	t.Helper()
+	eng, err := engine.New(engine.Options{
+		Workers: 2,
+		Gen: func(g cache.Geometry) workload.GenParams {
+			return workload.GenParams{Geometry: g, Phases: 16, AccessesPerPhase: 64}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(eng.Close)
+	ts := httptest.NewServer(newServer(eng).handler())
+	t.Cleanup(ts.Close)
+	return ts, eng
+}
+
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("GET %s: decode: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// TestSweepOverHTTP is the acceptance path: a 36-job sweep (18 benches ×
+// 2 bank counts) submitted over HTTP completes, and every per-job result
+// is retrievable both from the sweep view and by job content address.
+func TestSweepOverHTTP(t *testing.T) {
+	ts, _ := testServer(t)
+
+	body := `{"name":"acceptance","benches":[],"banks":[4,8]}`
+	resp, err := http.Post(ts.URL+"/v1/sweeps", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sub submitResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d, want 202", resp.StatusCode)
+	}
+	if sub.Total < 32 {
+		t.Fatalf("sweep has %d jobs, want >= 32", sub.Total)
+	}
+	if len(sub.JobIDs) != sub.Total {
+		t.Fatalf("%d job ids for %d jobs", len(sub.JobIDs), sub.Total)
+	}
+
+	// Poll until done.
+	deadline := time.Now().Add(2 * time.Minute)
+	var sweep sweepResponse
+	for {
+		if code := getJSON(t, ts.URL+"/v1/sweeps/"+sub.ID, &sweep); code != http.StatusOK {
+			t.Fatalf("poll status %d", code)
+		}
+		if sweep.Status.State != "running" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("sweep still running: %+v", sweep.Status)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if sweep.Status.State != "done" {
+		t.Fatalf("state %q, want done (%+v)", sweep.Status.State, sweep.Status)
+	}
+	if sweep.Status.Completed != sub.Total || sweep.Status.Failed != 0 {
+		t.Fatalf("completion counts off: %+v", sweep.Status)
+	}
+	for i, r := range sweep.Jobs {
+		if r == nil || r.Run == nil || r.Projection == nil {
+			t.Fatalf("job %d missing payload: %+v", i, r)
+		}
+		if r.Projection.LifetimeYears <= 0 {
+			t.Errorf("job %s: non-positive lifetime %v", r.ID, r.Projection.LifetimeYears)
+		}
+	}
+
+	// Every job resolves individually by content address.
+	for _, id := range sub.JobIDs {
+		var job engine.JobResult
+		if code := getJSON(t, ts.URL+"/v1/jobs/"+id, &job); code != http.StatusOK {
+			t.Fatalf("GET /v1/jobs/%s: status %d", id, code)
+		}
+		if job.ID != id || job.Run == nil {
+			t.Fatalf("job %s: bad payload", id)
+		}
+	}
+}
+
+func TestSubmitErrors(t *testing.T) {
+	ts, _ := testServer(t)
+	for _, tc := range []struct {
+		body string
+		want int
+	}{
+		{`{not json`, http.StatusBadRequest},
+		{`{"unknown_field":1}`, http.StatusBadRequest},
+		{`{}`, http.StatusUnprocessableEntity}, // empty sweep
+		{`{"benches":["no-such-bench"]}`, http.StatusUnprocessableEntity},
+	} {
+		resp, err := http.Post(ts.URL+"/v1/sweeps", "application/json", strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var apiErr apiError
+		_ = json.NewDecoder(resp.Body).Decode(&apiErr)
+		resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Errorf("body %q: status %d, want %d", tc.body, resp.StatusCode, tc.want)
+		}
+		if apiErr.Error == "" {
+			t.Errorf("body %q: no error message", tc.body)
+		}
+	}
+}
+
+func TestNotFound(t *testing.T) {
+	ts, _ := testServer(t)
+	if code := getJSON(t, ts.URL+"/v1/sweeps/sweep-999", nil); code != http.StatusNotFound {
+		t.Errorf("unknown sweep: status %d, want 404", code)
+	}
+	if code := getJSON(t, ts.URL+"/v1/jobs/job-ffffffffffffffff", nil); code != http.StatusNotFound {
+		t.Errorf("unknown job: status %d, want 404", code)
+	}
+}
+
+func TestCancelOverHTTP(t *testing.T) {
+	ts, _ := testServer(t)
+	resp, err := http.Post(ts.URL+"/v1/sweeps", "application/json",
+		strings.NewReader(`{"banks":[2,4,8,16]}`)) // 72 jobs on 2 workers
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sub submitResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	req, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/sweeps/"+sub.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel status %d", dresp.StatusCode)
+	}
+
+	deadline := time.Now().Add(time.Minute)
+	for {
+		var sweep sweepResponse
+		getJSON(t, ts.URL+"/v1/sweeps/"+sub.ID, &sweep)
+		if sweep.Status.State != "running" {
+			if sweep.Status.State != "canceled" {
+				t.Fatalf("state %q, want canceled", sweep.Status.State)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("sweep never settled after cancel")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func TestHealthAndMetrics(t *testing.T) {
+	ts, _ := testServer(t)
+	var health map[string]string
+	if code := getJSON(t, ts.URL+"/healthz", &health); code != http.StatusOK || health["status"] != "ok" {
+		t.Fatalf("healthz: %d %v", code, health)
+	}
+
+	// Run one tiny sweep so the counters move.
+	resp, err := http.Post(ts.URL+"/v1/sweeps", "application/json",
+		strings.NewReader(`{"benches":["sha"]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sub submitResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	deadline := time.Now().Add(time.Minute)
+	for {
+		var sweep sweepResponse
+		getJSON(t, ts.URL+"/v1/sweeps/"+sub.ID, &sweep)
+		if sweep.Status.State == "done" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("warm-up sweep never finished")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(mresp.Body); err != nil {
+		t.Fatal(err)
+	}
+	mresp.Body.Close()
+	text := buf.String()
+	for _, want := range []string{
+		"nbtiserved_sweeps_total 1",
+		"nbtiserved_jobs_completed_total 1",
+		"nbtiserved_cache_misses_total 1",
+		"# HELP nbtiserved_workers",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q in:\n%s", want, text)
+		}
+	}
+
+	var st engine.Stats
+	if code := getJSON(t, ts.URL+"/metrics?format=json", &st); code != http.StatusOK {
+		t.Fatalf("metrics json status %d", code)
+	}
+	if st.JobsCompleted != 1 {
+		t.Errorf("json stats: %+v", st)
+	}
+}

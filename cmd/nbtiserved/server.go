@@ -1,0 +1,172 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"nbticache/internal/engine"
+)
+
+// server is the HTTP face of one engine: sweeps are submitted, polled
+// and cancelled by ID; completed jobs resolve by content address from
+// any sweep. All state lives in the engine and this registry, so the
+// handler set is trivially shareable across connections.
+type server struct {
+	eng *engine.Engine
+
+	mu     sync.Mutex
+	sweeps map[string]*engine.Handle
+}
+
+func newServer(eng *engine.Engine) *server {
+	return &server{eng: eng, sweeps: make(map[string]*engine.Handle)}
+}
+
+// handler builds the route table.
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sweeps", s.submitSweep)
+	mux.HandleFunc("GET /v1/sweeps/{id}", s.getSweep)
+	mux.HandleFunc("DELETE /v1/sweeps/{id}", s.cancelSweep)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.getJob)
+	mux.HandleFunc("GET /healthz", s.healthz)
+	mux.HandleFunc("GET /metrics", s.metrics)
+	return mux
+}
+
+// writeJSON renders v with status code.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // the status line is already out; nothing to recover
+}
+
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+// submitResponse acknowledges a sweep submission.
+type submitResponse struct {
+	ID     string   `json:"id"`
+	Total  int      `json:"total"`
+	JobIDs []string `json:"job_ids"`
+}
+
+// submitSweep accepts an engine.SweepSpec JSON body, expands and
+// enqueues it, and returns 202 with the sweep ID and the per-job content
+// addresses (each later resolvable at /v1/jobs/{id}).
+func (s *server) submitSweep(w http.ResponseWriter, r *http.Request) {
+	var spec engine.SweepSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "bad sweep spec: %v", err)
+		return
+	}
+	h, err := s.eng.Submit(r.Context(), spec)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	s.mu.Lock()
+	s.sweeps[h.ID] = h
+	s.mu.Unlock()
+
+	jobs := h.Jobs()
+	ids := make([]string, len(jobs))
+	for i, j := range jobs {
+		ids[i] = j.ID()
+	}
+	writeJSON(w, http.StatusAccepted, submitResponse{ID: h.ID, Total: len(jobs), JobIDs: ids})
+}
+
+func (s *server) lookup(id string) (*engine.Handle, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h, ok := s.sweeps[id]
+	return h, ok
+}
+
+// sweepResponse is the poll view: live status always, per-job results
+// for every slot that has resolved so far.
+type sweepResponse struct {
+	Status engine.SweepStatus  `json:"status"`
+	Jobs   []*engine.JobResult `json:"jobs"`
+}
+
+// getSweep reports progress and any resolved results.
+func (s *server) getSweep(w http.ResponseWriter, r *http.Request) {
+	h, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no sweep %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, sweepResponse{Status: h.Status(), Jobs: h.Results()})
+}
+
+// cancelSweep stops a running sweep; completed jobs stay cached.
+func (s *server) cancelSweep(w http.ResponseWriter, r *http.Request) {
+	h, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no sweep %q", r.PathValue("id"))
+		return
+	}
+	h.Cancel()
+	writeJSON(w, http.StatusOK, h.Status())
+}
+
+// getJob resolves one job by content address, from any sweep ever run on
+// this engine.
+func (s *server) getJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	res, ok := s.eng.Job(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no completed job %q", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *server) healthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// metrics serves the engine counters in Prometheus text exposition
+// format (plus a JSON variant via ?format=json).
+func (s *server) metrics(w http.ResponseWriter, r *http.Request) {
+	st := s.eng.Stats()
+	if r.URL.Query().Get("format") == "json" {
+		writeJSON(w, http.StatusOK, st)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	for _, m := range []struct {
+		name, typ, help string
+		value           uint64
+	}{
+		{"nbtiserved_workers", "gauge", "Worker pool size.", uint64(st.Workers)},
+		{"nbtiserved_queue_depth", "gauge", "Jobs waiting for a worker.", uint64(st.QueueDepth)},
+		{"nbtiserved_active_workers", "gauge", "Workers currently simulating.", uint64(st.ActiveWorkers)},
+		{"nbtiserved_sweeps_total", "counter", "Sweeps submitted.", st.SweepsTotal},
+		{"nbtiserved_jobs_submitted_total", "counter", "Job slots enqueued.", st.JobsSubmitted},
+		{"nbtiserved_jobs_completed_total", "counter", "Job slots resolved successfully.", st.JobsCompleted},
+		{"nbtiserved_jobs_failed_total", "counter", "Job slots resolved with an error.", st.JobsFailed},
+		{"nbtiserved_jobs_canceled_total", "counter", "Job slots resolved by cancellation.", st.JobsCanceled},
+		{"nbtiserved_cache_hits_total", "counter", "Result-cache hits.", st.CacheHits},
+		{"nbtiserved_cache_misses_total", "counter", "Result-cache misses.", st.CacheMisses},
+		{"nbtiserved_cached_results", "gauge", "Distinct results resident in the cache.", uint64(st.CachedResults)},
+		{"nbtiserved_runs_executed_total", "counter", "Trace simulations performed.", st.RunsExecuted},
+		{"nbtiserved_runs_shared_total", "counter", "Jobs that reused another job's simulation.", st.RunsShared},
+		{"nbtiserved_traces_built_total", "counter", "Synthetic traces generated.", st.TracesBuilt},
+	} {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %d\n", m.name, m.help, m.name, m.typ, m.name, m.value)
+	}
+}

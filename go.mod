@@ -1,0 +1,3 @@
+module nbticache
+
+go 1.24.0

@@ -1,0 +1,55 @@
+package engine
+
+import (
+	"context"
+	"runtime"
+	"testing"
+
+	"nbticache/internal/workload"
+)
+
+// benchSweep is the 36-point workload × banks grid both variants run.
+var benchSweep = SweepSpec{Benches: workload.Names(), Banks: []int{4, 8}}
+
+// runEngineSweep times one full sweep execution with the result cache
+// cleared each iteration (traces persist, so ns/op is pure simulation +
+// orchestration — the quantity a worker-pool change moves).
+func runEngineSweep(b *testing.B, workers int) {
+	b.Helper()
+	e, err := New(Options{Workers: workers, Gen: testGen})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer e.Close()
+	for _, name := range workload.Names() {
+		if _, err := e.Trace(context.Background(), name, (JobSpec{Bench: name}).Geometry()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.ResetRuns()
+		h, err := e.Submit(context.Background(), benchSweep)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := h.Wait(context.Background())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range res.Jobs {
+			if r.Failed() {
+				b.Fatalf("job %s: %s", r.ID, r.Err)
+			}
+		}
+	}
+	b.ReportMetric(float64(len(benchSweep.Benches)*len(benchSweep.Banks))/b.Elapsed().Seconds()*float64(b.N), "jobs/s")
+}
+
+// BenchmarkEngineSweep compares serial (1 worker) against pooled
+// (GOMAXPROCS workers) execution of the same 36-job sweep — the baseline
+// future perf PRs measure against.
+func BenchmarkEngineSweep(b *testing.B) {
+	b.Run("serial", func(b *testing.B) { runEngineSweep(b, 1) })
+	b.Run("pooled", func(b *testing.B) { runEngineSweep(b, runtime.GOMAXPROCS(0)) })
+}

@@ -1,0 +1,121 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// flightCache is a content-addressed cache with single-flight semantics:
+// the first caller of do for a key becomes the leader and computes the
+// value; concurrent callers for the same key block until the leader
+// finishes and then share its result. Successful results are cached
+// forever (simulations are deterministic); failures are evicted so a
+// later request — e.g. a resubmission after a cancellation — retries.
+type flightCache[V any] struct {
+	mu      sync.Mutex
+	entries map[string]*flightEntry[V]
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+type flightEntry[V any] struct {
+	done chan struct{} // closed when val/err are final
+	val  V
+	err  error
+}
+
+func newFlightCache[V any]() *flightCache[V] {
+	return &flightCache[V]{entries: make(map[string]*flightEntry[V])}
+}
+
+// do returns the cached value for key, computing it with fn if absent.
+// cached reports whether the value came from the cache (including
+// waiting on a concurrent leader) rather than from this call's own fn.
+// ctx bounds only the wait on another leader; the leader itself passes
+// ctx down through fn. A waiter whose leader was cancelled — the
+// leader's context, not the waiter's — retries instead of inheriting
+// the cancellation, so cancelling one sweep never contaminates an
+// identical job submitted by another.
+func (c *flightCache[V]) do(ctx context.Context, key string, fn func() (V, error)) (val V, cached bool, err error) {
+	for {
+		c.mu.Lock()
+		e, ok := c.entries[key]
+		if !ok {
+			e = &flightEntry[V]{done: make(chan struct{})}
+			c.entries[key] = e
+			c.mu.Unlock()
+			c.misses.Add(1)
+			e.val, e.err = fn()
+			if e.err != nil {
+				// Evicted before done closes, so a retrying waiter
+				// finds no stale entry.
+				c.mu.Lock()
+				delete(c.entries, key)
+				c.mu.Unlock()
+			}
+			close(e.done)
+			return e.val, false, e.err
+		}
+		c.mu.Unlock()
+		c.hits.Add(1)
+		select {
+		case <-e.done:
+			if isCtxErr(e.err) && ctx.Err() == nil {
+				continue // leader cancelled, we weren't: take over
+			}
+			return e.val, true, e.err
+		case <-ctx.Done():
+			var zero V
+			return zero, false, ctx.Err()
+		}
+	}
+}
+
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// get returns the completed value for key, if present. In-flight
+// computations are reported as absent: get never blocks.
+func (c *flightCache[V]) get(key string) (V, bool) {
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	c.mu.Unlock()
+	var zero V
+	if !ok {
+		return zero, false
+	}
+	select {
+	case <-e.done:
+		if e.err != nil {
+			return zero, false
+		}
+		return e.val, true
+	default:
+		return zero, false
+	}
+}
+
+// reset drops every completed entry. In-flight entries are kept so
+// running leaders still have a home for their result.
+func (c *flightCache[V]) reset() {
+	c.mu.Lock()
+	for k, e := range c.entries {
+		select {
+		case <-e.done:
+			delete(c.entries, k)
+		default:
+		}
+	}
+	c.mu.Unlock()
+}
+
+// size returns the number of entries (completed or in flight).
+func (c *flightCache[V]) size() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

@@ -1,0 +1,109 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// TestFlightCacheLeaderCancellation: a waiter must not inherit the
+// leader's cancellation. When the leader's context dies mid-compute,
+// a waiter with a live context takes over and computes the value
+// itself; the cancelled sweep is the only one that observes the error.
+func TestFlightCacheLeaderCancellation(t *testing.T) {
+	c := newFlightCache[int]()
+	leaderCtx, cancelLeader := context.WithCancel(context.Background())
+	leaderStarted := make(chan struct{})
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+
+	var leaderErr error
+	go func() {
+		defer wg.Done()
+		_, _, leaderErr = c.do(leaderCtx, "k", func() (int, error) {
+			close(leaderStarted)
+			<-leaderCtx.Done() // simulate a job that observes cancellation
+			return 0, leaderCtx.Err()
+		})
+	}()
+
+	<-leaderStarted
+	var waiterVal int
+	var waiterCached bool
+	var waiterErr error
+	go func() {
+		defer wg.Done()
+		waiterVal, waiterCached, waiterErr = c.do(context.Background(), "k", func() (int, error) {
+			return 42, nil
+		})
+	}()
+	cancelLeader()
+	wg.Wait()
+
+	if !errors.Is(leaderErr, context.Canceled) {
+		t.Errorf("leader error = %v, want context.Canceled", leaderErr)
+	}
+	if waiterErr != nil {
+		t.Fatalf("waiter inherited the leader's fate: %v", waiterErr)
+	}
+	if waiterVal != 42 || waiterCached {
+		t.Errorf("waiter got (%d, cached=%v), want (42, false) from its own compute", waiterVal, waiterCached)
+	}
+	if v, ok := c.get("k"); !ok || v != 42 {
+		t.Errorf("cache holds (%d, %v) after takeover, want (42, true)", v, ok)
+	}
+}
+
+// TestFlightCacheDeterministicErrorShared: real (non-context) failures
+// propagate to waiters rather than triggering retries, and are evicted
+// so a later call can try again.
+func TestFlightCacheDeterministicErrorShared(t *testing.T) {
+	c := newFlightCache[int]()
+	boom := fmt.Errorf("boom")
+	started := make(chan struct{})
+	release := make(chan struct{})
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var leaderErr error
+	go func() {
+		defer wg.Done()
+		_, _, leaderErr = c.do(context.Background(), "k", func() (int, error) {
+			close(started)
+			<-release
+			return 0, boom
+		})
+	}()
+	<-started
+
+	wg.Add(1)
+	var waiterErr error
+	go func() {
+		defer wg.Done()
+		_, _, waiterErr = c.do(context.Background(), "k", func() (int, error) {
+			t.Error("waiter recomputed a deterministic failure")
+			return 0, nil
+		})
+	}()
+	// Only release the leader once the waiter has registered on the
+	// entry (its hit is counted before it blocks), so the waiter cannot
+	// arrive after the eviction and become a leader itself.
+	for c.hits.Load() == 0 {
+		runtime.Gosched()
+	}
+	close(release)
+	wg.Wait()
+
+	if !errors.Is(leaderErr, boom) || !errors.Is(waiterErr, boom) {
+		t.Errorf("errors = %v / %v, want both boom", leaderErr, waiterErr)
+	}
+	// Evicted: a fresh call recomputes.
+	v, cached, err := c.do(context.Background(), "k", func() (int, error) { return 7, nil })
+	if err != nil || v != 7 || cached {
+		t.Errorf("retry after failure got (%d, %v, %v), want (7, false, nil)", v, cached, err)
+	}
+}

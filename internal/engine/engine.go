@@ -1,0 +1,402 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"nbticache/internal/aging"
+	"nbticache/internal/cache"
+	"nbticache/internal/core"
+	"nbticache/internal/power"
+	"nbticache/internal/trace"
+	"nbticache/internal/workload"
+)
+
+// Options configures an Engine. The zero value is usable: it selects a
+// GOMAXPROCS-sized pool, the calibrated default aging model and energy
+// technology, and reporting-quality trace generation.
+type Options struct {
+	// Workers bounds the pool; 0 means runtime.GOMAXPROCS(0).
+	Workers int
+	// Model is the aging characterisation; nil builds the default
+	// 45nm model.
+	Model *aging.Model
+	// Tech is the energy model; the zero value means power.DefaultTech().
+	Tech power.Tech
+	// Gen maps a geometry to trace-generation parameters; nil means
+	// workload.DefaultGenParams. The experiment suite passes its
+	// quality-scaled variant here.
+	Gen func(cache.Geometry) workload.GenParams
+}
+
+// Engine executes simulation jobs on a bounded worker pool over a
+// content-addressed result cache. It is safe for concurrent use by any
+// number of goroutines; one engine is meant to be shared process-wide
+// (the HTTP service owns exactly one).
+type Engine struct {
+	workers int
+	model   *aging.Model
+	tech    power.Tech
+	gen     func(cache.Geometry) workload.GenParams
+
+	// lifeCtx is cancelled by Close; every sweep context descends from
+	// it so shutdown cancels all in-flight work.
+	lifeCtx  context.Context
+	lifeStop context.CancelFunc
+
+	traces *flightCache[*trace.Trace]
+	// runs caches the trace simulation itself, keyed by the fields that
+	// affect it (workload, geometry, banks, policy, update cadence):
+	// jobs differing only in sleep mode or epochs share one run, since
+	// those enter through the aging projection alone.
+	runs    *flightCache[*core.RunResult]
+	results *flightCache[*JobResult]
+
+	q         *taskQueue
+	startOnce sync.Once
+	wg        sync.WaitGroup
+	closed    atomic.Bool
+
+	sweepSeq      atomic.Uint64
+	sweepsTotal   atomic.Uint64
+	jobsSubmitted atomic.Uint64
+	jobsCompleted atomic.Uint64
+	jobsFailed    atomic.Uint64
+	jobsCanceled  atomic.Uint64
+	activeWorkers atomic.Int64
+	tracesBuilt   atomic.Uint64
+}
+
+// New builds an engine. The worker pool starts lazily on the first
+// Submit, so purely synchronous users (the experiment suite) never spawn
+// goroutines.
+func New(o Options) (*Engine, error) {
+	if o.Workers < 0 {
+		return nil, fmt.Errorf("engine: negative worker count %d", o.Workers)
+	}
+	if o.Workers == 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.Model == nil {
+		m, err := aging.New(aging.DefaultConfig())
+		if err != nil {
+			return nil, err
+		}
+		o.Model = m
+	}
+	if o.Tech == (power.Tech{}) {
+		o.Tech = power.DefaultTech()
+	}
+	if o.Gen == nil {
+		o.Gen = workload.DefaultGenParams
+	}
+	ctx, stop := context.WithCancel(context.Background())
+	return &Engine{
+		workers:  o.Workers,
+		model:    o.Model,
+		tech:     o.Tech,
+		gen:      o.Gen,
+		lifeCtx:  ctx,
+		lifeStop: stop,
+		traces:   newFlightCache[*trace.Trace](),
+		runs:     newFlightCache[*core.RunResult](),
+		results:  newFlightCache[*JobResult](),
+		q:        newTaskQueue(),
+	}, nil
+}
+
+// Workers returns the pool bound.
+func (e *Engine) Workers() int { return e.workers }
+
+// Model exposes the engine's aging characterisation.
+func (e *Engine) Model() *aging.Model { return e.model }
+
+// Tech exposes the engine's energy model.
+func (e *Engine) Tech() power.Tech { return e.tech }
+
+// Close cancels every in-flight sweep and stops the workers. Jobs still
+// queued are recorded as cancelled, so pending Wait calls return. Close
+// is idempotent; Submit after Close fails.
+func (e *Engine) Close() {
+	if e.closed.Swap(true) {
+		return
+	}
+	e.lifeStop()
+	e.q.close()
+	e.wg.Wait()
+}
+
+// Trace returns the generated trace for a benchmark and geometry,
+// building and caching it on first use. Concurrent requests for the
+// same trace generate it once.
+func (e *Engine) Trace(ctx context.Context, bench string, g cache.Geometry) (*trace.Trace, error) {
+	key := fmt.Sprintf("%s|%d|%d", bench, g.Size/1024, g.LineSize)
+	tr, _, err := e.traces.do(ctx, key, func() (*trace.Trace, error) {
+		p, ok := workload.ByName(bench)
+		if !ok {
+			return nil, fmt.Errorf("engine: unknown benchmark %q", bench)
+		}
+		gp := e.gen(g)
+		gp.Geometry = g
+		t, err := p.Generate(gp)
+		if err != nil {
+			return nil, err
+		}
+		e.tracesBuilt.Add(1)
+		return t, nil
+	})
+	return tr, err
+}
+
+// RunJob executes one job synchronously on the caller's goroutine,
+// through the shared result cache: concurrent callers (and pooled
+// sweeps) running the same point simulate it exactly once. This is the
+// path the experiment suite memoises through.
+func (e *Engine) RunJob(ctx context.Context, spec JobSpec) (*JobResult, error) {
+	spec = spec.Normalised()
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	res, cached, err := e.results.do(ctx, spec.ID(), func() (*JobResult, error) {
+		return e.simulate(ctx, spec)
+	})
+	if err != nil {
+		return nil, err
+	}
+	if cached {
+		// Shallow copy so the Cached flag does not contaminate the
+		// shared entry.
+		c := *res
+		c.Cached = true
+		return &c, nil
+	}
+	return res, nil
+}
+
+// simulate is the uncached execution of one validated job.
+func (e *Engine) simulate(ctx context.Context, spec JobSpec) (*JobResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	kind, err := spec.PolicyKind()
+	if err != nil {
+		return nil, err
+	}
+	mode, err := spec.SleepMode()
+	if err != nil {
+		return nil, err
+	}
+	g := spec.Geometry()
+	run, _, err := e.runs.do(ctx, spec.runKey(), func() (*core.RunResult, error) {
+		tr, err := e.Trace(ctx, spec.Bench, g)
+		if err != nil {
+			return nil, err
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		pc, err := core.New(core.Config{
+			Geometry:    g,
+			Banks:       spec.Banks,
+			Policy:      kind,
+			Tech:        e.tech,
+			UpdateEvery: spec.UpdateEvery,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return pc.Run(tr)
+	})
+	if err != nil {
+		return nil, err
+	}
+	proj, err := core.ProjectAging(e.model, run.RegionSleepFractions(), kind, spec.Epochs, mode)
+	if err != nil {
+		return nil, err
+	}
+	return &JobResult{ID: spec.ID(), Spec: spec, Run: run, Projection: proj}, nil
+}
+
+// Job returns the cached result for a job ID, if that job has completed
+// on this engine (under any sweep or RunJob call).
+func (e *Engine) Job(id string) (*JobResult, bool) {
+	return e.results.get(id)
+}
+
+// ResetRuns drops completed simulation results; generated traces are
+// kept. Benchmarks use it so every iteration re-simulates.
+func (e *Engine) ResetRuns() {
+	e.results.reset()
+	e.runs.reset()
+}
+
+// Stats is a snapshot of the engine counters, served by /metrics.
+type Stats struct {
+	Workers       int    `json:"workers"`
+	QueueDepth    int    `json:"queue_depth"`
+	ActiveWorkers int    `json:"active_workers"`
+	SweepsTotal   uint64 `json:"sweeps_total"`
+	JobsSubmitted uint64 `json:"jobs_submitted"`
+	JobsCompleted uint64 `json:"jobs_completed"`
+	JobsFailed    uint64 `json:"jobs_failed"`
+	JobsCanceled  uint64 `json:"jobs_canceled"`
+	CacheHits     uint64 `json:"cache_hits"`
+	CacheMisses   uint64 `json:"cache_misses"`
+	CachedResults int    `json:"cached_results"`
+	// RunsExecuted counts trace simulations actually performed;
+	// RunsShared counts jobs that reused another job's simulation
+	// (same point up to sleep mode/epochs).
+	RunsExecuted uint64 `json:"runs_executed"`
+	RunsShared   uint64 `json:"runs_shared"`
+	TracesBuilt  uint64 `json:"traces_built"`
+	TracesCached int    `json:"traces_cached"`
+}
+
+// Stats snapshots the counters.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		Workers:       e.workers,
+		QueueDepth:    e.q.size(),
+		ActiveWorkers: int(e.activeWorkers.Load()),
+		SweepsTotal:   e.sweepsTotal.Load(),
+		JobsSubmitted: e.jobsSubmitted.Load(),
+		JobsCompleted: e.jobsCompleted.Load(),
+		JobsFailed:    e.jobsFailed.Load(),
+		JobsCanceled:  e.jobsCanceled.Load(),
+		CacheHits:     e.results.hits.Load(),
+		CacheMisses:   e.results.misses.Load(),
+		CachedResults: e.results.size(),
+		RunsExecuted:  e.runs.misses.Load(),
+		RunsShared:    e.runs.hits.Load(),
+		TracesBuilt:   e.tracesBuilt.Load(),
+		TracesCached:  e.traces.size(),
+	}
+}
+
+// Submit expands the sweep, enqueues every job on the pool, and returns
+// a handle immediately. ctx bounds expansion only; the sweep's own
+// lifetime is governed by the engine (Close) and the handle (Cancel).
+func (e *Engine) Submit(ctx context.Context, spec SweepSpec) (*Handle, error) {
+	if e.closed.Load() {
+		return nil, fmt.Errorf("engine: closed")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	jobs, err := spec.Expand()
+	if err != nil {
+		return nil, err
+	}
+	e.startOnce.Do(func() {
+		for i := 0; i < e.workers; i++ {
+			e.wg.Add(1)
+			go e.worker()
+		}
+	})
+	sctx, cancel := context.WithCancel(e.lifeCtx)
+	h := &Handle{
+		ID:       fmt.Sprintf("sweep-%d", e.sweepSeq.Add(1)),
+		Spec:     spec,
+		jobs:     jobs,
+		results:  make([]*JobResult, len(jobs)),
+		ctx:      sctx,
+		cancel:   cancel,
+		finished: make(chan struct{}),
+		eng:      e,
+	}
+	e.sweepsTotal.Add(1)
+	e.jobsSubmitted.Add(uint64(len(jobs)))
+	for i := range jobs {
+		e.q.push(&task{h: h, idx: i})
+	}
+	return h, nil
+}
+
+// task is one queued (sweep, job-index) pair.
+type task struct {
+	h   *Handle
+	idx int
+}
+
+// worker pulls tasks until the queue is closed and drained. Tasks whose
+// sweep is already cancelled are recorded as cancelled without
+// simulating, so shutdown unblocks every waiter quickly.
+func (e *Engine) worker() {
+	defer e.wg.Done()
+	for {
+		t, ok := e.q.pop()
+		if !ok {
+			return
+		}
+		e.activeWorkers.Add(1)
+		e.execute(t)
+		e.activeWorkers.Add(-1)
+	}
+}
+
+func (e *Engine) execute(t *task) {
+	spec := t.h.jobs[t.idx]
+	res, err := e.RunJob(t.h.ctx, spec)
+	if err != nil {
+		res = &JobResult{
+			ID: spec.ID(), Spec: spec, Err: err.Error(),
+			Canceled: errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded),
+		}
+	}
+	t.h.record(t.idx, res, e)
+}
+
+// taskQueue is an unbounded FIFO: Submit never blocks, and close wakes
+// every worker. Workers drain remaining tasks after close (they resolve
+// instantly as cancelled once the engine context is down), so every
+// submitted job is recorded exactly once and every Wait returns.
+type taskQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	tasks  []*task
+	closed bool
+}
+
+func newTaskQueue() *taskQueue {
+	q := &taskQueue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+func (q *taskQueue) push(t *task) {
+	q.mu.Lock()
+	q.tasks = append(q.tasks, t)
+	q.mu.Unlock()
+	q.cond.Signal()
+}
+
+func (q *taskQueue) pop() (*task, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.tasks) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if len(q.tasks) == 0 {
+		return nil, false
+	}
+	t := q.tasks[0]
+	q.tasks = q.tasks[1:]
+	return t, true
+}
+
+func (q *taskQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}
+
+func (q *taskQueue) size() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.tasks)
+}

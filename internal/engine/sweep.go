@@ -1,0 +1,147 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// Handle tracks one submitted sweep. It is safe for concurrent use:
+// workers record results into it while any number of clients poll
+// Status or block in Wait.
+type Handle struct {
+	// ID names the sweep ("sweep-N", unique per engine).
+	ID string
+	// Spec is the submitted spec, verbatim.
+	Spec SweepSpec
+
+	jobs   []JobSpec
+	eng    *Engine
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu        sync.Mutex
+	results   []*JobResult
+	done      int
+	failed    int
+	canceled  int
+	cached    int
+	finished  chan struct{}
+	cancelled bool
+}
+
+// Jobs returns the expanded, deduplicated job list (in submission order).
+func (h *Handle) Jobs() []JobSpec { return h.jobs }
+
+// Cancel stops the sweep: jobs not yet started are recorded as
+// cancelled, and the sweep still finishes (Wait returns) once every job
+// slot is resolved. Completed results are kept.
+func (h *Handle) Cancel() {
+	h.mu.Lock()
+	h.cancelled = true
+	h.mu.Unlock()
+	h.cancel()
+}
+
+// record stores job idx's result exactly once and closes the sweep when
+// the last slot resolves.
+func (h *Handle) record(idx int, res *JobResult, e *Engine) {
+	h.mu.Lock()
+	if h.results[idx] != nil { // already resolved (defensive; never expected)
+		h.mu.Unlock()
+		return
+	}
+	h.results[idx] = res
+	h.done++
+	switch {
+	case res.Canceled:
+		h.canceled++
+		e.jobsCanceled.Add(1)
+	case res.Err != "":
+		h.failed++
+		e.jobsFailed.Add(1)
+	default:
+		if res.Cached {
+			h.cached++
+		}
+		e.jobsCompleted.Add(1)
+	}
+	last := h.done == len(h.jobs)
+	h.mu.Unlock()
+	if last {
+		h.cancel() // release the context; the sweep is over
+		close(h.finished)
+	}
+}
+
+// SweepStatus is a point-in-time progress snapshot.
+type SweepStatus struct {
+	ID        string `json:"id"`
+	Name      string `json:"name,omitempty"`
+	State     string `json:"state"` // "running" | "done" | "canceled"
+	Total     int    `json:"total"`
+	Completed int    `json:"completed"`
+	Failed    int    `json:"failed"`
+	Canceled  int    `json:"canceled"`
+	Cached    int    `json:"cached"`
+}
+
+// Status snapshots progress without blocking.
+func (h *Handle) Status() SweepStatus {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	st := SweepStatus{
+		ID:        h.ID,
+		Name:      h.Spec.Name,
+		State:     "running",
+		Total:     len(h.jobs),
+		Completed: h.done - h.failed - h.canceled,
+		Failed:    h.failed,
+		Canceled:  h.canceled,
+		Cached:    h.cached,
+	}
+	if h.done == len(h.jobs) {
+		st.State = "done"
+		if h.cancelled || h.canceled > 0 {
+			st.State = "canceled"
+		}
+	}
+	return st
+}
+
+// SweepResult is the final outcome of a sweep: one JobResult per
+// expanded job, in submission order, failures included in place.
+type SweepResult struct {
+	ID     string       `json:"id"`
+	Name   string       `json:"name,omitempty"`
+	Jobs   []*JobResult `json:"jobs"`
+	Status SweepStatus  `json:"status"`
+}
+
+// Results returns the job results resolved so far (nil slots for jobs
+// still pending), in submission order.
+func (h *Handle) Results() []*JobResult {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]*JobResult, len(h.results))
+	copy(out, h.results)
+	return out
+}
+
+// ErrSweepNotDone is returned by Wait when ctx expires first.
+var ErrSweepNotDone = errors.New("engine: sweep not finished")
+
+// Wait blocks until every job has resolved (including cancelled ones)
+// or ctx expires, then returns the assembled result.
+func (h *Handle) Wait(ctx context.Context) (*SweepResult, error) {
+	select {
+	case <-h.finished:
+	case <-ctx.Done():
+		return nil, errors.Join(ErrSweepNotDone, ctx.Err())
+	}
+	h.mu.Lock()
+	jobs := make([]*JobResult, len(h.results))
+	copy(jobs, h.results)
+	h.mu.Unlock()
+	return &SweepResult{ID: h.ID, Name: h.Spec.Name, Jobs: jobs, Status: h.Status()}, nil
+}

@@ -6,6 +6,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -13,6 +14,7 @@ import (
 	"nbticache/internal/aging"
 	"nbticache/internal/cache"
 	"nbticache/internal/core"
+	"nbticache/internal/engine"
 	"nbticache/internal/index"
 	"nbticache/internal/power"
 	"nbticache/internal/trace"
@@ -41,8 +43,9 @@ func genParams(q Quality, g cache.Geometry) workload.GenParams {
 }
 
 // Suite owns the shared state of an experiment session: the calibrated
-// aging model, the energy technology, and memoised traces and runs. It is
-// safe for concurrent use.
+// aging model, the energy technology, and the simulation engine whose
+// content-addressed cache memoises traces and runs. It is safe for
+// concurrent use.
 type Suite struct {
 	Aging   *aging.Model
 	Tech    power.Tech
@@ -55,27 +58,20 @@ type Suite struct {
 	// identical — §IV-B2).
 	Reindex index.Kind
 
-	mu     sync.Mutex
-	traces map[traceKey]*trace.Trace
-	runs   map[runKey]*core.RunResult
-}
-
-type traceKey struct {
-	bench  string
-	sizeKB int
-	lineB  int
-}
-
-type runKey struct {
-	bench  string
-	sizeKB int
-	lineB  int
-	banks  int
+	eng *engine.Engine
 }
 
 // NewSuite characterises the aging model and prepares a suite.
 func NewSuite(q Quality) (*Suite, error) {
 	model, err := aging.New(aging.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	eng, err := engine.New(engine.Options{
+		Model: model,
+		Tech:  power.DefaultTech(),
+		Gen:   func(g cache.Geometry) workload.GenParams { return genParams(q, g) },
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -85,18 +81,20 @@ func NewSuite(q Quality) (*Suite, error) {
 		Quality: q,
 		Epochs:  core.DefaultServiceEpochs,
 		Reindex: index.KindProbing,
-		traces:  make(map[traceKey]*trace.Trace),
-		runs:    make(map[runKey]*core.RunResult),
+		eng:     eng,
 	}, nil
 }
 
+// Engine exposes the suite's simulation engine (shared caches, sweeps).
+func (s *Suite) Engine() *engine.Engine { return s.eng }
+
+// Close releases the engine's worker pool. Optional: a suite that only
+// ever used the synchronous paths holds no goroutines.
+func (s *Suite) Close() { s.eng.Close() }
+
 // ClearRuns drops memoised simulation results (generated traces are
 // kept). Benchmarks use it so every iteration re-simulates.
-func (s *Suite) ClearRuns() {
-	s.mu.Lock()
-	s.runs = make(map[runKey]*core.RunResult)
-	s.mu.Unlock()
-}
+func (s *Suite) ClearRuns() { s.eng.ResetRuns() }
 
 // Geometry builds the direct-mapped geometry used throughout the paper.
 func Geometry(sizeKB int, lineB uint64) cache.Geometry {
@@ -109,62 +107,28 @@ func Geometry(sizeKB int, lineB uint64) cache.Geometry {
 }
 
 // Trace returns (generating and memoising) the benchmark's trace for a
-// geometry.
+// geometry. Concurrent callers generate each trace exactly once.
 func (s *Suite) Trace(bench string, g cache.Geometry) (*trace.Trace, error) {
-	key := traceKey{bench, int(g.Size / 1024), int(g.LineSize)}
-	s.mu.Lock()
-	tr, ok := s.traces[key]
-	s.mu.Unlock()
-	if ok {
-		return tr, nil
-	}
-	p, ok := workload.ByName(bench)
-	if !ok {
-		return nil, fmt.Errorf("experiment: unknown benchmark %q", bench)
-	}
-	tr, err := p.Generate(genParams(s.Quality, g))
-	if err != nil {
-		return nil, err
-	}
-	s.mu.Lock()
-	s.traces[key] = tr
-	s.mu.Unlock()
-	return tr, nil
+	return s.eng.Trace(context.Background(), bench, g)
 }
 
-// Run simulates (and memoises) a benchmark on a partitioned cache. The
-// identity policy is used: region statistics and energy are
-// policy-independent, and re-indexing enters through the aging
-// projection.
+// Run simulates (and memoises) a benchmark on a partitioned cache
+// through the engine's content-addressed result cache. The identity
+// policy is used: region statistics and energy are policy-independent,
+// and re-indexing enters through the aging projection.
 func (s *Suite) Run(bench string, g cache.Geometry, banks int) (*core.RunResult, error) {
-	key := runKey{bench, int(g.Size / 1024), int(g.LineSize), banks}
-	s.mu.Lock()
-	res, ok := s.runs[key]
-	s.mu.Unlock()
-	if ok {
-		return res, nil
-	}
-	tr, err := s.Trace(bench, g)
-	if err != nil {
-		return nil, err
-	}
-	pc, err := core.New(core.Config{
-		Geometry: g,
-		Banks:    banks,
-		Policy:   index.KindIdentity,
-		Tech:     s.Tech,
+	res, err := s.eng.RunJob(context.Background(), engine.JobSpec{
+		Bench:     bench,
+		SizeKB:    int(g.Size / 1024),
+		LineBytes: int(g.LineSize),
+		Banks:     banks,
+		Policy:    string(index.KindIdentity),
+		Epochs:    s.Epochs,
 	})
 	if err != nil {
 		return nil, err
 	}
-	res, err = pc.Run(tr)
-	if err != nil {
-		return nil, err
-	}
-	s.mu.Lock()
-	s.runs[key] = res
-	s.mu.Unlock()
-	return res, nil
+	return res.Run, nil
 }
 
 // Lifetimes projects LT0 (identity) and LT (re-indexed) for a run.

@@ -32,12 +32,14 @@
 package nbticache
 
 import (
+	"context"
 	"fmt"
 	"io"
 
 	"nbticache/internal/aging"
 	"nbticache/internal/cache"
 	"nbticache/internal/core"
+	"nbticache/internal/engine"
 	"nbticache/internal/experiment"
 	"nbticache/internal/index"
 	"nbticache/internal/mitigate"
@@ -93,6 +95,33 @@ type (
 	// Signature is a measured bank-idleness characterisation of a
 	// trace (the Table-I view of a workload).
 	Signature = workload.Signature
+)
+
+// Batch-simulation engine types (internal/engine). An Engine executes
+// sweeps — sets of simulation points — on a bounded worker pool with
+// content-addressed result caching; nbtiserved serves the same engine
+// over HTTP.
+type (
+	// Engine is the concurrent batch-simulation engine.
+	Engine = engine.Engine
+	// EngineOptions configures NewEngine; the zero value is usable.
+	EngineOptions = engine.Options
+	// EngineStats is a snapshot of the engine counters.
+	EngineStats = engine.Stats
+	// JobSpec is one simulation point (workload × geometry × banks ×
+	// policy × sleep mode).
+	JobSpec = engine.JobSpec
+	// JobResult is one point's outcome (run measurement + lifetime
+	// projection, or an isolated error).
+	JobResult = engine.JobResult
+	// SweepSpec describes a set of jobs, explicit or cartesian.
+	SweepSpec = engine.SweepSpec
+	// SweepHandle tracks a submitted sweep (Status, Wait, Cancel).
+	SweepHandle = engine.Handle
+	// SweepStatus is a point-in-time sweep progress snapshot.
+	SweepStatus = engine.SweepStatus
+	// SweepResult is a finished sweep: one JobResult per job.
+	SweepResult = engine.SweepResult
 )
 
 // Indexing policies.
@@ -179,6 +208,30 @@ func Lifetimes(model *AgingModel, res *RunResult) (*AgingSummary, error) {
 // long-term bank-hosting shares and returns per-bank lifetimes.
 func ProjectAging(model *AgingModel, regionSleep []float64, policy PolicyKind, epochs int, mode SleepMode) (*Projection, error) {
 	return core.ProjectAging(model, regionSleep, policy, epochs, mode)
+}
+
+// NewEngine builds the concurrent batch-simulation engine. The zero
+// options select a GOMAXPROCS-sized worker pool, the calibrated default
+// models, and reporting-quality traces.
+func NewEngine(o EngineOptions) (*Engine, error) { return engine.New(o) }
+
+// Sweep submits a sweep to the engine and blocks until every job has
+// resolved (failures are isolated per job, never aborting the batch).
+// For asynchronous submission and polling use Engine.Submit directly, or
+// run cmd/nbtiserved and drive it over HTTP.
+func Sweep(ctx context.Context, e *Engine, spec SweepSpec) (*SweepResult, error) {
+	h, err := e.Submit(ctx, spec)
+	if err != nil {
+		return nil, err
+	}
+	res, err := h.Wait(ctx)
+	if err != nil {
+		// The handle is about to be dropped; stop its jobs so an
+		// abandoned sweep does not keep occupying the worker pool.
+		h.Cancel()
+		return nil, err
+	}
+	return res, nil
 }
 
 // NewSuite prepares the experiment harness. quick selects short traces
