@@ -4,10 +4,20 @@
 // bounded worker pool with content-addressed result caching, and clients
 // poll for per-job lifetimes, energy and idleness.
 //
+// Real address traces upload through POST /v1/traces (binary or text
+// wire format, decoded incrementally in bounded memory): admission
+// content-addresses the trace, measures its bank-idleness signature, and
+// returns both; the returned ID then references the workload in job and
+// sweep specs ("trace_id" / "trace_ids") exactly like a benchmark name.
+//
 //	POST   /v1/sweeps       submit a sweep (engine.SweepSpec JSON) -> 202 {id, job_ids}
 //	GET    /v1/sweeps/{id}  progress + resolved results
 //	DELETE /v1/sweeps/{id}  cancel
 //	GET    /v1/jobs/{id}    one job by content address
+//	POST   /v1/traces       upload a trace -> 201 {id, signature, ...}
+//	GET    /v1/traces       list uploaded traces
+//	GET    /v1/traces/{id}  one uploaded trace's metadata + signature
+//	DELETE /v1/traces/{id}  free an uploaded trace's store slot
 //	GET    /healthz         liveness
 //	GET    /metrics         engine counters (Prometheus text)
 //
@@ -17,6 +27,8 @@
 //	curl -s -X POST localhost:8080/v1/sweeps \
 //	  -d '{"benches":["sha","gsme"],"banks":[2,4,8,16],"policies":["identity","probing"]}'
 //	curl -s localhost:8080/v1/sweeps/sweep-1
+//	curl -s --data-binary @app.trace localhost:8080/v1/traces
+//	curl -s -X POST localhost:8080/v1/sweeps -d '{"trace_ids":["trace-<hex>"],"banks":[2,4,8]}'
 package main
 
 import (
@@ -42,9 +54,12 @@ func main() {
 	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 	quick := flag.Bool("quick", false, "generate short traces (smoke quality) instead of reporting quality")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain window")
+	maxTraceBytes := flag.Int64("max-trace-bytes", defaultMaxTraceBytes, "largest accepted trace-upload body")
+	maxTraces := flag.Int("max-traces", engine.DefaultMaxStoredTraces, "uploaded traces kept resident (uploads 507 past this; DELETE /v1/traces/{id} frees slots)")
+	retainSweeps := flag.Int("retain-sweeps", defaultRetainSweeps, "finished sweep handles kept before the oldest are evicted")
 	flag.Parse()
 
-	opts := engine.Options{Workers: *workers}
+	opts := engine.Options{Workers: *workers, MaxStoredTraces: *maxTraces}
 	if *quick {
 		opts.Gen = func(g cache.Geometry) workload.GenParams {
 			return workload.GenParams{Geometry: g, Phases: 192, AccessesPerPhase: 512}
@@ -57,7 +72,7 @@ func main() {
 
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           newServer(eng).handler(),
+		Handler:           newServer(eng, serverConfig{maxTraceBytes: *maxTraceBytes, retainSweeps: *retainSweeps}).handler(),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 

@@ -2,7 +2,11 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -11,6 +15,7 @@ import (
 
 	"nbticache/internal/cache"
 	"nbticache/internal/engine"
+	"nbticache/internal/trace"
 	"nbticache/internal/workload"
 )
 
@@ -26,7 +31,7 @@ func testServer(t *testing.T) (*httptest.Server, *engine.Engine) {
 		t.Fatal(err)
 	}
 	t.Cleanup(eng.Close)
-	ts := httptest.NewServer(newServer(eng).handler())
+	ts := httptest.NewServer(newServer(eng, serverConfig{}).handler())
 	t.Cleanup(ts.Close)
 	return ts, eng
 }
@@ -252,5 +257,409 @@ func TestHealthAndMetrics(t *testing.T) {
 	}
 	if st.JobsCompleted != 1 {
 		t.Errorf("json stats: %+v", st)
+	}
+}
+
+// uploadTestTrace builds a deterministic "real" trace for upload tests.
+func uploadTestTrace(name string, n int, seed int64) *trace.Trace {
+	tr := &trace.Trace{Name: name}
+	rng := rand.New(rand.NewSource(seed))
+	cycle := uint64(0)
+	for i := 0; i < n; i++ {
+		cycle += uint64(rng.Intn(9) + 1)
+		tr.Append(cycle, uint64(rng.Intn(1<<14)), trace.Kind(rng.Intn(2)))
+	}
+	tr.Cycles = cycle + 50
+	return tr
+}
+
+func postBody(t *testing.T, url, ctype string, body []byte, out any) int {
+	t.Helper()
+	resp, err := http.Post(url, ctype, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("POST %s: decode: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// TestTraceUploadBinaryAndText uploads the same trace in all three wire
+// forms and checks content addressing converges: one ID, one stored
+// trace, measured signature included every time.
+func TestTraceUploadBinaryAndText(t *testing.T) {
+	ts, eng := testServer(t)
+	tr := uploadTestTrace("camera-app", 3000, 41)
+
+	var v1, v2, txt bytes.Buffer
+	if err := trace.WriteBinary(&v1, tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.EncodeStream(&v2, tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.WriteText(&txt, tr); err != nil {
+		t.Fatal(err)
+	}
+
+	var first uploadResponse
+	if code := postBody(t, ts.URL+"/v1/traces", "application/octet-stream", v1.Bytes(), &first); code != http.StatusCreated {
+		t.Fatalf("binary v1 upload status %d, want 201", code)
+	}
+	if !first.Created || first.ID == "" || first.Name != "camera-app" {
+		t.Fatalf("bad upload response: %+v", first)
+	}
+	if first.Accesses != tr.Len() || first.Cycles != tr.Cycles {
+		t.Errorf("shape wrong: %+v", first)
+	}
+	if first.Signature == nil || first.Signature.Banks != 4 {
+		t.Errorf("no measured signature: %+v", first.Signature)
+	}
+
+	// Same trace as a v2 stream (sniffed) and as text: same address,
+	// reported as already resident.
+	var again uploadResponse
+	if code := postBody(t, ts.URL+"/v1/traces", "", v2.Bytes(), &again); code != http.StatusOK {
+		t.Fatalf("v2 re-upload status %d, want 200", code)
+	}
+	if again.Created || again.ID != first.ID {
+		t.Fatalf("v2 upload not deduplicated: %+v", again)
+	}
+	if code := postBody(t, ts.URL+"/v1/traces", "text/plain", txt.Bytes(), &again); code != http.StatusOK {
+		t.Fatalf("text re-upload status %d, want 200", code)
+	}
+	if again.Created || again.ID != first.ID {
+		t.Fatalf("text upload not deduplicated: %+v", again)
+	}
+	if st := eng.Stats(); st.TracesStored != 1 || st.TracesUploaded != 1 {
+		t.Errorf("store counts wrong: %+v", st)
+	}
+
+	// Metadata resolves by ID and in the listing.
+	var info engine.TraceInfo
+	if code := getJSON(t, ts.URL+"/v1/traces/"+first.ID, &info); code != http.StatusOK {
+		t.Fatalf("GET trace status %d", code)
+	}
+	if info.ID != first.ID || info.Signature == nil {
+		t.Errorf("metadata wrong: %+v", info)
+	}
+	var list struct {
+		Total  int                `json:"total"`
+		Traces []engine.TraceInfo `json:"traces"`
+	}
+	if code := getJSON(t, ts.URL+"/v1/traces", &list); code != http.StatusOK || list.Total != 1 {
+		t.Errorf("list: %d %+v", code, list)
+	}
+	if code := getJSON(t, ts.URL+"/v1/traces/trace-ffffffffffffffff", nil); code != http.StatusNotFound {
+		t.Errorf("unknown trace status %d, want 404", code)
+	}
+}
+
+// TestTraceUploadErrors covers the rejection paths: bad magic, garbage
+// text, an empty body, and an oversized body against a small limit.
+func TestTraceUploadErrors(t *testing.T) {
+	eng, err := engine.New(engine.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(eng.Close)
+	ts := httptest.NewServer(newServer(eng, serverConfig{maxTraceBytes: 4096}).handler())
+	t.Cleanup(ts.Close)
+
+	var apiErr apiError
+	// Bad magic under a binary Content-Type.
+	if code := postBody(t, ts.URL+"/v1/traces", "application/octet-stream", []byte("XXXX garbage"), &apiErr); code != http.StatusBadRequest {
+		t.Errorf("bad magic status %d, want 400", code)
+	}
+	// Bad version byte behind a valid magic.
+	if code := postBody(t, ts.URL+"/v1/traces", "", []byte("NBTR\x07rest"), &apiErr); code != http.StatusBadRequest {
+		t.Errorf("bad version status %d, want 400", code)
+	}
+	// Garbage text.
+	if code := postBody(t, ts.URL+"/v1/traces", "", []byte("0 R 0x40\nnot a record\n"), &apiErr); code != http.StatusBadRequest {
+		t.Errorf("garbage text status %d, want 400", code)
+	}
+	// Empty body decodes to an access-free trace: rejected at admission.
+	if code := postBody(t, ts.URL+"/v1/traces", "", nil, &apiErr); code != http.StatusUnprocessableEntity {
+		t.Errorf("empty body status %d, want 422", code)
+	}
+	// Two concatenated traces in one body: trailing data, not a silent
+	// half-stored upload.
+	var cat bytes.Buffer
+	if err := trace.WriteBinary(&cat, uploadTestTrace("a", 50, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.WriteBinary(&cat, uploadTestTrace("b", 50, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if code := postBody(t, ts.URL+"/v1/traces", "", cat.Bytes(), &apiErr); code != http.StatusBadRequest {
+		t.Errorf("concatenated body status %d, want 400 (%+v)", code, apiErr)
+	}
+	// Oversized body, in both binary forms: v1 trips the declared-count
+	// pre-check, v2 (no count) must still 413 via the MaxBytesReader
+	// error surfacing through the decoder with its identity intact.
+	big := uploadTestTrace("big", 5000, 3)
+	var v1, v2 bytes.Buffer
+	if err := trace.WriteBinary(&v1, big); err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.EncodeStream(&v2, big); err != nil {
+		t.Fatal(err)
+	}
+	if v1.Len() <= 4096 || v2.Len() <= 4096 {
+		t.Fatalf("test trace too small to trip the limit: %d/%d bytes", v1.Len(), v2.Len())
+	}
+	if code := postBody(t, ts.URL+"/v1/traces", "application/octet-stream", v1.Bytes(), &apiErr); code != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized v1 status %d, want 413", code)
+	}
+	if code := postBody(t, ts.URL+"/v1/traces", "application/octet-stream", v2.Bytes(), &apiErr); code != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized v2 status %d, want 413", code)
+	}
+	if apiErr.Error == "" {
+		t.Error("no error message on rejection")
+	}
+}
+
+// TestUploadConcurrencyGate: with every upload slot occupied, a new
+// upload is turned away with 503 rather than admitted to decode.
+func TestUploadConcurrencyGate(t *testing.T) {
+	eng, err := engine.New(engine.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(eng.Close)
+	srv := newServer(eng, serverConfig{maxConcurrentUploads: 1})
+	ts := httptest.NewServer(srv.handler())
+	t.Cleanup(ts.Close)
+
+	srv.uploadSlots <- struct{}{} // occupy the only slot
+	var buf bytes.Buffer
+	if err := trace.WriteBinary(&buf, uploadTestTrace("gated", 100, 1)); err != nil {
+		t.Fatal(err)
+	}
+	var apiErr apiError
+	if code := postBody(t, ts.URL+"/v1/traces", "", buf.Bytes(), &apiErr); code != http.StatusServiceUnavailable {
+		t.Fatalf("saturated upload status %d, want 503 (%+v)", code, apiErr)
+	}
+	<-srv.uploadSlots // free it
+	var up uploadResponse
+	if code := postBody(t, ts.URL+"/v1/traces", "", buf.Bytes(), &up); code != http.StatusCreated {
+		t.Fatalf("upload after slot freed status %d, want 201", code)
+	}
+}
+
+// TestTraceStoreBoundOverHTTP: a full store 507s uploads until a slot
+// is freed with DELETE.
+func TestTraceStoreBoundOverHTTP(t *testing.T) {
+	eng, err := engine.New(engine.Options{Workers: 1, MaxStoredTraces: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(eng.Close)
+	ts := httptest.NewServer(newServer(eng, serverConfig{}).handler())
+	t.Cleanup(ts.Close)
+
+	encode := func(seed int64) []byte {
+		var buf bytes.Buffer
+		if err := trace.WriteBinary(&buf, uploadTestTrace("bound", 500, seed)); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	var up uploadResponse
+	if code := postBody(t, ts.URL+"/v1/traces", "", encode(1), &up); code != http.StatusCreated {
+		t.Fatalf("first upload status %d", code)
+	}
+	var apiErr apiError
+	if code := postBody(t, ts.URL+"/v1/traces", "", encode(2), &apiErr); code != http.StatusInsufficientStorage {
+		t.Fatalf("over-bound upload status %d, want 507 (%+v)", code, apiErr)
+	}
+
+	req, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/traces/"+up.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("delete status %d", resp.StatusCode)
+	}
+	if code := getJSON(t, ts.URL+"/v1/traces/"+up.ID, nil); code != http.StatusNotFound {
+		t.Errorf("deleted trace still resolves: %d", code)
+	}
+	if code := postBody(t, ts.URL+"/v1/traces", "", encode(2), &up); code != http.StatusCreated {
+		t.Errorf("upload after delete status %d, want 201", code)
+	}
+}
+
+// TestSweepWithUploadedTraceOverHTTP is the end-to-end acceptance path:
+// upload a real trace, sweep over it by ID, and check the served result
+// matches simulating the same trace in-process on a fresh engine.
+func TestSweepWithUploadedTraceOverHTTP(t *testing.T) {
+	ts, _ := testServer(t)
+	tr := uploadTestTrace("e2e", 4000, 17)
+
+	var buf bytes.Buffer
+	if err := trace.WriteBinary(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	var up uploadResponse
+	if code := postBody(t, ts.URL+"/v1/traces", "application/octet-stream", buf.Bytes(), &up); code != http.StatusCreated {
+		t.Fatalf("upload status %d", code)
+	}
+
+	spec := fmt.Sprintf(`{"name":"trace-sweep","trace_ids":[%q],"banks":[2,4]}`, up.ID)
+	var sub submitResponse
+	if code := postBody(t, ts.URL+"/v1/sweeps", "application/json", []byte(spec), &sub); code != http.StatusAccepted {
+		t.Fatalf("submit status %d", code)
+	}
+	if sub.Total != 2 {
+		t.Fatalf("sweep has %d jobs, want 2", sub.Total)
+	}
+
+	deadline := time.Now().Add(time.Minute)
+	var sweep sweepResponse
+	for {
+		getJSON(t, ts.URL+"/v1/sweeps/"+sub.ID, &sweep)
+		if sweep.Status.State != "running" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("sweep stuck: %+v", sweep.Status)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if sweep.Status.State != "done" || sweep.Status.Failed != 0 {
+		t.Fatalf("sweep did not complete cleanly: %+v", sweep.Status)
+	}
+
+	// Reference: same trace, same points, fresh in-process engine.
+	ref, err := engine.New(engine.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(ref.Close)
+	refInfo, _, err := ref.AddTrace(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if refInfo.ID != up.ID {
+		t.Fatalf("content address diverges across engines: %q vs %q", refInfo.ID, up.ID)
+	}
+	for _, served := range sweep.Jobs {
+		want, err := ref.RunJob(context.Background(), served.Spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if served.Run.Misses != want.Run.Misses || served.Run.Hits != want.Run.Hits {
+			t.Errorf("job %s: served %d/%d hits/misses, in-process %d/%d",
+				served.ID, served.Run.Hits, served.Run.Misses, want.Run.Hits, want.Run.Misses)
+		}
+		if math.Abs(served.Projection.LifetimeYears-want.Projection.LifetimeYears) > 1e-9 {
+			t.Errorf("job %s: served lifetime %v, in-process %v",
+				served.ID, served.Projection.LifetimeYears, want.Projection.LifetimeYears)
+		}
+	}
+
+	// Sweeping an unknown trace ID is rejected at submission.
+	var apiErr apiError
+	if code := postBody(t, ts.URL+"/v1/sweeps", "application/json",
+		[]byte(`{"trace_ids":["trace-ffffffffffffffff"]}`), &apiErr); code != http.StatusUnprocessableEntity {
+		t.Errorf("unknown trace sweep status %d, want 422", code)
+	}
+}
+
+// TestSweepRetention: finished sweeps beyond the retention bound are
+// evicted oldest-first, while their job results stay resolvable through
+// the content-addressed cache.
+func TestSweepRetention(t *testing.T) {
+	eng, err := engine.New(engine.Options{
+		Workers: 2,
+		Gen: func(g cache.Geometry) workload.GenParams {
+			return workload.GenParams{Geometry: g, Phases: 16, AccessesPerPhase: 64}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(eng.Close)
+	ts := httptest.NewServer(newServer(eng, serverConfig{retainSweeps: 2}).handler())
+	t.Cleanup(ts.Close)
+
+	benches := []string{"sha", "gsme", "gsmd", "cjpeg"}
+	var ids []string
+	var jobIDs []string
+	for _, b := range benches {
+		var sub submitResponse
+		body := fmt.Sprintf(`{"benches":[%q]}`, b)
+		if code := postBody(t, ts.URL+"/v1/sweeps", "application/json", []byte(body), &sub); code != http.StatusAccepted {
+			t.Fatalf("submit %s: status %d", b, code)
+		}
+		ids = append(ids, sub.ID)
+		jobIDs = append(jobIDs, sub.JobIDs...)
+		// Wait until done so the next submission can evict it.
+		deadline := time.Now().Add(time.Minute)
+		for {
+			var sweep sweepResponse
+			getJSON(t, ts.URL+"/v1/sweeps/"+sub.ID, &sweep)
+			if sweep.Status.State == "done" {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("sweep %s stuck", sub.ID)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+
+	// Retention 2, four finished sweeps: the two oldest are gone.
+	for i, id := range ids {
+		code := getJSON(t, ts.URL+"/v1/sweeps/"+id, nil)
+		if i < 2 && code != http.StatusNotFound {
+			t.Errorf("sweep %d (%s): status %d, want 404 after eviction", i, id, code)
+		}
+		if i >= 2 && code != http.StatusOK {
+			t.Errorf("sweep %d (%s): status %d, want 200", i, id, code)
+		}
+	}
+	// Every job of every sweep — evicted or not — still resolves.
+	for _, id := range jobIDs {
+		if code := getJSON(t, ts.URL+"/v1/jobs/"+id, nil); code != http.StatusOK {
+			t.Errorf("job %s: status %d after sweep eviction", id, code)
+		}
+	}
+
+	// The metrics expose the eviction counters.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mbuf bytes.Buffer
+	if _, err := mbuf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	for _, want := range []string{"nbtiserved_sweeps_retained 2", "nbtiserved_sweeps_evicted_total 2"} {
+		if !strings.Contains(mbuf.String(), want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+	// The JSON variant carries the same retention counters.
+	var jm struct {
+		SweepsRetained int    `json:"sweeps_retained"`
+		SweepsEvicted  uint64 `json:"sweeps_evicted"`
+	}
+	if code := getJSON(t, ts.URL+"/metrics?format=json", &jm); code != http.StatusOK {
+		t.Fatalf("metrics json status %d", code)
+	}
+	if jm.SweepsRetained != 2 || jm.SweepsEvicted != 2 {
+		t.Errorf("json metrics retention: %+v", jm)
 	}
 }

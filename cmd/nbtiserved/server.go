@@ -2,26 +2,81 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"mime"
 	"net/http"
 	"sync"
 
 	"nbticache/internal/engine"
+	"nbticache/internal/trace"
 )
 
+// serverConfig bounds the server's per-request and retained state; the
+// zero value selects the defaults.
+type serverConfig struct {
+	// maxTraceBytes caps one trace-upload body.
+	maxTraceBytes int64
+	// retainSweeps caps resident sweep handles: once exceeded, the
+	// oldest *finished* sweeps are evicted (running ones never are).
+	// Evicted sweeps 404 by sweep ID, but their per-job results stay
+	// resolvable at /v1/jobs/{id} through the content-addressed cache.
+	retainSweeps int
+	// maxConcurrentUploads bounds trace-upload decodes running at once
+	// (each can materialise several times its wire size as accesses);
+	// excess uploads are turned away with 503.
+	maxConcurrentUploads int
+}
+
+const (
+	defaultMaxTraceBytes        = 64 << 20
+	defaultRetainSweeps         = 256
+	defaultMaxConcurrentUploads = 4
+)
+
+// withDefaults substitutes the default for any non-positive limit:
+// "unlimited" is deliberately not expressible, so a stray -1 cannot
+// invert a bound (rejecting every upload, evicting every sweep).
+func (c serverConfig) withDefaults() serverConfig {
+	if c.maxTraceBytes <= 0 {
+		c.maxTraceBytes = defaultMaxTraceBytes
+	}
+	if c.retainSweeps <= 0 {
+		c.retainSweeps = defaultRetainSweeps
+	}
+	if c.maxConcurrentUploads <= 0 {
+		c.maxConcurrentUploads = defaultMaxConcurrentUploads
+	}
+	return c
+}
+
 // server is the HTTP face of one engine: sweeps are submitted, polled
-// and cancelled by ID; completed jobs resolve by content address from
-// any sweep. All state lives in the engine and this registry, so the
-// handler set is trivially shareable across connections.
+// and cancelled by ID; traces are uploaded and resolved by content
+// address; completed jobs resolve by content address from any sweep.
+// All state lives in the engine and this registry, so the handler set
+// is trivially shareable across connections.
 type server struct {
 	eng *engine.Engine
+	cfg serverConfig
+
+	// uploadSlots is a semaphore over concurrent upload decodes.
+	uploadSlots chan struct{}
 
 	mu     sync.Mutex
 	sweeps map[string]*engine.Handle
+	// order is sweep submission order, the eviction queue.
+	order   []string
+	evicted uint64
 }
 
-func newServer(eng *engine.Engine) *server {
-	return &server{eng: eng, sweeps: make(map[string]*engine.Handle)}
+func newServer(eng *engine.Engine, cfg serverConfig) *server {
+	cfg = cfg.withDefaults()
+	return &server{
+		eng:         eng,
+		cfg:         cfg,
+		uploadSlots: make(chan struct{}, cfg.maxConcurrentUploads),
+		sweeps:      make(map[string]*engine.Handle),
+	}
 }
 
 // handler builds the route table.
@@ -31,6 +86,10 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("GET /v1/sweeps/{id}", s.getSweep)
 	mux.HandleFunc("DELETE /v1/sweeps/{id}", s.cancelSweep)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.getJob)
+	mux.HandleFunc("POST /v1/traces", s.uploadTrace)
+	mux.HandleFunc("GET /v1/traces", s.listTraces)
+	mux.HandleFunc("GET /v1/traces/{id}", s.getTrace)
+	mux.HandleFunc("DELETE /v1/traces/{id}", s.deleteTrace)
 	mux.HandleFunc("GET /healthz", s.healthz)
 	mux.HandleFunc("GET /metrics", s.metrics)
 	return mux
@@ -78,6 +137,8 @@ func (s *server) submitSweep(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Lock()
 	s.sweeps[h.ID] = h
+	s.order = append(s.order, h.ID)
+	s.evictLocked(h.ID)
 	s.mu.Unlock()
 
 	jobs := h.Jobs()
@@ -86,6 +147,34 @@ func (s *server) submitSweep(w http.ResponseWriter, r *http.Request) {
 		ids[i] = j.ID()
 	}
 	writeJSON(w, http.StatusAccepted, submitResponse{ID: h.ID, Total: len(jobs), JobIDs: ids})
+}
+
+// evictLocked drops the oldest finished sweep handles once the retained
+// set exceeds the configured bound. Running sweeps are never evicted, so
+// the resident count can temporarily exceed the limit under a burst of
+// long sweeps; it settles as they finish. keepID shields the sweep being
+// submitted right now: a fast all-cache-hit sweep can already be "done"
+// here, and evicting it would hand the client a 202 whose ID instantly
+// 404s. Per-job results survive eviction in the engine's
+// content-addressed cache.
+func (s *server) evictLocked(keepID string) {
+	if len(s.sweeps) <= s.cfg.retainSweeps {
+		return
+	}
+	keep := s.order[:0]
+	for _, id := range s.order {
+		h, ok := s.sweeps[id]
+		if !ok {
+			continue
+		}
+		if len(s.sweeps) > s.cfg.retainSweeps && id != keepID && h.Status().State != "running" {
+			delete(s.sweeps, id)
+			s.evicted++
+			continue
+		}
+		keep = append(keep, id)
+	}
+	s.order = keep
 }
 
 func (s *server) lookup(id string) (*engine.Handle, bool) {
@@ -123,6 +212,128 @@ func (s *server) cancelSweep(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, h.Status())
 }
 
+// uploadResponse acknowledges a trace upload. Created distinguishes a
+// fresh admission from a content-address hit on an already-resident
+// trace (uploads are idempotent).
+type uploadResponse struct {
+	engine.TraceInfo
+	Created bool `json:"created"`
+}
+
+// uploadTrace ingests a real address trace. The body is either wire
+// format — binary (v1 counted or v2 streamed) or text — selected by
+// Content-Type (application/octet-stream forces binary, text/* forces
+// text, anything else is sniffed from the magic) and decoded
+// incrementally in bounded memory. Admission content-addresses the trace
+// and measures its bank-idleness signature, both returned immediately;
+// the ID then references the trace in job and sweep specs.
+func (s *server) uploadTrace(w http.ResponseWriter, r *http.Request) {
+	// The byte cap bounds wire size, not decoded footprint (a dense
+	// 64 MiB binary body materialises ~8x that as accesses), so bound
+	// how many decodes run at once rather than letting a burst of
+	// maximal uploads multiply it.
+	select {
+	case s.uploadSlots <- struct{}{}:
+		defer func() { <-s.uploadSlots }()
+	default:
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, "too many concurrent trace uploads (limit %d)", s.cfg.maxConcurrentUploads)
+		return
+	}
+	body := http.MaxBytesReader(w, r.Body, s.cfg.maxTraceBytes)
+	var d *trace.Decoder
+	var err error
+	ctype, _, _ := mime.ParseMediaType(r.Header.Get("Content-Type"))
+	switch {
+	case ctype == "application/octet-stream":
+		d, err = trace.NewBinaryDecoder(body)
+	case ctype == "text/plain":
+		d = trace.NewTextDecoder(body)
+	default:
+		d, err = trace.NewDecoder(body)
+	}
+	if err != nil {
+		writeTraceError(w, err)
+		return
+	}
+	// Every decoded access costs at least 3 wire bytes (binary) so the
+	// byte cap already bounds the count; the explicit cap keeps a
+	// pathological text body (blank-line padding) from inflating it.
+	tr, err := d.ReadAll(int(s.cfg.maxTraceBytes / 3))
+	if err != nil {
+		writeTraceError(w, err)
+		return
+	}
+	// One request is one trace: the binary decoder stops at the end of
+	// the trace, so leftover bytes mean a concatenated or corrupt body
+	// the client would otherwise believe was stored in full.
+	if more, err := d.More(); err != nil {
+		writeTraceError(w, err)
+		return
+	} else if more {
+		writeError(w, http.StatusBadRequest, "trailing data after trace (one trace per upload)")
+		return
+	}
+	if name := r.URL.Query().Get("name"); name != "" && tr.Name == "" {
+		tr.Name = name
+	}
+	info, existed, err := s.eng.AddTrace(tr)
+	if err != nil {
+		code := http.StatusUnprocessableEntity
+		if errors.Is(err, engine.ErrTraceStoreFull) {
+			code = http.StatusInsufficientStorage
+		}
+		writeError(w, code, "%v", err)
+		return
+	}
+	code := http.StatusCreated
+	if existed {
+		code = http.StatusOK
+	}
+	writeJSON(w, code, uploadResponse{TraceInfo: info, Created: !existed})
+}
+
+// writeTraceError maps decode failures to status codes: an oversized
+// body is 413, malformed input 400.
+func writeTraceError(w http.ResponseWriter, err error) {
+	var maxErr *http.MaxBytesError
+	switch {
+	case errors.As(err, &maxErr):
+		writeError(w, http.StatusRequestEntityTooLarge, "trace body exceeds %d bytes", maxErr.Limit)
+	case errors.Is(err, trace.ErrTooLarge):
+		writeError(w, http.StatusRequestEntityTooLarge, "%v", err)
+	default:
+		writeError(w, http.StatusBadRequest, "bad trace: %v", err)
+	}
+}
+
+// getTrace returns an uploaded trace's stored metadata and signature.
+func (s *server) getTrace(w http.ResponseWriter, r *http.Request) {
+	info, ok := s.eng.TraceInfo(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no trace %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+// deleteTrace frees an uploaded trace's store slot. Running jobs that
+// already resolved the trace finish; later references fail as unknown.
+func (s *server) deleteTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !s.eng.RemoveTrace(id) {
+		writeError(w, http.StatusNotFound, "no trace %q", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"id": id, "deleted": true})
+}
+
+// listTraces enumerates the uploaded traces.
+func (s *server) listTraces(w http.ResponseWriter, _ *http.Request) {
+	infos := s.eng.TraceInfos()
+	writeJSON(w, http.StatusOK, map[string]any{"total": len(infos), "traces": infos})
+}
+
 // getJob resolves one job by content address, from any sweep ever run on
 // this engine.
 func (s *server) getJob(w http.ResponseWriter, r *http.Request) {
@@ -143,8 +354,15 @@ func (s *server) healthz(w http.ResponseWriter, _ *http.Request) {
 // format (plus a JSON variant via ?format=json).
 func (s *server) metrics(w http.ResponseWriter, r *http.Request) {
 	st := s.eng.Stats()
+	s.mu.Lock()
+	retained, evicted := len(s.sweeps), s.evicted
+	s.mu.Unlock()
 	if r.URL.Query().Get("format") == "json" {
-		writeJSON(w, http.StatusOK, st)
+		writeJSON(w, http.StatusOK, struct {
+			engine.Stats
+			SweepsRetained int    `json:"sweeps_retained"`
+			SweepsEvicted  uint64 `json:"sweeps_evicted"`
+		}{st, retained, evicted})
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
@@ -166,6 +384,10 @@ func (s *server) metrics(w http.ResponseWriter, r *http.Request) {
 		{"nbtiserved_runs_executed_total", "counter", "Trace simulations performed.", st.RunsExecuted},
 		{"nbtiserved_runs_shared_total", "counter", "Jobs that reused another job's simulation.", st.RunsShared},
 		{"nbtiserved_traces_built_total", "counter", "Synthetic traces generated.", st.TracesBuilt},
+		{"nbtiserved_traces_uploaded_total", "counter", "Real traces admitted via POST /v1/traces.", st.TracesUploaded},
+		{"nbtiserved_traces_stored", "gauge", "Uploaded traces resident in the store.", uint64(st.TracesStored)},
+		{"nbtiserved_sweeps_retained", "gauge", "Sweep handles resident in the registry.", uint64(retained)},
+		{"nbtiserved_sweeps_evicted_total", "counter", "Finished sweep handles evicted by retention.", evicted},
 	} {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %d\n", m.name, m.help, m.name, m.typ, m.name, m.value)
 	}

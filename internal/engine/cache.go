@@ -3,6 +3,7 @@ package engine
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 )
@@ -48,15 +49,31 @@ func (c *flightCache[V]) do(ctx context.Context, key string, fn func() (V, error
 			c.entries[key] = e
 			c.mu.Unlock()
 			c.misses.Add(1)
-			e.val, e.err = fn()
-			if e.err != nil {
-				// Evicted before done closes, so a retrying waiter
-				// finds no stale entry.
-				c.mu.Lock()
-				delete(c.entries, key)
-				c.mu.Unlock()
-			}
-			close(e.done)
+			func() {
+				// Settle the entry even if fn panics: waiters must not
+				// block forever on a leader that never closes done. The
+				// panic is re-raised after the entry is evicted, so a
+				// later caller retries.
+				defer func() {
+					if r := recover(); r != nil {
+						e.err = fmt.Errorf("engine: computation panicked: %v", r)
+						c.mu.Lock()
+						delete(c.entries, key)
+						c.mu.Unlock()
+						close(e.done)
+						panic(r)
+					}
+					if e.err != nil {
+						// Evicted before done closes, so a retrying
+						// waiter finds no stale entry.
+						c.mu.Lock()
+						delete(c.entries, key)
+						c.mu.Unlock()
+					}
+					close(e.done)
+				}()
+				e.val, e.err = fn()
+			}()
 			return e.val, false, e.err
 		}
 		c.mu.Unlock()

@@ -31,7 +31,18 @@ type Options struct {
 	// workload.DefaultGenParams. The experiment suite passes its
 	// quality-scaled variant here.
 	Gen func(cache.Geometry) workload.GenParams
+	// MaxStoredTraces bounds the uploaded-trace store (AddTrace fails
+	// with ErrTraceStoreFull past it); <= 0 means
+	// DefaultMaxStoredTraces (an unbounded store is not expressible).
+	MaxStoredTraces int
 }
+
+// DefaultMaxStoredTraces is the uploaded-trace store bound when
+// Options.MaxStoredTraces is zero. At the 64 MiB default upload limit
+// this caps the store's worst-case footprint at a few hundred GiB of
+// *requests*, but resident memory is what matters: bound it to the
+// traffic you expect and size the host accordingly.
+const DefaultMaxStoredTraces = 1024
 
 // Engine executes simulation jobs on a bounded worker pool over a
 // content-addressed result cache. It is safe for concurrent use by any
@@ -49,6 +60,9 @@ type Engine struct {
 	lifeStop context.CancelFunc
 
 	traces *flightCache[*trace.Trace]
+	// store holds uploaded real traces, content-addressed and measured
+	// at admission (see store.go).
+	store *traceStore
 	// runs caches the trace simulation itself, keyed by the fields that
 	// affect it (workload, geometry, banks, policy, update cadence):
 	// jobs differing only in sleep mode or epochs share one run, since
@@ -61,14 +75,15 @@ type Engine struct {
 	wg        sync.WaitGroup
 	closed    atomic.Bool
 
-	sweepSeq      atomic.Uint64
-	sweepsTotal   atomic.Uint64
-	jobsSubmitted atomic.Uint64
-	jobsCompleted atomic.Uint64
-	jobsFailed    atomic.Uint64
-	jobsCanceled  atomic.Uint64
-	activeWorkers atomic.Int64
-	tracesBuilt   atomic.Uint64
+	sweepSeq       atomic.Uint64
+	sweepsTotal    atomic.Uint64
+	jobsSubmitted  atomic.Uint64
+	jobsCompleted  atomic.Uint64
+	jobsFailed     atomic.Uint64
+	jobsCanceled   atomic.Uint64
+	activeWorkers  atomic.Int64
+	tracesBuilt    atomic.Uint64
+	tracesUploaded atomic.Uint64
 }
 
 // New builds an engine. The worker pool starts lazily on the first
@@ -94,6 +109,9 @@ func New(o Options) (*Engine, error) {
 	if o.Gen == nil {
 		o.Gen = workload.DefaultGenParams
 	}
+	if o.MaxStoredTraces <= 0 {
+		o.MaxStoredTraces = DefaultMaxStoredTraces
+	}
 	ctx, stop := context.WithCancel(context.Background())
 	return &Engine{
 		workers:  o.Workers,
@@ -103,6 +121,7 @@ func New(o Options) (*Engine, error) {
 		lifeCtx:  ctx,
 		lifeStop: stop,
 		traces:   newFlightCache[*trace.Trace](),
+		store:    newTraceStore(o.MaxStoredTraces),
 		runs:     newFlightCache[*core.RunResult](),
 		results:  newFlightCache[*JobResult](),
 		q:        newTaskQueue(),
@@ -192,7 +211,7 @@ func (e *Engine) simulate(ctx context.Context, spec JobSpec) (*JobResult, error)
 	}
 	g := spec.Geometry()
 	run, _, err := e.runs.do(ctx, spec.runKey(), func() (*core.RunResult, error) {
-		tr, err := e.Trace(ctx, spec.Bench, g)
+		tr, err := e.traceFor(ctx, spec, g)
 		if err != nil {
 			return nil, err
 		}
@@ -219,6 +238,20 @@ func (e *Engine) simulate(ctx context.Context, spec JobSpec) (*JobResult, error)
 		return nil, err
 	}
 	return &JobResult{ID: spec.ID(), Spec: spec, Run: run, Projection: proj}, nil
+}
+
+// traceFor resolves a job's workload: an uploaded trace by content
+// address when TraceID is set, the generated synthetic benchmark
+// otherwise.
+func (e *Engine) traceFor(ctx context.Context, spec JobSpec, g cache.Geometry) (*trace.Trace, error) {
+	if spec.TraceID != "" {
+		tr, ok := e.storedTraceByID(spec.TraceID)
+		if !ok {
+			return nil, fmt.Errorf("engine: unknown trace %q (upload it first)", spec.TraceID)
+		}
+		return tr, nil
+	}
+	return e.Trace(ctx, spec.Bench, g)
 }
 
 // Job returns the cached result for a job ID, if that job has completed
@@ -254,26 +287,32 @@ type Stats struct {
 	RunsShared   uint64 `json:"runs_shared"`
 	TracesBuilt  uint64 `json:"traces_built"`
 	TracesCached int    `json:"traces_cached"`
+	// TracesUploaded counts real traces admitted through AddTrace;
+	// TracesStored is the resident uploaded-trace count.
+	TracesUploaded uint64 `json:"traces_uploaded"`
+	TracesStored   int    `json:"traces_stored"`
 }
 
 // Stats snapshots the counters.
 func (e *Engine) Stats() Stats {
 	return Stats{
-		Workers:       e.workers,
-		QueueDepth:    e.q.size(),
-		ActiveWorkers: int(e.activeWorkers.Load()),
-		SweepsTotal:   e.sweepsTotal.Load(),
-		JobsSubmitted: e.jobsSubmitted.Load(),
-		JobsCompleted: e.jobsCompleted.Load(),
-		JobsFailed:    e.jobsFailed.Load(),
-		JobsCanceled:  e.jobsCanceled.Load(),
-		CacheHits:     e.results.hits.Load(),
-		CacheMisses:   e.results.misses.Load(),
-		CachedResults: e.results.size(),
-		RunsExecuted:  e.runs.misses.Load(),
-		RunsShared:    e.runs.hits.Load(),
-		TracesBuilt:   e.tracesBuilt.Load(),
-		TracesCached:  e.traces.size(),
+		Workers:        e.workers,
+		QueueDepth:     e.q.size(),
+		ActiveWorkers:  int(e.activeWorkers.Load()),
+		SweepsTotal:    e.sweepsTotal.Load(),
+		JobsSubmitted:  e.jobsSubmitted.Load(),
+		JobsCompleted:  e.jobsCompleted.Load(),
+		JobsFailed:     e.jobsFailed.Load(),
+		JobsCanceled:   e.jobsCanceled.Load(),
+		CacheHits:      e.results.hits.Load(),
+		CacheMisses:    e.results.misses.Load(),
+		CachedResults:  e.results.size(),
+		RunsExecuted:   e.runs.misses.Load(),
+		RunsShared:     e.runs.hits.Load(),
+		TracesBuilt:    e.tracesBuilt.Load(),
+		TracesCached:   e.traces.size(),
+		TracesUploaded: e.tracesUploaded.Load(),
+		TracesStored:   e.store.size(),
 	}
 }
 
@@ -290,6 +329,15 @@ func (e *Engine) Submit(ctx context.Context, spec SweepSpec) (*Handle, error) {
 	jobs, err := spec.Expand()
 	if err != nil {
 		return nil, err
+	}
+	// Trace references resolve against this engine's store; reject the
+	// whole sweep up front rather than failing jobs one by one.
+	for _, j := range jobs {
+		if j.TraceID != "" {
+			if _, ok := e.store.get(j.TraceID); !ok {
+				return nil, fmt.Errorf("engine: unknown trace %q (upload it first)", j.TraceID)
+			}
+		}
 	}
 	e.startOnce.Do(func() {
 		for i := 0; i < e.workers; i++ {

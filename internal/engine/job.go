@@ -35,8 +35,14 @@ const (
 // is a complete spec. Specs are value types: equal specs (after
 // normalisation) have equal IDs and share one cached result.
 type JobSpec struct {
-	// Bench names the workload (see workload.Names).
-	Bench string `json:"bench"`
+	// Bench names the synthetic workload (see workload.Names). Exactly
+	// one of Bench and TraceID must be set.
+	Bench string `json:"bench,omitempty"`
+	// TraceID references an uploaded trace by content address
+	// (Engine.AddTrace / POST /v1/traces) as a first-class alternative
+	// to the synthetic Bench workloads. The referenced trace must be
+	// resident in the engine's trace store.
+	TraceID string `json:"trace_id,omitempty"`
 	// SizeKB is the cache size; 0 means 16 (the paper's default).
 	SizeKB int `json:"size_kb,omitempty"`
 	// LineBytes is the line size; 0 means 16.
@@ -116,11 +122,19 @@ func (j JobSpec) SleepMode() (aging.SleepMode, error) {
 	return 0, fmt.Errorf("engine: unknown sleep mode %q", j.Mode)
 }
 
-// Validate reports spec errors without running anything.
+// Validate reports spec errors without running anything. Whether a
+// TraceID actually resolves is engine state, checked at submission.
 func (j JobSpec) Validate() error {
 	n := j.Normalised()
-	if _, ok := workload.ByName(n.Bench); !ok {
-		return fmt.Errorf("engine: unknown benchmark %q", n.Bench)
+	switch {
+	case n.Bench != "" && n.TraceID != "":
+		return fmt.Errorf("engine: both bench %q and trace %q set; pick one workload", n.Bench, n.TraceID)
+	case n.Bench == "" && n.TraceID == "":
+		return fmt.Errorf("engine: no workload (set bench or trace_id)")
+	case n.Bench != "":
+		if _, ok := workload.ByName(n.Bench); !ok {
+			return fmt.Errorf("engine: unknown benchmark %q", n.Bench)
+		}
 	}
 	if _, err := n.PolicyKind(); err != nil {
 		return err
@@ -136,14 +150,25 @@ func (j JobSpec) Validate() error {
 	return cfg.Validate()
 }
 
+// workloadKey names the spec's workload unambiguously across the two
+// kinds: synthetic benchmarks and uploaded traces live in disjoint key
+// spaces even if a trace were named like a benchmark.
+func (j JobSpec) workloadKey() string {
+	if j.TraceID != "" {
+		return "t:" + j.TraceID
+	}
+	return "b:" + j.Bench
+}
+
 // ID returns the job's content address: a stable hash of the normalised
 // spec. Equal points get equal IDs regardless of which defaults were
 // spelled out, and the ID doubles as the HTTP resource name
-// (/v1/jobs/{id}).
+// (/v1/jobs/{id}). Trace-backed jobs hash the trace's content address,
+// so the job ID is itself content-addressed end to end.
 func (j JobSpec) ID() string {
 	n := j.Normalised()
-	canon := fmt.Sprintf("v1|%s|%d|%d|%d|%s|%s|%d|%d",
-		n.Bench, n.SizeKB, n.LineBytes, n.Banks, n.Policy, n.Mode, n.Epochs, n.UpdateEvery)
+	canon := fmt.Sprintf("v2|%s|%d|%d|%d|%s|%s|%d|%d",
+		n.workloadKey(), n.SizeKB, n.LineBytes, n.Banks, n.Policy, n.Mode, n.Epochs, n.UpdateEvery)
 	sum := sha256.Sum256([]byte(canon))
 	return "job-" + hex.EncodeToString(sum[:8])
 }
@@ -154,7 +179,7 @@ func (j JobSpec) ID() string {
 // jobs differing only there share one simulation.
 func (j JobSpec) runKey() string {
 	n := j.Normalised()
-	return fmt.Sprintf("%s|%d|%d|%d|%s|%d", n.Bench, n.SizeKB, n.LineBytes, n.Banks, n.Policy, n.UpdateEvery)
+	return fmt.Sprintf("%s|%d|%d|%d|%s|%d", n.workloadKey(), n.SizeKB, n.LineBytes, n.Banks, n.Policy, n.UpdateEvery)
 }
 
 // SweepSpec describes a set of jobs. Jobs lists explicit points;
@@ -167,11 +192,15 @@ type SweepSpec struct {
 	Name string `json:"name,omitempty"`
 	// Jobs are explicit points, normalised individually.
 	Jobs []JobSpec `json:"jobs,omitempty"`
-	// Benches × SizesKB × LineBytes × Banks × Policies × Modes is the
-	// cartesian part. Empty axes default to the paper's single point
-	// (16 kB, 16 B lines, 4 banks, probing, voltage-scaled); Benches
-	// empty means all 18 paper benchmarks when any other axis is set.
-	Benches   []string `json:"benches,omitempty"`
+	// (Benches ∪ TraceIDs) × SizesKB × LineBytes × Banks × Policies ×
+	// Modes is the cartesian part. Empty axes default to the paper's
+	// single point (16 kB, 16 B lines, 4 banks, probing,
+	// voltage-scaled); Benches empty means all 18 paper benchmarks when
+	// another axis is set and no uploaded traces are referenced.
+	Benches []string `json:"benches,omitempty"`
+	// TraceIDs reference uploaded traces (POST /v1/traces) as workload
+	// axis values alongside the synthetic benchmarks.
+	TraceIDs  []string `json:"trace_ids,omitempty"`
 	SizesKB   []int    `json:"sizes_kb,omitempty"`
 	LineBytes []int    `json:"line_bytes,omitempty"`
 	Banks     []int    `json:"banks,omitempty"`
@@ -186,12 +215,23 @@ func (s SweepSpec) Expand() ([]JobSpec, error) {
 	var jobs []JobSpec
 	jobs = append(jobs, s.Jobs...)
 
-	cartesian := len(s.Benches) > 0 || len(s.SizesKB) > 0 || len(s.LineBytes) > 0 ||
-		len(s.Banks) > 0 || len(s.Policies) > 0 || len(s.Modes) > 0
+	cartesian := len(s.Benches) > 0 || len(s.TraceIDs) > 0 || len(s.SizesKB) > 0 ||
+		len(s.LineBytes) > 0 || len(s.Banks) > 0 || len(s.Policies) > 0 || len(s.Modes) > 0
 	if cartesian {
+		// The workload axis is the union of synthetic benchmarks and
+		// uploaded traces; all-benchmarks is the default only when
+		// neither kind is named.
+		type workloadRef struct{ bench, traceID string }
+		var refs []workloadRef
 		benches := s.Benches
-		if len(benches) == 0 {
+		if len(benches) == 0 && len(s.TraceIDs) == 0 {
 			benches = workload.Names()
+		}
+		for _, b := range benches {
+			refs = append(refs, workloadRef{bench: b})
+		}
+		for _, id := range s.TraceIDs {
+			refs = append(refs, workloadRef{traceID: id})
 		}
 		sizes := orDefault(s.SizesKB, 16)
 		lines := orDefault(s.LineBytes, 16)
@@ -204,14 +244,15 @@ func (s SweepSpec) Expand() ([]JobSpec, error) {
 		if len(modes) == 0 {
 			modes = []string{ModeVoltageScaled}
 		}
-		for _, b := range benches {
+		for _, ref := range refs {
 			for _, kb := range sizes {
 				for _, lb := range lines {
 					for _, m := range banks {
 						for _, pol := range policies {
 							for _, mode := range modes {
 								jobs = append(jobs, JobSpec{
-									Bench: b, SizeKB: kb, LineBytes: lb, Banks: m,
+									Bench: ref.bench, TraceID: ref.traceID,
+									SizeKB: kb, LineBytes: lb, Banks: m,
 									Policy: pol, Mode: mode, Epochs: s.Epochs,
 								})
 							}

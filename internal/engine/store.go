@@ -1,0 +1,296 @@
+package engine
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"hash"
+	"sync"
+
+	"nbticache/internal/cache"
+	"nbticache/internal/trace"
+	"nbticache/internal/workload"
+)
+
+// The trace store holds uploaded (real) address traces, content-addressed
+// exactly like job results: the ID is a hash of the canonical binary
+// encoding, so the same trace uploaded twice — by one client or by two —
+// is stored and characterised once, and a job referencing it by ID is
+// reproducible anywhere the bytes are. Every admitted trace is measured
+// (workload.MeasureSignature) on the way in, so sweeps consume
+// pre-characterised workloads.
+
+// TraceInfo is the stored trace's public view: identity, shape, and the
+// bank-idleness signature measured at admission.
+type TraceInfo struct {
+	// ID is the trace's content address ("trace-<hex>").
+	ID string `json:"id"`
+	// Name is the trace's self-declared name (codec-validated).
+	Name string `json:"name,omitempty"`
+	// Accesses and Cycles describe the shape.
+	Accesses int    `json:"accesses"`
+	Cycles   uint64 `json:"cycles"`
+	// Density is accesses per cycle over the span.
+	Density float64 `json:"density"`
+	// Bytes is the canonical binary encoding's size.
+	Bytes int64 `json:"bytes"`
+	// Signature is the Table-I style per-bank idleness characterisation,
+	// measured at the paper's default geometry at admission.
+	Signature *workload.Signature `json:"signature"`
+}
+
+type storedTrace struct {
+	info TraceInfo
+	tr   *trace.Trace
+}
+
+// ErrTraceStoreFull is returned by AddTrace when admitting another
+// trace would exceed the store's bound. Traces are immutable simulation
+// inputs referenced by ID from job specs, so the store never evicts on
+// its own (a silent eviction would turn running sweeps' references
+// dangling); clients free slots explicitly via RemoveTrace.
+var ErrTraceStoreFull = errors.New("engine: trace store full")
+
+// traceStore is the engine's uploaded-trace registry: bounded, and with
+// single-flight admission so concurrent uploads of the same bytes
+// measure the signature once.
+type traceStore struct {
+	mu  sync.Mutex
+	m   map[string]*storedTrace
+	max int
+	// inflight marks IDs being measured right now; the channel closes
+	// when admission settles (stored or failed).
+	inflight map[string]chan struct{}
+}
+
+func newTraceStore(max int) *traceStore {
+	return &traceStore{
+		m:        make(map[string]*storedTrace),
+		max:      max,
+		inflight: make(map[string]chan struct{}),
+	}
+}
+
+func (s *traceStore) get(id string) (*storedTrace, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.m[id]
+	return st, ok
+}
+
+// admit resolves id to a stored trace, computing the entry with build
+// at most once across concurrent callers. existed reports a hit on an
+// already-resident entry.
+func (s *traceStore) admit(id string, build func() (*storedTrace, error)) (st *storedTrace, existed bool, err error) {
+	for {
+		s.mu.Lock()
+		if st, ok := s.m[id]; ok {
+			s.mu.Unlock()
+			return st, true, nil
+		}
+		if ch, busy := s.inflight[id]; busy {
+			s.mu.Unlock()
+			<-ch // another upload of the same bytes is measuring; share it
+			continue
+		}
+		// In-flight admissions reserve capacity so a burst cannot
+		// overshoot the bound.
+		if len(s.m)+len(s.inflight) >= s.max {
+			s.mu.Unlock()
+			return nil, false, fmt.Errorf("%w: %d traces resident (remove some or raise the limit)", ErrTraceStoreFull, s.max)
+		}
+		ch := make(chan struct{})
+		s.inflight[id] = ch
+		s.mu.Unlock()
+
+		var st *storedTrace
+		var err error
+		func() {
+			// The cleanup must run even if build panics (a wedged
+			// inflight entry would block every later upload of these
+			// bytes forever and leak the capacity reservation); the
+			// panic itself still propagates to the caller.
+			defer func() {
+				s.mu.Lock()
+				delete(s.inflight, id)
+				close(ch)
+				if err == nil && st != nil {
+					s.m[id] = st
+				}
+				s.mu.Unlock()
+			}()
+			st, err = build()
+		}()
+		return st, false, err
+	}
+}
+
+// remove drops a stored trace, freeing its admission slot. In-flight
+// simulations holding the trace pointer are unaffected; later jobs
+// referencing the ID fail with unknown-trace.
+func (s *traceStore) remove(id string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.m[id]; !ok {
+		return false
+	}
+	delete(s.m, id)
+	return true
+}
+
+func (s *traceStore) infos() []TraceInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]TraceInfo, 0, len(s.m))
+	for _, st := range s.m {
+		out = append(out, st.info)
+	}
+	return out
+}
+
+func (s *traceStore) size() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.m)
+}
+
+// countingWriter counts bytes flowing into the content hash.
+type countingWriter struct {
+	h hash.Hash
+	n int64
+}
+
+func (w *countingWriter) Write(p []byte) (int, error) {
+	w.n += int64(len(p))
+	return w.h.Write(p)
+}
+
+// TraceContentID computes a trace's content address without storing it:
+// the hash of the canonical (binary v1) encoding. Equal traces get equal
+// IDs on every node, which is what makes uploaded workloads shareable
+// across sweeps and instances. 16 hash bytes keep a deliberate
+// birthday-collision (which would silently alias two workloads) out of
+// reach; job IDs stay at 8 bytes because they are derived, not
+// attacker-chosen cross-references.
+func TraceContentID(tr *trace.Trace) (string, int64, error) {
+	cw := &countingWriter{h: sha256.New()}
+	if err := trace.WriteBinary(cw, tr); err != nil {
+		return "", 0, err
+	}
+	sum := cw.h.Sum(nil)
+	return "trace-" + hex.EncodeToString(sum[:16]), cw.n, nil
+}
+
+// signatureGeometry is the admission-measurement configuration: the
+// paper's default geometry and bank count (signatures at banks=4 are the
+// Table-I granularity Profile derivation expects).
+func signatureGeometry() cache.Geometry {
+	return cache.Geometry{Size: 16 * 1024, LineSize: 16, Ways: 1, AddressBits: 32}
+}
+
+const signatureBanks = 4
+
+// AddTrace validates, content-addresses, characterises and stores an
+// uploaded trace. It returns the stored info and whether the trace was
+// already resident (admission is idempotent; concurrent uploads of the
+// same bytes measure once). Traces must be non-empty — an access-free
+// trace has no signature and nothing to simulate — and admission fails
+// with ErrTraceStoreFull once the store's bound is reached.
+func (e *Engine) AddTrace(tr *trace.Trace) (TraceInfo, bool, error) {
+	if tr == nil {
+		return TraceInfo{}, false, fmt.Errorf("engine: nil trace")
+	}
+	if err := tr.Validate(); err != nil {
+		return TraceInfo{}, false, err
+	}
+	if tr.Len() == 0 {
+		return TraceInfo{}, false, fmt.Errorf("engine: trace %q has no accesses", tr.Name)
+	}
+	id, size, err := TraceContentID(tr)
+	if err != nil {
+		return TraceInfo{}, false, err
+	}
+	st, existed, err := e.store.admit(id, func() (*storedTrace, error) {
+		g := signatureGeometry()
+		be, err := e.breakevenFor(g, signatureBanks)
+		if err != nil {
+			return nil, err
+		}
+		sig, err := workload.MeasureSignature(tr, g, signatureBanks, be)
+		if err != nil {
+			return nil, fmt.Errorf("engine: measuring trace %q: %w", tr.Name, err)
+		}
+		// Store a private copy: the caller keeps ownership of tr, and a
+		// later mutation must not desynchronise the stored accesses from
+		// the content address and signature measured here.
+		tr := &trace.Trace{
+			Name:     tr.Name,
+			Accesses: append([]trace.Access(nil), tr.Accesses...),
+			Cycles:   tr.Cycles,
+		}
+		return &storedTrace{
+			info: TraceInfo{
+				ID:        id,
+				Name:      tr.Name,
+				Accesses:  tr.Len(),
+				Cycles:    tr.Cycles,
+				Density:   tr.Density(),
+				Bytes:     size,
+				Signature: sig,
+			},
+			tr: tr,
+		}, nil
+	})
+	if err != nil {
+		return TraceInfo{}, false, err
+	}
+	if !existed {
+		e.tracesUploaded.Add(1)
+	}
+	return st.info, existed, nil
+}
+
+// RemoveTrace drops an uploaded trace from the store, freeing its
+// admission slot. Simulations already holding the trace finish
+// unaffected; subsequent jobs referencing the ID fail as unknown.
+func (e *Engine) RemoveTrace(id string) bool {
+	return e.store.remove(id)
+}
+
+// breakevenFor derives the Block Control threshold from the engine's
+// energy model, the same way core.New does for simulations.
+func (e *Engine) breakevenFor(g cache.Geometry, banks int) (uint64, error) {
+	beF, err := e.tech.BreakevenCycles(g, banks)
+	if err != nil {
+		return 0, err
+	}
+	be := uint64(beF)
+	if be < 1 {
+		be = 1
+	}
+	return be, nil
+}
+
+// TraceInfo returns the stored metadata for an uploaded trace.
+func (e *Engine) TraceInfo(id string) (TraceInfo, bool) {
+	st, ok := e.store.get(id)
+	if !ok {
+		return TraceInfo{}, false
+	}
+	return st.info, true
+}
+
+// TraceInfos lists every uploaded trace (unordered).
+func (e *Engine) TraceInfos() []TraceInfo {
+	return e.store.infos()
+}
+
+// storedTraceByID resolves an uploaded trace for simulation.
+func (e *Engine) storedTraceByID(id string) (*trace.Trace, bool) {
+	st, ok := e.store.get(id)
+	if !ok {
+		return nil, false
+	}
+	return st.tr, true
+}

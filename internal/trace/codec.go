@@ -6,17 +6,19 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"strings"
 )
 
-// Binary format:
+// Binary format v1 (the counted at-rest form; see stream.go for the
+// terminated streaming v2 the Encoder emits):
 //
 //	magic "NBTR" | version byte | name (uvarint len + bytes)
 //	count (uvarint) | span cycles (uvarint)
 //	per access: cycle delta (uvarint) | addr zig-zag delta (varint) | kind byte
 //
 // Cycle deltas are non-negative by construction (Validate enforces order);
-// address deltas are signed because workloads stride both ways.
+// address deltas are signed because workloads stride both ways. The count
+// and span are untrusted claims: decoders verify them against the bytes
+// that actually arrive and never size allocations from them.
 
 const (
 	binaryMagic   = "NBTR"
@@ -77,75 +79,15 @@ func WriteBinary(w io.Writer, t *Trace) error {
 	return bw.Flush()
 }
 
-// ReadBinary decodes a trace written by WriteBinary.
+// ReadBinary decodes a trace written by WriteBinary (v1) or by an
+// Encoder stream (v2). Decoding is incremental: memory is proportional
+// to the accesses actually present, never to a header-claimed count.
 func ReadBinary(r io.Reader) (*Trace, error) {
-	br := bufio.NewReader(r)
-	magic := make([]byte, len(binaryMagic))
-	if _, err := io.ReadFull(br, magic); err != nil {
-		return nil, fmt.Errorf("%w: missing magic: %v", ErrBadFormat, err)
-	}
-	if string(magic) != binaryMagic {
-		return nil, fmt.Errorf("%w: magic %q", ErrBadFormat, magic)
-	}
-	ver, err := br.ReadByte()
+	d, err := NewBinaryDecoder(r)
 	if err != nil {
-		return nil, fmt.Errorf("%w: missing version: %v", ErrBadFormat, err)
-	}
-	if ver != binaryVersion {
-		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadFormat, ver)
-	}
-	nameLen, err := binary.ReadUvarint(br)
-	if err != nil {
-		return nil, fmt.Errorf("%w: name length: %v", ErrBadFormat, err)
-	}
-	if nameLen > 1<<20 {
-		return nil, fmt.Errorf("%w: absurd name length %d", ErrBadFormat, nameLen)
-	}
-	name := make([]byte, nameLen)
-	if _, err := io.ReadFull(br, name); err != nil {
-		return nil, fmt.Errorf("%w: name bytes: %v", ErrBadFormat, err)
-	}
-	count, err := binary.ReadUvarint(br)
-	if err != nil {
-		return nil, fmt.Errorf("%w: access count: %v", ErrBadFormat, err)
-	}
-	span, err := binary.ReadUvarint(br)
-	if err != nil {
-		return nil, fmt.Errorf("%w: cycle span: %v", ErrBadFormat, err)
-	}
-	t := &Trace{Name: string(name), Cycles: span}
-	if count > 0 {
-		if count > 1<<32 {
-			return nil, fmt.Errorf("%w: absurd access count %d", ErrBadFormat, count)
-		}
-		t.Accesses = make([]Access, 0, count)
-	}
-	var cycle, addr uint64
-	for i := uint64(0); i < count; i++ {
-		dc, err := binary.ReadUvarint(br)
-		if err != nil {
-			return nil, fmt.Errorf("%w: access %d cycle: %v", ErrBadFormat, i, err)
-		}
-		da, err := binary.ReadVarint(br)
-		if err != nil {
-			return nil, fmt.Errorf("%w: access %d addr: %v", ErrBadFormat, i, err)
-		}
-		kb, err := br.ReadByte()
-		if err != nil {
-			return nil, fmt.Errorf("%w: access %d kind: %v", ErrBadFormat, i, err)
-		}
-		cycle += dc
-		addr += uint64(da)
-		k := Kind(kb)
-		if !k.Valid() {
-			return nil, fmt.Errorf("%w: access %d kind %d", ErrBadFormat, i, kb)
-		}
-		t.Accesses = append(t.Accesses, Access{Cycle: cycle, Addr: addr, Kind: k})
-	}
-	if err := t.Validate(); err != nil {
 		return nil, err
 	}
-	return t, nil
+	return d.ReadAll(0)
 }
 
 // WriteText writes one access per line as "cycle kind hexaddr", preceded by
@@ -168,56 +110,10 @@ func WriteText(w io.Writer, t *Trace) error {
 	return bw.Flush()
 }
 
-// ReadText parses the format produced by WriteText.
+// ReadText parses the format produced by WriteText. Malformed input
+// (including an over-long line) is reported as ErrBadFormat; genuine
+// reader failures are returned as themselves (wrapped, unwrappable with
+// errors.Is/As), so callers can tell the two apart.
 func ReadText(r io.Reader) (*Trace, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 64*1024), 16*1024*1024)
-	t := &Trace{}
-	lineNo := 0
-	for sc.Scan() {
-		lineNo++
-		line := strings.TrimSpace(sc.Text())
-		if line == "" {
-			continue
-		}
-		if strings.HasPrefix(line, "#") {
-			fields := strings.Fields(strings.TrimPrefix(line, "#"))
-			if len(fields) >= 2 {
-				switch fields[0] {
-				case "name":
-					t.Name = strings.Join(fields[1:], " ")
-				case "cycles":
-					if _, err := fmt.Sscanf(fields[1], "%d", &t.Cycles); err != nil {
-						return nil, fmt.Errorf("%w: line %d: cycles header: %v", ErrBadFormat, lineNo, err)
-					}
-				}
-			}
-			continue
-		}
-		var cycle, addr uint64
-		var kindStr string
-		if _, err := fmt.Sscanf(line, "%d %s %v", &cycle, &kindStr, &addr); err != nil {
-			return nil, fmt.Errorf("%w: line %d: %v", ErrBadFormat, lineNo, err)
-		}
-		var k Kind
-		switch kindStr {
-		case "R":
-			k = Read
-		case "W":
-			k = Write
-		default:
-			return nil, fmt.Errorf("%w: line %d: kind %q", ErrBadFormat, lineNo, kindStr)
-		}
-		t.Accesses = append(t.Accesses, Access{Cycle: cycle, Addr: addr, Kind: k})
-	}
-	if err := sc.Err(); err != nil {
-		return nil, err
-	}
-	if n := len(t.Accesses); n > 0 && t.Cycles <= t.Accesses[n-1].Cycle {
-		t.Cycles = t.Accesses[n-1].Cycle + 1
-	}
-	if err := t.Validate(); err != nil {
-		return nil, err
-	}
-	return t, nil
+	return NewTextDecoder(r).ReadAll(0)
 }

@@ -72,6 +72,97 @@ func TestReadTextNeverPanics(t *testing.T) {
 	}
 }
 
+// FuzzReadBinary feeds arbitrary bytes to the binary decoder. The seed
+// corpus pins the two hardening regressions — a header claiming 2³²
+// accesses (which used to commit ~100 GiB before reading a single access
+// byte) and a name field embedding a newline — plus valid v1 and v2
+// streams. Anything accepted must validate and re-encode.
+func FuzzReadBinary(f *testing.F) {
+	tr := sampleTrace()
+	var v1, v2 bytes.Buffer
+	if err := WriteBinary(&v1, tr); err != nil {
+		f.Fatal(err)
+	}
+	if err := EncodeStream(&v2, tr); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(v1.Bytes())
+	f.Add(v2.Bytes())
+	f.Add(hugeCountHeader(1 << 32))                 // huge-count regression
+	f.Add(hugeCountHeader(1<<32 + 1))               // just past the absurd cap
+	f.Add([]byte("NBTR\x01\x09evil\nname\x00\x01")) // newline-name regression
+	f.Add([]byte("NBTR\x02\x00\xff\x2a"))           // minimal v2: empty, span 42
+	f.Add([]byte("NBTR\x07"))                       // unsupported version
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := ReadBinary(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if verr := got.Validate(); verr != nil {
+			t.Fatalf("decoder accepted invalid trace: %v", verr)
+		}
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, got); err != nil {
+			t.Fatalf("accepted trace does not re-encode: %v", err)
+		}
+	})
+}
+
+// FuzzReadText does the same for the text decoder, seeded with the
+// header-injection shape (a `# name` header whose payload came from a
+// newline-bearing name) and over-long-line probes.
+func FuzzReadText(f *testing.F) {
+	f.Add("# nbticache trace v1\n# name sample\n# cycles 100\n0 R 0x1000\n3 W 0x1010\n")
+	f.Add("# name evil\n# cycles 999999\n0 R 0x40\n") // forged-header regression shape
+	f.Add("# cycles bogus\n")
+	f.Add("5 R 0x40\n3 R 0x40\n") // unordered
+	f.Add("1 Q 0x40\n")           // bad kind
+	f.Add(strings.Repeat("a", 4096))
+	f.Fuzz(func(t *testing.T, in string) {
+		got, err := ReadText(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		if verr := got.Validate(); verr != nil {
+			t.Fatalf("decoder accepted invalid trace: %v", verr)
+		}
+		var buf bytes.Buffer
+		if err := WriteText(&buf, got); err != nil {
+			t.Fatalf("accepted trace does not re-encode: %v", err)
+		}
+	})
+}
+
+// FuzzDecoder exercises the auto-sniffing streaming path: whatever the
+// bytes, NewDecoder+ReadAll must reject or accept without panicking, and
+// the access cap must hold.
+func FuzzDecoder(f *testing.F) {
+	tr := sampleTrace()
+	var v2 bytes.Buffer
+	if err := EncodeStream(&v2, tr); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(v2.Bytes())
+	f.Add([]byte("0 R 0x10\n7 W 0x20\n"))
+	f.Add(hugeCountHeader(1 << 32))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := NewDecoder(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		got, err := d.ReadAll(1 << 16)
+		if err != nil {
+			return
+		}
+		if got.Len() > 1<<16 {
+			t.Fatalf("cap exceeded: %d accesses", got.Len())
+		}
+		if verr := got.Validate(); verr != nil {
+			t.Fatalf("decoder accepted invalid trace: %v", verr)
+		}
+	})
+}
+
 // TestBinaryTruncations checks every prefix of a valid stream errors
 // cleanly (no panic, no partial acceptance beyond the declared count).
 func TestBinaryTruncations(t *testing.T) {

@@ -62,9 +62,40 @@ type Trace struct {
 // ErrUnordered is returned when access cycle stamps decrease.
 var ErrUnordered = errors.New("trace: accesses not in cycle order")
 
-// Validate checks internal consistency: ordered cycle stamps, valid kinds,
-// and a Cycles span that covers every access.
+// ErrBadName is returned for trace names that cannot round-trip through
+// every codec: the text format writes the name verbatim into a `# name`
+// header line, so a control character (a newline above all) would inject
+// forged header lines into the stream.
+var ErrBadName = errors.New("trace: invalid name")
+
+// maxNameLen bounds trace names across all codecs.
+const maxNameLen = 4096
+
+// checkName enforces the cross-codec name rule: at most maxNameLen
+// bytes, no control characters (bytes < 0x20 or 0x7F), no leading or
+// trailing spaces (the text codec trims lines, so such names could not
+// round-trip and would split one trace across two content addresses).
+func checkName(name string) error {
+	if len(name) > maxNameLen {
+		return fmt.Errorf("%w: %d bytes exceeds %d", ErrBadName, len(name), maxNameLen)
+	}
+	for i := 0; i < len(name); i++ {
+		if name[i] < 0x20 || name[i] == 0x7F {
+			return fmt.Errorf("%w: control character %q at byte %d", ErrBadName, name[i], i)
+		}
+	}
+	if name != "" && (name[0] == ' ' || name[len(name)-1] == ' ') {
+		return fmt.Errorf("%w: leading or trailing space in %q", ErrBadName, name)
+	}
+	return nil
+}
+
+// Validate checks internal consistency: a codec-safe name, ordered cycle
+// stamps, valid kinds, and a Cycles span that covers every access.
 func (t *Trace) Validate() error {
+	if err := checkName(t.Name); err != nil {
+		return err
+	}
 	var prev uint64
 	for i, a := range t.Accesses {
 		if a.Cycle < prev {

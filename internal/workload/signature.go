@@ -15,13 +15,13 @@ import (
 // Profile.
 type Signature struct {
 	// Banks is the granularity of the measurement.
-	Banks int
+	Banks int `json:"banks"`
 	// UsefulIdleness is the per-bank I_j vector.
-	UsefulIdleness []float64
+	UsefulIdleness []float64 `json:"useful_idleness"`
 	// SleepFractions is the per-bank P_j vector.
-	SleepFractions []float64
+	SleepFractions []float64 `json:"sleep_fractions"`
 	// Breakeven is the threshold used (cycles).
-	Breakeven uint64
+	Breakeven uint64 `json:"breakeven"`
 }
 
 // MeasureSignature replays a trace against the bank decode of the given

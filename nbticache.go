@@ -122,6 +122,15 @@ type (
 	SweepStatus = engine.SweepStatus
 	// SweepResult is a finished sweep: one JobResult per job.
 	SweepResult = engine.SweepResult
+	// TraceInfo is an uploaded trace's stored view: content address,
+	// shape, and the signature measured at admission.
+	TraceInfo = engine.TraceInfo
+	// TraceDecoder reads a trace incrementally from any wire format
+	// (binary v1/v2 or text) in bounded memory.
+	TraceDecoder = trace.Decoder
+	// TraceEncoder writes a trace incrementally in the streaming binary
+	// format (no up-front count or span needed).
+	TraceEncoder = trace.Encoder
 )
 
 // Indexing policies.
@@ -262,3 +271,46 @@ func RunLineLevel(g Geometry, tech Tech, tr *Trace, breakeven uint64) (*LineLeve
 func MeasureSignature(tr *Trace, g Geometry, banks int, breakeven uint64) (*Signature, error) {
 	return workload.MeasureSignature(tr, g, banks, breakeven)
 }
+
+// UploadTrace admits a real address trace into an engine's
+// content-addressed trace store: the trace is validated, deduplicated by
+// content address, and measured (MeasureSignature) on the way in.
+// existed reports an idempotent re-upload. The returned TraceInfo.ID
+// references the trace in JobSpec.TraceID / SweepSpec.TraceIDs as a
+// first-class alternative to the synthetic benchmarks; cmd/nbtiserved
+// exposes the same admission over HTTP at POST /v1/traces.
+func UploadTrace(e *Engine, tr *Trace) (info TraceInfo, existed bool, err error) {
+	return e.AddTrace(tr)
+}
+
+// TraceContentID computes a trace's content address without storing it:
+// equal traces hash to equal IDs on every node.
+func TraceContentID(tr *Trace) (string, error) {
+	id, _, err := engine.TraceContentID(tr)
+	return id, err
+}
+
+// NewTraceDecoder reads a trace stream, auto-detecting the wire format
+// (binary if it opens with the codec magic, text otherwise). Decoding is
+// incremental: memory is bounded by the decoder's chunk buffering, never
+// by header-claimed counts.
+func NewTraceDecoder(r io.Reader) (*TraceDecoder, error) { return trace.NewDecoder(r) }
+
+// NewTraceEncoder starts a streaming binary trace encoding; write
+// accesses as they happen and Close with the final cycle span (0 infers
+// the minimal one).
+func NewTraceEncoder(w io.Writer, name string) (*TraceEncoder, error) {
+	return trace.NewEncoder(w, name)
+}
+
+// ReadTrace decodes a complete trace from any wire format.
+func ReadTrace(r io.Reader) (*Trace, error) {
+	d, err := trace.NewDecoder(r)
+	if err != nil {
+		return nil, err
+	}
+	return d.ReadAll(0)
+}
+
+// WriteTrace encodes a trace in the streaming binary format.
+func WriteTrace(w io.Writer, tr *Trace) error { return trace.EncodeStream(w, tr) }

@@ -1,6 +1,8 @@
 package nbticache
 
 import (
+	"bytes"
+	"context"
 	"math"
 	"sync"
 	"testing"
@@ -178,5 +180,57 @@ func TestNewSuiteQuick(t *testing.T) {
 	}
 	if s.Aging == nil {
 		t.Error("suite missing aging model")
+	}
+}
+
+// TestUploadTraceFacade exercises the real-trace onboarding loop at the
+// facade: encode a trace through the streaming codec, decode it back,
+// admit it into an engine, and sweep over it by content address.
+func TestUploadTraceFacade(t *testing.T) {
+	tr := mustTrace(t)
+
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Len() != tr.Len() || decoded.Cycles != tr.Cycles {
+		t.Fatalf("codec round trip lost shape: %d/%d vs %d/%d",
+			decoded.Len(), decoded.Cycles, tr.Len(), tr.Cycles)
+	}
+
+	e, err := NewEngine(EngineOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	info, existed, err := UploadTrace(e, decoded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if existed || info.Signature == nil {
+		t.Fatalf("bad admission: existed=%v info=%+v", existed, info)
+	}
+	wantID, err := TraceContentID(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.ID != wantID {
+		t.Errorf("content address %q, want %q", info.ID, wantID)
+	}
+
+	res, err := Sweep(context.Background(), e, SweepSpec{TraceIDs: []string{info.ID}, Banks: []int{4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Jobs) != 1 || res.Jobs[0].Failed() {
+		t.Fatalf("trace-backed sweep failed: %+v", res.Jobs)
+	}
+	if res.Jobs[0].Projection.LifetimeYears <= 0 {
+		t.Error("degenerate lifetime from uploaded trace")
 	}
 }
