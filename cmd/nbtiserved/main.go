@@ -10,6 +10,12 @@
 // returns both; the returned ID then references the workload in job and
 // sweep specs ("trace_id" / "trace_ids") exactly like a benchmark name.
 //
+// With -data-dir set, completed job results and uploaded traces persist
+// to a content-addressed disk store (crash-safe writes, checksummed
+// blobs): a restarted server lists the traces again and serves
+// previously simulated jobs from disk without re-simulating. Without
+// it, everything is memory-only, as before.
+//
 //	POST   /v1/sweeps       submit a sweep (engine.SweepSpec JSON) -> 202 {id, job_ids}
 //	GET    /v1/sweeps/{id}  progress + resolved results
 //	DELETE /v1/sweeps/{id}  cancel
@@ -57,9 +63,16 @@ func main() {
 	maxTraceBytes := flag.Int64("max-trace-bytes", defaultMaxTraceBytes, "largest accepted trace-upload body")
 	maxTraces := flag.Int("max-traces", engine.DefaultMaxStoredTraces, "uploaded traces kept resident (uploads 507 past this; DELETE /v1/traces/{id} frees slots)")
 	retainSweeps := flag.Int("retain-sweeps", defaultRetainSweeps, "finished sweep handles kept before the oldest are evicted")
+	dataDir := flag.String("data-dir", "", "persist job results and uploaded traces here so restarts warm-start (empty = memory-only)")
+	maxResults := flag.Int("max-results", engine.DefaultMaxCachedResults, "job results kept in the cache before the oldest are evicted")
 	flag.Parse()
 
-	opts := engine.Options{Workers: *workers, MaxStoredTraces: *maxTraces}
+	opts := engine.Options{
+		Workers:          *workers,
+		MaxStoredTraces:  *maxTraces,
+		DataDir:          *dataDir,
+		MaxCachedResults: *maxResults,
+	}
 	if *quick {
 		opts.Gen = func(g cache.Geometry) workload.GenParams {
 			return workload.GenParams{Geometry: g, Phases: 192, AccessesPerPhase: 512}
@@ -67,7 +80,13 @@ func main() {
 	}
 	eng, err := engine.New(opts)
 	if err != nil {
+		// An unusable -data-dir fails here, before the listener opens,
+		// not on the first write.
 		log.Fatal(err)
+	}
+	if *dataDir != "" {
+		st := eng.Stats()
+		log.Printf("persisting to %s (%d traces, %d job results warm)", *dataDir, st.TracesStored, st.ResultBlobs)
 	}
 
 	srv := &http.Server{

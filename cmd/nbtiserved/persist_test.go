@@ -1,0 +1,225 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"nbticache/internal/cache"
+	"nbticache/internal/engine"
+	"nbticache/internal/trace"
+	"nbticache/internal/workload"
+)
+
+func persistentTestServer(t *testing.T, dir string) (*httptest.Server, *engine.Engine) {
+	t.Helper()
+	eng, err := engine.New(engine.Options{
+		Workers: 2,
+		DataDir: dir,
+		Gen: func(g cache.Geometry) workload.GenParams {
+			return workload.GenParams{Geometry: g, Phases: 16, AccessesPerPhase: 64}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(eng.Close)
+	ts := httptest.NewServer(newServer(eng, serverConfig{}).handler())
+	t.Cleanup(ts.Close)
+	return ts, eng
+}
+
+// TestWarmRestartOverHTTP is the service-level durability walkthrough:
+// upload a trace and run a sweep against one server, shut it down,
+// start a second server on the same -data-dir, and observe the trace
+// listed and the identical sweep resolving entirely from disk.
+func TestWarmRestartOverHTTP(t *testing.T) {
+	dir := t.TempDir()
+	tr := uploadTestTrace("field-capture", 2500, 53)
+	var wire bytes.Buffer
+	if err := trace.WriteBinary(&wire, tr); err != nil {
+		t.Fatal(err)
+	}
+
+	ts1, eng1 := persistentTestServer(t, dir)
+	var up uploadResponse
+	if code := postBody(t, ts1.URL+"/v1/traces", "application/octet-stream", wire.Bytes(), &up); code != http.StatusCreated {
+		t.Fatalf("upload status %d", code)
+	}
+	sweepBody := `{"trace_ids":["` + up.ID + `"],"banks":[2,4]}`
+	resp, err := http.Post(ts1.URL+"/v1/sweeps", "application/json", strings.NewReader(sweepBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sub submitResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted || sub.Total != 2 {
+		t.Fatalf("submit: %d %+v", resp.StatusCode, sub)
+	}
+	// Drain the sweep synchronously through the engine, then "crash"
+	// the first server.
+	spec := engine.SweepSpec{TraceIDs: []string{up.ID}, Banks: []int{2, 4}}
+	h, err := eng1.Submit(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ts1.Close()
+	eng1.Close()
+
+	ts2, eng2 := persistentTestServer(t, dir)
+	// The trace lists again, signature included.
+	var list struct {
+		Total  int                `json:"total"`
+		Traces []engine.TraceInfo `json:"traces"`
+	}
+	if code := getJSON(t, ts2.URL+"/v1/traces", &list); code != http.StatusOK || list.Total != 1 || list.Traces[0].ID != up.ID {
+		t.Fatalf("traces after restart: %d %+v", code, list)
+	}
+	if list.Traces[0].Signature == nil {
+		t.Fatal("signature lost across restart")
+	}
+	// Every job resolves by content address before any simulation ran.
+	for _, id := range sub.JobIDs {
+		var res engine.JobResult
+		if code := getJSON(t, ts2.URL+"/v1/jobs/"+id, &res); code != http.StatusOK {
+			t.Fatalf("GET /v1/jobs/%s after restart: %d", id, code)
+		}
+		if res.Run == nil || res.Projection == nil {
+			t.Fatalf("restored job %s incomplete", id)
+		}
+	}
+	// Re-submitting the identical sweep is pure cache replay.
+	h2, err := eng2.Submit(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := h2.Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res2.Jobs {
+		if r.Failed() || !r.Cached {
+			t.Errorf("job %s after restart: cached=%v err=%q", r.ID, r.Cached, r.Err)
+		}
+	}
+	st := eng2.Stats()
+	if st.RunsExecuted != 0 || st.TracesBuilt != 0 {
+		t.Errorf("restart re-simulated: %+v", st)
+	}
+	// The metrics surface the persistence layer.
+	metResp, err := http.Get(ts2.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer metResp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(metResp.Body); err != nil {
+		t.Fatal(err)
+	}
+	body := buf.String()
+	for _, want := range []string{
+		"nbtiserved_persistent 1",
+		"nbtiserved_persist_hits_total",
+		"nbtiserved_persist_corruptions_total 0",
+		"nbtiserved_trace_blobs 1",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+// TestDeleteTraceDuringSweepOverHTTP: DELETE /v1/traces/{id} while a
+// sweep referencing the trace is in flight returns 200, hides the
+// trace immediately, and the sweep still completes cleanly.
+func TestDeleteTraceDuringSweepOverHTTP(t *testing.T) {
+	release := make(chan struct{})
+	eng, err := engine.New(engine.Options{
+		Workers: 1,
+		Gen: func(g cache.Geometry) workload.GenParams {
+			<-release // stalls the benchmark job at the head of the sweep
+			return workload.GenParams{Geometry: g, Phases: 16, AccessesPerPhase: 64}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(eng.Close)
+	ts := httptest.NewServer(newServer(eng, serverConfig{}).handler())
+	t.Cleanup(ts.Close)
+
+	tr := uploadTestTrace("to-delete", 1200, 77)
+	var wire bytes.Buffer
+	if err := trace.WriteBinary(&wire, tr); err != nil {
+		t.Fatal(err)
+	}
+	var up uploadResponse
+	if code := postBody(t, ts.URL+"/v1/traces", "application/octet-stream", wire.Bytes(), &up); code != http.StatusCreated {
+		t.Fatalf("upload status %d", code)
+	}
+
+	body := `{"jobs":[{"bench":"sha"},{"trace_id":"` + up.ID + `","banks":2}]}`
+	resp, err := http.Post(ts.URL+"/v1/sweeps", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sub submitResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	req, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/traces/"+up.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delResp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delResp.Body.Close()
+	if delResp.StatusCode != http.StatusOK {
+		t.Fatalf("DELETE while pinned: %d, want 200", delResp.StatusCode)
+	}
+	if code := getJSON(t, ts.URL+"/v1/traces/"+up.ID, nil); code != http.StatusNotFound {
+		t.Errorf("condemned trace still resolves: %d", code)
+	}
+
+	close(release)
+	deadline := time.Now().Add(2 * time.Minute)
+	var sweep sweepResponse
+	for {
+		if code := getJSON(t, ts.URL+"/v1/sweeps/"+sub.ID, &sweep); code != http.StatusOK {
+			t.Fatalf("poll status %d", code)
+		}
+		if sweep.Status.State != "running" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("sweep still running: %+v", sweep.Status)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if sweep.Status.State != "done" {
+		t.Fatalf("state %q, want done", sweep.Status.State)
+	}
+	for _, j := range sweep.Jobs {
+		if j == nil || j.Failed() {
+			t.Errorf("job broke under a concurrent DELETE: %+v", j)
+		}
+	}
+	if st := eng.Stats(); st.TracesStored != 0 {
+		t.Errorf("trace slot not reclaimed after sweep finish: %+v", st)
+	}
+}

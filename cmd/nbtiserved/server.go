@@ -317,8 +317,11 @@ func (s *server) getTrace(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, info)
 }
 
-// deleteTrace frees an uploaded trace's store slot. Running jobs that
-// already resolved the trace finish; later references fail as unknown.
+// deleteTrace frees an uploaded trace's store slot. A trace referenced
+// by an in-flight sweep is pinned: it disappears from listings and new
+// submissions immediately, the running sweep's jobs still resolve it,
+// and the storage (persistent blob included) is reclaimed when the
+// sweep finishes. Later references fail as unknown either way.
 func (s *server) deleteTrace(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	if !s.eng.RemoveTrace(id) {
@@ -388,7 +391,23 @@ func (s *server) metrics(w http.ResponseWriter, r *http.Request) {
 		{"nbtiserved_traces_stored", "gauge", "Uploaded traces resident in the store.", uint64(st.TracesStored)},
 		{"nbtiserved_sweeps_retained", "gauge", "Sweep handles resident in the registry.", uint64(retained)},
 		{"nbtiserved_sweeps_evicted_total", "counter", "Finished sweep handles evicted by retention.", evicted},
+		{"nbtiserved_persistent", "gauge", "1 when a data directory backs the engine.", b2u(st.Persistent)},
+		{"nbtiserved_persist_hits_total", "counter", "Blobs served from the persistence layer.", st.PersistHits},
+		{"nbtiserved_persist_misses_total", "counter", "Persistence reads that found nothing.", st.PersistMisses},
+		{"nbtiserved_persist_writes_total", "counter", "Blobs written through to the persistence layer.", st.PersistWrites},
+		{"nbtiserved_persist_write_failures_total", "counter", "Write-behinds that failed (value still served).", st.PersistWriteFailures},
+		{"nbtiserved_persist_evictions_total", "counter", "Result blobs evicted by the capacity bound.", st.PersistEvictions},
+		{"nbtiserved_persist_corruptions_total", "counter", "Blobs quarantined as corrupt (checksum or codec).", st.PersistCorruptions},
+		{"nbtiserved_result_blobs", "gauge", "Job-result blobs resident in the store.", uint64(st.ResultBlobs)},
+		{"nbtiserved_trace_blobs", "gauge", "Trace blobs resident in the store.", uint64(st.TraceBlobs)},
 	} {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %d\n", m.name, m.help, m.name, m.typ, m.name, m.value)
 	}
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
 }

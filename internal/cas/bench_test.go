@@ -1,0 +1,48 @@
+package cas
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkDiskStore measures the persistence hot paths: crash-safe Put
+// (write + fsync + rename + dir fsync) and verified Get (read + header
+// parse + SHA-256 check) at a job-result-sized blob. This is the floor
+// under every warm-restart and write-through number.
+func BenchmarkDiskStore(b *testing.B) {
+	blob := make([]byte, 4096)
+	for i := range blob {
+		blob[i] = byte(i)
+	}
+	b.Run("put", func(b *testing.B) {
+		s, err := OpenDisk(b.TempDir(), Limits{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer s.Close()
+		b.SetBytes(int64(len(blob)))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := s.Put(fmt.Sprintf("job-%d", i), blob); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("get", func(b *testing.B) {
+		s, err := OpenDisk(b.TempDir(), Limits{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer s.Close()
+		if err := s.Put("job-hot", blob); err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(int64(len(blob)))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.Get("job-hot"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

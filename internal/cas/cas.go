@@ -1,0 +1,135 @@
+// Package cas is the engine's persistence spine: a content-addressed
+// blob store keyed by the caller's content addresses (job IDs, trace
+// IDs). Two implementations share one Store interface — MemStore for
+// ephemeral engines and DiskStore for engines that must survive a
+// restart — so the layers above (the engine's result cache and trace
+// store) are written once against the interface and gain durability by
+// configuration alone.
+//
+// Keys are the addresses the engine already computes ("job-<hex>",
+// "trace-<hex>"); values are opaque byte blobs. The store does not
+// interpret blobs, but the DiskStore frames each one with a checksum so
+// bit rot is detected at read time and quarantined instead of served.
+package cas
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// Store errors. Get and Delete report an absent key as ErrNotFound;
+// corruption detected by a disk store is folded into ErrNotFound too
+// (the blob is quarantined and the caller re-derives the value), with
+// the event visible in Metrics.Corruptions.
+var (
+	ErrNotFound = errors.New("cas: not found")
+	ErrClosed   = errors.New("cas: store closed")
+	ErrBadKey   = errors.New("cas: bad key")
+	// ErrTooLarge is returned by Put when a single blob alone exceeds
+	// the store's byte limit: evicting everything else still could not
+	// make it fit, so the store refuses rather than thrashing.
+	ErrTooLarge = errors.New("cas: blob exceeds store byte limit")
+)
+
+// Stat describes one stored blob. Size is the payload length (what Get
+// returns), not the on-disk framing.
+type Stat struct {
+	Key  string
+	Size int64
+}
+
+// Metrics is a point-in-time snapshot of a store's counters. Entries
+// and Bytes are gauges; the rest are monotonic.
+type Metrics struct {
+	// Gets counts Get calls (from GetOrFill's read-through too); Hits
+	// counts the ones that returned a blob.
+	Gets uint64
+	Hits uint64
+	// Puts counts blobs written; PutFailures counts writes that failed
+	// (GetOrFill still serves the computed value when the write-behind
+	// fails, so this is the only trace such a failure leaves).
+	Puts        uint64
+	PutFailures uint64
+	Deletes     uint64
+	// Evictions counts blobs dropped by the capacity bound (oldest
+	// first); Corruptions counts blobs quarantined as unreadable.
+	Evictions   uint64
+	Corruptions uint64
+	Entries     int
+	Bytes       int64
+}
+
+// Limits bounds a store's capacity. Zero fields mean unlimited. When a
+// Put would exceed a bound, the oldest blobs (by first insertion) are
+// evicted until it fits; the blob being put is never the victim.
+type Limits struct {
+	MaxEntries int
+	MaxBytes   int64
+}
+
+// FillFunc computes the blob for a missing key.
+type FillFunc func() ([]byte, error)
+
+// Store is a keyed blob store. Implementations are safe for concurrent
+// use. Callers must not modify a blob returned by Get or GetOrFill, nor
+// a blob after passing it to Put (stores may retain or return internal
+// slices to keep the memory path copy-free).
+type Store interface {
+	// Get returns the blob for key, or ErrNotFound.
+	Get(key string) ([]byte, error)
+	// Put stores blob under key, overwriting any previous value (equal
+	// keys are assumed to address equal content, so an overwrite is a
+	// no-op semantically). The key's age is its first insertion.
+	Put(key string, blob []byte) error
+	// Delete removes key, or returns ErrNotFound.
+	Delete(key string) error
+	// List snapshots the resident blobs, oldest first (eviction order).
+	List() ([]Stat, error)
+	// Stat describes one resident blob, or returns ErrNotFound.
+	Stat(key string) (Stat, error)
+	// GetOrFill returns the blob for key, computing and storing it with
+	// fill if absent. Concurrent callers for one key are single-flight:
+	// the first becomes the leader and runs fill, the rest share its
+	// outcome. hit reports that the blob came from the store or from
+	// another caller's fill rather than this call's own. Failed fills
+	// are not stored, so a later call retries; a fill that returns a
+	// context error settles only the waiters that are themselves
+	// cancelled — a live waiter takes over and fills again. ctx bounds
+	// the wait on a leader, never the caller's own fill.
+	GetOrFill(ctx context.Context, key string, fill FillFunc) (blob []byte, hit bool, err error)
+	// Metrics snapshots the counters.
+	Metrics() Metrics
+	// Close releases the store. Calls after Close fail with ErrClosed.
+	Close() error
+}
+
+// maxKeyLen bounds key length; with the ".blob" suffix this stays well
+// under every filesystem's name limit.
+const maxKeyLen = 200
+
+// checkKey admits exactly the addresses the engine mints — ASCII
+// letters, digits, '.', '_', '-' — and nothing that could traverse or
+// hide in a directory listing (separators, a leading dot).
+func checkKey(key string) error {
+	if key == "" || len(key) > maxKeyLen {
+		return fmt.Errorf("%w: length %d outside [1,%d]", ErrBadKey, len(key), maxKeyLen)
+	}
+	if key[0] == '.' {
+		return fmt.Errorf("%w: %q starts with a dot", ErrBadKey, key)
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			return fmt.Errorf("%w: %q contains byte %#x", ErrBadKey, key, c)
+		}
+	}
+	return nil
+}
+
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}

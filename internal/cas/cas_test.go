@@ -1,0 +1,587 @@
+package cas
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// stores runs a subtest against each implementation.
+func stores(t *testing.T, fn func(t *testing.T, s Store)) {
+	t.Helper()
+	t.Run("mem", func(t *testing.T) {
+		s := NewMem(Limits{})
+		t.Cleanup(func() { s.Close() })
+		fn(t, s)
+	})
+	t.Run("disk", func(t *testing.T) {
+		s, err := OpenDisk(t.TempDir(), Limits{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { s.Close() })
+		fn(t, s)
+	})
+}
+
+func boundedStore(t *testing.T, kind string, limits Limits) Store {
+	t.Helper()
+	if kind == "mem" {
+		s := NewMem(limits)
+		t.Cleanup(func() { s.Close() })
+		return s
+	}
+	s, err := OpenDisk(t.TempDir(), limits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	stores(t, func(t *testing.T, s Store) {
+		if _, err := s.Get("job-absent"); !errors.Is(err, ErrNotFound) {
+			t.Fatalf("Get absent = %v, want ErrNotFound", err)
+		}
+		blob := []byte("hello blobs")
+		if err := s.Put("job-a", blob); err != nil {
+			t.Fatal(err)
+		}
+		got, err := s.Get("job-a")
+		if err != nil || !bytes.Equal(got, blob) {
+			t.Fatalf("Get = %q, %v", got, err)
+		}
+		st, err := s.Stat("job-a")
+		if err != nil || st.Key != "job-a" || st.Size != int64(len(blob)) {
+			t.Fatalf("Stat = %+v, %v", st, err)
+		}
+		// Overwrite is size-accounted, not duplicated.
+		if err := s.Put("job-a", []byte("xy")); err != nil {
+			t.Fatal(err)
+		}
+		m := s.Metrics()
+		if m.Entries != 1 || m.Bytes != 2 {
+			t.Fatalf("after overwrite: %+v", m)
+		}
+		if err := s.Delete("job-a"); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Delete("job-a"); !errors.Is(err, ErrNotFound) {
+			t.Fatalf("double delete = %v, want ErrNotFound", err)
+		}
+		if m := s.Metrics(); m.Entries != 0 || m.Bytes != 0 {
+			t.Fatalf("after delete: %+v", m)
+		}
+	})
+}
+
+func TestStoreRejectsBadKeys(t *testing.T) {
+	stores(t, func(t *testing.T, s Store) {
+		for _, key := range []string{
+			"", ".hidden", "a/b", "..", "a b", "k\x00ey",
+			strings.Repeat("x", maxKeyLen+1),
+		} {
+			if err := s.Put(key, []byte("v")); !errors.Is(err, ErrBadKey) {
+				t.Errorf("Put(%q) = %v, want ErrBadKey", key, err)
+			}
+			if _, err := s.Get(key); !errors.Is(err, ErrBadKey) {
+				t.Errorf("Get(%q) = %v, want ErrBadKey", key, err)
+			}
+		}
+	})
+}
+
+func TestStoreListOldestFirst(t *testing.T) {
+	stores(t, func(t *testing.T, s Store) {
+		for i := 0; i < 5; i++ {
+			if err := s.Put(fmt.Sprintf("job-%d", i), []byte{byte(i)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Overwriting an old key must not refresh its age.
+		if err := s.Put("job-1", []byte("new")); err != nil {
+			t.Fatal(err)
+		}
+		list, err := s.List()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var keys []string
+		for _, st := range list {
+			keys = append(keys, st.Key)
+		}
+		want := []string{"job-0", "job-1", "job-2", "job-3", "job-4"}
+		if strings.Join(keys, ",") != strings.Join(want, ",") {
+			t.Fatalf("List order = %v, want %v", keys, want)
+		}
+	})
+}
+
+func TestStoreEviction(t *testing.T) {
+	for _, kind := range []string{"mem", "disk"} {
+		t.Run(kind, func(t *testing.T) {
+			s := boundedStore(t, kind, Limits{MaxEntries: 2})
+			for i := 0; i < 4; i++ {
+				if err := s.Put(fmt.Sprintf("job-%d", i), []byte{1}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			m := s.Metrics()
+			if m.Entries != 2 || m.Evictions != 2 {
+				t.Fatalf("metrics after entry eviction: %+v", m)
+			}
+			if _, err := s.Get("job-0"); !errors.Is(err, ErrNotFound) {
+				t.Errorf("oldest survived eviction: %v", err)
+			}
+			if _, err := s.Get("job-3"); err != nil {
+				t.Errorf("newest evicted: %v", err)
+			}
+
+			b := boundedStore(t, kind, Limits{MaxBytes: 10})
+			if err := b.Put("job-big", make([]byte, 11)); !errors.Is(err, ErrTooLarge) {
+				t.Fatalf("oversized blob = %v, want ErrTooLarge", err)
+			}
+			if err := b.Put("job-a", make([]byte, 6)); err != nil {
+				t.Fatal(err)
+			}
+			if err := b.Put("job-b", make([]byte, 6)); err != nil {
+				t.Fatal(err)
+			}
+			if m := b.Metrics(); m.Entries != 1 || m.Bytes != 6 || m.Evictions != 1 {
+				t.Fatalf("metrics after byte eviction: %+v", m)
+			}
+			if _, err := b.Get("job-b"); err != nil {
+				t.Errorf("blob being put was evicted: %v", err)
+			}
+		})
+	}
+}
+
+func TestGetOrFillSingleFlight(t *testing.T) {
+	stores(t, func(t *testing.T, s Store) {
+		const racers = 8
+		var fills int
+		var mu sync.Mutex
+		started := make(chan struct{})
+		release := make(chan struct{})
+		var wg sync.WaitGroup
+		blobs := make([][]byte, racers)
+		hits := make([]bool, racers)
+		for i := 0; i < racers; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				blob, hit, err := s.GetOrFill(context.Background(), "job-k", func() ([]byte, error) {
+					mu.Lock()
+					fills++
+					mu.Unlock()
+					close(started)
+					<-release
+					return []byte("value"), nil
+				})
+				if err != nil {
+					t.Error(err)
+				}
+				blobs[i], hits[i] = blob, hit
+			}(i)
+		}
+		<-started
+		close(release)
+		wg.Wait()
+		if fills != 1 {
+			t.Fatalf("fill ran %d times, want 1", fills)
+		}
+		nhit := 0
+		for i := range blobs {
+			if string(blobs[i]) != "value" {
+				t.Fatalf("racer %d blob = %q", i, blobs[i])
+			}
+			if hits[i] {
+				nhit++
+			}
+		}
+		if nhit != racers-1 {
+			t.Errorf("%d hits, want %d (every waiter, not the leader)", nhit, racers-1)
+		}
+		// The value is now stored: a later call is a pure read.
+		if _, hit, err := s.GetOrFill(context.Background(), "job-k", func() ([]byte, error) {
+			t.Error("fill ran for a stored key")
+			return nil, nil
+		}); err != nil || !hit {
+			t.Fatalf("read-through = hit %v, %v", hit, err)
+		}
+	})
+}
+
+func TestGetOrFillFailureNotCached(t *testing.T) {
+	stores(t, func(t *testing.T, s Store) {
+		boom := errors.New("boom")
+		if _, _, err := s.GetOrFill(context.Background(), "job-f", func() ([]byte, error) {
+			return nil, boom
+		}); !errors.Is(err, boom) {
+			t.Fatalf("err = %v, want boom", err)
+		}
+		if _, err := s.Get("job-f"); !errors.Is(err, ErrNotFound) {
+			t.Fatalf("failed fill was stored: %v", err)
+		}
+		// Retry succeeds.
+		blob, hit, err := s.GetOrFill(context.Background(), "job-f", func() ([]byte, error) {
+			return []byte("ok"), nil
+		})
+		if err != nil || hit || string(blob) != "ok" {
+			t.Fatalf("retry = %q, hit %v, %v", blob, hit, err)
+		}
+	})
+}
+
+func TestGetOrFillPanicSettlesWaiters(t *testing.T) {
+	stores(t, func(t *testing.T, s Store) {
+		started := make(chan struct{})
+		var waiterErr error
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-started
+			_, _, waiterErr = s.GetOrFill(context.Background(), "job-p", func() ([]byte, error) {
+				return []byte("recovered"), nil
+			})
+		}()
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("panic did not propagate to the leader")
+				}
+			}()
+			s.GetOrFill(context.Background(), "job-p", func() ([]byte, error) {
+				close(started)
+				panic("kaboom")
+			})
+		}()
+		wg.Wait()
+		// The waiter either shared the panic error or retried and filled
+		// itself; it must not have hung (wg.Wait returned) and any error
+		// must name the panic.
+		if waiterErr != nil && !strings.Contains(waiterErr.Error(), "kaboom") {
+			t.Errorf("waiter error = %v", waiterErr)
+		}
+	})
+}
+
+// TestGetOrFillLeaderCancellation: a waiter must not inherit the
+// leader's cancellation; it takes over and fills itself.
+func TestGetOrFillLeaderCancellation(t *testing.T) {
+	stores(t, func(t *testing.T, s Store) {
+		leaderCtx, cancelLeader := context.WithCancel(context.Background())
+		leaderStarted := make(chan struct{})
+		var wg sync.WaitGroup
+		wg.Add(2)
+		var leaderErr error
+		go func() {
+			defer wg.Done()
+			_, _, leaderErr = s.GetOrFill(leaderCtx, "job-c", func() ([]byte, error) {
+				close(leaderStarted)
+				<-leaderCtx.Done()
+				return nil, leaderCtx.Err()
+			})
+		}()
+		<-leaderStarted
+		var waiterBlob []byte
+		var waiterErr error
+		go func() {
+			defer wg.Done()
+			waiterBlob, _, waiterErr = s.GetOrFill(context.Background(), "job-c", func() ([]byte, error) {
+				return []byte("takeover"), nil
+			})
+		}()
+		cancelLeader()
+		wg.Wait()
+		if !errors.Is(leaderErr, context.Canceled) {
+			t.Errorf("leader err = %v", leaderErr)
+		}
+		if waiterErr != nil || string(waiterBlob) != "takeover" {
+			t.Errorf("waiter = %q, %v; want takeover, nil", waiterBlob, waiterErr)
+		}
+	})
+}
+
+func TestStoreClosed(t *testing.T) {
+	stores(t, func(t *testing.T, s Store) {
+		if err := s.Put("job-x", []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Get("job-x"); !errors.Is(err, ErrClosed) {
+			t.Errorf("Get after close = %v", err)
+		}
+		if err := s.Put("job-y", nil); !errors.Is(err, ErrClosed) {
+			t.Errorf("Put after close = %v", err)
+		}
+		if _, _, err := s.GetOrFill(context.Background(), "job-z", func() ([]byte, error) {
+			t.Error("fill ran on a closed store")
+			return nil, nil
+		}); !errors.Is(err, ErrClosed) {
+			t.Errorf("GetOrFill after close = %v", err)
+		}
+	})
+}
+
+// TestStoreConcurrentMixedOps hammers Put/Get/Delete/List from many
+// goroutines so the race detector sees the unlocked I/O paths; the only
+// invariant asserted is that nothing corrupts (a Get returns either a
+// full valid blob or a miss — DiskStore's checksum would surface torn
+// state as a Corruptions count).
+func TestStoreConcurrentMixedOps(t *testing.T) {
+	stores(t, func(t *testing.T, s Store) {
+		const keys = 8
+		var wg sync.WaitGroup
+		for w := 0; w < 4; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := 0; i < 40; i++ {
+					key := fmt.Sprintf("job-%d", i%keys)
+					switch (i + w) % 3 {
+					case 0:
+						if err := s.Put(key, bytes.Repeat([]byte{byte(i)}, 64)); err != nil {
+							t.Error(err)
+						}
+					case 1:
+						if blob, err := s.Get(key); err == nil && len(blob) != 64 {
+							t.Errorf("partial blob: %d bytes", len(blob))
+						}
+					case 2:
+						s.Delete(key) // ErrNotFound is fine
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		if m := s.Metrics(); m.Corruptions != 0 {
+			t.Errorf("concurrent ops corrupted the store: %+v", m)
+		}
+	})
+}
+
+// --- disk-specific behaviour ---
+
+func TestDiskReopenPersists(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenDisk(dir, Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("job-keep", []byte("survives")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := OpenDisk(dir, Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	blob, err := s2.Get("job-keep")
+	if err != nil || string(blob) != "survives" {
+		t.Fatalf("after reopen: %q, %v", blob, err)
+	}
+}
+
+// TestDiskCrashMidWrite: a temp file left by a crash between create and
+// rename is cleaned at open and never visible as a blob.
+func TestDiskCrashMidWrite(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenDisk(dir, Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("job-done", []byte("complete")); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	// Simulate a crash mid-write: a partial frame under a temp name.
+	stray := filepath.Join(dir, tmpPrefix+"123456")
+	if err := os.WriteFile(stray, []byte("NBCS\x01partial garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := OpenDisk(dir, Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if _, err := os.Lstat(stray); !os.IsNotExist(err) {
+		t.Errorf("temp leftover not cleaned: %v", err)
+	}
+	list, err := s2.List()
+	if err != nil || len(list) != 1 || list[0].Key != "job-done" {
+		t.Fatalf("List after crash recovery = %+v, %v", list, err)
+	}
+	if m := s2.Metrics(); m.Corruptions != 0 {
+		t.Errorf("temp cleanup counted as corruption: %+v", m)
+	}
+}
+
+// TestDiskCorruptBlobQuarantined: a bit-flipped payload is detected at
+// Get, quarantined, and reported as a miss — never served, never fatal.
+func TestDiskCorruptBlobQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenDisk(dir, Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("job-rot", []byte("pristine payload")); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	// Flip one payload byte (the tail of the frame before the checksum).
+	path := filepath.Join(dir, "job-rot"+blobSuffix)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-40] ^= 0xff
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := OpenDisk(dir, Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if _, err := s2.Get("job-rot"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("corrupt Get = %v, want ErrNotFound", err)
+	}
+	if m := s2.Metrics(); m.Corruptions != 1 || m.Entries != 0 {
+		t.Fatalf("metrics after corruption: %+v", m)
+	}
+	q, err := os.ReadDir(filepath.Join(dir, quarantineDir))
+	if err != nil || len(q) != 1 {
+		t.Fatalf("quarantine dir = %v, %v (want exactly the bad frame)", q, err)
+	}
+	// The slot is reusable.
+	if err := s2.Put("job-rot", []byte("fresh")); err != nil {
+		t.Fatal(err)
+	}
+	if blob, err := s2.Get("job-rot"); err != nil || string(blob) != "fresh" {
+		t.Fatalf("refill = %q, %v", blob, err)
+	}
+}
+
+// TestDiskTruncatedBlobQuarantinedAtOpen: structural damage (a frame
+// cut short) is caught by the open scan, not served later.
+func TestDiskTruncatedBlobQuarantinedAtOpen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenDisk(dir, Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("job-cut", []byte("soon to be truncated")); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	path := filepath.Join(dir, "job-cut"+blobSuffix)
+	if err := os.Truncate(path, 10); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := OpenDisk(dir, Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if m := s2.Metrics(); m.Corruptions != 1 || m.Entries != 0 {
+		t.Fatalf("metrics after truncation: %+v", m)
+	}
+	if _, err := os.Lstat(path); !os.IsNotExist(err) {
+		t.Error("truncated frame still visible in the store directory")
+	}
+}
+
+// TestDiskRenamedBlobQuarantined: a frame copied to another key's
+// filename fails the embedded-key check.
+func TestDiskRenamedBlobQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenDisk(dir, Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("job-orig", []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	raw, err := os.ReadFile(filepath.Join(dir, "job-orig"+blobSuffix))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "job-other"+blobSuffix), raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := OpenDisk(dir, Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if _, err := s2.Get("job-orig"); err != nil {
+		t.Errorf("original lost: %v", err)
+	}
+	if _, err := s2.Get("job-other"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("aliased frame served: %v", err)
+	}
+	if m := s2.Metrics(); m.Corruptions != 1 {
+		t.Errorf("aliased frame not quarantined: %+v", m)
+	}
+}
+
+func TestDiskOpenFailsFastOnUnusablePath(t *testing.T) {
+	// A path through a regular file cannot be a directory: Open must
+	// fail now, not on the first Put.
+	f := filepath.Join(t.TempDir(), "file")
+	if err := os.WriteFile(f, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenDisk(filepath.Join(f, "sub"), Limits{}); err == nil {
+		t.Fatal("OpenDisk through a regular file succeeded")
+	}
+	if _, err := OpenDisk("", Limits{}); err == nil {
+		t.Fatal("OpenDisk with empty dir succeeded")
+	}
+}
+
+// TestDiskOpenEnforcesLimits: reopening with tighter limits evicts the
+// oldest existing blobs immediately.
+func TestDiskOpenEnforcesLimits(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenDisk(dir, Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := s.Put(fmt.Sprintf("job-%d", i), []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+	s2, err := OpenDisk(dir, Limits{MaxEntries: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if m := s2.Metrics(); m.Entries != 2 || m.Evictions != 2 {
+		t.Fatalf("metrics after shrunken reopen: %+v", m)
+	}
+}

@@ -1,0 +1,101 @@
+package cas
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// flightGroup implements GetOrFill's single-flight contract over any
+// store's Get/Put, mirroring the engine's historical flightCache
+// semantics: one leader computes, waiters share, failures are not
+// cached, a leader's cancellation never contaminates a live waiter, and
+// a panicking fill still settles its waiters before re-raising.
+type flightGroup struct {
+	mu       sync.Mutex
+	inflight map[string]*flightCall
+}
+
+type flightCall struct {
+	done chan struct{} // closed when blob/err are final
+	blob []byte
+	err  error
+}
+
+func (g *flightGroup) do(ctx context.Context, key string, get func(string) ([]byte, error), put func(string, []byte) error, onPutFailure func(), fill FillFunc) ([]byte, bool, error) {
+	for {
+		g.mu.Lock()
+		if g.inflight == nil {
+			g.inflight = make(map[string]*flightCall)
+		}
+		if c, busy := g.inflight[key]; busy {
+			g.mu.Unlock()
+			select {
+			case <-c.done:
+				if isCtxErr(c.err) && ctx.Err() == nil {
+					continue // leader cancelled, we weren't: take over
+				}
+				return c.blob, true, c.err
+			case <-ctx.Done():
+				return nil, false, ctx.Err()
+			}
+		}
+		// Not in flight: read through before becoming a leader, so a
+		// stored blob is served without ever running fill.
+		c := &flightCall{done: make(chan struct{})}
+		g.inflight[key] = c
+		g.mu.Unlock()
+
+		switch blob, err := get(key); {
+		case err == nil:
+			c.blob = blob
+			g.settle(key, c)
+			close(c.done)
+			return blob, true, nil
+		case !errors.Is(err, ErrNotFound):
+			// A real store failure (closed, I/O): propagate rather than
+			// recompute over a broken backing store.
+			c.err = err
+			g.settle(key, c)
+			close(c.done)
+			return nil, false, err
+		}
+
+		func() {
+			// Settle even if fill panics: waiters must not block forever
+			// on a leader that never closes done. The panic re-raises
+			// after the entry is released, so a later caller retries.
+			defer func() {
+				if r := recover(); r != nil {
+					c.err = fmt.Errorf("cas: fill panicked: %v", r)
+					g.settle(key, c)
+					close(c.done)
+					panic(r)
+				}
+				g.settle(key, c)
+				close(c.done)
+			}()
+			c.blob, c.err = fill()
+			if c.err == nil {
+				// Write-behind: a failed store write must not fail the
+				// computation — the value exists, it is just not durable.
+				// The failure is counted so operators see it.
+				if perr := put(key, c.blob); perr != nil && onPutFailure != nil {
+					onPutFailure()
+				}
+			}
+		}()
+		return c.blob, false, c.err
+	}
+}
+
+// settle removes the in-flight entry; the value (if any) now lives in
+// the backing store, so later callers read through instead of waiting.
+func (g *flightGroup) settle(key string, c *flightCall) {
+	g.mu.Lock()
+	if g.inflight[key] == c {
+		delete(g.inflight, key)
+	}
+	g.mu.Unlock()
+}

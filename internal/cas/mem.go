@@ -1,0 +1,203 @@
+package cas
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// MemStore is the in-process Store: blobs live in a map, age is
+// insertion order, nothing survives the process. It backs memory-only
+// engines so the layers above run one code path whether or not a data
+// directory is configured.
+type MemStore struct {
+	limits Limits
+	fl     flightGroup
+
+	mu     sync.Mutex
+	m      map[string]*memEntry
+	order  []string // insertion order with tombstones, compacted lazily
+	closed bool
+	bytes  int64
+
+	gets, hits, puts, putFailures, deletes, evictions atomic.Uint64
+}
+
+// memEntry holds one blob; a key present in order but absent from the
+// map is a tombstone left by delete/eviction, compacted lazily.
+type memEntry struct {
+	blob []byte
+}
+
+// NewMem builds an in-memory store.
+func NewMem(limits Limits) *MemStore {
+	return &MemStore{limits: limits, m: make(map[string]*memEntry)}
+}
+
+// Get implements Store. The returned blob is the stored slice; callers
+// must not modify it.
+func (s *MemStore) Get(key string) ([]byte, error) {
+	s.gets.Add(1)
+	if err := checkKey(key); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	e, ok := s.m[key]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	s.hits.Add(1)
+	return e.blob, nil
+}
+
+// Put implements Store. The blob is copied, so the caller may reuse its
+// buffer.
+func (s *MemStore) Put(key string, blob []byte) error {
+	if err := checkKey(key); err != nil {
+		return err
+	}
+	if s.limits.MaxBytes > 0 && int64(len(blob)) > s.limits.MaxBytes {
+		return ErrTooLarge
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	cp := append([]byte(nil), blob...)
+	if e, ok := s.m[key]; ok {
+		s.bytes += int64(len(cp)) - int64(len(e.blob))
+		e.blob = cp
+	} else {
+		s.m[key] = &memEntry{blob: cp}
+		s.order = append(s.order, key)
+		s.bytes += int64(len(cp))
+	}
+	s.puts.Add(1)
+	s.evictLocked(key)
+	return nil
+}
+
+// evictLocked drops the oldest blobs until the limits hold, shielding
+// keep (the key just written).
+func (s *MemStore) evictLocked(keep string) {
+	over := func() bool {
+		return (s.limits.MaxEntries > 0 && len(s.m) > s.limits.MaxEntries) ||
+			(s.limits.MaxBytes > 0 && s.bytes > s.limits.MaxBytes)
+	}
+	i := 0
+	for ; i < len(s.order) && over(); i++ {
+		key := s.order[i]
+		e, ok := s.m[key]
+		if !ok || key == keep {
+			continue
+		}
+		s.bytes -= int64(len(e.blob))
+		delete(s.m, key)
+		s.evictions.Add(1)
+	}
+	// Compact the scanned (now dead or kept) prefix only when it has
+	// grown past the live set, keeping eviction amortised O(1).
+	if len(s.order) > 2*(len(s.m)+1) {
+		live := s.order[:0]
+		for _, key := range s.order {
+			if _, ok := s.m[key]; ok {
+				live = append(live, key)
+			}
+		}
+		s.order = live
+	}
+}
+
+// Delete implements Store.
+func (s *MemStore) Delete(key string) error {
+	if err := checkKey(key); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	e, ok := s.m[key]
+	if !ok {
+		return ErrNotFound
+	}
+	s.bytes -= int64(len(e.blob))
+	delete(s.m, key)
+	s.deletes.Add(1)
+	return nil
+}
+
+// List implements Store: resident blobs, oldest first.
+func (s *MemStore) List() ([]Stat, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	out := make([]Stat, 0, len(s.m))
+	for _, key := range s.order {
+		if e, ok := s.m[key]; ok {
+			out = append(out, Stat{Key: key, Size: int64(len(e.blob))})
+		}
+	}
+	return out, nil
+}
+
+// Stat implements Store.
+func (s *MemStore) Stat(key string) (Stat, error) {
+	if err := checkKey(key); err != nil {
+		return Stat{}, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return Stat{}, ErrClosed
+	}
+	e, ok := s.m[key]
+	if !ok {
+		return Stat{}, ErrNotFound
+	}
+	return Stat{Key: key, Size: int64(len(e.blob))}, nil
+}
+
+// GetOrFill implements Store (see the interface contract).
+func (s *MemStore) GetOrFill(ctx context.Context, key string, fill FillFunc) ([]byte, bool, error) {
+	if err := checkKey(key); err != nil {
+		return nil, false, err
+	}
+	return s.fl.do(ctx, key, s.Get, s.Put, func() { s.putFailures.Add(1) }, fill)
+}
+
+// Metrics implements Store.
+func (s *MemStore) Metrics() Metrics {
+	s.mu.Lock()
+	entries, bytes := len(s.m), s.bytes
+	s.mu.Unlock()
+	return Metrics{
+		Gets:        s.gets.Load(),
+		Hits:        s.hits.Load(),
+		Puts:        s.puts.Load(),
+		PutFailures: s.putFailures.Load(),
+		Deletes:     s.deletes.Load(),
+		Evictions:   s.evictions.Load(),
+		Entries:     entries,
+		Bytes:       bytes,
+	}
+}
+
+// Close implements Store: the map is released; later calls fail.
+func (s *MemStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	s.m = nil
+	s.order = nil
+	s.bytes = 0
+	return nil
+}

@@ -53,3 +53,50 @@ func BenchmarkEngineSweep(b *testing.B) {
 	b.Run("serial", func(b *testing.B) { runEngineSweep(b, 1) })
 	b.Run("pooled", func(b *testing.B) { runEngineSweep(b, runtime.GOMAXPROCS(0)) })
 }
+
+// BenchmarkWarmStart measures the persistence payoff path: opening an
+// engine on a populated data directory (trace reload included) and
+// resolving a previously simulated job from disk, against re-simulating
+// the same job cold. The gap between the two is what a restart no
+// longer costs.
+func BenchmarkWarmStart(b *testing.B) {
+	dir := b.TempDir()
+	spec := JobSpec{Bench: "sha", Banks: 4}
+	seed, err := New(Options{Workers: 1, Gen: testGen, DataDir: dir})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := seed.RunJob(context.Background(), spec); err != nil {
+		b.Fatal(err)
+	}
+	seed.Close()
+
+	b.Run("open+hit", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			e, err := New(Options{Workers: 1, Gen: testGen, DataDir: dir})
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := e.RunJob(context.Background(), spec)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !res.Cached {
+				b.Fatal("warm start missed the persisted result")
+			}
+			e.Close()
+		}
+	})
+	b.Run("cold-simulate", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			e, err := New(Options{Workers: 1, Gen: testGen})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := e.RunJob(context.Background(), spec); err != nil {
+				b.Fatal(err)
+			}
+			e.Close()
+		}
+	})
+}

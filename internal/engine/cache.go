@@ -6,7 +6,122 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"nbticache/internal/cas"
 )
+
+// Two caching layers live here. blobCache is the persistent one: a thin
+// typed adapter over a cas.Store (memory or disk) that the job-result
+// cache runs on — values cross the boundary through the versioned
+// binary codec (codec.go), single-flight and read-through/write-through
+// both come from the store, and a decoded value is always a fresh copy,
+// so callers can annotate results without contaminating the cache.
+// flightCache is the ephemeral one, kept for derived data that is
+// cheaper to rebuild than to persist (simulation runs shared across
+// sleep modes, generated synthetic traces): values stay as live
+// pointers, nothing survives the process.
+
+// blobCodec converts between a typed value and its stored blob. decode
+// receives the content address so it can verify the blob answers for it.
+type blobCodec[V any] struct {
+	encode func(V) ([]byte, error)
+	decode func(key string, blob []byte) (V, error)
+}
+
+// blobCache adapts a cas.Store to typed values with the engine's
+// historical cache semantics: single-flight computation, successful
+// values cached, failures evicted so a retry recomputes, a panicking
+// computation settles its waiters, and a leader's cancellation never
+// contaminates a live waiter (all inherited from cas.Store.GetOrFill).
+type blobCache[V any] struct {
+	store cas.Store
+	codec blobCodec[V]
+
+	hits    atomic.Uint64
+	misses  atomic.Uint64
+	corrupt atomic.Uint64
+}
+
+func newBlobCache[V any](store cas.Store, codec blobCodec[V]) *blobCache[V] {
+	return &blobCache[V]{store: store, codec: codec}
+}
+
+// do returns the value for key, computing it with fn if absent. cached
+// reports whether the value came from the store or a concurrent leader
+// rather than from this call's own fn. A stored blob that fails to
+// decode is dropped and recomputed — typed-layer corruption degrades to
+// a miss exactly like store-layer corruption.
+func (c *blobCache[V]) do(ctx context.Context, key string, fn func() (V, error)) (val V, cached bool, err error) {
+	var zero V
+	for attempt := 0; ; attempt++ {
+		var leaderVal V
+		var isLeader bool
+		blob, hit, err := c.store.GetOrFill(ctx, key, func() ([]byte, error) {
+			v, err := fn()
+			if err != nil {
+				return nil, err
+			}
+			b, err := c.codec.encode(v)
+			if err != nil {
+				return nil, err
+			}
+			leaderVal, isLeader = v, true
+			return b, nil
+		})
+		if err != nil {
+			return zero, false, err
+		}
+		if isLeader && !hit {
+			c.misses.Add(1)
+			return leaderVal, false, nil
+		}
+		v, derr := c.codec.decode(key, blob)
+		if derr != nil {
+			c.corrupt.Add(1)
+			_ = c.store.Delete(key)
+			if attempt == 0 {
+				continue // recompute over the dropped blob
+			}
+			return zero, false, derr
+		}
+		c.hits.Add(1)
+		return v, true, nil
+	}
+}
+
+// get returns the completed value for key, if present and readable.
+// In-flight computations are reported as absent: get never blocks.
+func (c *blobCache[V]) get(key string) (V, bool) {
+	var zero V
+	blob, err := c.store.Get(key)
+	if err != nil {
+		return zero, false
+	}
+	v, err := c.codec.decode(key, blob)
+	if err != nil {
+		c.corrupt.Add(1)
+		_ = c.store.Delete(key)
+		return zero, false
+	}
+	return v, true
+}
+
+// reset drops every stored value. In-flight computations are
+// unaffected; their results land in the store when they settle.
+func (c *blobCache[V]) reset() {
+	list, err := c.store.List()
+	if err != nil {
+		return
+	}
+	for _, st := range list {
+		_ = c.store.Delete(st.Key)
+	}
+}
+
+// size returns the number of stored values.
+func (c *blobCache[V]) size() int {
+	return c.store.Metrics().Entries
+}
 
 // flightCache is a content-addressed cache with single-flight semantics:
 // the first caller of do for a key becomes the leader and computes the

@@ -4,12 +4,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"sync/atomic"
 
 	"nbticache/internal/aging"
 	"nbticache/internal/cache"
+	"nbticache/internal/cas"
 	"nbticache/internal/core"
 	"nbticache/internal/power"
 	"nbticache/internal/trace"
@@ -35,6 +37,17 @@ type Options struct {
 	// with ErrTraceStoreFull past it); <= 0 means
 	// DefaultMaxStoredTraces (an unbounded store is not expressible).
 	MaxStoredTraces int
+	// DataDir persists the result cache and uploaded-trace store to
+	// disk (content-addressed blobs under <DataDir>/jobs and
+	// <DataDir>/traces) so a restarted engine serves previously
+	// simulated jobs and previously uploaded traces without redoing the
+	// work. Empty means memory-only — exactly the pre-persistence
+	// behaviour. The directory is created if missing; New fails fast if
+	// it cannot be written.
+	DataDir string
+	// MaxCachedResults bounds the job-result cache (oldest results are
+	// evicted past it); <= 0 means DefaultMaxCachedResults.
+	MaxCachedResults int
 }
 
 // DefaultMaxStoredTraces is the uploaded-trace store bound when
@@ -43,6 +56,12 @@ type Options struct {
 // *requests*, but resident memory is what matters: bound it to the
 // traffic you expect and size the host accordingly.
 const DefaultMaxStoredTraces = 1024
+
+// DefaultMaxCachedResults is the job-result cache bound when
+// Options.MaxCachedResults is zero: generous enough that eviction never
+// bites an interactive workload, small enough that a long-lived
+// persistent engine cannot grow its data directory without bound.
+const DefaultMaxCachedResults = 1 << 16
 
 // Engine executes simulation jobs on a bounded worker pool over a
 // content-addressed result cache. It is safe for concurrent use by any
@@ -61,14 +80,23 @@ type Engine struct {
 
 	traces *flightCache[*trace.Trace]
 	// store holds uploaded real traces, content-addressed and measured
-	// at admission (see store.go).
+	// at admission (see store.go); with a data directory it writes
+	// through to traceBlobs and reloads from it at start.
 	store *traceStore
 	// runs caches the trace simulation itself, keyed by the fields that
 	// affect it (workload, geometry, banks, policy, update cadence):
 	// jobs differing only in sleep mode or epochs share one run, since
-	// those enter through the aging projection alone.
-	runs    *flightCache[*core.RunResult]
-	results *flightCache[*JobResult]
+	// those enter through the aging projection alone. Runs are derived
+	// data — every persisted JobResult embeds its run — so this layer
+	// stays in-memory.
+	runs *flightCache[*core.RunResult]
+	// results is the job-result cache: a typed adapter over resultStore
+	// (cas.MemStore or cas.DiskStore per Options.DataDir), so completed
+	// jobs read through and write through the persistence layer.
+	results     *blobCache[*JobResult]
+	resultStore cas.Store
+	traceBlobs  cas.Store // nil when memory-only
+	dataDir     string
 
 	q         *taskQueue
 	startOnce sync.Once
@@ -112,21 +140,58 @@ func New(o Options) (*Engine, error) {
 	if o.MaxStoredTraces <= 0 {
 		o.MaxStoredTraces = DefaultMaxStoredTraces
 	}
+	if o.MaxCachedResults <= 0 {
+		o.MaxCachedResults = DefaultMaxCachedResults
+	}
+	// The persistence spine: one cas.Store per keyspace. Memory-only
+	// engines run the result cache over a MemStore (same code path, no
+	// disk) and skip the trace-blob layer entirely (the resident trace
+	// map already is the memory store).
+	var resultStore cas.Store
+	var traceBlobs cas.Store
+	if o.DataDir != "" {
+		var err error
+		resultStore, err = cas.OpenDisk(filepath.Join(o.DataDir, "jobs"), cas.Limits{MaxEntries: o.MaxCachedResults})
+		if err != nil {
+			return nil, fmt.Errorf("engine: opening data dir: %w", err)
+		}
+		traceBlobs, err = cas.OpenDisk(filepath.Join(o.DataDir, "traces"), cas.Limits{})
+		if err != nil {
+			resultStore.Close()
+			return nil, fmt.Errorf("engine: opening data dir: %w", err)
+		}
+	} else {
+		resultStore = cas.NewMem(cas.Limits{MaxEntries: o.MaxCachedResults})
+	}
 	ctx, stop := context.WithCancel(context.Background())
-	return &Engine{
-		workers:  o.Workers,
-		model:    o.Model,
-		tech:     o.Tech,
-		gen:      o.Gen,
-		lifeCtx:  ctx,
-		lifeStop: stop,
-		traces:   newFlightCache[*trace.Trace](),
-		store:    newTraceStore(o.MaxStoredTraces),
-		runs:     newFlightCache[*core.RunResult](),
-		results:  newFlightCache[*JobResult](),
-		q:        newTaskQueue(),
-	}, nil
+	e := &Engine{
+		workers:     o.Workers,
+		model:       o.Model,
+		tech:        o.Tech,
+		gen:         o.Gen,
+		lifeCtx:     ctx,
+		lifeStop:    stop,
+		traces:      newFlightCache[*trace.Trace](),
+		store:       newTraceStore(o.MaxStoredTraces, traceBlobs),
+		runs:        newFlightCache[*core.RunResult](),
+		resultStore: resultStore,
+		traceBlobs:  traceBlobs,
+		dataDir:     o.DataDir,
+		q:           newTaskQueue(),
+	}
+	e.results = newBlobCache(resultStore, blobCodec[*JobResult]{
+		encode: encodeJobResult,
+		decode: decodeJobResult,
+	})
+	// Warm start: previously uploaded traces become resident (with
+	// their admission-time signatures) before the first request lands.
+	// Job results stay on disk and read through lazily.
+	e.store.load()
+	return e, nil
 }
+
+// DataDir returns the engine's persistence root ("" when memory-only).
+func (e *Engine) DataDir() string { return e.dataDir }
 
 // Workers returns the pool bound.
 func (e *Engine) Workers() int { return e.workers }
@@ -147,6 +212,12 @@ func (e *Engine) Close() {
 	e.lifeStop()
 	e.q.close()
 	e.wg.Wait()
+	// Workers are drained; release the persistence layer. Disk blobs
+	// stay put for the next engine to warm-start from.
+	_ = e.resultStore.Close()
+	if e.traceBlobs != nil {
+		_ = e.traceBlobs.Close()
+	}
 }
 
 // Trace returns the generated trace for a benchmark and geometry,
@@ -173,31 +244,41 @@ func (e *Engine) Trace(ctx context.Context, bench string, g cache.Geometry) (*tr
 
 // RunJob executes one job synchronously on the caller's goroutine,
 // through the shared result cache: concurrent callers (and pooled
-// sweeps) running the same point simulate it exactly once. This is the
-// path the experiment suite memoises through.
+// sweeps) running the same point simulate it exactly once. The cache
+// reads through and writes through the engine's persistence layer, so
+// on a persistent engine a point simulated before the last restart
+// resolves from disk without re-simulating. This is the path the
+// experiment suite memoises through.
 func (e *Engine) RunJob(ctx context.Context, spec JobSpec) (*JobResult, error) {
+	return e.runJob(ctx, spec, false)
+}
+
+// runJob is RunJob with the caller's pin state made explicit: sweep
+// workers (pinned=true) may resolve condemned traces — their sweep
+// pinned the trace at submission, so a concurrent DELETE defers to
+// them — while direct callers see a removed trace as unknown, exactly
+// like a new submission would.
+func (e *Engine) runJob(ctx context.Context, spec JobSpec, pinned bool) (*JobResult, error) {
 	spec = spec.Normalised()
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
 	res, cached, err := e.results.do(ctx, spec.ID(), func() (*JobResult, error) {
-		return e.simulate(ctx, spec)
+		return e.simulate(ctx, spec, pinned)
 	})
 	if err != nil {
 		return nil, err
 	}
 	if cached {
-		// Shallow copy so the Cached flag does not contaminate the
-		// shared entry.
-		c := *res
-		c.Cached = true
-		return &c, nil
+		// Decoded values are private copies, so the flag cannot
+		// contaminate the stored blob.
+		res.Cached = true
 	}
 	return res, nil
 }
 
 // simulate is the uncached execution of one validated job.
-func (e *Engine) simulate(ctx context.Context, spec JobSpec) (*JobResult, error) {
+func (e *Engine) simulate(ctx context.Context, spec JobSpec, pinned bool) (*JobResult, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -211,7 +292,7 @@ func (e *Engine) simulate(ctx context.Context, spec JobSpec) (*JobResult, error)
 	}
 	g := spec.Geometry()
 	run, _, err := e.runs.do(ctx, spec.runKey(), func() (*core.RunResult, error) {
-		tr, err := e.traceFor(ctx, spec, g)
+		tr, err := e.traceFor(ctx, spec, g, pinned)
 		if err != nil {
 			return nil, err
 		}
@@ -242,26 +323,36 @@ func (e *Engine) simulate(ctx context.Context, spec JobSpec) (*JobResult, error)
 
 // traceFor resolves a job's workload: an uploaded trace by content
 // address when TraceID is set, the generated synthetic benchmark
-// otherwise.
-func (e *Engine) traceFor(ctx context.Context, spec JobSpec, g cache.Geometry) (*trace.Trace, error) {
+// otherwise. pinned selects the condemned-tolerant lookup (sweep
+// workers whose sweep pinned the trace at submission); unpinned callers
+// see a removed trace as unknown.
+func (e *Engine) traceFor(ctx context.Context, spec JobSpec, g cache.Geometry, pinned bool) (*trace.Trace, error) {
 	if spec.TraceID != "" {
-		tr, ok := e.storedTraceByID(spec.TraceID)
+		var st *storedTrace
+		var ok bool
+		if pinned {
+			st, ok = e.store.resolve(spec.TraceID)
+		} else {
+			st, ok = e.store.get(spec.TraceID)
+		}
 		if !ok {
 			return nil, fmt.Errorf("engine: unknown trace %q (upload it first)", spec.TraceID)
 		}
-		return tr, nil
+		return st.tr, nil
 	}
 	return e.Trace(ctx, spec.Bench, g)
 }
 
 // Job returns the cached result for a job ID, if that job has completed
-// on this engine (under any sweep or RunJob call).
+// on this engine (under any sweep or RunJob call) — or, on a persistent
+// engine, under any previous engine that shared the data directory.
 func (e *Engine) Job(id string) (*JobResult, bool) {
 	return e.results.get(id)
 }
 
-// ResetRuns drops completed simulation results; generated traces are
-// kept. Benchmarks use it so every iteration re-simulates.
+// ResetRuns drops completed simulation results — including persisted
+// ones on a persistent engine — while generated traces are kept.
+// Benchmarks use it so every iteration re-simulates.
 func (e *Engine) ResetRuns() {
 	e.results.reset()
 	e.runs.reset()
@@ -291,10 +382,45 @@ type Stats struct {
 	// TracesStored is the resident uploaded-trace count.
 	TracesUploaded uint64 `json:"traces_uploaded"`
 	TracesStored   int    `json:"traces_stored"`
+	// Persistent reports whether a data directory backs the engine.
+	Persistent bool `json:"persistent"`
+	// The persistence counters aggregate both cas keyspaces (job
+	// results and trace blobs). PersistHits counts blobs served from
+	// the backing store (a warm-restart cache hit is one of these);
+	// PersistMisses counts store reads that found nothing.
+	PersistHits   uint64 `json:"persist_hits"`
+	PersistMisses uint64 `json:"persist_misses"`
+	// PersistWrites counts blobs written through; PersistWriteFailures
+	// counts write-behinds that failed (the value was still served).
+	PersistWrites        uint64 `json:"persist_writes"`
+	PersistWriteFailures uint64 `json:"persist_write_failures"`
+	// PersistEvictions counts result blobs dropped by the capacity
+	// bound; PersistCorruptions counts blobs quarantined by the store's
+	// checksum plus blobs rejected by the typed codec.
+	PersistEvictions   uint64 `json:"persist_evictions"`
+	PersistCorruptions uint64 `json:"persist_corruptions"`
+	// ResultBlobs / TraceBlobs are the resident blob counts and
+	// ResultBlobBytes / TraceBlobBytes their payload sizes.
+	ResultBlobs     int   `json:"result_blobs"`
+	TraceBlobs      int   `json:"trace_blobs"`
+	ResultBlobBytes int64 `json:"result_blob_bytes"`
+	TraceBlobBytes  int64 `json:"trace_blob_bytes"`
 }
 
 // Stats snapshots the counters.
 func (e *Engine) Stats() Stats {
+	// The persist_* block describes the durable layer only: a
+	// memory-only engine runs its result cache over a cas.MemStore for
+	// code-path uniformity, but reporting those internal store counters
+	// as "persistence" would tell an operator that a server which
+	// forgets everything on restart is persisting.
+	var rm, tm cas.Metrics
+	if e.dataDir != "" {
+		rm = e.resultStore.Metrics()
+		if e.traceBlobs != nil {
+			tm = e.traceBlobs.Metrics()
+		}
+	}
 	return Stats{
 		Workers:        e.workers,
 		QueueDepth:     e.q.size(),
@@ -313,6 +439,18 @@ func (e *Engine) Stats() Stats {
 		TracesCached:   e.traces.size(),
 		TracesUploaded: e.tracesUploaded.Load(),
 		TracesStored:   e.store.size(),
+
+		Persistent:           e.dataDir != "",
+		PersistHits:          rm.Hits + tm.Hits,
+		PersistMisses:        (rm.Gets - rm.Hits) + (tm.Gets - tm.Hits),
+		PersistWrites:        rm.Puts + tm.Puts,
+		PersistWriteFailures: rm.PutFailures + tm.PutFailures,
+		PersistEvictions:     rm.Evictions + tm.Evictions,
+		PersistCorruptions:   rm.Corruptions + tm.Corruptions + e.results.corrupt.Load() + e.store.corrupt.Load(),
+		ResultBlobs:          rm.Entries,
+		TraceBlobs:           tm.Entries,
+		ResultBlobBytes:      rm.Bytes,
+		TraceBlobBytes:       tm.Bytes,
 	}
 }
 
@@ -331,13 +469,21 @@ func (e *Engine) Submit(ctx context.Context, spec SweepSpec) (*Handle, error) {
 		return nil, err
 	}
 	// Trace references resolve against this engine's store; reject the
-	// whole sweep up front rather than failing jobs one by one.
+	// whole sweep up front rather than failing jobs one by one — and
+	// pin every referenced trace for the sweep's lifetime, so a
+	// concurrent DELETE cannot pull a workload out from under jobs that
+	// were admitted referencing it (the removal completes when the
+	// sweep finishes; see traceStore).
+	var pinned []string
+	seen := make(map[string]bool)
 	for _, j := range jobs {
-		if j.TraceID != "" {
-			if _, ok := e.store.get(j.TraceID); !ok {
-				return nil, fmt.Errorf("engine: unknown trace %q (upload it first)", j.TraceID)
-			}
+		if j.TraceID != "" && !seen[j.TraceID] {
+			seen[j.TraceID] = true
+			pinned = append(pinned, j.TraceID)
 		}
+	}
+	if err := e.store.pinAll(pinned); err != nil {
+		return nil, err
 	}
 	e.startOnce.Do(func() {
 		for i := 0; i < e.workers; i++ {
@@ -350,6 +496,7 @@ func (e *Engine) Submit(ctx context.Context, spec SweepSpec) (*Handle, error) {
 		ID:       fmt.Sprintf("sweep-%d", e.sweepSeq.Add(1)),
 		Spec:     spec,
 		jobs:     jobs,
+		pinned:   pinned,
 		results:  make([]*JobResult, len(jobs)),
 		ctx:      sctx,
 		cancel:   cancel,
@@ -388,7 +535,7 @@ func (e *Engine) worker() {
 
 func (e *Engine) execute(t *task) {
 	spec := t.h.jobs[t.idx]
-	res, err := e.RunJob(t.h.ctx, spec)
+	res, err := e.runJob(t.h.ctx, spec, true)
 	if err != nil {
 		res = &JobResult{
 			ID: spec.ID(), Spec: spec, Err: err.Error(),

@@ -183,8 +183,14 @@ func TestRunJobSharesCache(t *testing.T) {
 	if !res.Jobs[0].Cached {
 		t.Error("sweep re-simulated a job RunJob already computed")
 	}
-	if res.Jobs[0].Run != direct.Run {
-		t.Error("sweep did not share the cached RunResult")
+	// Cache hits are decoded private copies (pointer identity is not
+	// preserved across the persistence boundary); sharing is semantic:
+	// one simulation, identical measurements.
+	if got := e.Stats().RunsExecuted; got != 1 {
+		t.Errorf("runs executed = %d, want 1 (sweep must reuse RunJob's simulation)", got)
+	}
+	if res.Jobs[0].Run.Misses != direct.Run.Misses || res.Jobs[0].Run.Hits != direct.Run.Hits {
+		t.Error("sweep's cached result diverges from the direct run")
 	}
 
 	// The content address resolves over HTTP-style lookup too.

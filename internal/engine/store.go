@@ -7,8 +7,10 @@ import (
 	"fmt"
 	"hash"
 	"sync"
+	"sync/atomic"
 
 	"nbticache/internal/cache"
+	"nbticache/internal/cas"
 	"nbticache/internal/trace"
 	"nbticache/internal/workload"
 )
@@ -20,6 +22,11 @@ import (
 // reproducible anywhere the bytes are. Every admitted trace is measured
 // (workload.MeasureSignature) on the way in, so sweeps consume
 // pre-characterised workloads.
+//
+// The resident map is the working set; when the engine has a data
+// directory, admissions write through to a cas.Store (the signature and
+// canonical encoding, see codec.go) and the store is reloaded on the
+// next start, so uploads survive restarts without re-measuring.
 
 // TraceInfo is the stored trace's public view: identity, shape, and the
 // bank-idleness signature measured at admission.
@@ -52,9 +59,11 @@ type storedTrace struct {
 // dangling); clients free slots explicitly via RemoveTrace.
 var ErrTraceStoreFull = errors.New("engine: trace store full")
 
-// traceStore is the engine's uploaded-trace registry: bounded, and with
+// traceStore is the engine's uploaded-trace registry: bounded, with
 // single-flight admission so concurrent uploads of the same bytes
-// measure the signature once.
+// measure the signature once, and with pin-aware removal so deleting a
+// trace that an in-flight sweep references defers the removal until the
+// sweep finishes instead of breaking its jobs.
 type traceStore struct {
 	mu  sync.Mutex
 	m   map[string]*storedTrace
@@ -62,17 +71,78 @@ type traceStore struct {
 	// inflight marks IDs being measured right now; the channel closes
 	// when admission settles (stored or failed).
 	inflight map[string]chan struct{}
+	// blobs is the persistent layer; nil means memory-only.
+	blobs cas.Store
+	// pins counts in-flight sweeps referencing each trace; condemned
+	// marks traces removed while pinned — invisible to lookups and new
+	// submissions, still resolvable by the pinned sweeps, reaped when
+	// the last pin drops.
+	pins      map[string]int
+	condemned map[string]bool
+	// corrupt counts persisted trace blobs that failed the typed decode
+	// (the store's own checksum corruption is counted by the store).
+	corrupt atomic.Uint64
 }
 
-func newTraceStore(max int) *traceStore {
+func newTraceStore(max int, blobs cas.Store) *traceStore {
 	return &traceStore{
-		m:        make(map[string]*storedTrace),
-		max:      max,
-		inflight: make(map[string]chan struct{}),
+		m:         make(map[string]*storedTrace),
+		max:       max,
+		inflight:  make(map[string]chan struct{}),
+		blobs:     blobs,
+		pins:      make(map[string]int),
+		condemned: make(map[string]bool),
 	}
 }
 
+// load warms the resident map from the persistent layer, oldest blob
+// first, up to the admission bound (blobs past it stay on disk,
+// unlisted, until slots free up and they are re-uploaded). Blobs that
+// fail the typed decode are deleted and counted; the store's own
+// checksum layer has already quarantined anything it could detect.
+func (s *traceStore) load() {
+	if s.blobs == nil {
+		return
+	}
+	list, err := s.blobs.List()
+	if err != nil {
+		return
+	}
+	for _, st := range list {
+		if len(s.m) >= s.max {
+			return
+		}
+		blob, err := s.blobs.Get(st.Key)
+		if err != nil {
+			continue // quarantined or vanished; counted by the store
+		}
+		entry, err := decodeTraceBlob(st.Key, blob)
+		if err != nil {
+			s.corrupt.Add(1)
+			_ = s.blobs.Delete(st.Key)
+			continue
+		}
+		s.m[st.Key] = entry
+	}
+}
+
+// get resolves id for lookups and new submissions: condemned traces are
+// already deleted from this point of view.
 func (s *traceStore) get(id string) (*storedTrace, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.condemned[id] {
+		return nil, false
+	}
+	st, ok := s.m[id]
+	return st, ok
+}
+
+// resolve resolves id for pinned simulation: a condemned trace is
+// still served, because the caller's sweep pinned it before the
+// removal landed. Unpinned paths (new submissions, direct RunJob,
+// listings) use get, which treats condemned as gone.
+func (s *traceStore) resolve(id string) (*storedTrace, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st, ok := s.m[id]
@@ -81,11 +151,14 @@ func (s *traceStore) get(id string) (*storedTrace, bool) {
 
 // admit resolves id to a stored trace, computing the entry with build
 // at most once across concurrent callers. existed reports a hit on an
-// already-resident entry.
+// already-resident entry. Re-admitting a condemned trace resurrects it:
+// the bytes are identical by content address, so the pending removal is
+// simply cancelled.
 func (s *traceStore) admit(id string, build func() (*storedTrace, error)) (st *storedTrace, existed bool, err error) {
 	for {
 		s.mu.Lock()
 		if st, ok := s.m[id]; ok {
+			delete(s.condemned, id)
 			s.mu.Unlock()
 			return st, true, nil
 		}
@@ -121,21 +194,82 @@ func (s *traceStore) admit(id string, build func() (*storedTrace, error)) (st *s
 				s.mu.Unlock()
 			}()
 			st, err = build()
+			if err == nil && s.blobs != nil {
+				// Write-through: an admission that cannot be persisted
+				// fails, rather than silently diverging from the next
+				// restart's view of the store.
+				blob, berr := encodeTraceBlob(st)
+				if berr == nil {
+					berr = s.blobs.Put(id, blob)
+				}
+				if berr != nil {
+					st, err = nil, fmt.Errorf("engine: persisting trace %s: %w", id, berr)
+				}
+			}
 		}()
 		return st, false, err
 	}
 }
 
-// remove drops a stored trace, freeing its admission slot. In-flight
-// simulations holding the trace pointer are unaffected; later jobs
-// referencing the ID fail with unknown-trace.
+// pinAll atomically verifies that every id is resident (and not
+// condemned) and pins them for the lifetime of one sweep: a concurrent
+// RemoveTrace defers its removal until unpinAll instead of breaking the
+// sweep's jobs. ids must be deduplicated by the caller.
+func (s *traceStore) pinAll(ids []string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, id := range ids {
+		if _, ok := s.m[id]; !ok || s.condemned[id] {
+			return fmt.Errorf("engine: unknown trace %q (upload it first)", id)
+		}
+	}
+	for _, id := range ids {
+		s.pins[id]++
+	}
+	return nil
+}
+
+// unpinAll releases one sweep's pins, completing any removal deferred
+// while the sweep was running.
+func (s *traceStore) unpinAll(ids []string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, id := range ids {
+		if s.pins[id]--; s.pins[id] > 0 {
+			continue
+		}
+		delete(s.pins, id)
+		if s.condemned[id] {
+			s.reapLocked(id)
+		}
+	}
+}
+
+// reapLocked finishes a removal: resident entry and persisted blob both
+// go.
+func (s *traceStore) reapLocked(id string) {
+	delete(s.m, id)
+	delete(s.condemned, id)
+	if s.blobs != nil {
+		_ = s.blobs.Delete(id)
+	}
+}
+
+// remove drops a stored trace, freeing its admission slot. A pinned
+// trace (referenced by an in-flight sweep) is condemned instead:
+// immediately invisible to lookups and new submissions, still served to
+// the sweeps already holding it, fully reaped when the last finishes.
 func (s *traceStore) remove(id string) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if _, ok := s.m[id]; !ok {
+	if _, ok := s.m[id]; !ok || s.condemned[id] {
 		return false
 	}
-	delete(s.m, id)
+	if s.pins[id] > 0 {
+		s.condemned[id] = true
+		return true
+	}
+	s.reapLocked(id)
 	return true
 }
 
@@ -143,7 +277,10 @@ func (s *traceStore) infos() []TraceInfo {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	out := make([]TraceInfo, 0, len(s.m))
-	for _, st := range s.m {
+	for id, st := range s.m {
+		if s.condemned[id] {
+			continue
+		}
 		out = append(out, st.info)
 	}
 	return out
@@ -152,7 +289,7 @@ func (s *traceStore) infos() []TraceInfo {
 func (s *traceStore) size() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return len(s.m)
+	return len(s.m) - len(s.condemned)
 }
 
 // countingWriter counts bytes flowing into the content hash.
@@ -192,11 +329,13 @@ func signatureGeometry() cache.Geometry {
 const signatureBanks = 4
 
 // AddTrace validates, content-addresses, characterises and stores an
-// uploaded trace. It returns the stored info and whether the trace was
-// already resident (admission is idempotent; concurrent uploads of the
-// same bytes measure once). Traces must be non-empty — an access-free
-// trace has no signature and nothing to simulate — and admission fails
-// with ErrTraceStoreFull once the store's bound is reached.
+// uploaded trace; with persistence configured, the admission also
+// writes the trace and its signature through to disk. It returns the
+// stored info and whether the trace was already resident (admission is
+// idempotent; concurrent uploads of the same bytes measure once).
+// Traces must be non-empty — an access-free trace has no signature and
+// nothing to simulate — and admission fails with ErrTraceStoreFull once
+// the store's bound is reached.
 func (e *Engine) AddTrace(tr *trace.Trace) (TraceInfo, bool, error) {
 	if tr == nil {
 		return TraceInfo{}, false, fmt.Errorf("engine: nil trace")
@@ -251,9 +390,12 @@ func (e *Engine) AddTrace(tr *trace.Trace) (TraceInfo, bool, error) {
 	return st.info, existed, nil
 }
 
-// RemoveTrace drops an uploaded trace from the store, freeing its
-// admission slot. Simulations already holding the trace finish
-// unaffected; subsequent jobs referencing the ID fail as unknown.
+// RemoveTrace drops an uploaded trace from the store (and the
+// persistent layer), freeing its admission slot. A trace referenced by
+// an in-flight sweep is removed lazily: it disappears from listings and
+// new submissions immediately, the running sweep's jobs still resolve
+// it, and the storage is reclaimed when the sweep finishes. Subsequent
+// jobs referencing the ID fail as unknown either way.
 func (e *Engine) RemoveTrace(id string) bool {
 	return e.store.remove(id)
 }
@@ -286,11 +428,13 @@ func (e *Engine) TraceInfos() []TraceInfo {
 	return e.store.infos()
 }
 
-// storedTraceByID resolves an uploaded trace for simulation.
+// storedTraceByID resolves an uploaded trace's accesses, including
+// condemned entries (test hook; production lookups go through
+// traceStore.get/resolve with explicit pin semantics — see traceFor).
 func (e *Engine) storedTraceByID(id string) (*trace.Trace, bool) {
-	st, ok := e.store.get(id)
+	st, ok := e.store.resolve(id)
 	if !ok {
-		return nil, false
+		return nil, ok
 	}
 	return st.tr, true
 }

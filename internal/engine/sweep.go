@@ -15,7 +15,10 @@ type Handle struct {
 	// Spec is the submitted spec, verbatim.
 	Spec SweepSpec
 
-	jobs   []JobSpec
+	jobs []JobSpec
+	// pinned are the trace IDs this sweep holds pinned in the engine's
+	// trace store until it finishes (see Engine.Submit).
+	pinned []string
 	eng    *Engine
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -70,6 +73,10 @@ func (h *Handle) record(idx int, res *JobResult, e *Engine) {
 	h.mu.Unlock()
 	if last {
 		h.cancel() // release the context; the sweep is over
+		// Release the sweep's trace pins before announcing completion,
+		// so a removal deferred behind this sweep is already final when
+		// Wait returns.
+		e.store.unpinAll(h.pinned)
 		close(h.finished)
 	}
 }

@@ -221,7 +221,12 @@ func ProjectAging(model *AgingModel, regionSleep []float64, policy PolicyKind, e
 
 // NewEngine builds the concurrent batch-simulation engine. The zero
 // options select a GOMAXPROCS-sized worker pool, the calibrated default
-// models, and reporting-quality traces.
+// models, reporting-quality traces, and a memory-only result cache.
+// Set EngineOptions.DataDir to persist completed job results and
+// uploaded traces to a content-addressed disk store: a later engine on
+// the same directory lists the traces again and serves previously
+// simulated jobs without re-simulating (cmd/nbtiserved exposes the
+// same switch as -data-dir).
 func NewEngine(o EngineOptions) (*Engine, error) { return engine.New(o) }
 
 // Sweep submits a sweep to the engine and blocks until every job has
