@@ -16,6 +16,15 @@
 // previously simulated jobs from disk without re-simulating. Without
 // it, everything is memory-only, as before.
 //
+// With -peers set, the process runs as a cluster coordinator instead of
+// a simulation node: it serves the same /v1/sweeps surface, but splits
+// each sweep's job space across the peer nbtiserved nodes by
+// consistent-hash ownership of the job content addresses, forwards
+// uploaded traces to the shard that owns their jobs on demand, merges
+// per-shard progress and results into one sweep, and re-routes jobs
+// from a failed peer to the next ring owner. /metrics then reports the
+// routing counters, including per-shard routed/retried/merged series.
+//
 //	POST   /v1/sweeps       submit a sweep (engine.SweepSpec JSON) -> 202 {id, job_ids}
 //	GET    /v1/sweeps/{id}  progress + resolved results
 //	DELETE /v1/sweeps/{id}  cancel
@@ -23,9 +32,10 @@
 //	POST   /v1/traces       upload a trace -> 201 {id, signature, ...}
 //	GET    /v1/traces       list uploaded traces
 //	GET    /v1/traces/{id}  one uploaded trace's metadata + signature
-//	DELETE /v1/traces/{id}  free an uploaded trace's store slot
+//	GET    /v1/traces/{id}/content  the canonical binary encoding (node mode)
+//	DELETE /v1/traces/{id}  free an uploaded trace's store slot (node mode)
 //	GET    /healthz         liveness
-//	GET    /metrics         engine counters (Prometheus text)
+//	GET    /metrics         engine or coordinator counters (Prometheus text)
 //
 // Example:
 //
@@ -35,6 +45,14 @@
 //	curl -s localhost:8080/v1/sweeps/sweep-1
 //	curl -s --data-binary @app.trace localhost:8080/v1/traces
 //	curl -s -X POST localhost:8080/v1/sweeps -d '{"trace_ids":["trace-<hex>"],"banks":[2,4,8]}'
+//
+// Sharded across three nodes:
+//
+//	nbtiserved -addr :8081 -data-dir /var/lib/nbti1 &
+//	nbtiserved -addr :8082 -data-dir /var/lib/nbti2 &
+//	nbtiserved -addr :8083 -data-dir /var/lib/nbti3 &
+//	nbtiserved -addr :8080 -peers http://localhost:8081,http://localhost:8082,http://localhost:8083 &
+//	curl -s -X POST localhost:8080/v1/sweeps -d '{"banks":[2,4,8,16]}'
 package main
 
 import (
@@ -45,11 +63,14 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"nbticache/internal/cache"
+	"nbticache/internal/cluster"
 	"nbticache/internal/engine"
+	"nbticache/internal/httpapi"
 	"nbticache/internal/workload"
 )
 
@@ -60,38 +81,94 @@ func main() {
 	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 	quick := flag.Bool("quick", false, "generate short traces (smoke quality) instead of reporting quality")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain window")
-	maxTraceBytes := flag.Int64("max-trace-bytes", defaultMaxTraceBytes, "largest accepted trace-upload body")
+	maxTraceBytes := flag.Int64("max-trace-bytes", httpapi.DefaultMaxTraceBytes, "largest accepted trace-upload body")
 	maxTraces := flag.Int("max-traces", engine.DefaultMaxStoredTraces, "uploaded traces kept resident (uploads 507 past this; DELETE /v1/traces/{id} frees slots)")
-	retainSweeps := flag.Int("retain-sweeps", defaultRetainSweeps, "finished sweep handles kept before the oldest are evicted")
+	retainSweeps := flag.Int("retain-sweeps", httpapi.DefaultRetainSweeps, "finished sweep handles kept before the oldest are evicted")
 	dataDir := flag.String("data-dir", "", "persist job results and uploaded traces here so restarts warm-start (empty = memory-only)")
 	maxResults := flag.Int("max-results", engine.DefaultMaxCachedResults, "job results kept in the cache before the oldest are evicted")
+	peers := flag.String("peers", "", "comma-separated shard base URLs; when set, run as a cluster coordinator over them instead of a simulation node")
+	ringReplicas := flag.Int("ring-replicas", cluster.DefaultReplicas, "coordinator mode: consistent-hash virtual nodes per peer")
+	pollInterval := flag.Duration("poll-interval", cluster.DefaultPollInterval, "coordinator mode: per-shard sweep poll cadence")
 	flag.Parse()
 
-	opts := engine.Options{
-		Workers:          *workers,
-		MaxStoredTraces:  *maxTraces,
-		DataDir:          *dataDir,
-		MaxCachedResults: *maxResults,
-	}
-	if *quick {
-		opts.Gen = func(g cache.Geometry) workload.GenParams {
-			return workload.GenParams{Geometry: g, Phases: 192, AccessesPerPhase: 512}
+	var handler http.Handler
+	var shutdown func()
+	if *peers != "" {
+		// Node-only flags have no effect on a coordinator (it holds no
+		// engine); dropping them silently would let an operator believe
+		// e.g. -data-dir was persisting coordinator state.
+		var ignored []string
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "workers", "quick", "data-dir", "max-traces", "max-results":
+				ignored = append(ignored, "-"+f.Name)
+			}
+		})
+		if len(ignored) > 0 {
+			log.Printf("warning: coordinator mode ignores node-only flags %s", strings.Join(ignored, ", "))
 		}
-	}
-	eng, err := engine.New(opts)
-	if err != nil {
-		// An unusable -data-dir fails here, before the listener opens,
-		// not on the first write.
-		log.Fatal(err)
-	}
-	if *dataDir != "" {
-		st := eng.Stats()
-		log.Printf("persisting to %s (%d traces, %d job results warm)", *dataDir, st.TracesStored, st.ResultBlobs)
+		coord, err := cluster.New(cluster.Options{
+			Peers:        strings.Split(*peers, ","),
+			Replicas:     *ringReplicas,
+			PollInterval: *pollInterval,
+			// Forwarded traces were admitted under the shards' upload
+			// cap; mirror it (x2 slack for wire-format differences).
+			MaxForwardBytes: 2 * *maxTraceBytes,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		handler = cluster.NewServer(coord, cluster.ServerConfig{
+			MaxTraceBytes: *maxTraceBytes,
+			RetainSweeps:  *retainSweeps,
+		}).Handler()
+		shutdown = coord.Close
+		log.Printf("coordinator mode: sharding across %d peers", len(coord.Peers()))
+	} else {
+		// The symmetric silent-drop guard: coordinator-only flags do
+		// nothing without -peers.
+		var ignored []string
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "ring-replicas", "poll-interval":
+				ignored = append(ignored, "-"+f.Name)
+			}
+		})
+		if len(ignored) > 0 {
+			log.Printf("warning: node mode ignores coordinator-only flags %s (set -peers to run a coordinator)", strings.Join(ignored, ", "))
+		}
+		opts := engine.Options{
+			Workers:          *workers,
+			MaxStoredTraces:  *maxTraces,
+			DataDir:          *dataDir,
+			MaxCachedResults: *maxResults,
+		}
+		if *quick {
+			opts.Gen = func(g cache.Geometry) workload.GenParams {
+				return workload.GenParams{Geometry: g, Phases: 192, AccessesPerPhase: 512}
+			}
+		}
+		eng, err := engine.New(opts)
+		if err != nil {
+			// An unusable -data-dir fails here, before the listener opens,
+			// not on the first write.
+			log.Fatal(err)
+		}
+		if *dataDir != "" {
+			st := eng.Stats()
+			log.Printf("persisting to %s (%d traces, %d job results warm)", *dataDir, st.TracesStored, st.ResultBlobs)
+		}
+		handler = httpapi.NewServer(eng, httpapi.Config{
+			MaxTraceBytes: *maxTraceBytes,
+			RetainSweeps:  *retainSweeps,
+		}).Handler()
+		shutdown = eng.Close // cancels in-flight sweeps, unblocks any waiters
+		log.Printf("node mode (%d workers)", eng.Workers())
 	}
 
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           newServer(eng, serverConfig{maxTraceBytes: *maxTraceBytes, retainSweeps: *retainSweeps}).handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 
@@ -100,7 +177,7 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	log.Printf("listening on %s (%d workers)", *addr, eng.Workers())
+	log.Printf("listening on %s", *addr)
 
 	select {
 	case err := <-errc:
@@ -114,6 +191,6 @@ func main() {
 	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		log.Printf("shutdown: %v", err)
 	}
-	eng.Close() // cancels in-flight sweeps, unblocks any waiters
+	shutdown()
 	log.Printf("bye")
 }

@@ -8,6 +8,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"sort"
@@ -331,6 +332,17 @@ func (s *DiskStore) Put(key string, blob []byte) error {
 		// Closed while writing; the frame is on disk and will be
 		// indexed by the next open, but this handle is done.
 		return ErrClosed
+	}
+	if _, err := os.Lstat(s.path(key)); errors.Is(err, fs.ErrNotExist) {
+		// A Delete (or eviction) of this key won the race between our
+		// rename and this index update: the file is already gone, and
+		// indexing it anyway would leave a dangling entry that a later
+		// Get would misdiagnose as corruption. The put stands as
+		// written-then-deleted. Only provable absence skips the index —
+		// a transient Lstat failure (fd exhaustion, say) must not
+		// silently orphan a blob that is on disk.
+		s.puts.Add(1)
+		return nil
 	}
 	if e, ok := s.idx[key]; ok {
 		s.bytes += int64(len(blob)) - e.size

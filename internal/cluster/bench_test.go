@@ -1,0 +1,46 @@
+package cluster_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"nbticache/internal/cluster/clustertest"
+	"nbticache/internal/engine"
+)
+
+// BenchmarkClusterSweep measures a fixed sweep end to end through the
+// coordinator against 1 and 3 in-process shards: the 1-shard case
+// prices the coordination overhead (HTTP hops, polling, merge), the
+// 3-shard case shows what the sharded fan-out buys once per-job
+// simulation dominates it. Every iteration drops the shards' result
+// caches so the work is re-simulated, not replayed.
+func BenchmarkClusterSweep(b *testing.B) {
+	spec := engine.SweepSpec{
+		Name:    "bench",
+		Benches: []string{"sha", "gsme", "cjpeg", "dijkstra", "lame", "mad"},
+		Banks:   []int{2, 4},
+	}
+	for _, shards := range []int{1, 3} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			cl := clustertest.Start(b, shards, clustertest.Options{Workers: 2})
+			c := cl.Coordinator(b)
+			ctx := context.Background()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				for _, n := range cl.Nodes {
+					n.Engine.ResetRuns()
+				}
+				b.StartTimer()
+				res, err := c.Sweep(ctx, spec)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Status.Failed != 0 || res.Status.Canceled != 0 {
+					b.Fatalf("sweep did not complete cleanly: %+v", res.Status)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,212 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"nbticache/internal/engine"
+	"nbticache/internal/httpapi"
+)
+
+// shardClient speaks the nbtiserved node API (internal/httpapi) to a
+// set of peers. It is stateless: every method takes the peer's base URL,
+// so one client serves every shard and survives membership changes.
+type shardClient struct {
+	hc *http.Client
+	// maxForward caps one trace-content download (see traceContent).
+	maxForward int64
+}
+
+func newShardClient(hc *http.Client, maxForward int64) *shardClient {
+	if hc == nil {
+		hc = &http.Client{Timeout: 2 * time.Minute}
+	}
+	if maxForward <= 0 {
+		// A canonical encoding is never larger than the wire body that
+		// admitted it, so 2x the node upload default is already
+		// generous for default-configured clusters.
+		maxForward = 2 * httpapi.DefaultMaxTraceBytes
+	}
+	return &shardClient{hc: hc, maxForward: maxForward}
+}
+
+// statusError is a peer's own non-2xx answer, as opposed to a transport
+// failure. 4xx answers are semantic (the request is wrong everywhere,
+// retrying on another shard cannot help); transport failures and 5xx
+// mark the peer itself as suspect.
+type statusError struct {
+	Code int
+	Msg  string
+}
+
+func (e *statusError) Error() string {
+	return fmt.Sprintf("http %d: %s", e.Code, e.Msg)
+}
+
+// isPermanent reports whether err is a request-level rejection that
+// re-routing to another shard cannot fix.
+func isPermanent(err error) bool {
+	var se *statusError
+	return errors.As(err, &se) && se.Code >= 400 && se.Code < 500 &&
+		se.Code != http.StatusRequestTimeout && se.Code != http.StatusTooManyRequests
+}
+
+// isTransient reports whether err is a healthy peer saying "not right
+// now" — the upload-concurrency gate's 503, a full trace store's 507,
+// 429, 408. Removing the peer from the ring over one of these would
+// collapse a busy-but-alive cluster; the routing loop instead backs off
+// and retries, failing the jobs (not the peer) if the condition never
+// clears.
+func isTransient(err error) bool {
+	var se *statusError
+	if !errors.As(err, &se) {
+		return false
+	}
+	switch se.Code {
+	case http.StatusServiceUnavailable, http.StatusInsufficientStorage,
+		http.StatusTooManyRequests, http.StatusRequestTimeout:
+		return true
+	}
+	return false
+}
+
+// doJSON issues one request and decodes the JSON answer into out
+// (skipped when out is nil). Non-2xx answers become *statusError with
+// the peer's error message.
+func (sc *shardClient) doJSON(ctx context.Context, method, url string, body []byte, ctype string, out any) error {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, url, rd)
+	if err != nil {
+		return err
+	}
+	if ctype != "" {
+		req.Header.Set("Content-Type", ctype)
+	}
+	resp, err := sc.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		var apiErr httpapi.APIError
+		_ = json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&apiErr)
+		return &statusError{Code: resp.StatusCode, Msg: apiErr.Error}
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return fmt.Errorf("decoding %s %s: %w", method, url, err)
+		}
+	}
+	return nil
+}
+
+// submit posts a sub-sweep to a shard.
+func (sc *shardClient) submit(ctx context.Context, peer string, spec engine.SweepSpec) (httpapi.SubmitResponse, error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return httpapi.SubmitResponse{}, err
+	}
+	var out httpapi.SubmitResponse
+	err = sc.doJSON(ctx, http.MethodPost, peer+"/v1/sweeps", body, "application/json", &out)
+	return out, err
+}
+
+// sweep polls a shard sweep's progress and resolved results.
+func (sc *shardClient) sweep(ctx context.Context, peer, id string) (httpapi.SweepResponse, error) {
+	var out httpapi.SweepResponse
+	err := sc.doJSON(ctx, http.MethodGet, peer+"/v1/sweeps/"+id, nil, "", &out)
+	return out, err
+}
+
+// cancelSweep stops a shard sweep (best effort).
+func (sc *shardClient) cancelSweep(ctx context.Context, peer, id string) error {
+	return sc.doJSON(ctx, http.MethodDelete, peer+"/v1/sweeps/"+id, nil, "", nil)
+}
+
+// job resolves one completed job by content address; found is false on
+// a clean 404 (the shard is healthy, it just never ran the job).
+func (sc *shardClient) job(ctx context.Context, peer, id string) (*engine.JobResult, bool, error) {
+	var out engine.JobResult
+	err := sc.doJSON(ctx, http.MethodGet, peer+"/v1/jobs/"+id, nil, "", &out)
+	if err != nil {
+		var se *statusError
+		if errors.As(err, &se) && se.Code == http.StatusNotFound {
+			return nil, false, nil
+		}
+		return nil, false, err
+	}
+	return &out, true, nil
+}
+
+// traceInfo fetches an uploaded trace's metadata; found is false on a
+// clean 404.
+func (sc *shardClient) traceInfo(ctx context.Context, peer, id string) (engine.TraceInfo, bool, error) {
+	var out engine.TraceInfo
+	err := sc.doJSON(ctx, http.MethodGet, peer+"/v1/traces/"+id, nil, "", &out)
+	if err != nil {
+		var se *statusError
+		if errors.As(err, &se) && se.Code == http.StatusNotFound {
+			return engine.TraceInfo{}, false, nil
+		}
+		return engine.TraceInfo{}, false, err
+	}
+	return out, true, nil
+}
+
+// traceInfos lists a peer's uploaded traces.
+func (sc *shardClient) traceInfos(ctx context.Context, peer string) ([]engine.TraceInfo, error) {
+	var out struct {
+		Traces []engine.TraceInfo `json:"traces"`
+	}
+	if err := sc.doJSON(ctx, http.MethodGet, peer+"/v1/traces", nil, "", &out); err != nil {
+		return nil, err
+	}
+	return out.Traces, nil
+}
+
+// traceContent downloads a trace's canonical binary encoding; found is
+// false on a clean 404.
+func (sc *shardClient) traceContent(ctx context.Context, peer, id string) ([]byte, bool, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, peer+"/v1/traces/"+id+"/content", nil)
+	if err != nil {
+		return nil, false, err
+	}
+	resp, err := sc.hc.Do(req)
+	if err != nil {
+		return nil, false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		return nil, false, nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		var apiErr httpapi.APIError
+		_ = json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&apiErr)
+		return nil, false, &statusError{Code: resp.StatusCode, Msg: apiErr.Error}
+	}
+	// Cap the download like every other read of untrusted bytes.
+	blob, err := io.ReadAll(io.LimitReader(resp.Body, sc.maxForward+1))
+	if err != nil {
+		return nil, false, err
+	}
+	if int64(len(blob)) > sc.maxForward {
+		return nil, false, fmt.Errorf("trace %s content from %s exceeds %d bytes", id, peer, sc.maxForward)
+	}
+	return blob, true, nil
+}
+
+// uploadTrace admits a canonical binary trace on a peer.
+func (sc *shardClient) uploadTrace(ctx context.Context, peer string, blob []byte) (httpapi.UploadResponse, error) {
+	var out httpapi.UploadResponse
+	err := sc.doJSON(ctx, http.MethodPost, peer+"/v1/traces", blob, "application/octet-stream", &out)
+	return out, err
+}

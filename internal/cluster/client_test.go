@@ -1,0 +1,41 @@
+package cluster
+
+import (
+	"errors"
+	"net/http"
+	"testing"
+)
+
+// TestErrorClassification pins the routing loop's error taxonomy:
+// 4xx rejections are permanent (re-routing cannot help), "not right
+// now" statuses are transient (back off, never condemn the peer), and
+// transport errors are neither — they mark the peer itself as failed.
+func TestErrorClassification(t *testing.T) {
+	cases := []struct {
+		code                 int
+		permanent, transient bool
+	}{
+		{http.StatusBadRequest, true, false},
+		{http.StatusNotFound, true, false},
+		{http.StatusUnprocessableEntity, true, false},
+		{http.StatusRequestTimeout, false, true},
+		{http.StatusTooManyRequests, false, true},
+		{http.StatusServiceUnavailable, false, true},  // upload gate
+		{http.StatusInsufficientStorage, false, true}, // trace store full
+		{http.StatusInternalServerError, false, false},
+		{http.StatusBadGateway, false, false},
+	}
+	for _, tc := range cases {
+		err := error(&statusError{Code: tc.code, Msg: "x"})
+		if got := isPermanent(err); got != tc.permanent {
+			t.Errorf("isPermanent(%d) = %v, want %v", tc.code, got, tc.permanent)
+		}
+		if got := isTransient(err); got != tc.transient {
+			t.Errorf("isTransient(%d) = %v, want %v", tc.code, got, tc.transient)
+		}
+	}
+	transport := errors.New("dial tcp: connection refused")
+	if isPermanent(transport) || isTransient(transport) {
+		t.Error("transport errors must classify as peer failures (neither permanent nor transient)")
+	}
+}

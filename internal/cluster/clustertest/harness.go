@@ -1,0 +1,147 @@
+// Package clustertest is the in-process cluster test harness: it stands
+// up N real nbtiserved nodes — each a live engine behind an
+// httptest.Server serving the full internal/httpapi route table, with
+// its own temporary data directory — plus a cluster.Coordinator over
+// them, entirely inside one test process. Nodes can be killed mid-sweep
+// to exercise re-routing, and every node's engine stays reachable
+// in-process so tests can assert on shard-local state (stored traces,
+// counters) that the HTTP surface would hide.
+package clustertest
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"nbticache/internal/cache"
+	"nbticache/internal/cluster"
+	"nbticache/internal/engine"
+	"nbticache/internal/httpapi"
+	"nbticache/internal/workload"
+)
+
+// Options configures a harness cluster. The zero value is usable.
+type Options struct {
+	// Workers is the per-node engine pool size; <= 0 means 2.
+	Workers int
+	// GenDelay stalls every synthetic trace generation by this much —
+	// a knob that slows jobs down without changing their results
+	// (generation parameters stay identical across nodes, which the
+	// content-addressed determinism depends on), so failure-injection
+	// tests can reliably kill a node mid-sweep.
+	GenDelay time.Duration
+	// PollInterval is the coordinator's shard poll cadence; <= 0 means
+	// 25ms (fast, suited to in-process latencies).
+	PollInterval time.Duration
+}
+
+// Node is one in-process nbtiserved instance.
+type Node struct {
+	// Name labels the node in test output ("node0", ...).
+	Name string
+	// URL is the node's base URL, the coordinator's peer address.
+	URL string
+	// Engine is the node's live engine, reachable in-process for
+	// shard-local assertions.
+	Engine *engine.Engine
+	// DataDir is the node's private persistence root (a temp dir).
+	DataDir string
+
+	ts   *httptest.Server
+	once sync.Once
+}
+
+// Kill force-closes the node's listener and engine, as close to a
+// crash as an in-process node gets: established connections break, new
+// ones are refused, in-flight jobs cancel. Idempotent; the harness
+// kills every surviving node at cleanup.
+func (n *Node) Kill() {
+	n.once.Do(func() {
+		n.ts.CloseClientConnections()
+		n.ts.Close()
+		n.Engine.Close()
+	})
+}
+
+// Cluster is a set of harness nodes.
+type Cluster struct {
+	Nodes []*Node
+	opts  Options
+}
+
+// Start builds n nodes, each with its own temp data directory and an
+// identical quick-generation engine (identical configuration is the
+// cluster's determinism contract), and registers their teardown on tb.
+func Start(tb testing.TB, n int, opts Options) *Cluster {
+	tb.Helper()
+	if opts.Workers <= 0 {
+		opts.Workers = 2
+	}
+	if opts.PollInterval <= 0 {
+		opts.PollInterval = 25 * time.Millisecond
+	}
+	cl := &Cluster{opts: opts}
+	for i := 0; i < n; i++ {
+		dir := tb.TempDir()
+		eng, err := engine.New(engine.Options{
+			Workers: opts.Workers,
+			DataDir: dir,
+			Gen: func(g cache.Geometry) workload.GenParams {
+				if opts.GenDelay > 0 {
+					time.Sleep(opts.GenDelay)
+				}
+				return workload.GenParams{Geometry: g, Phases: 16, AccessesPerPhase: 64}
+			},
+		})
+		if err != nil {
+			tb.Fatal(err)
+		}
+		ts := httptest.NewServer(httpapi.NewServer(eng, httpapi.Config{}).Handler())
+		node := &Node{
+			Name:    fmt.Sprintf("node%d", i),
+			URL:     ts.URL,
+			Engine:  eng,
+			DataDir: dir,
+			ts:      ts,
+		}
+		tb.Cleanup(node.Kill)
+		cl.Nodes = append(cl.Nodes, node)
+	}
+	return cl
+}
+
+// URLs lists the nodes' base URLs in start order.
+func (cl *Cluster) URLs() []string {
+	out := make([]string, len(cl.Nodes))
+	for i, n := range cl.Nodes {
+		out[i] = n.URL
+	}
+	return out
+}
+
+// ByURL resolves a node from its peer address.
+func (cl *Cluster) ByURL(url string) *Node {
+	for _, n := range cl.Nodes {
+		if n.URL == url {
+			return n
+		}
+	}
+	return nil
+}
+
+// Coordinator builds a coordinator over every node, tuned for
+// in-process latencies, and registers its teardown on tb.
+func (cl *Cluster) Coordinator(tb testing.TB) *cluster.Coordinator {
+	tb.Helper()
+	c, err := cluster.New(cluster.Options{
+		Peers:        cl.URLs(),
+		PollInterval: cl.opts.PollInterval,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	tb.Cleanup(c.Close)
+	return c
+}

@@ -1,0 +1,667 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nbticache/internal/engine"
+)
+
+// Options configures a Coordinator.
+type Options struct {
+	// Peers are the shard base URLs ("http://host:port"). At least one
+	// is required; duplicates collapse. The set is fixed for the
+	// coordinator's lifetime — peers that fail are removed from the
+	// ring (their keys fall to the next owner) and never rejoin.
+	Peers []string
+	// Client issues the shard requests; nil selects a default with a
+	// 2-minute per-request timeout.
+	Client *http.Client
+	// Replicas is the ring's virtual-node count per peer; <= 0 means
+	// DefaultReplicas.
+	Replicas int
+	// PollInterval paces per-shard sweep polling; <= 0 means
+	// DefaultPollInterval.
+	PollInterval time.Duration
+	// MaxForwardBytes caps one forwarded trace's canonical encoding;
+	// <= 0 means twice the node upload default. Size it to match the
+	// shards' -max-trace-bytes, or large legitimately-admitted traces
+	// become unforwardable.
+	MaxForwardBytes int64
+}
+
+// DefaultPollInterval paces shard sweep polling when
+// Options.PollInterval is zero.
+const DefaultPollInterval = 200 * time.Millisecond
+
+// errTraceUnavailable marks a referenced trace that no live peer holds:
+// the jobs referencing it fail permanently instead of bouncing between
+// shards.
+var errTraceUnavailable = errors.New("cluster: trace unavailable")
+
+// ErrPeerUnavailable wraps errors where the coordinator could not reach
+// (or could not get a usable answer from) a peer, as opposed to the
+// request itself being wrong. The HTTP layer maps these to 5xx so
+// clients retry instead of blaming their spec.
+var ErrPeerUnavailable = errors.New("cluster: peer unavailable")
+
+// shardState is one peer's routing bookkeeping, guarded by the
+// coordinator mutex.
+type shardState struct {
+	alive  bool
+	routed uint64
+	// retried counts jobs dispatched to this peer as a re-route (the
+	// job had already been dispatched elsewhere).
+	retried uint64
+	merged  uint64
+}
+
+// Coordinator shards sweeps across nbtiserved peers: it expands a
+// SweepSpec locally, assigns each job to the consistent-hash owner of
+// its content address, forwards any referenced uploaded traces to the
+// owning shard on demand, submits one sub-sweep per shard, merges the
+// per-shard results into a single Handle, and re-routes jobs from a
+// failed peer to the next ring owner. It is safe for concurrent use.
+type Coordinator struct {
+	client *shardClient
+	poll   time.Duration
+
+	lifeCtx  context.Context
+	lifeStop context.CancelFunc
+	wg       sync.WaitGroup
+	closed   atomic.Bool
+	seq      atomic.Uint64
+
+	// forwardSlots is a semaphore over in-flight trace forwards.
+	forwardSlots chan struct{}
+
+	mu     sync.Mutex
+	ring   *Ring
+	shards map[string]*shardState
+
+	sweepsTotal     atomic.Uint64
+	jobsRouted      atomic.Uint64
+	jobsRetried     atomic.Uint64
+	jobsMerged      atomic.Uint64
+	jobsFailed      atomic.Uint64
+	tracesForwarded atomic.Uint64
+	peerFailures    atomic.Uint64
+}
+
+// New builds a coordinator over the given peers. The peers are not
+// contacted here; an unreachable peer surfaces on the first sweep that
+// routes to it (its jobs re-route to the next ring owner).
+func New(o Options) (*Coordinator, error) {
+	peers := make([]string, 0, len(o.Peers))
+	seen := make(map[string]bool)
+	for _, p := range o.Peers {
+		p = strings.TrimRight(strings.TrimSpace(p), "/")
+		if p == "" || seen[p] {
+			continue
+		}
+		u, err := url.Parse(p)
+		if err != nil || (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+			return nil, fmt.Errorf("cluster: peer %q is not an http(s) base URL", p)
+		}
+		seen[p] = true
+		peers = append(peers, p)
+	}
+	if len(peers) == 0 {
+		return nil, fmt.Errorf("cluster: no peers")
+	}
+	if o.PollInterval <= 0 {
+		o.PollInterval = DefaultPollInterval
+	}
+	ctx, stop := context.WithCancel(context.Background())
+	c := &Coordinator{
+		client:       newShardClient(o.Client, o.MaxForwardBytes),
+		poll:         o.PollInterval,
+		lifeCtx:      ctx,
+		lifeStop:     stop,
+		ring:         NewRing(o.Replicas, peers...),
+		shards:       make(map[string]*shardState, len(peers)),
+		forwardSlots: make(chan struct{}, maxConcurrentForwards),
+	}
+	for _, p := range peers {
+		c.shards[p] = &shardState{alive: true}
+	}
+	return c, nil
+}
+
+// Close cancels every in-flight sweep and waits for their routing
+// goroutines to drain. Close is idempotent; Submit after Close fails.
+func (c *Coordinator) Close() {
+	// The mutex orders this Swap against Submit's locked closed-check +
+	// wg.Add pair: any Submit that observed closed=false has already
+	// registered its routing goroutine by the time we can reach Wait,
+	// so Close never returns with a sweep still running (and Add never
+	// races a completed Wait).
+	c.mu.Lock()
+	already := c.closed.Swap(true)
+	c.mu.Unlock()
+	if already {
+		return
+	}
+	c.lifeStop()
+	c.wg.Wait()
+}
+
+// Peers lists the configured peers, sorted.
+func (c *Coordinator) Peers() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, len(c.shards))
+	for p := range c.shards {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// OwnerOf returns the live peer owning a content address (a job or
+// trace ID), or false when every peer has failed.
+func (c *Coordinator) OwnerOf(key string) (string, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ring.Owner(key)
+}
+
+func (c *Coordinator) ringSnapshot() *Ring {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ring.Clone()
+}
+
+// ringLen reads the live-peer count without cloning the ring.
+func (c *Coordinator) ringLen() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ring.Len()
+}
+
+// failPeer removes a peer from the ring after a transport-level (or
+// 5xx) failure; its keyspace share falls to the next ring owners.
+func (c *Coordinator) failPeer(peer string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if st := c.shards[peer]; st != nil && st.alive {
+		st.alive = false
+		c.ring.Remove(peer)
+		c.peerFailures.Add(1)
+	}
+}
+
+// Submit expands the sweep, verifies every referenced uploaded trace is
+// held by some live peer, and starts the routing loop, returning the
+// merged handle immediately. ctx bounds expansion and the trace check
+// only; the sweep's own lifetime is governed by the coordinator (Close)
+// and the handle (Cancel).
+func (c *Coordinator) Submit(ctx context.Context, spec engine.SweepSpec) (*Handle, error) {
+	if c.closed.Load() {
+		return nil, fmt.Errorf("cluster: coordinator closed")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	jobs, err := spec.Expand()
+	if err != nil {
+		return nil, err
+	}
+	// Mirror the engine's submit-time trace validation: rejecting a
+	// sweep whose workload no shard holds beats failing its jobs one by
+	// one mid-flight.
+	seen := make(map[string]bool)
+	for _, j := range jobs {
+		if j.TraceID == "" || seen[j.TraceID] {
+			continue
+		}
+		seen[j.TraceID] = true
+		if _, _, found, err := c.locateTrace(ctx, j.TraceID); !found {
+			if err != nil {
+				// Some peer could not be checked: this is the cluster's
+				// problem, not a bad reference from the client.
+				return nil, fmt.Errorf("%w: cannot verify trace %q: %v", ErrPeerUnavailable, j.TraceID, err)
+			}
+			return nil, fmt.Errorf("cluster: unknown trace %q (upload it first)", j.TraceID)
+		}
+	}
+	sctx, cancel := context.WithCancel(c.lifeCtx)
+	h := newHandle(fmt.Sprintf("csweep-%d", c.seq.Add(1)), spec, jobs, sctx, cancel)
+	c.mu.Lock()
+	if c.closed.Load() {
+		// Close won the race since the check above; registering a
+		// routing goroutine now would slip past its Wait.
+		c.mu.Unlock()
+		cancel()
+		return nil, fmt.Errorf("cluster: coordinator closed")
+	}
+	c.wg.Add(1)
+	c.mu.Unlock()
+	c.sweepsTotal.Add(1)
+	go c.run(h)
+	return h, nil
+}
+
+// Sweep submits a sweep and blocks until the merged result is complete
+// (per-job failures are isolated, never aborting the batch).
+func (c *Coordinator) Sweep(ctx context.Context, spec engine.SweepSpec) (*engine.SweepResult, error) {
+	h, err := c.Submit(ctx, spec)
+	if err != nil {
+		return nil, err
+	}
+	res, err := h.Wait(ctx)
+	if err != nil {
+		h.Cancel()
+		return nil, err
+	}
+	return res, nil
+}
+
+// maxStalledRounds bounds routing rounds that neither resolve a job
+// nor shrink the ring (every shard answering "not right now"): the
+// loop backs off exponentially between such rounds — poll×2, ×4, …,
+// about 12 seconds in total at the default cadence, enough for an
+// upload-gate or store-full condition to clear — and fails the jobs,
+// never the peers, once the budget is spent.
+const maxStalledRounds = 5
+
+// run is one sweep's routing loop: group unresolved jobs by ring owner,
+// dispatch the groups concurrently, and repeat with the survivors'
+// ring until every slot resolves. Re-dispatch rounds follow either a
+// peer failure (the ring shrinks, so those rounds are bounded by the
+// peer count) or a transient shard refusal (bounded by
+// maxStalledRounds with a backoff between attempts).
+func (c *Coordinator) run(h *Handle) {
+	defer c.wg.Done()
+	stalled := 0
+	for h.ctx.Err() == nil {
+		pending := h.unresolved()
+		if len(pending) == 0 {
+			return
+		}
+		ring := c.ringSnapshot()
+		if ring.Len() == 0 {
+			c.failSlots(h, pending, errors.New("cluster: no live shards"))
+			return
+		}
+		groups := make(map[string][]int)
+		for _, slot := range pending {
+			owner, _ := ring.Owner(h.jobs[slot].ID())
+			groups[owner] = append(groups[owner], slot)
+		}
+		doneBefore := h.Status()
+		var wg sync.WaitGroup
+		for peer, slots := range groups {
+			wg.Add(1)
+			go func(peer string, slots []int) {
+				defer wg.Done()
+				c.dispatch(h, peer, slots)
+			}(peer, slots)
+		}
+		wg.Wait()
+		after := h.Status()
+		progressed := after.Completed+after.Failed+after.Canceled >
+			doneBefore.Completed+doneBefore.Failed+doneBefore.Canceled
+		if progressed || c.ringLen() < ring.Len() {
+			stalled = 0
+			continue
+		}
+		if stalled++; stalled > maxStalledRounds {
+			c.failSlots(h, h.unresolved(), fmt.Errorf("cluster: no progress after %d rounds (shards busy or refusing)", stalled))
+			return
+		}
+		select {
+		case <-h.ctx.Done():
+		case <-time.After(c.poll * (1 << stalled)):
+		}
+	}
+	// Cancelled (handle or coordinator shutdown): settle the rest.
+	for _, slot := range h.unresolved() {
+		spec := h.jobs[slot]
+		h.record(slot, &engine.JobResult{
+			ID: spec.ID(), Spec: spec,
+			Err: context.Canceled.Error(), Canceled: true,
+		})
+	}
+}
+
+// dispatch routes one group of jobs to its owning shard: forward any
+// referenced traces the shard is missing, submit the sub-sweep, poll
+// it, and merge results into the handle as they resolve. On a peer
+// failure the unmerged slots stay unresolved — the routing loop
+// re-routes them on the post-failure ring.
+func (c *Coordinator) dispatch(h *Handle, peer string, slots []int) {
+	ctx := h.ctx
+	// Every distinct uploaded trace this group references must be
+	// resident on the shard before the sub-sweep submits.
+	need := make(map[string]bool)
+	for _, s := range slots {
+		if id := h.jobs[s].TraceID; id != "" {
+			need[id] = true
+		}
+	}
+	for id := range need {
+		_, found, err := c.client.traceInfo(ctx, peer, id)
+		if err == nil && !found {
+			err = c.forwardTrace(ctx, peer, id)
+		}
+		switch {
+		case err == nil:
+		case errors.Is(err, errTraceUnavailable), isPermanent(err):
+			// The trace is gone everywhere (or the shard rejects it):
+			// re-routing cannot help the jobs that reference it.
+			var bad, rest []int
+			for _, s := range slots {
+				if h.jobs[s].TraceID == id {
+					bad = append(bad, s)
+				} else {
+					rest = append(rest, s)
+				}
+			}
+			c.failSlots(h, bad, err)
+			slots = rest
+		case isTransient(err):
+			// A healthy shard saying "not right now" (upload gate,
+			// full trace store): leave the slots pending for the next
+			// backoff round instead of condemning the peer.
+			return
+		default:
+			if ctx.Err() == nil {
+				c.failPeer(peer)
+			}
+			return
+		}
+	}
+	if len(slots) == 0 {
+		return
+	}
+
+	jobs := make([]engine.JobSpec, len(slots))
+	for i, s := range slots {
+		jobs[i] = h.jobs[s]
+	}
+	sub, err := c.client.submit(ctx, peer, engine.SweepSpec{Name: h.ID, Jobs: jobs})
+	if err != nil {
+		switch {
+		case ctx.Err() != nil:
+		case isTransient(err): // pending; the routing loop backs off and retries
+		case isPermanent(err) && strings.Contains(err.Error(), "unknown trace"):
+			// A direct DELETE on the shard can land between our
+			// residency probe and this submit. The trace may still be
+			// resident elsewhere, so leave the slots pending: the next
+			// round re-probes and re-forwards (and fails them through
+			// errTraceUnavailable if it is truly gone everywhere).
+			return
+		case isPermanent(err):
+			c.failSlots(h, slots, err)
+		default:
+			c.failPeer(peer)
+		}
+		return
+	}
+	// Routed/retried count accepted dispatches only — a group turned
+	// back before the sub-sweep submitted (trace-forward stall, gate
+	// refusal) reached no shard, and counting it would let a few
+	// stalled rounds inflate the counters past the job count.
+	var retried int
+	for _, s := range slots {
+		h.attempts[s]++
+		if h.attempts[s] > 1 {
+			retried++
+		}
+	}
+	c.jobsRouted.Add(uint64(len(slots)))
+	c.jobsRetried.Add(uint64(retried))
+	c.mu.Lock()
+	if st := c.shards[peer]; st != nil {
+		st.routed += uint64(len(slots))
+		st.retried += uint64(retried)
+	}
+	c.mu.Unlock()
+
+	ticker := time.NewTicker(c.poll)
+	defer ticker.Stop()
+	for {
+		sw, err := c.client.sweep(ctx, peer, sub.ID)
+		if err != nil {
+			var se *statusError
+			switch {
+			case ctx.Err() != nil:
+				c.cancelRemote(peer, sub.ID)
+			case errors.As(err, &se) && se.Code == http.StatusNotFound:
+				// The sub-sweep finished and was evicted by the shard's
+				// retention between polls. The results are not lost —
+				// they live in the shard's content-addressed job cache —
+				// so recover them individually; anything unrecovered
+				// stays pending and re-dispatches.
+				c.recoverJobs(ctx, h, peer, slots)
+			case isTransient(err): // pending; the routing loop backs off and retries
+			case isPermanent(err):
+				c.failSlots(h, slots, err) // resolved slots are screened by record's exactly-once check
+			default:
+				c.failPeer(peer)
+			}
+			return
+		}
+		for _, jr := range sw.Jobs {
+			if jr == nil || jr.Canceled {
+				// A shard-side cancellation (its engine shutting down)
+				// is not an answer: the slot stays unresolved and
+				// re-routes.
+				continue
+			}
+			slot, ok := h.slot[jr.ID]
+			if !ok {
+				continue
+			}
+			if h.record(slot, jr) {
+				c.jobsMerged.Add(1)
+				c.mu.Lock()
+				if st := c.shards[peer]; st != nil {
+					st.merged++
+				}
+				c.mu.Unlock()
+			}
+		}
+		if sw.Status.State != "running" {
+			return
+		}
+		select {
+		case <-ctx.Done():
+			c.cancelRemote(peer, sub.ID)
+			return
+		case <-ticker.C:
+		}
+	}
+}
+
+// recoverJobs resolves a dispatch group's jobs directly from a shard's
+// content-addressed job cache, for when the sub-sweep handle itself is
+// gone (evicted by retention). Unrecoverable slots stay pending.
+func (c *Coordinator) recoverJobs(ctx context.Context, h *Handle, peer string, slots []int) {
+	for _, s := range slots {
+		res, found, err := c.client.job(ctx, peer, h.jobs[s].ID())
+		if err != nil || !found {
+			continue
+		}
+		if h.record(s, res) {
+			c.jobsMerged.Add(1)
+			c.mu.Lock()
+			if st := c.shards[peer]; st != nil {
+				st.merged++
+			}
+			c.mu.Unlock()
+		}
+	}
+}
+
+// failSlots settles slots with a permanent per-job error (the engine's
+// error-isolation contract: failures never abort the sweep).
+func (c *Coordinator) failSlots(h *Handle, slots []int, err error) {
+	for _, s := range slots {
+		spec := h.jobs[s]
+		if h.record(s, &engine.JobResult{ID: spec.ID(), Spec: spec, Err: err.Error()}) {
+			c.jobsFailed.Add(1)
+		}
+	}
+}
+
+// cancelRemote best-effort-cancels a shard sub-sweep whose merged sweep
+// is being cancelled, so abandoned jobs stop occupying the shard's
+// worker pool.
+func (c *Coordinator) cancelRemote(peer, id string) {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	_ = c.client.cancelSweep(ctx, peer, id)
+}
+
+// locateTrace finds a live peer holding an uploaded trace: the ring
+// owner first (where coordinator-routed uploads land), then every other
+// live peer. Peers that fail the probe are skipped, not condemned — a
+// liveness verdict from a read probe would be too eager — but the last
+// probe failure is returned alongside found=false, so a caller can
+// distinguish "no peer has it" (every probe answered 404) from "could
+// not check" and not blame the client for a transient blip.
+func (c *Coordinator) locateTrace(ctx context.Context, id string) (peer string, info engine.TraceInfo, found bool, err error) {
+	cands := c.traceCandidates(id)
+	if len(cands) == 0 {
+		// An empty ring proves nothing about the trace: the data may
+		// well exist on the unreachable shards.
+		return "", engine.TraceInfo{}, false, fmt.Errorf("%w: no live shards", ErrPeerUnavailable)
+	}
+	var probeErr error
+	for _, p := range cands {
+		info, ok, err := c.client.traceInfo(ctx, p, id)
+		if err != nil {
+			if ctx.Err() != nil {
+				return "", engine.TraceInfo{}, false, err
+			}
+			probeErr = fmt.Errorf("probing %s: %w", p, err)
+			continue
+		}
+		if ok {
+			return p, info, true, nil
+		}
+	}
+	return "", engine.TraceInfo{}, false, probeErr
+}
+
+// traceCandidates orders the live peers for a trace lookup in ring
+// succession order from the trace's position: the owner (where
+// coordinator-routed uploads land) first, then its fallbacks.
+func (c *Coordinator) traceCandidates(id string) []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ring.Owners(id, c.ring.Len())
+}
+
+// maxConcurrentForwards bounds trace forwards in flight across all
+// sweeps: each buffers a full canonical encoding for the download and
+// re-upload, so an ungated fan-out would multiply tens of MiB per
+// dispatch goroutine.
+const maxConcurrentForwards = 4
+
+// forwardTrace copies an uploaded trace to target from whichever live
+// peer holds it, preserving the content address (the canonical binary
+// bytes are re-admitted, so the destination re-derives the same ID).
+func (c *Coordinator) forwardTrace(ctx context.Context, target, id string) error {
+	select {
+	case c.forwardSlots <- struct{}{}:
+		defer func() { <-c.forwardSlots }()
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	for _, src := range c.traceCandidates(id) {
+		if src == target {
+			continue
+		}
+		blob, found, err := c.client.traceContent(ctx, src, id)
+		if err != nil || !found {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			continue // missing or unreachable there; try the next holder
+		}
+		up, err := c.client.uploadTrace(ctx, target, blob)
+		if err != nil {
+			return err
+		}
+		if up.ID != id {
+			return fmt.Errorf("cluster: trace %s re-addressed as %s on %s", id, up.ID, target)
+		}
+		c.tracesForwarded.Add(1)
+		return nil
+	}
+	return fmt.Errorf("%w: %q not held by any live peer", errTraceUnavailable, id)
+}
+
+// ShardStats is one peer's routing counters.
+type ShardStats struct {
+	Peer  string `json:"peer"`
+	Alive bool   `json:"alive"`
+	// Routed counts job dispatches accepted by this peer; Retried
+	// counts the ones that re-dispatched an already-routed job (a
+	// re-route after a peer failure, or a retry after a transient
+	// refusal); Merged counts job results merged from this peer.
+	Routed  uint64 `json:"routed"`
+	Retried uint64 `json:"retried"`
+	Merged  uint64 `json:"merged"`
+}
+
+// Stats is a snapshot of the coordinator counters, served by /metrics
+// in coordinator mode. JobsRouted counts every accepted dispatch of a
+// job to a shard and JobsRetried the ones beyond a job's first, so
+// JobsRouted - JobsRetried equals the number of distinct jobs
+// dispatched; a fully merged sweep contributes exactly its job count
+// to JobsMerged.
+type Stats struct {
+	Peers           int          `json:"peers"`
+	AlivePeers      int          `json:"alive_peers"`
+	SweepsTotal     uint64       `json:"sweeps_total"`
+	JobsRouted      uint64       `json:"jobs_routed"`
+	JobsRetried     uint64       `json:"jobs_retried"`
+	JobsMerged      uint64       `json:"jobs_merged"`
+	JobsFailed      uint64       `json:"jobs_failed"`
+	TracesForwarded uint64       `json:"traces_forwarded"`
+	PeerFailures    uint64       `json:"peer_failures"`
+	Shards          []ShardStats `json:"shards"`
+}
+
+// Stats snapshots the counters.
+func (c *Coordinator) Stats() Stats {
+	c.mu.Lock()
+	shards := make([]ShardStats, 0, len(c.shards))
+	alive := 0
+	for p, st := range c.shards {
+		if st.alive {
+			alive++
+		}
+		shards = append(shards, ShardStats{
+			Peer: p, Alive: st.alive,
+			Routed: st.routed, Retried: st.retried, Merged: st.merged,
+		})
+	}
+	total := len(c.shards)
+	c.mu.Unlock()
+	sort.Slice(shards, func(i, j int) bool { return shards[i].Peer < shards[j].Peer })
+	return Stats{
+		Peers:           total,
+		AlivePeers:      alive,
+		SweepsTotal:     c.sweepsTotal.Load(),
+		JobsRouted:      c.jobsRouted.Load(),
+		JobsRetried:     c.jobsRetried.Load(),
+		JobsMerged:      c.jobsMerged.Load(),
+		JobsFailed:      c.jobsFailed.Load(),
+		TracesForwarded: c.tracesForwarded.Load(),
+		PeerFailures:    c.peerFailures.Load(),
+		Shards:          shards,
+	}
+}

@@ -1,0 +1,166 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"sync"
+
+	"nbticache/internal/engine"
+)
+
+// Handle tracks one sharded sweep: the coordinator's merge target. It
+// mirrors engine.Handle's surface (Status, Results, Wait, Cancel) and
+// reuses the engine's status/result types, so the HTTP layer and
+// clients see one sweep regardless of how many shards ran it.
+type Handle struct {
+	// ID names the sweep ("csweep-N", unique per coordinator).
+	ID string
+	// Spec is the submitted spec, verbatim.
+	Spec engine.SweepSpec
+
+	jobs []engine.JobSpec
+	// slot maps a job's content address to its index in jobs/results
+	// (Expand deduplicates, so the mapping is one-to-one).
+	slot map[string]int
+	// attempts counts dispatches per slot; written only by the routing
+	// round that owns the slot, so no lock is needed beyond the rounds'
+	// own ordering.
+	attempts []int
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu        sync.Mutex
+	results   []*engine.JobResult
+	done      int
+	failed    int
+	canceled  int
+	cached    int
+	cancelled bool
+	finished  chan struct{}
+}
+
+func newHandle(id string, spec engine.SweepSpec, jobs []engine.JobSpec, ctx context.Context, cancel context.CancelFunc) *Handle {
+	h := &Handle{
+		ID:       id,
+		Spec:     spec,
+		jobs:     jobs,
+		slot:     make(map[string]int, len(jobs)),
+		attempts: make([]int, len(jobs)),
+		ctx:      ctx,
+		cancel:   cancel,
+		results:  make([]*engine.JobResult, len(jobs)),
+		finished: make(chan struct{}),
+	}
+	for i, j := range jobs {
+		h.slot[j.ID()] = i
+	}
+	return h
+}
+
+// Jobs returns the expanded, deduplicated job list (in submission order).
+func (h *Handle) Jobs() []engine.JobSpec { return h.jobs }
+
+// Cancel stops the sweep: per-shard sub-sweeps are cancelled (best
+// effort) and jobs not yet merged are recorded as cancelled. The sweep
+// still finishes (Wait returns) once every slot is resolved; merged
+// results are kept.
+func (h *Handle) Cancel() {
+	h.mu.Lock()
+	h.cancelled = true
+	h.mu.Unlock()
+	h.cancel()
+}
+
+// record stores slot's result exactly once and closes the sweep when
+// the last slot resolves. It reports whether the result was taken.
+func (h *Handle) record(slot int, res *engine.JobResult) bool {
+	h.mu.Lock()
+	if h.results[slot] != nil { // already merged (defensive; rounds own disjoint slots)
+		h.mu.Unlock()
+		return false
+	}
+	h.results[slot] = res
+	h.done++
+	switch {
+	case res.Canceled:
+		h.canceled++
+	case res.Err != "":
+		h.failed++
+	default:
+		if res.Cached {
+			h.cached++
+		}
+	}
+	last := h.done == len(h.jobs)
+	h.mu.Unlock()
+	if last {
+		h.cancel() // release the context; the sweep is over
+		close(h.finished)
+	}
+	return true
+}
+
+// unresolved snapshots the slots still waiting for a result.
+func (h *Handle) unresolved() []int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var out []int
+	for i, r := range h.results {
+		if r == nil {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Status snapshots progress without blocking, in the engine's terms.
+func (h *Handle) Status() engine.SweepStatus {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	st := engine.SweepStatus{
+		ID:        h.ID,
+		Name:      h.Spec.Name,
+		State:     "running",
+		Total:     len(h.jobs),
+		Completed: h.done - h.failed - h.canceled,
+		Failed:    h.failed,
+		Canceled:  h.canceled,
+		Cached:    h.cached,
+	}
+	if h.done == len(h.jobs) {
+		st.State = "done"
+		if h.cancelled || h.canceled > 0 {
+			st.State = "canceled"
+		}
+	}
+	return st
+}
+
+// Results returns the job results merged so far (nil slots for jobs
+// still pending), in submission order.
+func (h *Handle) Results() []*engine.JobResult {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]*engine.JobResult, len(h.results))
+	copy(out, h.results)
+	return out
+}
+
+// ErrSweepNotDone is returned by Wait when ctx expires first.
+var ErrSweepNotDone = errors.New("cluster: sweep not finished")
+
+// Wait blocks until every job has resolved (including cancelled ones)
+// or ctx expires, then returns the assembled merged result.
+func (h *Handle) Wait(ctx context.Context) (*engine.SweepResult, error) {
+	select {
+	case <-h.finished:
+	case <-ctx.Done():
+		return nil, errors.Join(ErrSweepNotDone, ctx.Err())
+	}
+	h.mu.Lock()
+	jobs := make([]*engine.JobResult, len(h.results))
+	copy(jobs, h.results)
+	h.mu.Unlock()
+	return &engine.SweepResult{ID: h.ID, Name: h.Spec.Name, Jobs: jobs, Status: h.Status()}, nil
+}

@@ -1,0 +1,168 @@
+// Package cluster shards sweeps across several nbtiserved instances.
+// Job IDs, trace IDs and results are all content addresses (equal
+// content hashes to equal IDs on every node), so the keyspace partitions
+// cleanly: a consistent-hash Ring assigns each content address to one
+// owning shard, and a Coordinator splits a SweepSpec's job space along
+// that ownership, routes each job (and any uploaded traces it
+// references, forwarded on demand) to its shard over the existing HTTP
+// API, merges per-shard progress and results into a single sweep
+// handle, and re-routes jobs from a failed peer to the next ring owner.
+//
+// Shards must be configured identically (same models, same trace
+// generation parameters): job IDs hash the spec, not the node
+// configuration, so a heterogeneous cluster would let one content
+// address name two different results.
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+	"strconv"
+)
+
+// DefaultReplicas is the virtual-node count per physical node. More
+// replicas smooth the key distribution (at 64 the per-node share stays
+// within a few tens of percent of the mean) at a small lookup-table
+// cost.
+const DefaultReplicas = 64
+
+// Ring is a consistent-hash ring: every node appears as `replicas`
+// virtual points on a 64-bit circle, and a key is owned by the node
+// whose point follows the key's hash. Membership changes remap only the
+// departed (or arrived) node's share — every other key keeps its owner.
+// Ring is not safe for concurrent use; the Coordinator guards its ring
+// with a mutex and hands copies to in-flight sweeps.
+type Ring struct {
+	replicas int
+	nodes    map[string]bool
+	points   []ringPoint // sorted by (hash, node)
+}
+
+type ringPoint struct {
+	hash uint64
+	node string
+}
+
+// NewRing builds a ring over the given nodes. replicas <= 0 selects
+// DefaultReplicas. Duplicate node names collapse.
+func NewRing(replicas int, nodes ...string) *Ring {
+	if replicas <= 0 {
+		replicas = DefaultReplicas
+	}
+	r := &Ring{replicas: replicas, nodes: make(map[string]bool)}
+	for _, n := range nodes {
+		r.Add(n)
+	}
+	return r
+}
+
+// hash64 is the ring's position function: the first 8 bytes of SHA-256,
+// matching the quality of the content addresses being placed.
+func hash64(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// Add inserts a node (idempotent).
+func (r *Ring) Add(node string) {
+	if r.nodes[node] {
+		return
+	}
+	r.nodes[node] = true
+	for i := 0; i < r.replicas; i++ {
+		r.points = append(r.points, ringPoint{hash: hash64(node + "#" + strconv.Itoa(i)), node: node})
+	}
+	r.sortPoints()
+}
+
+// Remove deletes a node; only that node's keys change owner.
+func (r *Ring) Remove(node string) {
+	if !r.nodes[node] {
+		return
+	}
+	delete(r.nodes, node)
+	keep := r.points[:0]
+	for _, p := range r.points {
+		if p.node != node {
+			keep = append(keep, p)
+		}
+	}
+	r.points = keep
+}
+
+func (r *Ring) sortPoints() {
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].node < r.points[j].node
+	})
+}
+
+// Len returns the number of nodes.
+func (r *Ring) Len() int { return len(r.nodes) }
+
+// Nodes lists the member nodes, sorted.
+func (r *Ring) Nodes() []string {
+	out := make([]string, 0, len(r.nodes))
+	for n := range r.nodes {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Has reports membership.
+func (r *Ring) Has(node string) bool { return r.nodes[node] }
+
+// Owner returns the node owning key, or false on an empty ring.
+func (r *Ring) Owner(key string) (string, bool) {
+	if len(r.points) == 0 {
+		return "", false
+	}
+	return r.points[r.search(hash64(key))].node, true
+}
+
+// Owners returns up to n distinct nodes in succession order from key's
+// position: the first is the owner, the rest are the owners the key
+// would fall to if its predecessors left the ring.
+func (r *Ring) Owners(key string, n int) []string {
+	if len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	start := r.search(hash64(key))
+	out := make([]string, 0, n)
+	seen := make(map[string]bool, n)
+	for i := 0; i < len(r.points) && len(out) < n; i++ {
+		node := r.points[(start+i)%len(r.points)].node
+		if !seen[node] {
+			seen[node] = true
+			out = append(out, node)
+		}
+	}
+	return out
+}
+
+// search returns the index of the first point at or after h, wrapping.
+func (r *Ring) search(h uint64) int {
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		return 0
+	}
+	return i
+}
+
+// Clone returns an independent copy (sweeps snapshot the coordinator's
+// ring so a membership change mid-sweep cannot tear their view).
+func (r *Ring) Clone() *Ring {
+	c := &Ring{
+		replicas: r.replicas,
+		nodes:    make(map[string]bool, len(r.nodes)),
+		points:   append([]ringPoint(nil), r.points...),
+	}
+	for n := range r.nodes {
+		c.nodes[n] = true
+	}
+	return c
+}

@@ -1,0 +1,126 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ringKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		// Shaped like the engine's content addresses, which is what the
+		// ring actually places.
+		keys[i] = fmt.Sprintf("job-%016x", i*2654435761)
+	}
+	return keys
+}
+
+// TestRingBalance is the distribution property: across a range of
+// cluster sizes, every node's share of a large keyspace stays within a
+// constant factor of the fair share.
+func TestRingBalance(t *testing.T) {
+	keys := ringKeys(20000)
+	for _, nodes := range []int{2, 3, 5, 8} {
+		names := make([]string, nodes)
+		for i := range names {
+			names[i] = fmt.Sprintf("http://shard-%d:8080", i)
+		}
+		r := NewRing(0, names...)
+		counts := make(map[string]int)
+		for _, k := range keys {
+			owner, ok := r.Owner(k)
+			if !ok {
+				t.Fatalf("nodes=%d: no owner for %s", nodes, k)
+			}
+			counts[owner]++
+		}
+		if len(counts) != nodes {
+			t.Fatalf("nodes=%d: only %d nodes own keys", nodes, len(counts))
+		}
+		mean := float64(len(keys)) / float64(nodes)
+		for node, got := range counts {
+			share := float64(got) / mean
+			if share < 0.5 || share > 2.0 {
+				t.Errorf("nodes=%d: %s owns %d keys (%.2fx the fair share, want within [0.5, 2.0])",
+					nodes, node, got, share)
+			}
+		}
+	}
+}
+
+// TestRingRemoveRemapsOnlyOwnedKeys is the bounded-remapping property:
+// removing one node moves exactly that node's keys (nothing else
+// changes owner), and adding it back restores the original assignment
+// bit for bit.
+func TestRingRemoveRemapsOnlyOwnedKeys(t *testing.T) {
+	keys := ringKeys(20000)
+	nodes := []string{"http://a:1", "http://b:1", "http://c:1", "http://d:1"}
+	r := NewRing(0, nodes...)
+
+	before := make(map[string]string, len(keys))
+	for _, k := range keys {
+		before[k], _ = r.Owner(k)
+	}
+
+	const victim = "http://c:1"
+	r.Remove(victim)
+	if r.Has(victim) || r.Len() != len(nodes)-1 {
+		t.Fatalf("remove bookkeeping wrong: len=%d", r.Len())
+	}
+	moved := 0
+	for _, k := range keys {
+		after, ok := r.Owner(k)
+		if !ok {
+			t.Fatalf("no owner for %s after removal", k)
+		}
+		if after == victim {
+			t.Fatalf("key %s still owned by removed node", k)
+		}
+		switch {
+		case before[k] == victim:
+			moved++
+		case after != before[k]:
+			t.Fatalf("key %s moved %s -> %s though its owner never left", k, before[k], after)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("victim owned no keys; the property was tested vacuously")
+	}
+
+	r.Add(victim)
+	for _, k := range keys {
+		if after, _ := r.Owner(k); after != before[k] {
+			t.Fatalf("key %s owned by %s after re-add, originally %s", k, after, before[k])
+		}
+	}
+}
+
+// TestRingOwnersSuccession: Owners lists distinct nodes starting at the
+// key's owner, and shrinks gracefully when asked for more nodes than
+// exist.
+func TestRingOwnersSuccession(t *testing.T) {
+	r := NewRing(0, "http://a:1", "http://b:1", "http://c:1")
+	for _, k := range ringKeys(100) {
+		owner, _ := r.Owner(k)
+		succ := r.Owners(k, 3)
+		if len(succ) != 3 || succ[0] != owner {
+			t.Fatalf("Owners(%s, 3) = %v, owner %s", k, succ, owner)
+		}
+		seen := map[string]bool{}
+		for _, n := range succ {
+			if seen[n] {
+				t.Fatalf("Owners(%s, 3) repeats %s: %v", k, n, succ)
+			}
+			seen[n] = true
+		}
+		if more := r.Owners(k, 10); len(more) != 3 {
+			t.Fatalf("Owners(%s, 10) = %v, want the 3 distinct nodes", k, more)
+		}
+	}
+	if empty := NewRing(0); empty.Owners("k", 2) != nil {
+		t.Fatal("empty ring returned owners")
+	}
+	if _, ok := NewRing(0).Owner("k"); ok {
+		t.Fatal("empty ring claimed an owner")
+	}
+}

@@ -1,0 +1,354 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"nbticache/internal/engine"
+	"nbticache/internal/httpapi"
+	"nbticache/internal/trace"
+)
+
+// ServerConfig bounds the coordinator server's per-request and retained
+// state; the zero value selects the node server's defaults.
+type ServerConfig struct {
+	// MaxTraceBytes caps one trace-upload body routed through the
+	// coordinator.
+	MaxTraceBytes int64
+	// RetainSweeps caps resident merged-sweep handles (oldest finished
+	// evicted past it, exactly like the node server).
+	RetainSweeps int
+	// MaxConcurrentUploads bounds trace-upload decodes running at once
+	// (the coordinator materialises the decoded accesses and the
+	// canonical re-encoding before routing, so an ungated burst would
+	// multiply the body cap in resident memory exactly like on a node);
+	// excess uploads are turned away with 503.
+	MaxConcurrentUploads int
+}
+
+func (c ServerConfig) withDefaults() ServerConfig {
+	if c.MaxTraceBytes <= 0 {
+		c.MaxTraceBytes = httpapi.DefaultMaxTraceBytes
+	}
+	if c.RetainSweeps <= 0 {
+		c.RetainSweeps = httpapi.DefaultRetainSweeps
+	}
+	if c.MaxConcurrentUploads <= 0 {
+		c.MaxConcurrentUploads = httpapi.DefaultMaxConcurrentUploads
+	}
+	return c
+}
+
+// Server is the coordinator-mode HTTP surface: the same /v1 routes a
+// node serves, but backed by a Coordinator instead of an engine —
+// sweeps shard across the peers, trace uploads route to the content
+// address's owning shard, and job/trace reads proxy to the owner (with
+// a fallback scan, since re-routing may have landed work elsewhere).
+type Server struct {
+	coord *Coordinator
+	cfg   ServerConfig
+
+	// uploadSlots is a semaphore over concurrent upload decodes.
+	uploadSlots chan struct{}
+
+	sweeps *httpapi.Registry[*Handle]
+}
+
+// NewServer wraps a coordinator in the route table.
+func NewServer(c *Coordinator, cfg ServerConfig) *Server {
+	cfg = cfg.withDefaults()
+	return &Server{
+		coord:       c,
+		cfg:         cfg,
+		uploadSlots: make(chan struct{}, cfg.MaxConcurrentUploads),
+		sweeps:      httpapi.NewRegistry[*Handle](cfg.RetainSweeps),
+	}
+}
+
+// Handler builds the route table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sweeps", s.submitSweep)
+	mux.HandleFunc("GET /v1/sweeps/{id}", s.getSweep)
+	mux.HandleFunc("DELETE /v1/sweeps/{id}", s.cancelSweep)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.getJob)
+	mux.HandleFunc("POST /v1/traces", s.uploadTrace)
+	mux.HandleFunc("GET /v1/traces", s.listTraces)
+	mux.HandleFunc("GET /v1/traces/{id}", s.getTrace)
+	mux.HandleFunc("GET /healthz", s.healthz)
+	mux.HandleFunc("GET /metrics", s.metrics)
+	return mux
+}
+
+// submitSweep accepts the same engine.SweepSpec body a node does, but
+// shards the expanded jobs across the peers.
+func (s *Server) submitSweep(w http.ResponseWriter, r *http.Request) {
+	var spec engine.SweepSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		httpapi.WriteError(w, http.StatusBadRequest, "bad sweep spec: %v", err)
+		return
+	}
+	h, err := s.coord.Submit(r.Context(), spec)
+	if err != nil {
+		// A bad spec is the client's 422; an unreachable peer during the
+		// submit-time trace verification is the cluster's 502, and worth
+		// retrying.
+		code := http.StatusUnprocessableEntity
+		if errors.Is(err, ErrPeerUnavailable) {
+			code = http.StatusBadGateway
+		}
+		httpapi.WriteError(w, code, "%v", err)
+		return
+	}
+	s.sweeps.Add(h.ID, h)
+
+	jobs := h.Jobs()
+	ids := make([]string, len(jobs))
+	for i, j := range jobs {
+		ids[i] = j.ID()
+	}
+	httpapi.WriteJSON(w, http.StatusAccepted, httpapi.SubmitResponse{ID: h.ID, Total: len(jobs), JobIDs: ids})
+}
+
+// getSweep reports the merged progress and any merged results.
+func (s *Server) getSweep(w http.ResponseWriter, r *http.Request) {
+	h, ok := s.sweeps.Lookup(r.PathValue("id"))
+	if !ok {
+		httpapi.WriteError(w, http.StatusNotFound, "no sweep %q", r.PathValue("id"))
+		return
+	}
+	httpapi.WriteJSON(w, http.StatusOK, httpapi.SweepResponse{Status: h.Status(), Jobs: h.Results()})
+}
+
+// cancelSweep stops a running merged sweep (per-shard sub-sweeps are
+// cancelled best effort); merged results stay.
+func (s *Server) cancelSweep(w http.ResponseWriter, r *http.Request) {
+	h, ok := s.sweeps.Lookup(r.PathValue("id"))
+	if !ok {
+		httpapi.WriteError(w, http.StatusNotFound, "no sweep %q", r.PathValue("id"))
+		return
+	}
+	h.Cancel()
+	httpapi.WriteJSON(w, http.StatusOK, h.Status())
+}
+
+// getJob proxies a job read to the content address's owning shard, then
+// scans the other live peers (re-routing may have run it elsewhere).
+func (s *Server) getJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	cands := s.coord.jobCandidates(id)
+	if len(cands) == 0 {
+		httpapi.WriteError(w, http.StatusServiceUnavailable, "no live shards")
+		return
+	}
+	var probeErr error
+	for _, peer := range cands {
+		res, found, err := s.coord.client.job(r.Context(), peer, id)
+		if err != nil {
+			probeErr = err
+			continue
+		}
+		if found {
+			httpapi.WriteJSON(w, http.StatusOK, res)
+			return
+		}
+	}
+	if probeErr != nil {
+		// Some peer could not answer, so absence is unproven: a 404
+		// here would read as a permanent miss for a result that may
+		// exist on the shard that just failed to answer.
+		httpapi.WriteError(w, http.StatusBadGateway, "locating job %q: %v", id, probeErr)
+		return
+	}
+	httpapi.WriteError(w, http.StatusNotFound, "no completed job %q", id)
+}
+
+// uploadTrace decodes the body just enough to learn its content
+// address, then routes the canonical bytes to the owning shard. The
+// response is the shard's: 201 on first admission, 200 on an
+// idempotent re-upload.
+func (s *Server) uploadTrace(w http.ResponseWriter, r *http.Request) {
+	select {
+	case s.uploadSlots <- struct{}{}:
+		defer func() { <-s.uploadSlots }()
+	default:
+		w.Header().Set("Retry-After", "1")
+		httpapi.WriteError(w, http.StatusServiceUnavailable, "too many concurrent trace uploads (limit %d)", s.cfg.MaxConcurrentUploads)
+		return
+	}
+	tr, ok := httpapi.ReadTraceUpload(w, r, s.cfg.MaxTraceBytes)
+	if !ok {
+		return
+	}
+	if err := tr.Validate(); err != nil {
+		httpapi.WriteError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	if tr.Len() == 0 {
+		httpapi.WriteError(w, http.StatusUnprocessableEntity, "trace %q has no accesses", tr.Name)
+		return
+	}
+	id, _, err := engine.TraceContentID(tr)
+	if err != nil {
+		httpapi.WriteError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	owner, ok := s.coord.OwnerOf(id)
+	if !ok {
+		httpapi.WriteError(w, http.StatusServiceUnavailable, "no live shards")
+		return
+	}
+	var canon bytes.Buffer
+	if err := trace.WriteBinary(&canon, tr); err != nil {
+		httpapi.WriteError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	up, err := s.coord.client.uploadTrace(r.Context(), owner, canon.Bytes())
+	if err != nil {
+		// A shard's own rejection (413/422/507...) passes through with
+		// its status; a transport failure is the coordinator's 502.
+		var se *statusError
+		if errors.As(err, &se) {
+			httpapi.WriteJSON(w, se.Code, httpapi.APIError{Error: se.Msg})
+			return
+		}
+		httpapi.WriteError(w, http.StatusBadGateway, "shard %s: %v", owner, err)
+		return
+	}
+	code := http.StatusOK
+	if up.Created {
+		code = http.StatusCreated
+	}
+	httpapi.WriteJSON(w, code, up)
+}
+
+// getTrace proxies a trace-metadata read to the peer holding it.
+func (s *Server) getTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	_, info, found, err := s.coord.locateTrace(r.Context(), id)
+	if !found {
+		if err != nil {
+			// A peer could not be checked: absence is unproven.
+			httpapi.WriteError(w, http.StatusBadGateway, "locating trace %q: %v", id, err)
+			return
+		}
+		httpapi.WriteError(w, http.StatusNotFound, "no trace %q", id)
+		return
+	}
+	httpapi.WriteJSON(w, http.StatusOK, info)
+}
+
+// listTraces merges the live peers' listings, deduplicated by content
+// address (a forwarded trace is resident on several shards but is one
+// trace).
+func (s *Server) listTraces(w http.ResponseWriter, r *http.Request) {
+	peers := s.coord.alivePeers()
+	if len(peers) == 0 {
+		// An empty listing would claim the cluster holds nothing; with
+		// every shard unreachable that is unproven.
+		httpapi.WriteError(w, http.StatusServiceUnavailable, "no live shards")
+		return
+	}
+	seen := make(map[string]bool)
+	var infos []engine.TraceInfo
+	for _, peer := range peers {
+		list, err := s.coord.client.traceInfos(r.Context(), peer)
+		if err != nil {
+			// A partial listing would read as "those traces are gone";
+			// absence is unproven while any shard cannot answer.
+			httpapi.WriteError(w, http.StatusBadGateway, "listing traces on %s: %v", peer, err)
+			return
+		}
+		for _, info := range list {
+			if !seen[info.ID] {
+				seen[info.ID] = true
+				infos = append(infos, info)
+			}
+		}
+	}
+	httpapi.WriteJSON(w, http.StatusOK, map[string]any{"total": len(infos), "traces": infos})
+}
+
+func (s *Server) healthz(w http.ResponseWriter, _ *http.Request) {
+	st := s.coord.Stats()
+	httpapi.WriteJSON(w, http.StatusOK, map[string]any{
+		"status": "ok", "mode": "coordinator",
+		"peers": st.Peers, "alive_peers": st.AlivePeers,
+	})
+}
+
+// metrics serves the coordinator counters in Prometheus text exposition
+// format (plus a JSON variant via ?format=json), including the
+// per-shard routed/retried/merged series.
+func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {
+	st := s.coord.Stats()
+	retained, evicted := s.sweeps.Counts()
+	if r.URL.Query().Get("format") == "json" {
+		httpapi.WriteJSON(w, http.StatusOK, struct {
+			Stats
+			SweepsRetained int    `json:"sweeps_retained"`
+			SweepsEvicted  uint64 `json:"sweeps_evicted"`
+		}{st, retained, evicted})
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	for _, m := range []struct {
+		name, typ, help string
+		value           uint64
+	}{
+		{"nbtiserved_cluster_peers", "gauge", "Configured shard peers.", uint64(st.Peers)},
+		{"nbtiserved_cluster_peers_alive", "gauge", "Peers still in the ring.", uint64(st.AlivePeers)},
+		{"nbtiserved_cluster_sweeps_total", "counter", "Sharded sweeps submitted.", st.SweepsTotal},
+		{"nbtiserved_cluster_jobs_routed_total", "counter", "Job dispatches to shards.", st.JobsRouted},
+		{"nbtiserved_cluster_jobs_retried_total", "counter", "Accepted dispatches that re-dispatched an already-routed job (re-route after a peer failure, or a retry after a transient refusal).", st.JobsRetried},
+		{"nbtiserved_cluster_jobs_merged_total", "counter", "Job results merged from shards.", st.JobsMerged},
+		{"nbtiserved_cluster_jobs_failed_total", "counter", "Jobs settled with a permanent routing error.", st.JobsFailed},
+		{"nbtiserved_cluster_traces_forwarded_total", "counter", "Uploaded traces copied to a job's owning shard.", st.TracesForwarded},
+		{"nbtiserved_cluster_peer_failures_total", "counter", "Peers removed from the ring after a failure.", st.PeerFailures},
+		{"nbtiserved_cluster_sweeps_retained", "gauge", "Merged sweep handles resident in the registry.", uint64(retained)},
+		{"nbtiserved_cluster_sweeps_evicted_total", "counter", "Finished merged sweeps evicted by retention.", evicted},
+	} {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %d\n", m.name, m.help, m.name, m.typ, m.name, m.value)
+	}
+	for _, series := range []struct {
+		name, typ, help string
+		value           func(ShardStats) uint64
+	}{
+		{"nbtiserved_cluster_shard_alive", "gauge", "1 while the shard is in the ring.", func(sh ShardStats) uint64 { return b2u(sh.Alive) }},
+		{"nbtiserved_cluster_shard_jobs_routed_total", "counter", "Job dispatches accepted by this shard.", func(sh ShardStats) uint64 { return sh.Routed }},
+		{"nbtiserved_cluster_shard_jobs_retried_total", "counter", "Accepted dispatches that re-dispatched an already-routed job.", func(sh ShardStats) uint64 { return sh.Retried }},
+		{"nbtiserved_cluster_shard_jobs_merged_total", "counter", "Job results merged from this shard.", func(sh ShardStats) uint64 { return sh.Merged }},
+	} {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", series.name, series.help, series.name, series.typ)
+		for _, sh := range st.Shards {
+			fmt.Fprintf(w, "%s{peer=%q} %d\n", series.name, sh.Peer, series.value(sh))
+		}
+	}
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// jobCandidates orders the live peers for a job lookup: owner first,
+// then ring successors (where a re-routed job would have run).
+func (c *Coordinator) jobCandidates(id string) []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ring.Owners(id, c.ring.Len())
+}
+
+// alivePeers lists the peers still in the ring, sorted.
+func (c *Coordinator) alivePeers() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ring.Nodes()
+}

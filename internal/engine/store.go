@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"hash"
+	"io"
 	"sync"
 	"sync/atomic"
 
@@ -426,6 +427,22 @@ func (e *Engine) TraceInfo(id string) (TraceInfo, bool) {
 // TraceInfos lists every uploaded trace (unordered).
 func (e *Engine) TraceInfos() []TraceInfo {
 	return e.store.infos()
+}
+
+// WriteTrace streams a stored trace's canonical binary (v1) encoding —
+// exactly the bytes its content address hashes — to w. found reports
+// whether the trace was resident (condemned traces are treated as gone,
+// like every unpinned lookup); a false return writes nothing. This is
+// the export path the cluster coordinator uses to forward a trace from
+// the node that holds it to the shard that owns its jobs: re-admitting
+// the bytes on the destination re-derives the same content address, so
+// the ID survives the copy end to end.
+func (e *Engine) WriteTrace(w io.Writer, id string) (found bool, err error) {
+	st, ok := e.store.get(id)
+	if !ok {
+		return false, nil
+	}
+	return true, trace.WriteBinary(w, st.tr)
 }
 
 // storedTraceByID resolves an uploaded trace's accesses, including

@@ -1,4 +1,4 @@
-package main
+package httpapi
 
 import (
 	"bytes"
@@ -29,7 +29,7 @@ func persistentTestServer(t *testing.T, dir string) (*httptest.Server, *engine.E
 		t.Fatal(err)
 	}
 	t.Cleanup(eng.Close)
-	ts := httptest.NewServer(newServer(eng, serverConfig{}).handler())
+	ts := httptest.NewServer(NewServer(eng, Config{}).Handler())
 	t.Cleanup(ts.Close)
 	return ts, eng
 }
@@ -47,7 +47,7 @@ func TestWarmRestartOverHTTP(t *testing.T) {
 	}
 
 	ts1, eng1 := persistentTestServer(t, dir)
-	var up uploadResponse
+	var up UploadResponse
 	if code := postBody(t, ts1.URL+"/v1/traces", "application/octet-stream", wire.Bytes(), &up); code != http.StatusCreated {
 		t.Fatalf("upload status %d", code)
 	}
@@ -56,7 +56,7 @@ func TestWarmRestartOverHTTP(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var sub submitResponse
+	var sub SubmitResponse
 	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
 		t.Fatal(err)
 	}
@@ -156,7 +156,7 @@ func TestDeleteTraceDuringSweepOverHTTP(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Cleanup(eng.Close)
-	ts := httptest.NewServer(newServer(eng, serverConfig{}).handler())
+	ts := httptest.NewServer(NewServer(eng, Config{}).Handler())
 	t.Cleanup(ts.Close)
 
 	tr := uploadTestTrace("to-delete", 1200, 77)
@@ -164,7 +164,7 @@ func TestDeleteTraceDuringSweepOverHTTP(t *testing.T) {
 	if err := trace.WriteBinary(&wire, tr); err != nil {
 		t.Fatal(err)
 	}
-	var up uploadResponse
+	var up UploadResponse
 	if code := postBody(t, ts.URL+"/v1/traces", "application/octet-stream", wire.Bytes(), &up); code != http.StatusCreated {
 		t.Fatalf("upload status %d", code)
 	}
@@ -174,7 +174,7 @@ func TestDeleteTraceDuringSweepOverHTTP(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var sub submitResponse
+	var sub SubmitResponse
 	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
 		t.Fatal(err)
 	}
@@ -198,7 +198,7 @@ func TestDeleteTraceDuringSweepOverHTTP(t *testing.T) {
 
 	close(release)
 	deadline := time.Now().Add(2 * time.Minute)
-	var sweep sweepResponse
+	var sweep SweepResponse
 	for {
 		if code := getJSON(t, ts.URL+"/v1/sweeps/"+sub.ID, &sweep); code != http.StatusOK {
 			t.Fatalf("poll status %d", code)

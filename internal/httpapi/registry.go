@@ -1,0 +1,80 @@
+package httpapi
+
+import (
+	"sync"
+
+	"nbticache/internal/engine"
+)
+
+// sweepHandle is the little a retention registry needs from a sweep:
+// both engine.Handle (node mode) and the cluster coordinator's merged
+// handle satisfy it.
+type sweepHandle interface {
+	Status() engine.SweepStatus
+}
+
+// Registry retains sweep handles by ID with bounded, oldest-first
+// eviction of finished sweeps. It is the one retention implementation
+// shared by the node server and the cluster coordinator server, so the
+// eviction policy cannot diverge between the two surfaces. Safe for
+// concurrent use.
+type Registry[H sweepHandle] struct {
+	max int
+
+	mu      sync.Mutex
+	m       map[string]H
+	order   []string // submission order, the eviction queue
+	evicted uint64
+}
+
+// NewRegistry builds a registry retaining up to max finished sweeps.
+func NewRegistry[H sweepHandle](max int) *Registry[H] {
+	return &Registry[H]{max: max, m: make(map[string]H)}
+}
+
+// Add registers a just-submitted handle and evicts the oldest finished
+// sweeps past the bound. Running sweeps are never evicted, so the
+// resident count can temporarily exceed the limit under a burst of long
+// sweeps; it settles as they finish. The sweep being added is shielded
+// even if already finished — a fast all-cache-hit sweep can be "done"
+// here, and evicting it would hand the client an ID that instantly
+// 404s.
+func (r *Registry[H]) Add(id string, h H) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.m[id] = h
+	r.order = append(r.order, id)
+	if len(r.m) <= r.max {
+		return
+	}
+	keep := r.order[:0]
+	for _, cur := range r.order {
+		h, ok := r.m[cur]
+		if !ok {
+			continue
+		}
+		if len(r.m) > r.max && cur != id && h.Status().State != "running" {
+			delete(r.m, cur)
+			r.evicted++
+			continue
+		}
+		keep = append(keep, cur)
+	}
+	r.order = keep
+}
+
+// Lookup resolves a retained handle.
+func (r *Registry[H]) Lookup(id string) (H, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.m[id]
+	return h, ok
+}
+
+// Counts reports the resident handle count and the running eviction
+// total, for /metrics.
+func (r *Registry[H]) Counts() (retained int, evicted uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.m), r.evicted
+}

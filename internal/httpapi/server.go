@@ -1,4 +1,11 @@
-package main
+// Package httpapi is the HTTP surface of one simulation node: the
+// route table, request bounding, and sweep-handle retention that
+// cmd/nbtiserved mounts in node mode, importable so the in-process
+// cluster test harness can stand up real nbtiserved nodes without
+// forking binaries. The coordinator-mode surface (the same /v1/sweeps
+// routes served by a cluster.Coordinator instead of an engine) lives in
+// internal/cluster, which shares this package's wire types.
+package httpapi
 
 import (
 	"encoding/json"
@@ -6,81 +13,78 @@ import (
 	"fmt"
 	"mime"
 	"net/http"
-	"sync"
 
 	"nbticache/internal/engine"
 	"nbticache/internal/trace"
 )
 
-// serverConfig bounds the server's per-request and retained state; the
+// Config bounds the server's per-request and retained state; the
 // zero value selects the defaults.
-type serverConfig struct {
-	// maxTraceBytes caps one trace-upload body.
-	maxTraceBytes int64
-	// retainSweeps caps resident sweep handles: once exceeded, the
+type Config struct {
+	// MaxTraceBytes caps one trace-upload body.
+	MaxTraceBytes int64
+	// RetainSweeps caps resident sweep handles: once exceeded, the
 	// oldest *finished* sweeps are evicted (running ones never are).
 	// Evicted sweeps 404 by sweep ID, but their per-job results stay
 	// resolvable at /v1/jobs/{id} through the content-addressed cache.
-	retainSweeps int
-	// maxConcurrentUploads bounds trace-upload decodes running at once
+	RetainSweeps int
+	// MaxConcurrentUploads bounds trace-upload decodes running at once
 	// (each can materialise several times its wire size as accesses);
 	// excess uploads are turned away with 503.
-	maxConcurrentUploads int
+	MaxConcurrentUploads int
 }
 
+// Defaults substituted for non-positive Config fields.
 const (
-	defaultMaxTraceBytes        = 64 << 20
-	defaultRetainSweeps         = 256
-	defaultMaxConcurrentUploads = 4
+	DefaultMaxTraceBytes        = 64 << 20
+	DefaultRetainSweeps         = 256
+	DefaultMaxConcurrentUploads = 4
 )
 
 // withDefaults substitutes the default for any non-positive limit:
 // "unlimited" is deliberately not expressible, so a stray -1 cannot
 // invert a bound (rejecting every upload, evicting every sweep).
-func (c serverConfig) withDefaults() serverConfig {
-	if c.maxTraceBytes <= 0 {
-		c.maxTraceBytes = defaultMaxTraceBytes
+func (c Config) withDefaults() Config {
+	if c.MaxTraceBytes <= 0 {
+		c.MaxTraceBytes = DefaultMaxTraceBytes
 	}
-	if c.retainSweeps <= 0 {
-		c.retainSweeps = defaultRetainSweeps
+	if c.RetainSweeps <= 0 {
+		c.RetainSweeps = DefaultRetainSweeps
 	}
-	if c.maxConcurrentUploads <= 0 {
-		c.maxConcurrentUploads = defaultMaxConcurrentUploads
+	if c.MaxConcurrentUploads <= 0 {
+		c.MaxConcurrentUploads = DefaultMaxConcurrentUploads
 	}
 	return c
 }
 
-// server is the HTTP face of one engine: sweeps are submitted, polled
+// Server is the HTTP face of one engine: sweeps are submitted, polled
 // and cancelled by ID; traces are uploaded and resolved by content
 // address; completed jobs resolve by content address from any sweep.
 // All state lives in the engine and this registry, so the handler set
 // is trivially shareable across connections.
-type server struct {
+type Server struct {
 	eng *engine.Engine
-	cfg serverConfig
+	cfg Config
 
 	// uploadSlots is a semaphore over concurrent upload decodes.
 	uploadSlots chan struct{}
 
-	mu     sync.Mutex
-	sweeps map[string]*engine.Handle
-	// order is sweep submission order, the eviction queue.
-	order   []string
-	evicted uint64
+	sweeps *Registry[*engine.Handle]
 }
 
-func newServer(eng *engine.Engine, cfg serverConfig) *server {
+// NewServer wraps an engine in the node route table.
+func NewServer(eng *engine.Engine, cfg Config) *Server {
 	cfg = cfg.withDefaults()
-	return &server{
+	return &Server{
 		eng:         eng,
 		cfg:         cfg,
-		uploadSlots: make(chan struct{}, cfg.maxConcurrentUploads),
-		sweeps:      make(map[string]*engine.Handle),
+		uploadSlots: make(chan struct{}, cfg.MaxConcurrentUploads),
+		sweeps:      NewRegistry[*engine.Handle](cfg.RetainSweeps),
 	}
 }
 
-// handler builds the route table.
-func (s *server) handler() http.Handler {
+// Handler builds the route table.
+func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/sweeps", s.submitSweep)
 	mux.HandleFunc("GET /v1/sweeps/{id}", s.getSweep)
@@ -89,14 +93,15 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("POST /v1/traces", s.uploadTrace)
 	mux.HandleFunc("GET /v1/traces", s.listTraces)
 	mux.HandleFunc("GET /v1/traces/{id}", s.getTrace)
+	mux.HandleFunc("GET /v1/traces/{id}/content", s.getTraceContent)
 	mux.HandleFunc("DELETE /v1/traces/{id}", s.deleteTrace)
 	mux.HandleFunc("GET /healthz", s.healthz)
 	mux.HandleFunc("GET /metrics", s.metrics)
 	return mux
 }
 
-// writeJSON renders v with status code.
-func writeJSON(w http.ResponseWriter, code int, v any) {
+// WriteJSON renders v with status code.
+func WriteJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	enc := json.NewEncoder(w)
@@ -104,16 +109,18 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = enc.Encode(v) // the status line is already out; nothing to recover
 }
 
-type apiError struct {
+// APIError is the error envelope every non-2xx response carries.
+type APIError struct {
 	Error string `json:"error"`
 }
 
-func writeError(w http.ResponseWriter, code int, format string, args ...any) {
-	writeJSON(w, code, apiError{Error: fmt.Sprintf(format, args...)})
+// WriteError renders an APIError with status code.
+func WriteError(w http.ResponseWriter, code int, format string, args ...any) {
+	WriteJSON(w, code, APIError{Error: fmt.Sprintf(format, args...)})
 }
 
-// submitResponse acknowledges a sweep submission.
-type submitResponse struct {
+// SubmitResponse acknowledges a sweep submission.
+type SubmitResponse struct {
 	ID     string   `json:"id"`
 	Total  int      `json:"total"`
 	JobIDs []string `json:"job_ids"`
@@ -122,100 +129,61 @@ type submitResponse struct {
 // submitSweep accepts an engine.SweepSpec JSON body, expands and
 // enqueues it, and returns 202 with the sweep ID and the per-job content
 // addresses (each later resolvable at /v1/jobs/{id}).
-func (s *server) submitSweep(w http.ResponseWriter, r *http.Request) {
+func (s *Server) submitSweep(w http.ResponseWriter, r *http.Request) {
 	var spec engine.SweepSpec
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&spec); err != nil {
-		writeError(w, http.StatusBadRequest, "bad sweep spec: %v", err)
+		WriteError(w, http.StatusBadRequest, "bad sweep spec: %v", err)
 		return
 	}
 	h, err := s.eng.Submit(r.Context(), spec)
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		WriteError(w, http.StatusUnprocessableEntity, "%v", err)
 		return
 	}
-	s.mu.Lock()
-	s.sweeps[h.ID] = h
-	s.order = append(s.order, h.ID)
-	s.evictLocked(h.ID)
-	s.mu.Unlock()
+	s.sweeps.Add(h.ID, h)
 
 	jobs := h.Jobs()
 	ids := make([]string, len(jobs))
 	for i, j := range jobs {
 		ids[i] = j.ID()
 	}
-	writeJSON(w, http.StatusAccepted, submitResponse{ID: h.ID, Total: len(jobs), JobIDs: ids})
+	WriteJSON(w, http.StatusAccepted, SubmitResponse{ID: h.ID, Total: len(jobs), JobIDs: ids})
 }
 
-// evictLocked drops the oldest finished sweep handles once the retained
-// set exceeds the configured bound. Running sweeps are never evicted, so
-// the resident count can temporarily exceed the limit under a burst of
-// long sweeps; it settles as they finish. keepID shields the sweep being
-// submitted right now: a fast all-cache-hit sweep can already be "done"
-// here, and evicting it would hand the client a 202 whose ID instantly
-// 404s. Per-job results survive eviction in the engine's
-// content-addressed cache.
-func (s *server) evictLocked(keepID string) {
-	if len(s.sweeps) <= s.cfg.retainSweeps {
-		return
-	}
-	keep := s.order[:0]
-	for _, id := range s.order {
-		h, ok := s.sweeps[id]
-		if !ok {
-			continue
-		}
-		if len(s.sweeps) > s.cfg.retainSweeps && id != keepID && h.Status().State != "running" {
-			delete(s.sweeps, id)
-			s.evicted++
-			continue
-		}
-		keep = append(keep, id)
-	}
-	s.order = keep
-}
-
-func (s *server) lookup(id string) (*engine.Handle, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	h, ok := s.sweeps[id]
-	return h, ok
-}
-
-// sweepResponse is the poll view: live status always, per-job results
+// SweepResponse is the poll view: live status always, per-job results
 // for every slot that has resolved so far.
-type sweepResponse struct {
+type SweepResponse struct {
 	Status engine.SweepStatus  `json:"status"`
 	Jobs   []*engine.JobResult `json:"jobs"`
 }
 
 // getSweep reports progress and any resolved results.
-func (s *server) getSweep(w http.ResponseWriter, r *http.Request) {
-	h, ok := s.lookup(r.PathValue("id"))
+func (s *Server) getSweep(w http.ResponseWriter, r *http.Request) {
+	h, ok := s.sweeps.Lookup(r.PathValue("id"))
 	if !ok {
-		writeError(w, http.StatusNotFound, "no sweep %q", r.PathValue("id"))
+		WriteError(w, http.StatusNotFound, "no sweep %q", r.PathValue("id"))
 		return
 	}
-	writeJSON(w, http.StatusOK, sweepResponse{Status: h.Status(), Jobs: h.Results()})
+	WriteJSON(w, http.StatusOK, SweepResponse{Status: h.Status(), Jobs: h.Results()})
 }
 
 // cancelSweep stops a running sweep; completed jobs stay cached.
-func (s *server) cancelSweep(w http.ResponseWriter, r *http.Request) {
-	h, ok := s.lookup(r.PathValue("id"))
+func (s *Server) cancelSweep(w http.ResponseWriter, r *http.Request) {
+	h, ok := s.sweeps.Lookup(r.PathValue("id"))
 	if !ok {
-		writeError(w, http.StatusNotFound, "no sweep %q", r.PathValue("id"))
+		WriteError(w, http.StatusNotFound, "no sweep %q", r.PathValue("id"))
 		return
 	}
 	h.Cancel()
-	writeJSON(w, http.StatusOK, h.Status())
+	WriteJSON(w, http.StatusOK, h.Status())
 }
 
-// uploadResponse acknowledges a trace upload. Created distinguishes a
+// UploadResponse acknowledges a trace upload. Created distinguishes a
 // fresh admission from a content-address hit on an already-resident
 // trace (uploads are idempotent).
-type uploadResponse struct {
+type UploadResponse struct {
 	engine.TraceInfo
 	Created bool `json:"created"`
 }
@@ -227,7 +195,7 @@ type uploadResponse struct {
 // incrementally in bounded memory. Admission content-addresses the trace
 // and measures its bank-idleness signature, both returned immediately;
 // the ID then references the trace in job and sweep specs.
-func (s *server) uploadTrace(w http.ResponseWriter, r *http.Request) {
+func (s *Server) uploadTrace(w http.ResponseWriter, r *http.Request) {
 	// The byte cap bounds wire size, not decoded footprint (a dense
 	// 64 MiB binary body materialises ~8x that as accesses), so bound
 	// how many decodes run at once rather than letting a burst of
@@ -237,10 +205,40 @@ func (s *server) uploadTrace(w http.ResponseWriter, r *http.Request) {
 		defer func() { <-s.uploadSlots }()
 	default:
 		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusServiceUnavailable, "too many concurrent trace uploads (limit %d)", s.cfg.maxConcurrentUploads)
+		WriteError(w, http.StatusServiceUnavailable, "too many concurrent trace uploads (limit %d)", s.cfg.MaxConcurrentUploads)
 		return
 	}
-	body := http.MaxBytesReader(w, r.Body, s.cfg.maxTraceBytes)
+	tr, ok := ReadTraceUpload(w, r, s.cfg.MaxTraceBytes)
+	if !ok {
+		return
+	}
+	info, existed, err := s.eng.AddTrace(tr)
+	if err != nil {
+		code := http.StatusUnprocessableEntity
+		if errors.Is(err, engine.ErrTraceStoreFull) {
+			code = http.StatusInsufficientStorage
+		}
+		WriteError(w, code, "%v", err)
+		return
+	}
+	code := http.StatusCreated
+	if existed {
+		code = http.StatusOK
+	}
+	WriteJSON(w, code, UploadResponse{TraceInfo: info, Created: !existed})
+}
+
+// ReadTraceUpload decodes one trace-upload request body under the
+// node's rules — body capped at maxBytes, wire format selected by
+// Content-Type (application/octet-stream forces binary, text/plain
+// forces text, anything else is sniffed from the magic), decoded
+// incrementally in bounded memory, trailing bytes rejected, the ?name=
+// query filled into an unnamed trace. On failure the error response has
+// already been written and ok is false. Shared by the node server and
+// the cluster coordinator server so the two upload surfaces cannot
+// drift apart.
+func ReadTraceUpload(w http.ResponseWriter, r *http.Request, maxBytes int64) (tr *trace.Trace, ok bool) {
+	body := http.MaxBytesReader(w, r.Body, maxBytes)
 	var d *trace.Decoder
 	var err error
 	ctype, _, _ := mime.ParseMediaType(r.Header.Get("Content-Type"))
@@ -253,68 +251,56 @@ func (s *server) uploadTrace(w http.ResponseWriter, r *http.Request) {
 		d, err = trace.NewDecoder(body)
 	}
 	if err != nil {
-		writeTraceError(w, err)
-		return
+		WriteTraceError(w, err)
+		return nil, false
 	}
 	// Every decoded access costs at least 3 wire bytes (binary) so the
 	// byte cap already bounds the count; the explicit cap keeps a
 	// pathological text body (blank-line padding) from inflating it.
-	tr, err := d.ReadAll(int(s.cfg.maxTraceBytes / 3))
+	tr, err = d.ReadAll(int(maxBytes / 3))
 	if err != nil {
-		writeTraceError(w, err)
-		return
+		WriteTraceError(w, err)
+		return nil, false
 	}
 	// One request is one trace: the binary decoder stops at the end of
 	// the trace, so leftover bytes mean a concatenated or corrupt body
 	// the client would otherwise believe was stored in full.
 	if more, err := d.More(); err != nil {
-		writeTraceError(w, err)
-		return
+		WriteTraceError(w, err)
+		return nil, false
 	} else if more {
-		writeError(w, http.StatusBadRequest, "trailing data after trace (one trace per upload)")
-		return
+		WriteError(w, http.StatusBadRequest, "trailing data after trace (one trace per upload)")
+		return nil, false
 	}
 	if name := r.URL.Query().Get("name"); name != "" && tr.Name == "" {
 		tr.Name = name
 	}
-	info, existed, err := s.eng.AddTrace(tr)
-	if err != nil {
-		code := http.StatusUnprocessableEntity
-		if errors.Is(err, engine.ErrTraceStoreFull) {
-			code = http.StatusInsufficientStorage
-		}
-		writeError(w, code, "%v", err)
-		return
-	}
-	code := http.StatusCreated
-	if existed {
-		code = http.StatusOK
-	}
-	writeJSON(w, code, uploadResponse{TraceInfo: info, Created: !existed})
+	return tr, true
 }
 
-// writeTraceError maps decode failures to status codes: an oversized
-// body is 413, malformed input 400.
-func writeTraceError(w http.ResponseWriter, err error) {
+// WriteTraceError maps decode failures to status codes: an oversized
+// body is 413, malformed input 400. Shared with the coordinator
+// server, whose upload path decodes the same wire formats.
+func WriteTraceError(w http.ResponseWriter, err error) {
 	var maxErr *http.MaxBytesError
 	switch {
 	case errors.As(err, &maxErr):
-		writeError(w, http.StatusRequestEntityTooLarge, "trace body exceeds %d bytes", maxErr.Limit)
+		WriteError(w, http.StatusRequestEntityTooLarge, "trace body exceeds %d bytes", maxErr.Limit)
 	case errors.Is(err, trace.ErrTooLarge):
-		writeError(w, http.StatusRequestEntityTooLarge, "%v", err)
+		WriteError(w, http.StatusRequestEntityTooLarge, "%v", err)
 	default:
-		writeError(w, http.StatusBadRequest, "bad trace: %v", err)
+		WriteError(w, http.StatusBadRequest, "bad trace: %v", err)
 	}
 }
 
 // getTrace returns an uploaded trace's stored metadata and signature.
-func (s *server) getTrace(w http.ResponseWriter, r *http.Request) {
+func (s *Server) getTrace(w http.ResponseWriter, r *http.Request) {
 	info, ok := s.eng.TraceInfo(r.PathValue("id"))
 	if !ok {
-		writeError(w, http.StatusNotFound, "no trace %q", r.PathValue("id"))
+		WriteError(w, http.StatusNotFound, "no trace %q", r.PathValue("id"))
 		return
 	}
-	writeJSON(w, http.StatusOK, info)
+	WriteJSON(w, http.StatusOK, info)
 }
 
 // deleteTrace frees an uploaded trace's store slot. A trace referenced
@@ -322,46 +308,68 @@ func (s *server) getTrace(w http.ResponseWriter, r *http.Request) {
 // submissions immediately, the running sweep's jobs still resolve it,
 // and the storage (persistent blob included) is reclaimed when the
 // sweep finishes. Later references fail as unknown either way.
-func (s *server) deleteTrace(w http.ResponseWriter, r *http.Request) {
+func (s *Server) deleteTrace(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	if !s.eng.RemoveTrace(id) {
-		writeError(w, http.StatusNotFound, "no trace %q", id)
+		WriteError(w, http.StatusNotFound, "no trace %q", id)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"id": id, "deleted": true})
+	WriteJSON(w, http.StatusOK, map[string]any{"id": id, "deleted": true})
 }
 
 // listTraces enumerates the uploaded traces.
-func (s *server) listTraces(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) listTraces(w http.ResponseWriter, _ *http.Request) {
 	infos := s.eng.TraceInfos()
-	writeJSON(w, http.StatusOK, map[string]any{"total": len(infos), "traces": infos})
+	WriteJSON(w, http.StatusOK, map[string]any{"total": len(infos), "traces": infos})
+}
+
+// getTraceContent streams an uploaded trace's canonical binary
+// encoding — the bytes its content address hashes. This is the cluster
+// coordinator's forwarding path: fetch the content from the node that
+// has the trace, re-upload it to the shard that owns its jobs, and the
+// content address survives the copy.
+func (s *Server) getTraceContent(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	// Stream straight from the store — buffering would pin the whole
+	// encoding (up to the upload size cap) per concurrent request,
+	// which is exactly what the upload path's gate exists to prevent.
+	// WriteTrace writes nothing when the trace is absent, so the 404
+	// still goes out clean; a failure mid-stream can only truncate the
+	// body, which the self-delimiting binary framing surfaces to the
+	// decoder on the other end.
+	w.Header().Set("Content-Type", "application/octet-stream")
+	found, err := s.eng.WriteTrace(w, id)
+	if !found {
+		w.Header().Del("Content-Type")
+		WriteError(w, http.StatusNotFound, "no trace %q", id)
+		return
+	}
+	_ = err // mid-stream write errors have no channel but the truncated body
 }
 
 // getJob resolves one job by content address, from any sweep ever run on
 // this engine.
-func (s *server) getJob(w http.ResponseWriter, r *http.Request) {
+func (s *Server) getJob(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	res, ok := s.eng.Job(id)
 	if !ok {
-		writeError(w, http.StatusNotFound, "no completed job %q", id)
+		WriteError(w, http.StatusNotFound, "no completed job %q", id)
 		return
 	}
-	writeJSON(w, http.StatusOK, res)
+	WriteJSON(w, http.StatusOK, res)
 }
 
-func (s *server) healthz(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+func (s *Server) healthz(w http.ResponseWriter, _ *http.Request) {
+	WriteJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
 // metrics serves the engine counters in Prometheus text exposition
 // format (plus a JSON variant via ?format=json).
-func (s *server) metrics(w http.ResponseWriter, r *http.Request) {
+func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {
 	st := s.eng.Stats()
-	s.mu.Lock()
-	retained, evicted := len(s.sweeps), s.evicted
-	s.mu.Unlock()
+	retained, evicted := s.sweeps.Counts()
 	if r.URL.Query().Get("format") == "json" {
-		writeJSON(w, http.StatusOK, struct {
+		WriteJSON(w, http.StatusOK, struct {
 			engine.Stats
 			SweepsRetained int    `json:"sweeps_retained"`
 			SweepsEvicted  uint64 `json:"sweeps_evicted"`

@@ -1,4 +1,4 @@
-package main
+package httpapi
 
 import (
 	"bytes"
@@ -31,7 +31,7 @@ func testServer(t *testing.T) (*httptest.Server, *engine.Engine) {
 		t.Fatal(err)
 	}
 	t.Cleanup(eng.Close)
-	ts := httptest.NewServer(newServer(eng, serverConfig{}).handler())
+	ts := httptest.NewServer(NewServer(eng, Config{}).Handler())
 	t.Cleanup(ts.Close)
 	return ts, eng
 }
@@ -62,7 +62,7 @@ func TestSweepOverHTTP(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var sub submitResponse
+	var sub SubmitResponse
 	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
 		t.Fatal(err)
 	}
@@ -79,7 +79,7 @@ func TestSweepOverHTTP(t *testing.T) {
 
 	// Poll until done.
 	deadline := time.Now().Add(2 * time.Minute)
-	var sweep sweepResponse
+	var sweep SweepResponse
 	for {
 		if code := getJSON(t, ts.URL+"/v1/sweeps/"+sub.ID, &sweep); code != http.StatusOK {
 			t.Fatalf("poll status %d", code)
@@ -134,7 +134,7 @@ func TestSubmitErrors(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		var apiErr apiError
+		var apiErr APIError
 		_ = json.NewDecoder(resp.Body).Decode(&apiErr)
 		resp.Body.Close()
 		if resp.StatusCode != tc.want {
@@ -163,7 +163,7 @@ func TestCancelOverHTTP(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var sub submitResponse
+	var sub SubmitResponse
 	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
 		t.Fatal(err)
 	}
@@ -184,7 +184,7 @@ func TestCancelOverHTTP(t *testing.T) {
 
 	deadline := time.Now().Add(time.Minute)
 	for {
-		var sweep sweepResponse
+		var sweep SweepResponse
 		getJSON(t, ts.URL+"/v1/sweeps/"+sub.ID, &sweep)
 		if sweep.Status.State != "running" {
 			if sweep.Status.State != "canceled" {
@@ -212,14 +212,14 @@ func TestHealthAndMetrics(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var sub submitResponse
+	var sub SubmitResponse
 	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
 	deadline := time.Now().Add(time.Minute)
 	for {
-		var sweep sweepResponse
+		var sweep SweepResponse
 		getJSON(t, ts.URL+"/v1/sweeps/"+sub.ID, &sweep)
 		if sweep.Status.State == "done" {
 			break
@@ -306,7 +306,7 @@ func TestTraceUploadBinaryAndText(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	var first uploadResponse
+	var first UploadResponse
 	if code := postBody(t, ts.URL+"/v1/traces", "application/octet-stream", v1.Bytes(), &first); code != http.StatusCreated {
 		t.Fatalf("binary v1 upload status %d, want 201", code)
 	}
@@ -322,7 +322,7 @@ func TestTraceUploadBinaryAndText(t *testing.T) {
 
 	// Same trace as a v2 stream (sniffed) and as text: same address,
 	// reported as already resident.
-	var again uploadResponse
+	var again UploadResponse
 	if code := postBody(t, ts.URL+"/v1/traces", "", v2.Bytes(), &again); code != http.StatusOK {
 		t.Fatalf("v2 re-upload status %d, want 200", code)
 	}
@@ -367,10 +367,10 @@ func TestTraceUploadErrors(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Cleanup(eng.Close)
-	ts := httptest.NewServer(newServer(eng, serverConfig{maxTraceBytes: 4096}).handler())
+	ts := httptest.NewServer(NewServer(eng, Config{MaxTraceBytes: 4096}).Handler())
 	t.Cleanup(ts.Close)
 
-	var apiErr apiError
+	var apiErr APIError
 	// Bad magic under a binary Content-Type.
 	if code := postBody(t, ts.URL+"/v1/traces", "application/octet-stream", []byte("XXXX garbage"), &apiErr); code != http.StatusBadRequest {
 		t.Errorf("bad magic status %d, want 400", code)
@@ -432,8 +432,8 @@ func TestUploadConcurrencyGate(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Cleanup(eng.Close)
-	srv := newServer(eng, serverConfig{maxConcurrentUploads: 1})
-	ts := httptest.NewServer(srv.handler())
+	srv := NewServer(eng, Config{MaxConcurrentUploads: 1})
+	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(ts.Close)
 
 	srv.uploadSlots <- struct{}{} // occupy the only slot
@@ -441,12 +441,12 @@ func TestUploadConcurrencyGate(t *testing.T) {
 	if err := trace.WriteBinary(&buf, uploadTestTrace("gated", 100, 1)); err != nil {
 		t.Fatal(err)
 	}
-	var apiErr apiError
+	var apiErr APIError
 	if code := postBody(t, ts.URL+"/v1/traces", "", buf.Bytes(), &apiErr); code != http.StatusServiceUnavailable {
 		t.Fatalf("saturated upload status %d, want 503 (%+v)", code, apiErr)
 	}
 	<-srv.uploadSlots // free it
-	var up uploadResponse
+	var up UploadResponse
 	if code := postBody(t, ts.URL+"/v1/traces", "", buf.Bytes(), &up); code != http.StatusCreated {
 		t.Fatalf("upload after slot freed status %d, want 201", code)
 	}
@@ -460,7 +460,7 @@ func TestTraceStoreBoundOverHTTP(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Cleanup(eng.Close)
-	ts := httptest.NewServer(newServer(eng, serverConfig{}).handler())
+	ts := httptest.NewServer(NewServer(eng, Config{}).Handler())
 	t.Cleanup(ts.Close)
 
 	encode := func(seed int64) []byte {
@@ -470,11 +470,11 @@ func TestTraceStoreBoundOverHTTP(t *testing.T) {
 		}
 		return buf.Bytes()
 	}
-	var up uploadResponse
+	var up UploadResponse
 	if code := postBody(t, ts.URL+"/v1/traces", "", encode(1), &up); code != http.StatusCreated {
 		t.Fatalf("first upload status %d", code)
 	}
-	var apiErr apiError
+	var apiErr APIError
 	if code := postBody(t, ts.URL+"/v1/traces", "", encode(2), &apiErr); code != http.StatusInsufficientStorage {
 		t.Fatalf("over-bound upload status %d, want 507 (%+v)", code, apiErr)
 	}
@@ -510,13 +510,13 @@ func TestSweepWithUploadedTraceOverHTTP(t *testing.T) {
 	if err := trace.WriteBinary(&buf, tr); err != nil {
 		t.Fatal(err)
 	}
-	var up uploadResponse
+	var up UploadResponse
 	if code := postBody(t, ts.URL+"/v1/traces", "application/octet-stream", buf.Bytes(), &up); code != http.StatusCreated {
 		t.Fatalf("upload status %d", code)
 	}
 
 	spec := fmt.Sprintf(`{"name":"trace-sweep","trace_ids":[%q],"banks":[2,4]}`, up.ID)
-	var sub submitResponse
+	var sub SubmitResponse
 	if code := postBody(t, ts.URL+"/v1/sweeps", "application/json", []byte(spec), &sub); code != http.StatusAccepted {
 		t.Fatalf("submit status %d", code)
 	}
@@ -525,7 +525,7 @@ func TestSweepWithUploadedTraceOverHTTP(t *testing.T) {
 	}
 
 	deadline := time.Now().Add(time.Minute)
-	var sweep sweepResponse
+	var sweep SweepResponse
 	for {
 		getJSON(t, ts.URL+"/v1/sweeps/"+sub.ID, &sweep)
 		if sweep.Status.State != "running" {
@@ -569,7 +569,7 @@ func TestSweepWithUploadedTraceOverHTTP(t *testing.T) {
 	}
 
 	// Sweeping an unknown trace ID is rejected at submission.
-	var apiErr apiError
+	var apiErr APIError
 	if code := postBody(t, ts.URL+"/v1/sweeps", "application/json",
 		[]byte(`{"trace_ids":["trace-ffffffffffffffff"]}`), &apiErr); code != http.StatusUnprocessableEntity {
 		t.Errorf("unknown trace sweep status %d, want 422", code)
@@ -590,14 +590,14 @@ func TestSweepRetention(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Cleanup(eng.Close)
-	ts := httptest.NewServer(newServer(eng, serverConfig{retainSweeps: 2}).handler())
+	ts := httptest.NewServer(NewServer(eng, Config{RetainSweeps: 2}).Handler())
 	t.Cleanup(ts.Close)
 
 	benches := []string{"sha", "gsme", "gsmd", "cjpeg"}
 	var ids []string
 	var jobIDs []string
 	for _, b := range benches {
-		var sub submitResponse
+		var sub SubmitResponse
 		body := fmt.Sprintf(`{"benches":[%q]}`, b)
 		if code := postBody(t, ts.URL+"/v1/sweeps", "application/json", []byte(body), &sub); code != http.StatusAccepted {
 			t.Fatalf("submit %s: status %d", b, code)
@@ -607,7 +607,7 @@ func TestSweepRetention(t *testing.T) {
 		// Wait until done so the next submission can evict it.
 		deadline := time.Now().Add(time.Minute)
 		for {
-			var sweep sweepResponse
+			var sweep SweepResponse
 			getJSON(t, ts.URL+"/v1/sweeps/"+sub.ID, &sweep)
 			if sweep.Status.State == "done" {
 				break

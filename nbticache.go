@@ -38,6 +38,7 @@ import (
 
 	"nbticache/internal/aging"
 	"nbticache/internal/cache"
+	"nbticache/internal/cluster"
 	"nbticache/internal/core"
 	"nbticache/internal/engine"
 	"nbticache/internal/experiment"
@@ -131,6 +132,28 @@ type (
 	// TraceEncoder writes a trace incrementally in the streaming binary
 	// format (no up-front count or span needed).
 	TraceEncoder = trace.Encoder
+)
+
+// Cluster types (internal/cluster). A Cluster shards sweeps across
+// several nbtiserved instances: jobs route to the consistent-hash owner
+// of their content address, referenced uploaded traces are forwarded to
+// the owning shard on demand, per-shard results merge into one sweep,
+// and a failed peer's jobs re-route to the next ring owner.
+type (
+	// Cluster is the sweep-sharding coordinator over nbtiserved peers.
+	Cluster = cluster.Coordinator
+	// ClusterOptions configures NewCluster (peer URLs are required).
+	ClusterOptions = cluster.Options
+	// ClusterHandle tracks a sharded sweep (Status, Wait, Cancel) —
+	// the merged view of the per-shard sub-sweeps.
+	ClusterHandle = cluster.Handle
+	// ClusterStats is a snapshot of the routing counters, including
+	// per-shard routed/retried/merged breakdowns.
+	ClusterStats = cluster.Stats
+	// ClusterRing is the consistent-hash ring assigning content
+	// addresses to shard nodes with bounded remapping on membership
+	// change.
+	ClusterRing = cluster.Ring
 )
 
 // Indexing policies.
@@ -246,6 +269,30 @@ func Sweep(ctx context.Context, e *Engine, spec SweepSpec) (*SweepResult, error)
 		return nil, err
 	}
 	return res, nil
+}
+
+// NewCluster builds a sweep-sharding coordinator over running
+// nbtiserved peers (cmd/nbtiserved node instances, or anything serving
+// the same API). Shards must be configured identically — job IDs hash
+// the spec, not the node configuration. cmd/nbtiserved exposes the same
+// coordinator over HTTP via -peers.
+func NewCluster(o ClusterOptions) (*Cluster, error) { return cluster.New(o) }
+
+// ClusterSweep submits a sweep to the cluster and blocks until the
+// merged result is complete: jobs are split across the shards by
+// content-address ownership, identical jobs still simulate exactly once
+// cluster-wide (each shard's content-addressed cache covers its share
+// of the keyspace), and per-job failures are isolated. For asynchronous
+// submission and polling use Cluster.Submit directly.
+func ClusterSweep(ctx context.Context, c *Cluster, spec SweepSpec) (*SweepResult, error) {
+	return c.Sweep(ctx, spec)
+}
+
+// NewClusterRing builds a consistent-hash ring directly, for callers
+// that want the keyspace-partitioning primitive without a coordinator.
+// replicas <= 0 selects the default virtual-node count.
+func NewClusterRing(replicas int, nodes ...string) *ClusterRing {
+	return cluster.NewRing(replicas, nodes...)
 }
 
 // NewSuite prepares the experiment harness. quick selects short traces
