@@ -1,0 +1,103 @@
+// Command benchjson converts `go test -bench` text output on stdin into
+// a compact JSON array on stdout, one object per benchmark result:
+//
+//	[{"name":"BenchmarkAccess","ns_per_op":3.4,"allocs_per_op":0}, ...]
+//
+// CI pipes the hot-path benchmarks through it to produce the
+// BENCH_access.json artifact, so every PR leaves a machine-readable
+// point on the repository's performance trajectory. Lines that are not
+// benchmark results (headers, PASS/ok trailers) are ignored; the
+// GOMAXPROCS suffix (`BenchmarkAccess-8`) is stripped so points stay
+// comparable across runner shapes. allocs_per_op is -1 when the run
+// lacked -benchmem.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+func main() {
+	results, err := Parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// Result is one benchmark measurement.
+type Result struct {
+	Name       string  `json:"name"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	// BytesPerOp and AllocsPerOp are -1 without -benchmem.
+	BytesPerOp  int64 `json:"bytes_per_op"`
+	AllocsPerOp int64 `json:"allocs_per_op"`
+}
+
+// Parse extracts benchmark results from `go test -bench` output.
+func Parse(r io.Reader) ([]Result, error) {
+	// Results must marshal as [] rather than null when nothing matched.
+	results := []Result{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		if res, ok := parseLine(sc.Text()); ok {
+			results = append(results, res)
+		}
+	}
+	return results, sc.Err()
+}
+
+// parseLine parses one `BenchmarkName-8  123  45.6 ns/op [...]` line.
+func parseLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 3 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Result{}, false
+	}
+	res := Result{Name: stripProcs(fields[0]), BytesPerOp: -1, AllocsPerOp: -1}
+	if _, err := fmt.Sscanf(fields[1], "%d", &res.Iterations); err != nil {
+		return Result{}, false
+	}
+	// The remaining fields come in (value, unit) pairs.
+	sawNs := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, unit := fields[i], fields[i+1]
+		switch unit {
+		case "ns/op":
+			if _, err := fmt.Sscanf(val, "%g", &res.NsPerOp); err != nil {
+				return Result{}, false
+			}
+			sawNs = true
+		case "B/op":
+			fmt.Sscanf(val, "%d", &res.BytesPerOp)
+		case "allocs/op":
+			fmt.Sscanf(val, "%d", &res.AllocsPerOp)
+		}
+	}
+	return res, sawNs
+}
+
+// stripProcs removes the trailing -GOMAXPROCS suffix, if present.
+func stripProcs(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i <= 0 || i == len(name)-1 {
+		return name
+	}
+	for _, c := range name[i+1:] {
+		if c < '0' || c > '9' {
+			return name
+		}
+	}
+	return name[:i]
+}

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: nbticache/internal/cache
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkAccess 	369095412	         3.341 ns/op	       0 B/op	       0 allocs/op
+BenchmarkEngineSweep/serial-8         	     829	   1680316 ns/op	     21425 jobs/s	  875978 B/op	    3542 allocs/op
+BenchmarkNoMem-16	100	123.4 ns/op
+PASS
+ok  	nbticache/internal/cache	5.824s
+`
+
+func TestParse(t *testing.T) {
+	got, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("parsed %d results, want 3: %+v", len(got), got)
+	}
+	if got[0].Name != "BenchmarkAccess" || got[0].NsPerOp != 3.341 || got[0].AllocsPerOp != 0 || got[0].Iterations != 369095412 {
+		t.Errorf("result 0 wrong: %+v", got[0])
+	}
+	if got[1].Name != "BenchmarkEngineSweep/serial" || got[1].NsPerOp != 1680316 || got[1].BytesPerOp != 875978 || got[1].AllocsPerOp != 3542 {
+		t.Errorf("result 1 wrong: %+v", got[1])
+	}
+	if got[2].Name != "BenchmarkNoMem" || got[2].NsPerOp != 123.4 || got[2].AllocsPerOp != -1 || got[2].BytesPerOp != -1 {
+		t.Errorf("result 2 wrong: %+v", got[2])
+	}
+}
+
+func TestParseEmpty(t *testing.T) {
+	got, err := Parse(strings.NewReader("PASS\nok\tx\t1s\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == nil || len(got) != 0 {
+		t.Fatalf("want empty non-nil slice, got %#v", got)
+	}
+}
+
+func TestStripProcs(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkAccess-8":        "BenchmarkAccess",
+		"BenchmarkAccess":          "BenchmarkAccess",
+		"BenchmarkSweep/serial-16": "BenchmarkSweep/serial",
+		"BenchmarkOdd-name":        "BenchmarkOdd-name",
+		"BenchmarkTable1-2":        "BenchmarkTable1",
+	}
+	for in, want := range cases {
+		if got := stripProcs(in); got != want {
+			t.Errorf("stripProcs(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

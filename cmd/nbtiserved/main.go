@@ -36,6 +36,7 @@
 //	DELETE /v1/traces/{id}  free an uploaded trace's store slot (node mode)
 //	GET    /healthz         liveness
 //	GET    /metrics         engine or coordinator counters (Prometheus text)
+//	GET    /debug/pprof/*   runtime profiles (only with -pprof)
 //
 // Example:
 //
@@ -86,6 +87,7 @@ func main() {
 	retainSweeps := flag.Int("retain-sweeps", httpapi.DefaultRetainSweeps, "finished sweep handles kept before the oldest are evicted")
 	dataDir := flag.String("data-dir", "", "persist job results and uploaded traces here so restarts warm-start (empty = memory-only)")
 	maxResults := flag.Int("max-results", engine.DefaultMaxCachedResults, "job results kept in the cache before the oldest are evicted")
+	pprofOn := flag.Bool("pprof", false, "serve runtime profiles under /debug/pprof/ (CPU/heap profiling of the live simulation hot path)")
 	peers := flag.String("peers", "", "comma-separated shard base URLs; when set, run as a cluster coordinator over them instead of a simulation node")
 	ringReplicas := flag.Int("ring-replicas", cluster.DefaultReplicas, "coordinator mode: consistent-hash virtual nodes per peer")
 	pollInterval := flag.Duration("poll-interval", cluster.DefaultPollInterval, "coordinator mode: per-shard sweep poll cadence")
@@ -121,6 +123,7 @@ func main() {
 		handler = cluster.NewServer(coord, cluster.ServerConfig{
 			MaxTraceBytes: *maxTraceBytes,
 			RetainSweeps:  *retainSweeps,
+			EnablePprof:   *pprofOn,
 		}).Handler()
 		shutdown = coord.Close
 		log.Printf("coordinator mode: sharding across %d peers", len(coord.Peers()))
@@ -161,6 +164,7 @@ func main() {
 		handler = httpapi.NewServer(eng, httpapi.Config{
 			MaxTraceBytes: *maxTraceBytes,
 			RetainSweeps:  *retainSweeps,
+			EnablePprof:   *pprofOn,
 		}).Handler()
 		shutdown = eng.Close // cancels in-flight sweeps, unblocks any waiters
 		log.Printf("node mode (%d workers)", eng.Workers())

@@ -9,6 +9,7 @@
 //	nbtisim -overhead                  # §IV-B3 granularity sweep
 //	nbtisim -bench sha -size 32        # one benchmark in detail
 //	nbtisim -experiments-md out.md     # write the EXPERIMENTS.md report
+//	nbtisim -table 1 -cpuprofile t1.pb # profile the run (go tool pprof t1.pb)
 package main
 
 import (
@@ -16,6 +17,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -23,24 +25,50 @@ import (
 )
 
 func main() {
+	// Indirection so the CPU-profile defer runs before the process exits
+	// on the error path too.
+	os.Exit(mainExitCode())
+}
+
+func mainExitCode() int {
 	var (
-		table     = flag.String("table", "", "table to regenerate: 1, 2, 3, 4 or 'all'")
-		headline  = flag.Bool("headline", false, "print the headline lifetime summary")
-		overhead  = flag.Bool("overhead", false, "print the partitioning-overhead sweep")
-		quality   = flag.String("quality", "full", "trace quality: quick or full")
-		bench     = flag.String("bench", "", "single-benchmark detail run")
-		sizeKB    = flag.Int("size", 16, "cache size in kB for -bench")
-		banks     = flag.Int("banks", 4, "bank count for -bench")
-		mdPath    = flag.String("experiments-md", "", "write the full EXPERIMENTS.md report to this path")
-		ablations = flag.String("ablations", "", "run the design-choice ablations on this benchmark")
-		techs     = flag.String("techniques", "", "run the NBTI-technique comparison on this benchmark")
-		rawP0     = flag.Float64("p0", 0.7, "raw storage skew for -techniques")
+		table      = flag.String("table", "", "table to regenerate: 1, 2, 3, 4 or 'all'")
+		headline   = flag.Bool("headline", false, "print the headline lifetime summary")
+		overhead   = flag.Bool("overhead", false, "print the partitioning-overhead sweep")
+		quality    = flag.String("quality", "full", "trace quality: quick or full")
+		bench      = flag.String("bench", "", "single-benchmark detail run")
+		sizeKB     = flag.Int("size", 16, "cache size in kB for -bench")
+		banks      = flag.Int("banks", 4, "bank count for -bench")
+		mdPath     = flag.String("experiments-md", "", "write the full EXPERIMENTS.md report to this path")
+		ablations  = flag.String("ablations", "", "run the design-choice ablations on this benchmark")
+		techs      = flag.String("techniques", "", "run the NBTI-technique comparison on this benchmark")
+		rawP0      = flag.Float64("p0", 0.7, "raw storage skew for -techniques")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (inspect with `go tool pprof`)")
 	)
 	flag.Parse()
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nbtisim:", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "nbtisim:", err)
+			f.Close()
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "nbtisim:", err)
+			}
+		}()
+	}
 	if err := run(*table, *headline, *overhead, *quality, *bench, *sizeKB, *banks, *mdPath, *ablations, *techs, *rawP0); err != nil {
 		fmt.Fprintln(os.Stderr, "nbtisim:", err)
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
 func run(table string, headline, overhead bool, quality, bench string, sizeKB, banks int, mdPath, ablations, techs string, rawP0 float64) error {

@@ -1,0 +1,130 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestAccessBatchMatchesScalar drives the same random address stream
+// through scalar Access and AccessBatch (random split points, zero-length
+// batches included) on direct-mapped and set-associative organisations,
+// and requires identical hit totals, counters and final contents.
+func TestAccessBatchMatchesScalar(t *testing.T) {
+	geoms := []Geometry{
+		{Size: 1024, LineSize: 16, Ways: 1, AddressBits: 32},
+		{Size: 2048, LineSize: 32, Ways: 2, AddressBits: 32},
+		{Size: 4096, LineSize: 16, Ways: 4, AddressBits: 24},
+	}
+	rng := rand.New(rand.NewSource(11))
+	for _, g := range geoms {
+		for trial := 0; trial < 20; trial++ {
+			scalar, err := New(g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			batched, err := New(g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			n := rng.Intn(3000)
+			addrs := make([]uint64, n)
+			for i := range addrs {
+				addrs[i] = uint64(rng.Intn(1 << 15))
+			}
+			var wantHits uint64
+			for _, a := range addrs {
+				if scalar.Access(a) {
+					wantHits++
+				}
+			}
+			var gotHits uint64
+			for i := 0; i <= n; {
+				j := i + rng.Intn(n-i+1)
+				gotHits += batched.AccessBatch(addrs[i:j])
+				if j == n {
+					break
+				}
+				i = j
+			}
+			if gotHits != wantHits {
+				t.Fatalf("%+v: batch hits %d, scalar %d", g, gotHits, wantHits)
+			}
+			sh, sm := scalar.Stats()
+			bh, bm := batched.Stats()
+			if sh != bh || sm != bm {
+				t.Fatalf("%+v: batch stats %d/%d, scalar %d/%d", g, bh, bm, sh, sm)
+			}
+			for _, a := range addrs {
+				if scalar.Contains(a) != batched.Contains(a) {
+					t.Fatalf("%+v: contents diverge at %#x", g, a)
+				}
+			}
+		}
+	}
+}
+
+// TestTagWordSentinel pins the flattened-store invariant the lookup
+// relies on: address 0 (tag 0) is distinguishable from an invalid line.
+func TestTagWordSentinel(t *testing.T) {
+	g := Geometry{Size: 1024, LineSize: 16, Ways: 1, AddressBits: 32}
+	c, _ := New(g)
+	if c.Contains(0) {
+		t.Fatal("empty cache claims to contain address 0")
+	}
+	if c.Access(0) {
+		t.Fatal("cold access to address 0 hit")
+	}
+	if !c.Access(0) {
+		t.Fatal("warm access to address 0 missed")
+	}
+	c.Flush()
+	if c.Contains(0) {
+		t.Fatal("flushed cache claims to contain address 0")
+	}
+}
+
+// TestOutOfWidthAddressesKeepDistinctTags: uploaded traces carry
+// unvalidated uint64 addresses, so two addresses differing only above
+// the geometry's declared AddressBits must still compare unequal (the
+// flattened store keeps every tag bit above the index/offset split, not
+// just the AddressBits-derived width). Regression: an early version of
+// the tag-word layout truncated to the declared width and turned the
+// second access below into a false hit.
+func TestOutOfWidthAddressesKeepDistinctTags(t *testing.T) {
+	for _, g := range []Geometry{
+		{Size: 1024, LineSize: 16, Ways: 1, AddressBits: 32},
+		{Size: 1024, LineSize: 16, Ways: 2, AddressBits: 32},
+	} {
+		c, err := New(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const lo, hi = uint64(0x1000), uint64(0x1_0000_1000) // equal below bit 32
+		if c.Access(lo) {
+			t.Fatal("cold access hit")
+		}
+		if c.Access(hi) {
+			t.Fatalf("%+v: address %#x aliased with %#x above the declared width", g, hi, lo)
+		}
+		if g.Ways > 1 {
+			// With 2 ways both lines fit one set: each must now hit as itself.
+			if !c.Access(lo) || !c.Access(hi) {
+				t.Fatalf("%+v: distinct out-of-width tags did not both stick", g)
+			}
+		}
+		if h := c.AccessBatch([]uint64{lo + 1<<40, lo + 1<<41}); h != 0 {
+			t.Fatalf("%+v: batch aliased out-of-width tags (%d hits)", g, h)
+		}
+	}
+}
+
+// TestAccessBatchEmpty: a zero-length batch is a no-op.
+func TestAccessBatchEmpty(t *testing.T) {
+	c, _ := New(Geometry{Size: 1024, LineSize: 16, Ways: 1, AddressBits: 32})
+	if h := c.AccessBatch(nil); h != 0 {
+		t.Fatalf("empty batch hit %d times", h)
+	}
+	if h, m := c.Stats(); h != 0 || m != 0 {
+		t.Fatalf("empty batch moved counters: %d/%d", h, m)
+	}
+}

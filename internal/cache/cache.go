@@ -49,11 +49,17 @@ func (g Geometry) Validate() error {
 	return nil
 }
 
+// Every quantity below is a power of two, so the derived getters are
+// pure shift arithmetic — they sit on simulation hot paths (per-access
+// index/tag splits in this package, region decode in internal/core,
+// signature measurement in internal/workload) where the former
+// divisions were measurable.
+
 // Lines returns L, the number of cache lines.
-func (g Geometry) Lines() int { return int(g.Size / g.LineSize) }
+func (g Geometry) Lines() int { return int(g.Size >> uint(bits.TrailingZeros64(g.LineSize))) }
 
 // Sets returns the number of sets (Lines for a direct-mapped cache).
-func (g Geometry) Sets() int { return g.Lines() / g.Ways }
+func (g Geometry) Sets() int { return g.Lines() >> uint(bits.TrailingZeros(uint(g.Ways))) }
 
 // OffsetBits returns log2(LineSize).
 func (g Geometry) OffsetBits() int { return bits.TrailingZeros64(g.LineSize) }
@@ -87,14 +93,27 @@ func (g Geometry) Tag(addr uint64) uint64 {
 
 // Cache is a tag store with LRU replacement. It models only presence (the
 // simulator never needs data contents).
+//
+// The store is flattened for the simulation hot path: each line holds a
+// single tag word — the stored tag shifted left once with the valid bit
+// in bit 0 — so a lookup is one load and one compare, with 0 as the
+// "invalid" sentinel (no tag word is 0 because bit 0 is always set on a
+// valid line). The index/offset/tag splits are precomputed at New, and
+// the direct-mapped organisation (the paper's architecture, and every
+// bank the partitioned cache builds) skips the way scan and the LRU
+// stamp bookkeeping entirely.
 type Cache struct {
-	geom   Geometry
-	tags   []uint64 // [set*ways + way]
-	valid  []bool
-	stamp  []uint64 // LRU timestamps
-	clock  uint64
-	hits   uint64
-	misses uint64
+	geom    Geometry
+	ways    int
+	offBits uint
+	idxBits uint
+	idxMask uint64 // Sets-1
+	tagMask uint64 // every address bit above the index/offset split (see New)
+	tags    []uint64
+	stamp   []uint64 // LRU timestamps (associative organisations only)
+	clock   uint64
+	hits    uint64
+	misses  uint64
 }
 
 // New builds an empty cache.
@@ -103,34 +122,71 @@ func New(g Geometry) (*Cache, error) {
 		return nil, err
 	}
 	n := g.Sets() * g.Ways
+	// The stored tag spans every address bit above the index/offset
+	// split — not just the AddressBits-derived width — so addresses
+	// beyond the declared width still compare by their full remaining
+	// tag, exactly as the pre-flattening full-width compare did (an
+	// uploaded trace's uint64 addresses are not bounded by the job
+	// geometry's AddressBits). The shift into the valid-bit word is
+	// lossless whenever index+offset >= 1; the one degenerate geometry
+	// with a genuine 64-bit tag (a single one-byte line) drops the top
+	// address bit.
+	tagBits := 64 - g.OffsetBits() - g.IndexBits()
+	tagMask := ^uint64(0) >> 1
+	if tagBits < 64 {
+		tagMask = 1<<uint(tagBits) - 1
+	}
 	return &Cache{
-		geom:  g,
-		tags:  make([]uint64, n),
-		valid: make([]bool, n),
-		stamp: make([]uint64, n),
+		geom:    g,
+		ways:    g.Ways,
+		offBits: uint(g.OffsetBits()),
+		idxBits: uint(g.IndexBits()),
+		idxMask: uint64(g.Sets() - 1),
+		tagMask: tagMask,
+		tags:    make([]uint64, n),
+		stamp:   make([]uint64, n),
 	}, nil
 }
 
 // Geometry returns the cache organisation.
 func (c *Cache) Geometry() Geometry { return c.geom }
 
+// tagWord returns the line's stored word for addr: tag<<1 | valid.
+func (c *Cache) tagWord(addr uint64) (set uint64, word uint64) {
+	la := addr >> c.offBits
+	return la & c.idxMask, ((la>>c.idxBits)&c.tagMask)<<1 | 1
+}
+
 // Access looks up addr, fills on miss (LRU victim), and reports whether it
 // hit.
 func (c *Cache) Access(addr uint64) bool {
-	set := int(c.geom.Index(addr))
-	tag := c.geom.Tag(addr)
-	base := set * c.geom.Ways
+	set, word := c.tagWord(addr)
+	if c.ways == 1 {
+		if c.tags[set] == word {
+			c.hits++
+			return true
+		}
+		c.tags[set] = word
+		c.misses++
+		return false
+	}
+	return c.accessAssoc(int(set), word)
+}
+
+// accessAssoc is the set-associative way scan: hit updates the LRU
+// stamp; miss fills the last invalid way, else the LRU way.
+func (c *Cache) accessAssoc(set int, word uint64) bool {
+	base := set * c.ways
 	c.clock++
 	victim := base
-	var victimStamp uint64 = ^uint64(0)
-	for w := 0; w < c.geom.Ways; w++ {
-		i := base + w
-		if c.valid[i] && c.tags[i] == tag {
+	victimStamp := ^uint64(0)
+	for i := base; i < base+c.ways; i++ {
+		if c.tags[i] == word {
 			c.stamp[i] = c.clock
 			c.hits++
 			return true
 		}
-		if !c.valid[i] {
+		if c.tags[i] == 0 {
 			victim = i
 			victimStamp = 0
 		} else if c.stamp[i] < victimStamp {
@@ -138,21 +194,49 @@ func (c *Cache) Access(addr uint64) bool {
 			victimStamp = c.stamp[i]
 		}
 	}
-	c.valid[victim] = true
-	c.tags[victim] = tag
+	c.tags[victim] = word
 	c.stamp[victim] = c.clock
 	c.misses++
 	return false
 }
 
+// AccessBatch looks up every address in order, filling on miss, and
+// returns how many hit. It is the batch entry point of the simulation
+// kernel: the direct-mapped loop runs over local copies of the
+// precomputed splits with the counter updates folded into one flush.
+func (c *Cache) AccessBatch(addrs []uint64) uint64 {
+	var hits uint64
+	if c.ways == 1 {
+		tags := c.tags
+		off, ib, im, tm := c.offBits, c.idxBits, c.idxMask, c.tagMask
+		for _, a := range addrs {
+			la := a >> off
+			word := ((la>>ib)&tm)<<1 | 1
+			if set := la & im; tags[set] == word {
+				hits++
+			} else {
+				tags[set] = word
+			}
+		}
+		c.hits += hits
+		c.misses += uint64(len(addrs)) - hits
+		return hits
+	}
+	for _, a := range addrs {
+		set, word := c.tagWord(a)
+		if c.accessAssoc(int(set), word) {
+			hits++
+		}
+	}
+	return hits
+}
+
 // Contains reports presence without updating LRU or counters.
 func (c *Cache) Contains(addr uint64) bool {
-	set := int(c.geom.Index(addr))
-	tag := c.geom.Tag(addr)
-	base := set * c.geom.Ways
-	for w := 0; w < c.geom.Ways; w++ {
-		i := base + w
-		if c.valid[i] && c.tags[i] == tag {
+	set, word := c.tagWord(addr)
+	base := int(set) * c.ways
+	for i := base; i < base+c.ways; i++ {
+		if c.tags[i] == word {
 			return true
 		}
 	}
@@ -162,9 +246,7 @@ func (c *Cache) Contains(addr uint64) bool {
 // Flush invalidates every line (the mandatory action on a re-indexing
 // update).
 func (c *Cache) Flush() {
-	for i := range c.valid {
-		c.valid[i] = false
-	}
+	clear(c.tags)
 }
 
 // Stats returns cumulative hit/miss counts.

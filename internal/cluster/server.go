@@ -27,6 +27,9 @@ type ServerConfig struct {
 	// multiply the body cap in resident memory exactly like on a node);
 	// excess uploads are turned away with 503.
 	MaxConcurrentUploads int
+	// EnablePprof mounts the runtime profiling handlers under
+	// /debug/pprof/, exactly like the node server's option.
+	EnablePprof bool
 }
 
 func (c ServerConfig) withDefaults() ServerConfig {
@@ -80,6 +83,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/traces/{id}", s.getTrace)
 	mux.HandleFunc("GET /healthz", s.healthz)
 	mux.HandleFunc("GET /metrics", s.metrics)
+	if s.cfg.EnablePprof {
+		httpapi.RegisterPprof(mux)
+	}
 	return mux
 }
 

@@ -3,11 +3,59 @@ package core
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"nbticache/internal/aging"
 	"nbticache/internal/index"
 	"nbticache/internal/stats"
 )
+
+// shareKey identifies a policy share matrix: ProjectAging always builds
+// its policy through index.New (default LFSR width and seed), so the
+// matrix is a pure function of kind, bank count and epoch count.
+type shareKey struct {
+	kind   index.Kind
+	banks  int
+	epochs int
+}
+
+// shareCache memoises share matrices across projections. Every job in a
+// sweep pays the same few (kind, M, epochs) points, and the matrices are
+// read-only after construction, so one process-wide map serves all
+// workers. maxShareCacheEntries bounds a pathological client that sweeps
+// the epochs axis: past it, matrices are computed but not retained.
+var (
+	shareCache        sync.Map // shareKey -> *index.ShareMatrix
+	shareCacheEntries int64
+	shareCacheMu      sync.Mutex
+)
+
+const maxShareCacheEntries = 256
+
+// policyShares returns the (possibly cached) share matrix for a policy
+// kind constructed with index.New defaults.
+func policyShares(kind index.Kind, banks, epochs int) (*index.ShareMatrix, error) {
+	key := shareKey{kind, banks, epochs}
+	if v, ok := shareCache.Load(key); ok {
+		return v.(*index.ShareMatrix), nil
+	}
+	pol, err := index.New(kind, banks)
+	if err != nil {
+		return nil, err
+	}
+	sm, err := index.Shares(pol, epochs)
+	if err != nil {
+		return nil, err
+	}
+	shareCacheMu.Lock()
+	if shareCacheEntries < maxShareCacheEntries {
+		if _, loaded := shareCache.LoadOrStore(key, sm); !loaded {
+			shareCacheEntries++
+		}
+	}
+	shareCacheMu.Unlock()
+	return sm, nil
+}
 
 // DefaultServiceEpochs is the number of re-indexing updates assumed over
 // the cache's service life for the share analysis: daily updates ("once a
@@ -61,11 +109,7 @@ func ProjectAging(model *aging.Model, regionSleep []float64, kind index.Kind, ep
 			return nil, fmt.Errorf("core: region %d sleep fraction %v outside [0,1]", i, s)
 		}
 	}
-	pol, err := index.New(kind, len(regionSleep))
-	if err != nil {
-		return nil, err
-	}
-	shares, err := index.Shares(pol, epochs)
+	shares, err := policyShares(kind, len(regionSleep), epochs)
 	if err != nil {
 		return nil, err
 	}
@@ -78,7 +122,7 @@ func ProjectAging(model *aging.Model, regionSleep []float64, kind index.Kind, ep
 		return nil, err
 	}
 	return &Projection{
-		PolicyName:        pol.Name(),
+		PolicyName:        string(kind),
 		Epochs:            epochs,
 		BankDuty:          duty,
 		BankLifetimeYears: lts,

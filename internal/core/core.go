@@ -21,6 +21,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"nbticache/internal/cache"
@@ -30,6 +31,11 @@ import (
 	"nbticache/internal/power"
 	"nbticache/internal/trace"
 )
+
+// ErrFinished is returned for any access simulated after Finish. The
+// batched kernel checks it once per batch and returns the bare sentinel;
+// errors.Is matches it wherever Run wraps it with trace context.
+var ErrFinished = errors.New("core: access after Finish")
 
 // Config assembles a partitioned cache.
 type Config struct {
@@ -114,12 +120,40 @@ type PartitionedCache struct {
 	breakeven uint64
 	width     int
 
+	// regionShift is the total right shift from a byte address to the
+	// region bits (offset + line-index bits); regionMask is M-1. Both
+	// are fixed by the geometry, so the batch kernel decodes a region
+	// with one shift and one mask.
 	regionShift uint
 	regionMask  uint64
+	// bankTable materialises f() for the current epoch: bankTable[r] is
+	// the physical bank hosting region r. The policy's Map is an
+	// interface call, so the kernel pays it M times per update instead
+	// of once per access; rebuildBankTable re-derives the table (and
+	// re-checks the policy's range contract through the 1-hot encoder)
+	// after every Update.
+	bankTable []int32
+	// untilUpdate counts accesses remaining until the next in-trace
+	// re-indexing update fires; meaningful only when cfg.UpdateEvery > 0.
+	// The former per-access `count % UpdateEvery` is now a subtraction
+	// per batch segment.
+	untilUpdate uint64
+
+	// Batch scratch, reused across AccessBatch calls: decoded regions
+	// and banks for the PMU feeds, and the flat per-bank address scatter
+	// for the cache sub-batches. RunBuffered lends a pooled Batch's
+	// columns here so engine-driven simulations allocate none of it.
+	regionBuf  []int32
+	bankBuf    []int32
+	scatterBuf []uint64
+	bankCount  []int32 // per-bank access count within one segment
+	bankPos    []int32 // per-bank scatter cursor within one segment
+	// one-element buffers backing the scalar Access wrapper.
+	s1cycle, s1addr [1]uint64
+	s1kind          [1]trace.Kind
 
 	reads, writes uint64
 	updates       uint64
-	accessCount   uint64
 	finished      bool
 	span          uint64
 }
@@ -179,7 +213,7 @@ func New(cfg Config) (*PartitionedCache, error) {
 		}
 		banks[i] = b
 	}
-	return &PartitionedCache{
+	pc := &PartitionedCache{
 		cfg:         cfg,
 		policy:      pol,
 		banks:       banks,
@@ -188,9 +222,28 @@ func New(cfg Config) (*PartitionedCache, error) {
 		bankPMU:     bankPMU,
 		breakeven:   be,
 		width:       power.CounterWidth(float64(be)),
-		regionShift: uint(cfg.Geometry.IndexBits() - p),
+		regionShift: uint(cfg.Geometry.OffsetBits() + cfg.Geometry.IndexBits() - p),
 		regionMask:  uint64(cfg.Banks - 1),
-	}, nil
+		bankTable:   make([]int32, cfg.Banks),
+		bankCount:   make([]int32, cfg.Banks),
+		bankPos:     make([]int32, cfg.Banks),
+		untilUpdate: cfg.UpdateEvery,
+	}
+	pc.rebuildBankTable()
+	return pc, nil
+}
+
+// rebuildBankTable re-derives the region->bank table from the policy.
+// Each mapping still passes through the 1-hot encoder — the real
+// datapath of Fig. 1b, whose Encode panics on an out-of-range bank — so
+// the policy's range contract is enforced exactly once per epoch instead
+// of once per access.
+func (pc *PartitionedCache) rebuildBankTable() {
+	for r := range pc.bankTable {
+		b := pc.policy.Map(uint(r))
+		pc.encoder.Encode(b)
+		pc.bankTable[r] = int32(b)
+	}
 }
 
 // Breakeven returns the Block Control threshold in cycles.
@@ -205,48 +258,167 @@ func (pc *PartitionedCache) Policy() index.Policy { return pc.policy }
 
 // Region returns the logical region (p MSBs of the index) of addr.
 func (pc *PartitionedCache) Region(addr uint64) uint {
-	return uint((pc.cfg.Geometry.Index(addr) >> pc.regionShift) & pc.regionMask)
+	return uint((addr >> pc.regionShift) & pc.regionMask)
 }
 
 // Access simulates one reference. It returns whether it hit and which
-// physical bank served it.
+// physical bank served it. It is a thin wrapper over a one-element
+// AccessBatch, so the scalar and batched kernels cannot diverge.
 func (pc *PartitionedCache) Access(cycle, addr uint64, kind trace.Kind) (hit bool, bank uint, err error) {
 	if pc.finished {
-		return false, 0, fmt.Errorf("core: access after Finish")
+		return false, 0, ErrFinished
 	}
-	region := pc.Region(addr)
-	bank = pc.policy.Map(region)
-	// The 1-hot encoder is the real datapath (Fig. 1b); Encode panics on
-	// out-of-range banks, enforcing the policy bijection at runtime.
-	pc.encoder.Encode(bank)
-	if err := pc.regionPMU.Access(int(region), cycle); err != nil {
+	// The bank is resolved before the batch runs: an UpdateEvery
+	// boundary fires after the triggering access, so the pre-update
+	// mapping is the one that served it.
+	b := pc.bankTable[pc.Region(addr)]
+	pc.s1cycle[0], pc.s1addr[0], pc.s1kind[0] = cycle, addr, kind
+	hits, err := pc.AccessBatch(pc.s1cycle[:], pc.s1addr[:], pc.s1kind[:])
+	if err != nil {
 		return false, 0, err
 	}
-	if err := pc.bankPMU.Access(int(bank), cycle); err != nil {
-		return false, 0, err
+	return hits == 1, uint(b), nil
+}
+
+// AccessBatch simulates len(addrs) references in trace order and returns
+// how many hit. It is the simulation kernel: validation runs once per
+// batch (Finish state, slice lengths) or once per element as a bare
+// predictable branch (cycle order), the region/bank decode is a shift,
+// a mask and a table load, the per-bank cache lookups run as per-bank
+// sub-batches, the two PMUs consume the decoded region/bank runs through
+// their own batch entry points, and the read/write counters accumulate
+// in locals with a single flush to the struct fields.
+//
+// A batch that crosses one or more UpdateEvery boundaries is split into
+// segments at each boundary so the re-indexing update (and its cache
+// flush and bank-table rebuild) fires between exactly the same two
+// accesses as under the scalar API.
+//
+// On error, every access before the offending element has been applied
+// and counted; the offending element and its successors have not. The
+// error wraps a pmu sentinel (pmu.ErrUnordered for cycle-order
+// violations) or is ErrFinished.
+func (pc *PartitionedCache) AccessBatch(cycles, addrs []uint64, kinds []trace.Kind) (hits uint64, err error) {
+	hits, _, err = pc.accessBatch(cycles, addrs, kinds)
+	return hits, err
+}
+
+// accessBatch additionally reports how many accesses were applied, so
+// Run can name the exact offending access in its error.
+func (pc *PartitionedCache) accessBatch(cycles, addrs []uint64, kinds []trace.Kind) (hits uint64, applied int, err error) {
+	if pc.finished {
+		return 0, 0, ErrFinished
 	}
-	hit = pc.banks[bank].Access(addr)
-	if kind == trace.Write {
-		pc.writes++
-	} else {
-		pc.reads++
+	n := len(addrs)
+	if len(cycles) != n || len(kinds) != n {
+		return 0, 0, fmt.Errorf("core: batch length mismatch: %d cycles, %d addrs, %d kinds",
+			len(cycles), n, len(kinds))
 	}
-	pc.accessCount++
-	if pc.cfg.UpdateEvery > 0 && pc.accessCount%pc.cfg.UpdateEvery == 0 {
-		pc.Update()
+	if n == 0 {
+		return 0, 0, nil
 	}
-	return hit, bank, nil
+	if cap(pc.regionBuf) < n {
+		pc.regionBuf = make([]int32, n)
+		pc.bankBuf = make([]int32, n)
+		pc.scatterBuf = make([]uint64, n)
+	}
+	regionBuf, bankBuf := pc.regionBuf[:n], pc.bankBuf[:n]
+	scatter := pc.scatterBuf[:n]
+	shift, mask, table := pc.regionShift, pc.regionMask, pc.bankTable
+	var reads, writes uint64
+	prev := pc.regionPMU.Cursor()
+	i := 0
+	for i < n {
+		// Segment up to the next re-indexing boundary.
+		end := n
+		if pc.cfg.UpdateEvery > 0 && uint64(end-i) > pc.untilUpdate {
+			end = i + int(pc.untilUpdate)
+		}
+		// Decode regions and banks and count kinds and per-bank runs.
+		// Stops early at a cycle-order violation so the offending access
+		// is not applied anywhere.
+		counts := pc.bankCount
+		j := i
+		var unordered bool
+		var badCycle uint64
+		for ; j < end; j++ {
+			c := cycles[j]
+			if c < prev {
+				unordered, badCycle = true, c
+				break
+			}
+			prev = c
+			r := int32((addrs[j] >> shift) & mask)
+			regionBuf[j] = r
+			b := table[r]
+			bankBuf[j] = b
+			counts[b]++
+			if kinds[j] == trace.Write {
+				writes++
+			} else {
+				reads++
+			}
+		}
+		// Stable counting scatter: group the segment's addresses by bank
+		// in one flat buffer, then run each bank's sub-batch through the
+		// cache's batch entry point.
+		pos := pc.bankPos
+		off := int32(0)
+		for b, cnt := range counts {
+			pos[b] = off
+			off += cnt
+		}
+		for k := i; k < j; k++ {
+			b := bankBuf[k]
+			scatter[pos[b]] = addrs[k]
+			pos[b]++
+		}
+		start := int32(0)
+		for b, cnt := range counts {
+			if cnt > 0 {
+				hits += pc.banks[b].AccessBatch(scatter[start : start+cnt])
+				counts[b] = 0
+			}
+			start += cnt
+		}
+		if err = pc.regionPMU.AccessBatch(regionBuf[i:j], cycles[i:j]); err == nil {
+			err = pc.bankPMU.AccessBatch(bankBuf[i:j], cycles[i:j])
+		}
+		if err == nil && unordered {
+			err = fmt.Errorf("%w: access at cycle %d after cycle %d", pmu.ErrUnordered, badCycle, prev)
+		}
+		// The update countdown covers the accesses that were applied,
+		// even on a partial segment, so an error leaves the same state a
+		// scalar call sequence would have.
+		if pc.cfg.UpdateEvery > 0 {
+			pc.untilUpdate -= uint64(j - i)
+			if pc.untilUpdate == 0 {
+				pc.Update()
+			}
+		}
+		i = j
+		if err != nil {
+			break
+		}
+	}
+	pc.reads += reads
+	pc.writes += writes
+	return hits, i, err
 }
 
 // Update fires the re-indexing update: f() advances and the entire cache
 // is flushed ("every time the indexing is updated ... a cache flush is
-// required").
+// required"). The region->bank table is re-derived for the new epoch and
+// the UpdateEvery countdown restarts, so the next in-trace update fires
+// UpdateEvery accesses after this one.
 func (pc *PartitionedCache) Update() {
 	pc.policy.Update()
 	for _, b := range pc.banks {
 		b.Flush()
 	}
 	pc.updates++
+	pc.rebuildBankTable()
+	pc.untilUpdate = pc.cfg.UpdateEvery
 }
 
 // Finish closes the simulation at endCycle (normally the trace span).

@@ -77,25 +77,87 @@ func (r *RunResult) AverageIdleness() float64 {
 	return stats.Mean(r.RegionUsefulIdleness())
 }
 
+// DefaultBatchSize is the access-chunk length Run simulates per
+// AccessBatch call: large enough to amortise the per-batch validation
+// and counter flushes, small enough that the chunk buffers stay resident
+// in cache.
+const DefaultBatchSize = 4096
+
+// Batch is a reusable chunk of batch-kernel input buffers in the layout
+// AccessBatch consumes (split cycle/address/kind columns). Drivers that
+// simulate many traces — the engine's worker pool above all — allocate a
+// handful and reuse them across jobs instead of allocating per run.
+type Batch struct {
+	cycles []uint64
+	addrs  []uint64
+	kinds  []trace.Kind
+	// Kernel scratch, lent to the PartitionedCache by RunBuffered so a
+	// pooled Batch carries the whole per-run working set: decoded
+	// regions/banks and the per-bank address scatter.
+	regions []int32
+	banks   []int32
+	scatter []uint64
+}
+
+// NewBatch returns a batch buffer for chunks of the given size; size < 1
+// selects DefaultBatchSize.
+func NewBatch(size int) *Batch {
+	if size < 1 {
+		size = DefaultBatchSize
+	}
+	return &Batch{
+		cycles:  make([]uint64, size),
+		addrs:   make([]uint64, size),
+		kinds:   make([]trace.Kind, size),
+		regions: make([]int32, size),
+		banks:   make([]int32, size),
+		scatter: make([]uint64, size),
+	}
+}
+
 // Run drives a full trace through the cache, finishes it at the trace
 // span, and assembles the result, including energy against the monolithic
 // unmanaged baseline.
 func (pc *PartitionedCache) Run(tr *trace.Trace) (*RunResult, error) {
+	return pc.RunBuffered(tr, nil)
+}
+
+// RunBuffered is Run with a caller-owned chunk buffer, reusable across
+// runs (nil allocates a DefaultBatchSize one). The trace is fed to the
+// batch kernel in buffer-sized chunks. The cache borrows the buffer's
+// scratch for its own lifetime, so hand the buffer to another run only
+// after this cache is finished with (which Run guarantees: it either
+// finishes the cache or returns an error that ends the simulation).
+func (pc *PartitionedCache) RunBuffered(tr *trace.Trace, buf *Batch) (*RunResult, error) {
 	if err := tr.Validate(); err != nil {
 		return nil, err
 	}
 	if tr.Len() == 0 {
 		return nil, fmt.Errorf("core: empty trace")
 	}
+	if buf == nil || len(buf.cycles) == 0 {
+		buf = NewBatch(DefaultBatchSize)
+	}
+	size := len(buf.cycles)
+	// Lend the buffer's kernel scratch to the cache: every chunk this
+	// run feeds AccessBatch fits it, so the kernel allocates nothing.
+	if cap(pc.regionBuf) < size {
+		pc.regionBuf, pc.bankBuf, pc.scatterBuf = buf.regions, buf.banks, buf.scatter
+	}
+	acc := tr.Accesses
 	var hits uint64
-	for i := range tr.Accesses {
-		a := &tr.Accesses[i]
-		hit, _, err := pc.Access(a.Cycle, a.Addr, a.Kind)
-		if err != nil {
-			return nil, fmt.Errorf("core: access %d: %w", i, err)
+	for start := 0; start < len(acc); start += size {
+		chunk := acc[start:min(start+size, len(acc))]
+		for k := range chunk {
+			buf.cycles[k] = chunk[k].Cycle
+			buf.addrs[k] = chunk[k].Addr
+			buf.kinds[k] = chunk[k].Kind
 		}
-		if hit {
-			hits++
+		h, applied, err := pc.accessBatch(buf.cycles[:len(chunk)], buf.addrs[:len(chunk)], buf.kinds[:len(chunk)])
+		hits += h
+		if err != nil {
+			// applied accesses succeeded; start+applied is the offender.
+			return nil, fmt.Errorf("core: access %d: %w", start+applied, err)
 		}
 	}
 	if err := pc.Finish(tr.Cycles); err != nil {
@@ -195,19 +257,23 @@ func RunMonolithic(g cache.Geometry, tech power.Tech, tr *trace.Trace) (*Monolit
 		return nil, err
 	}
 	res := &MonolithicResult{Name: tr.Name, SpanCycles: tr.Cycles}
-	for i := range tr.Accesses {
-		a := &tr.Accesses[i]
-		if c.Access(a.Addr) {
-			res.Hits++
-		} else {
-			res.Misses++
+	// Same chunked batch drive as the partitioned kernel: one address
+	// buffer, cache lookups in bulk, counters accumulated locally.
+	acc := tr.Accesses
+	addrs := make([]uint64, min(DefaultBatchSize, len(acc)))
+	for start := 0; start < len(acc); start += len(addrs) {
+		chunk := acc[start:min(start+len(addrs), len(acc))]
+		for k := range chunk {
+			addrs[k] = chunk[k].Addr
+			if chunk[k].Kind == trace.Write {
+				res.Writes++
+			} else {
+				res.Reads++
+			}
 		}
-		if a.Kind == trace.Write {
-			res.Writes++
-		} else {
-			res.Reads++
-		}
+		res.Hits += c.AccessBatch(addrs[:len(chunk)])
 	}
+	res.Misses = uint64(len(acc)) - res.Hits
 	res.Energy, err = tech.Energy(g, 1, power.Usage{
 		Reads:      res.Reads,
 		Writes:     res.Writes,

@@ -309,7 +309,12 @@ func (e *Engine) simulate(ctx context.Context, spec JobSpec, pinned bool) (*JobR
 		if err != nil {
 			return nil, err
 		}
-		return pc.Run(tr)
+		// The decoded trace feeds the batch kernel in pooled chunk
+		// buffers, reused across jobs and workers: a sweep's thousandth
+		// simulation allocates no per-access state at all.
+		buf := batchPool.Get().(*core.Batch)
+		defer batchPool.Put(buf)
+		return pc.RunBuffered(tr, buf)
 	})
 	if err != nil {
 		return nil, err
@@ -510,6 +515,11 @@ func (e *Engine) Submit(ctx context.Context, spec SweepSpec) (*Handle, error) {
 	}
 	return h, nil
 }
+
+// batchPool holds batch-kernel chunk buffers shared by every engine in
+// the process: one buffer is in use per actively simulating worker, and
+// a worker's next job reuses the buffer its last job warmed.
+var batchPool = sync.Pool{New: func() any { return core.NewBatch(core.DefaultBatchSize) }}
 
 // task is one queued (sweep, job-index) pair.
 type task struct {

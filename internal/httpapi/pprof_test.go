@@ -1,0 +1,52 @@
+package httpapi
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"nbticache/internal/engine"
+)
+
+// TestPprofGating: the profiling surface exists only when the operator
+// opted in; by default the routes 404 like any other unknown path.
+func TestPprofGating(t *testing.T) {
+	eng, err := engine.New(engine.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+
+	off := httptest.NewServer(NewServer(eng, Config{}).Handler())
+	defer off.Close()
+	resp, err := http.Get(off.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("pprof without opt-in: %d, want 404", resp.StatusCode)
+	}
+
+	on := httptest.NewServer(NewServer(eng, Config{EnablePprof: true}).Handler())
+	defer on.Close()
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/heap", "/debug/pprof/cmdline", "/debug/pprof/symbol"} {
+		resp, err := http.Get(on.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s with -pprof: %d, want 200", path, resp.StatusCode)
+		}
+	}
+	// The /v1 surface is unaffected by the profiling opt-in.
+	resp, err = http.Get(on.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz with -pprof: %d", resp.StatusCode)
+	}
+}

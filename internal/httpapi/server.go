@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"mime"
 	"net/http"
+	"net/http/pprof"
 
 	"nbticache/internal/engine"
 	"nbticache/internal/trace"
@@ -32,6 +33,12 @@ type Config struct {
 	// (each can materialise several times its wire size as accesses);
 	// excess uploads are turned away with 503.
 	MaxConcurrentUploads int
+	// EnablePprof mounts the runtime profiling handlers under
+	// /debug/pprof/, so the simulation hot path can be profiled in situ
+	// (`go tool pprof http://host/debug/pprof/profile`). Off by default:
+	// profiles expose internals, so the operator opts in per process
+	// (-pprof on nbtiserved).
+	EnablePprof bool
 }
 
 // Defaults substituted for non-positive Config fields.
@@ -97,7 +104,20 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/traces/{id}", s.deleteTrace)
 	mux.HandleFunc("GET /healthz", s.healthz)
 	mux.HandleFunc("GET /metrics", s.metrics)
+	if s.cfg.EnablePprof {
+		RegisterPprof(mux)
+	}
 	return mux
+}
+
+// RegisterPprof mounts the net/http/pprof handlers on mux, shared by the
+// node and coordinator servers.
+func RegisterPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 }
 
 // WriteJSON renders v with status code.

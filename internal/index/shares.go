@@ -15,19 +15,38 @@ type ShareMatrix struct {
 	Share  [][]float64
 }
 
-// Shares simulates n epochs of the policy (including the initial epoch-0
-// mapping, before any update) and tallies hosting shares. The policy is
-// Reset first and left reset after, so analysis never perturbs a live
+// Shares tallies hosting shares over n epochs of the policy (including
+// the initial epoch-0 mapping, before any update). The policy is Reset
+// first and left reset after, so analysis never perturbs a live
 // simulation. n must be >= 1.
+//
+// The three built-in policies take closed-form or O(n + M^2) fast paths
+// instead of the O(n*M) epoch walk — with 4096 service-life epochs the
+// walk dominated whole-sweep profiles. The fast paths reproduce the walk
+// bit for bit (each tallies exact integer epoch counts and scales by the
+// same 1/n), which TestSharesFastPathsMatchGeneric pins.
 func Shares(p Policy, n int) (*ShareMatrix, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("index: share analysis needs >= 1 epoch, got %d", n)
 	}
-	m := p.Banks()
-	sm := &ShareMatrix{Banks: m, Epochs: n, Share: make([][]float64, m)}
-	for b := range sm.Share {
-		sm.Share[b] = make([]float64, m)
+	switch pol := p.(type) {
+	case *Identity:
+		p.Reset() // honour the "left reset" contract even without a walk
+		return identityShares(pol.banks, n), nil
+	case *Probing:
+		p.Reset()
+		return probingShares(pol.banks, n), nil
+	case *Scrambling:
+		return scramblingShares(pol, n), nil
 	}
+	return sharesGeneric(p, n)
+}
+
+// sharesGeneric is the reference epoch walk, kept for third-party Policy
+// implementations and as the oracle the fast paths are tested against.
+func sharesGeneric(p Policy, n int) (*ShareMatrix, error) {
+	m := p.Banks()
+	sm := newShareMatrix(m, n)
 	p.Reset()
 	for e := 0; e < n; e++ {
 		for r := 0; r < m; r++ {
@@ -40,13 +59,81 @@ func Shares(p Policy, n int) (*ShareMatrix, error) {
 		p.Update()
 	}
 	p.Reset()
-	inv := 1 / float64(n)
+	sm.scale()
+	return sm, nil
+}
+
+func newShareMatrix(m, n int) *ShareMatrix {
+	sm := &ShareMatrix{Banks: m, Epochs: n, Share: make([][]float64, m)}
+	for b := range sm.Share {
+		sm.Share[b] = make([]float64, m)
+	}
+	return sm
+}
+
+// scale turns tallied epoch counts into fractions, exactly as the epoch
+// walk does (count accumulated in a float64, then one multiply by 1/n).
+func (sm *ShareMatrix) scale() {
+	inv := 1 / float64(sm.Epochs)
 	for b := range sm.Share {
 		for r := range sm.Share[b] {
 			sm.Share[b][r] *= inv
 		}
 	}
-	return sm, nil
+}
+
+// identityShares: region r is hosted by bank r in every epoch.
+func identityShares(m, n int) *ShareMatrix {
+	sm := newShareMatrix(m, n)
+	for r := 0; r < m; r++ {
+		sm.Share[r][r] = float64(n)
+	}
+	sm.scale()
+	return sm
+}
+
+// probingShares: at epoch e the rotation offset is e mod M (the p-bit
+// update counter wraps), so bank b hosts region r during the epochs with
+// e mod M == (b-r) mod M — that is n/M epochs, plus one more when
+// (b-r) mod M < n mod M.
+func probingShares(m, n int) *ShareMatrix {
+	sm := newShareMatrix(m, n)
+	q, rem := n/m, n%m
+	for r := 0; r < m; r++ {
+		for d := 0; d < m; d++ { // d = offset = (b-r) mod M
+			count := q
+			if d < rem {
+				count++
+			}
+			sm.Share[(r+d)%m][r] = float64(count)
+		}
+	}
+	sm.scale()
+	return sm
+}
+
+// scramblingShares: every region is XORed with the same LFSR word within
+// one epoch, so one walk over the n-word sequence tallies how often each
+// of the M possible words occurs, and the M x M matrix follows from
+// Share[(r^w)%M][r] = count[w]/n. This replaces n*M Map calls with n LFSR
+// steps.
+func scramblingShares(p *Scrambling, n int) *ShareMatrix {
+	m := p.banks
+	sm := newShareMatrix(m, n)
+	p.Reset()
+	count := make([]float64, m)
+	for e := 0; e < n; e++ {
+		count[int(p.word)%m]++
+		p.Update()
+	}
+	p.Reset()
+	for r := 0; r < m; r++ {
+		for w := 0; w < m; w++ {
+			sm.Share[(r^w)%m][r] = count[w]
+		}
+	}
+	sm.scale()
+	return sm
 }
 
 // MaxError returns the largest absolute deviation of any share from the

@@ -1,0 +1,81 @@
+package index
+
+import (
+	"testing"
+)
+
+// TestSharesFastPathsMatchGeneric pins the analytic share fast paths to
+// the generic epoch walk, bit for bit, across bank counts and epoch
+// counts that are and are not multiples of M.
+func TestSharesFastPathsMatchGeneric(t *testing.T) {
+	epochs := []int{1, 2, 3, 7, 8, 63, 64, 100, 4096, 4097}
+	for _, m := range []int{2, 4, 8, 16, 64} {
+		for _, n := range epochs {
+			for _, kind := range []Kind{KindIdentity, KindProbing, KindScrambling} {
+				fastPol, err := New(kind, m)
+				if err != nil {
+					t.Fatal(err)
+				}
+				genPol, err := New(kind, m)
+				if err != nil {
+					t.Fatal(err)
+				}
+				fast, err := Shares(fastPol, n)
+				if err != nil {
+					t.Fatalf("%s M=%d n=%d: %v", kind, m, n, err)
+				}
+				gen, err := sharesGeneric(genPol, n)
+				if err != nil {
+					t.Fatalf("%s M=%d n=%d generic: %v", kind, m, n, err)
+				}
+				if fast.Banks != gen.Banks || fast.Epochs != gen.Epochs {
+					t.Fatalf("%s M=%d n=%d: header mismatch %+v vs %+v", kind, m, n, fast, gen)
+				}
+				for b := range gen.Share {
+					for r := range gen.Share[b] {
+						if fast.Share[b][r] != gen.Share[b][r] {
+							t.Fatalf("%s M=%d n=%d: Share[%d][%d] = %v, generic %v",
+								kind, m, n, b, r, fast.Share[b][r], gen.Share[b][r])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSharesFastPathLeavesPolicyReset mirrors TestSharesLeavePolicyReset
+// for the scrambling fast path, which steps the policy's own LFSR.
+func TestSharesFastPathLeavesPolicyReset(t *testing.T) {
+	pol, err := NewScrambling(8, 16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol.Update()
+	pol.Reset()
+	if _, err := Shares(pol, 100); err != nil {
+		t.Fatal(err)
+	}
+	if pol.Epoch() != 0 || pol.Word() != 0 {
+		t.Fatalf("Shares left scrambling policy perturbed: epoch %d word %d", pol.Epoch(), pol.Word())
+	}
+}
+
+// customPolicy exercises the generic fallback for policies outside this
+// package.
+type customPolicy struct{ Identity }
+
+func TestSharesGenericFallback(t *testing.T) {
+	id, err := NewIdentity(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := &customPolicy{Identity: *id}
+	sm, err := Shares(cp, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sm.Share[0][0] != 1 || sm.Share[1][0] != 0 {
+		t.Fatalf("generic fallback wrong: %+v", sm.Share)
+	}
+}

@@ -1,0 +1,146 @@
+package pmu
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// randomSchedule builds a valid access sequence: non-decreasing cycles,
+// banks in range, with long and short gaps mixed so both sides of the
+// breakeven threshold are exercised.
+func randomSchedule(rng *rand.Rand, banks, n int) (bs []int32, cs []uint64) {
+	cycle := uint64(rng.Intn(3))
+	for i := 0; i < n; i++ {
+		bs = append(bs, int32(rng.Intn(banks)))
+		cs = append(cs, cycle)
+		if rng.Intn(4) == 0 {
+			cycle += uint64(rng.Intn(200)) // occasionally a long gap
+		} else {
+			cycle += uint64(rng.Intn(3)) // mostly dense (incl. same-cycle)
+		}
+	}
+	return bs, cs
+}
+
+// TestAccessBatchMatchesScalar drives identical schedules through the
+// scalar and batched entry points (the batch split at random points, so
+// batches of length 0 are covered too) and requires identical results.
+func TestAccessBatchMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		banks := 1 + rng.Intn(8)
+		be := uint64(1 + rng.Intn(30))
+		n := rng.Intn(400)
+		bs, cs := randomSchedule(rng, banks, n)
+
+		scalar, _ := New(banks, be)
+		batched, _ := New(banks, be)
+		if trial%3 == 0 {
+			scalar.EnableHistograms(0, 256, 8)
+			batched.EnableHistograms(0, 256, 8)
+		}
+		for i := range bs {
+			if err := scalar.Access(int(bs[i]), cs[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i <= len(bs); {
+			j := i + rng.Intn(len(bs)-i+1)
+			if err := batched.AccessBatch(bs[i:j], cs[i:j]); err != nil {
+				t.Fatal(err)
+			}
+			if j == len(bs) {
+				break
+			}
+			i = j
+		}
+		end := uint64(0)
+		if n > 0 {
+			end = cs[n-1]
+		}
+		end += uint64(1 + rng.Intn(100))
+		if err := scalar.Finish(end); err != nil {
+			t.Fatal(err)
+		}
+		if err := batched.Finish(end); err != nil {
+			t.Fatal(err)
+		}
+		sres, err := scalar.Results()
+		if err != nil {
+			t.Fatal(err)
+		}
+		bres, err := batched.Results()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(sres, bres) {
+			t.Fatalf("trial %d: scalar %+v != batched %+v", trial, sres, bres)
+		}
+	}
+}
+
+func TestAccessBatchSentinels(t *testing.T) {
+	p, _ := New(2, 5)
+	if err := p.AccessBatch([]int32{0, 2}, []uint64{1, 2}); !errors.Is(err, ErrBankRange) {
+		t.Fatalf("out-of-range bank: got %v, want ErrBankRange", err)
+	}
+	// The in-range prefix before the bad element must have been applied.
+	if p.Cursor() != 1 {
+		t.Fatalf("cursor = %d after partial batch, want 1", p.Cursor())
+	}
+	if err := p.AccessBatch([]int32{1, 0}, []uint64{10, 3}); !errors.Is(err, ErrUnordered) {
+		t.Fatalf("unordered cycles: got %v, want ErrUnordered", err)
+	}
+	if p.Cursor() != 10 {
+		t.Fatalf("cursor = %d, want 10", p.Cursor())
+	}
+	if err := p.AccessBatch([]int32{0}, []uint64{1, 2}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if err := p.Finish(20); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AccessBatch([]int32{0}, []uint64{21}); !errors.Is(err, ErrFinished) {
+		t.Fatalf("batch after Finish: got %v, want ErrFinished", err)
+	}
+	if err := p.AccessBatch(nil, nil); !errors.Is(err, ErrFinished) {
+		t.Fatalf("empty batch after Finish: got %v, want ErrFinished", err)
+	}
+}
+
+// TestScalarSentinelWrapping pins errors.Is on the scalar path's wrapped
+// errors — the API boundary keeps the contextual message, batch callers
+// match on the sentinel.
+func TestScalarSentinelWrapping(t *testing.T) {
+	p, _ := New(2, 5)
+	if err := p.Access(5, 0); !errors.Is(err, ErrBankRange) {
+		t.Fatalf("got %v, want wrapped ErrBankRange", err)
+	}
+	if err := p.Access(0, 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Access(1, 50); !errors.Is(err, ErrUnordered) {
+		t.Fatalf("got %v, want wrapped ErrUnordered", err)
+	}
+	if err := p.Finish(100); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Access(0, 101); !errors.Is(err, ErrFinished) {
+		t.Fatalf("got %v, want ErrFinished", err)
+	}
+}
+
+func TestAccessBatchEmpty(t *testing.T) {
+	p, _ := New(2, 5)
+	if err := p.AccessBatch(nil, nil); err != nil {
+		t.Fatalf("zero-length batch: %v", err)
+	}
+	if err := p.AccessBatch([]int32{}, []uint64{}); err != nil {
+		t.Fatalf("zero-length batch: %v", err)
+	}
+	if p.Cursor() != 0 {
+		t.Fatalf("cursor moved on empty batch: %d", p.Cursor())
+	}
+}

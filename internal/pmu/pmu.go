@@ -17,23 +17,40 @@
 package pmu
 
 import (
+	"errors"
 	"fmt"
 
 	"nbticache/internal/stats"
 )
 
+// Sentinel errors, cheap enough for the batched kernel to return from a
+// hot loop without an allocation. The scalar Access path wraps them with
+// the offending bank/cycle for context, so errors.Is works on both.
+var (
+	// ErrFinished is returned for any access recorded after Finish.
+	ErrFinished = errors.New("pmu: access after Finish")
+	// ErrBankRange is returned for a bank outside [0, Banks()).
+	ErrBankRange = errors.New("pmu: bank out of range")
+	// ErrUnordered is returned when access cycles decrease.
+	ErrUnordered = errors.New("pmu: accesses out of cycle order")
+)
+
 // PMU tracks idle intervals for a set of banks.
+//
+// A bank's last-access cycle starts at 0 and a never-touched bank idles
+// from cycle 0, so `last` alone carries the interval state — there is no
+// separate touched flag to maintain in the hot loop.
 type PMU struct {
 	banks     int
 	breakeven uint64
 
-	last      []uint64 // cycle of most recent access, per bank
-	touched   []bool   // has the bank ever been accessed?
+	last      []uint64 // cycle of most recent access, per bank (0 before any)
 	accesses  []uint64
 	useful    []uint64 // cycles in idle intervals > breakeven
 	sleep     []uint64 // cycles actually spent asleep
 	intervals []uint64 // number of sleep episodes (= wake-ups, bar the last)
 	hist      []*stats.Histogram
+	histOn    bool
 	cursor    uint64
 	finished  bool
 	endCycle  uint64
@@ -53,7 +70,6 @@ func New(banks int, breakeven uint64) (*PMU, error) {
 		banks:     banks,
 		breakeven: breakeven,
 		last:      make([]uint64, banks),
-		touched:   make([]bool, banks),
 		accesses:  make([]uint64, banks),
 		useful:    make([]uint64, banks),
 		sleep:     make([]uint64, banks),
@@ -68,6 +84,7 @@ func (p *PMU) EnableHistograms(lo, hi float64, buckets int) {
 	for i := range p.hist {
 		p.hist[i] = stats.NewHistogram(lo, hi, buckets)
 	}
+	p.histOn = true
 }
 
 // Banks returns the bank count.
@@ -77,32 +94,79 @@ func (p *PMU) Banks() int { return p.banks }
 func (p *PMU) Breakeven() uint64 { return p.breakeven }
 
 // Access records an access to bank at the given cycle. Cycles must be
-// non-decreasing across calls (they come from a validated trace).
+// non-decreasing across calls (they come from a validated trace). Errors
+// wrap the package sentinels, with context; nothing allocates on the
+// success path.
 func (p *PMU) Access(bank int, cycle uint64) error {
 	if p.finished {
-		return fmt.Errorf("pmu: access after Finish")
+		return ErrFinished
 	}
 	if bank < 0 || bank >= p.banks {
-		return fmt.Errorf("pmu: bank %d outside [0,%d)", bank, p.banks)
+		return fmt.Errorf("%w: bank %d outside [0,%d)", ErrBankRange, bank, p.banks)
 	}
 	if cycle < p.cursor {
-		return fmt.Errorf("pmu: access at cycle %d after cycle %d", cycle, p.cursor)
+		return fmt.Errorf("%w: access at cycle %d after cycle %d", ErrUnordered, cycle, p.cursor)
 	}
 	p.cursor = cycle
 	p.closeInterval(bank, cycle)
 	p.last[bank] = cycle
-	p.touched[bank] = true
 	p.accesses[bank]++
 	return nil
 }
 
-// closeInterval accounts the idle gap ending now for the bank. Banks
-// never touched idle from cycle 0.
-func (p *PMU) closeInterval(bank int, now uint64) {
-	start := uint64(0)
-	if p.touched[bank] {
-		start = p.last[bank]
+// AccessBatch records one access per element of banks/cycles, in order —
+// the batched twin of Access with the per-call checks hoisted out of the
+// simulator's inner loop: the Finish check runs once per batch, and the
+// in-loop range/order checks return bare sentinels instead of formatting
+// an error. On error, every access before the offending element has been
+// applied (exactly the state a scalar call sequence would have left) and
+// the offending element and its successors have not.
+func (p *PMU) AccessBatch(banks []int32, cycles []uint64) error {
+	if p.finished {
+		return ErrFinished
 	}
+	if len(banks) != len(cycles) {
+		return fmt.Errorf("pmu: batch length mismatch: %d banks, %d cycles", len(banks), len(cycles))
+	}
+	nb := int32(p.banks)
+	be := p.breakeven
+	cur := p.cursor
+	last, useful, sleep := p.last, p.useful, p.sleep
+	intervals, accesses := p.intervals, p.accesses
+	for i, c := range cycles {
+		b := banks[i]
+		if uint32(b) >= uint32(nb) {
+			p.cursor = cur
+			return ErrBankRange
+		}
+		if c < cur {
+			p.cursor = cur
+			return ErrUnordered
+		}
+		cur = c
+		start := last[b]
+		if c > start {
+			gap := c - start
+			if p.histOn {
+				p.hist[b].Add(float64(gap))
+			}
+			if gap > be {
+				useful[b] += gap
+				sleep[b] += gap - be
+				intervals[b]++
+			}
+		}
+		last[b] = c
+		accesses[b]++
+	}
+	p.cursor = cur
+	return nil
+}
+
+// closeInterval accounts the idle gap ending now for the bank. Banks
+// never touched idle from cycle 0 (their last-access cycle is 0).
+func (p *PMU) closeInterval(bank int, now uint64) {
+	start := p.last[bank]
 	if now <= start {
 		return
 	}
@@ -116,6 +180,11 @@ func (p *PMU) closeInterval(bank int, now uint64) {
 		p.intervals[bank]++
 	}
 }
+
+// Cursor returns the cycle of the most recent access (0 before any) —
+// the ordering bound the next access must meet. The batched kernel uses
+// it to validate a whole batch's cycle order in one pass.
+func (p *PMU) Cursor() uint64 { return p.cursor }
 
 // Finish closes the trailing idle interval of every bank at endCycle (the
 // trace span) and freezes the PMU. It must be called exactly once.
@@ -170,10 +239,7 @@ func (p *PMU) Results() ([]BankStats, error) {
 		wake := p.intervals[b]
 		// The final interval (after the last access, or the whole trace
 		// for an untouched bank) never wakes up.
-		lastStart := uint64(0)
-		if p.touched[b] {
-			lastStart = p.last[b]
-		}
+		lastStart := p.last[b]
 		if wake > 0 && p.endCycle-lastStart > p.breakeven {
 			wake--
 		}

@@ -58,6 +58,9 @@ type (
 	Config = core.Config
 	// PartitionedCache is a live simulation instance.
 	PartitionedCache = core.PartitionedCache
+	// Batch is a reusable chunk buffer for the batched access kernel
+	// (PartitionedCache.AccessBatch / RunBuffered).
+	Batch = core.Batch
 	// RunResult is the outcome of simulating one trace.
 	RunResult = core.RunResult
 	// MonolithicResult is the unmanaged non-partitioned reference run.
@@ -194,6 +197,10 @@ func NewGeometry(sizeKB int, lineBytes uint64) Geometry {
 
 // New builds a partitioned cache simulator.
 func New(cfg Config) (*PartitionedCache, error) { return core.New(cfg) }
+
+// NewBatch returns a reusable chunk buffer for RunBuffered; size < 1
+// selects the default chunk length.
+func NewBatch(size int) *Batch { return core.NewBatch(size) }
 
 // RunMonolithic simulates the conventional unmanaged cache.
 func RunMonolithic(g Geometry, tech Tech, tr *Trace) (*MonolithicResult, error) {
