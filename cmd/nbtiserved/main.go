@@ -60,7 +60,7 @@ import (
 	"context"
 	"errors"
 	"flag"
-	"log"
+	"fmt"
 	"net/http"
 	"os"
 	"os/signal"
@@ -72,12 +72,11 @@ import (
 	"nbticache/internal/cluster"
 	"nbticache/internal/engine"
 	"nbticache/internal/httpapi"
+	"nbticache/internal/obs"
 	"nbticache/internal/workload"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("nbtiserved: ")
 	addr := flag.String("addr", ":8080", "listen address")
 	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 	quick := flag.Bool("quick", false, "generate short traces (smoke quality) instead of reporting quality")
@@ -91,7 +90,20 @@ func main() {
 	peers := flag.String("peers", "", "comma-separated shard base URLs; when set, run as a cluster coordinator over them instead of a simulation node")
 	ringReplicas := flag.Int("ring-replicas", cluster.DefaultReplicas, "coordinator mode: consistent-hash virtual nodes per peer")
 	pollInterval := flag.Duration("poll-interval", cluster.DefaultPollInterval, "coordinator mode: per-shard sweep poll cadence")
+	logFormat := flag.String("log-format", "text", "structured log encoding: text or json")
 	flag.Parse()
+
+	logger, err := obs.NewLogger(*logFormat, os.Stderr)
+	if err != nil {
+		// The logger itself is unusable; this is the one failure that
+		// still goes through the stock logger.
+		fmt.Fprintf(os.Stderr, "nbtiserved: %v\n", err)
+		os.Exit(1)
+	}
+	fatal := func(err error) {
+		logger.Error("fatal", "err", err)
+		os.Exit(1)
+	}
 
 	var handler http.Handler
 	var shutdown func()
@@ -107,7 +119,8 @@ func main() {
 			}
 		})
 		if len(ignored) > 0 {
-			log.Printf("warning: coordinator mode ignores node-only flags %s", strings.Join(ignored, ", "))
+			logger.Warn("coordinator mode ignores node-only flags",
+				"flags", strings.Join(ignored, ", "))
 		}
 		coord, err := cluster.New(cluster.Options{
 			Peers:        strings.Split(*peers, ","),
@@ -116,9 +129,10 @@ func main() {
 			// Forwarded traces were admitted under the shards' upload
 			// cap; mirror it (x2 slack for wire-format differences).
 			MaxForwardBytes: 2 * *maxTraceBytes,
+			Logger:          logger,
 		})
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		handler = cluster.NewServer(coord, cluster.ServerConfig{
 			MaxTraceBytes: *maxTraceBytes,
@@ -126,7 +140,7 @@ func main() {
 			EnablePprof:   *pprofOn,
 		}).Handler()
 		shutdown = coord.Close
-		log.Printf("coordinator mode: sharding across %d peers", len(coord.Peers()))
+		logger.Info("coordinator mode", "peers", len(coord.Peers()))
 	} else {
 		// The symmetric silent-drop guard: coordinator-only flags do
 		// nothing without -peers.
@@ -138,7 +152,8 @@ func main() {
 			}
 		})
 		if len(ignored) > 0 {
-			log.Printf("warning: node mode ignores coordinator-only flags %s (set -peers to run a coordinator)", strings.Join(ignored, ", "))
+			logger.Warn("node mode ignores coordinator-only flags (set -peers to run a coordinator)",
+				"flags", strings.Join(ignored, ", "))
 		}
 		opts := engine.Options{
 			Workers:          *workers,
@@ -155,11 +170,12 @@ func main() {
 		if err != nil {
 			// An unusable -data-dir fails here, before the listener opens,
 			// not on the first write.
-			log.Fatal(err)
+			fatal(err)
 		}
 		if *dataDir != "" {
 			st := eng.Stats()
-			log.Printf("persisting to %s (%d traces, %d job results warm)", *dataDir, st.TracesStored, st.ResultBlobs)
+			logger.Info("persistence warm-started", "dir", *dataDir,
+				"traces", st.TracesStored, "job_results", st.ResultBlobs)
 		}
 		handler = httpapi.NewServer(eng, httpapi.Config{
 			MaxTraceBytes: *maxTraceBytes,
@@ -167,7 +183,7 @@ func main() {
 			EnablePprof:   *pprofOn,
 		}).Handler()
 		shutdown = eng.Close // cancels in-flight sweeps, unblocks any waiters
-		log.Printf("node mode (%d workers)", eng.Workers())
+		logger.Info("node mode", "workers", eng.Workers())
 	}
 
 	srv := &http.Server{
@@ -181,20 +197,20 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	log.Printf("listening on %s", *addr)
+	logger.Info("listening", "addr", *addr)
 
 	select {
 	case err := <-errc:
-		log.Fatal(err)
+		fatal(err)
 	case <-ctx.Done():
 	}
 
-	log.Printf("shutting down (drain %s)", *drain)
+	logger.Info("shutting down", "drain", *drain)
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		log.Printf("shutdown: %v", err)
+		logger.Warn("shutdown", "err", err)
 	}
 	shutdown()
-	log.Printf("bye")
+	logger.Info("bye")
 }

@@ -71,6 +71,13 @@ type Limits struct {
 // FillFunc computes the blob for a missing key.
 type FillFunc func() ([]byte, error)
 
+// OpObserver receives the wall-clock latency of each store operation.
+// op is "get" or "put"; seconds is the operation's duration. Both
+// built-in stores expose SetObserver(OpObserver); install the observer
+// before the store is shared across goroutines (the engine does so at
+// construction). A nil observer costs one nil check per operation.
+type OpObserver func(op string, seconds float64)
+
 // Store is a keyed blob store. Implementations are safe for concurrent
 // use. Callers must not modify a blob returned by Get or GetOrFill, nor
 // a blob after passing it to Put (stores may retain or return internal

@@ -15,6 +15,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // DiskStore is the durable Store: one file per content address,
@@ -36,6 +37,7 @@ type DiskStore struct {
 	dir    string
 	limits Limits
 	fl     flightGroup
+	obs    OpObserver
 
 	mu     sync.Mutex
 	idx    map[string]*diskEntry
@@ -238,6 +240,10 @@ func (s *DiskStore) quarantine(name string) {
 // SHA-256 check run outside the index lock, so concurrent Gets (and
 // Puts of other keys) proceed in parallel.
 func (s *DiskStore) Get(key string) ([]byte, error) {
+	if s.obs != nil {
+		start := time.Now()
+		defer func() { s.obs("get", time.Since(start).Seconds()) }()
+	}
 	s.gets.Add(1)
 	if err := checkKey(key); err != nil {
 		return nil, err
@@ -311,6 +317,10 @@ func (s *DiskStore) dropCorruptLocked(key string, e *diskEntry) {
 // one key carry identical content-addressed bytes, so last-rename-wins
 // is harmless).
 func (s *DiskStore) Put(key string, blob []byte) error {
+	if s.obs != nil {
+		start := time.Now()
+		defer func() { s.obs("put", time.Since(start).Seconds()) }()
+	}
 	if err := checkKey(key); err != nil {
 		return err
 	}
@@ -520,6 +530,10 @@ func (s *DiskStore) Metrics() Metrics {
 
 // Dir returns the store's root directory.
 func (s *DiskStore) Dir() string { return s.dir }
+
+// SetObserver installs the per-operation latency observer. Install it
+// before the store is shared across goroutines.
+func (s *DiskStore) SetObserver(fn OpObserver) { s.obs = fn }
 
 // Close implements Store: the index is released; blobs stay on disk for
 // the next open.

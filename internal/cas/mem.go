@@ -4,6 +4,7 @@ import (
 	"context"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // MemStore is the in-process Store: blobs live in a map, age is
@@ -13,6 +14,7 @@ import (
 type MemStore struct {
 	limits Limits
 	fl     flightGroup
+	obs    OpObserver
 
 	mu     sync.Mutex
 	m      map[string]*memEntry
@@ -34,9 +36,17 @@ func NewMem(limits Limits) *MemStore {
 	return &MemStore{limits: limits, m: make(map[string]*memEntry)}
 }
 
+// SetObserver installs the per-operation latency observer. Install it
+// before the store is shared across goroutines.
+func (s *MemStore) SetObserver(fn OpObserver) { s.obs = fn }
+
 // Get implements Store. The returned blob is the stored slice; callers
 // must not modify it.
 func (s *MemStore) Get(key string) ([]byte, error) {
+	if s.obs != nil {
+		start := time.Now()
+		defer func() { s.obs("get", time.Since(start).Seconds()) }()
+	}
 	s.gets.Add(1)
 	if err := checkKey(key); err != nil {
 		return nil, err
@@ -57,6 +67,10 @@ func (s *MemStore) Get(key string) ([]byte, error) {
 // Put implements Store. The blob is copied, so the caller may reuse its
 // buffer.
 func (s *MemStore) Put(key string, blob []byte) error {
+	if s.obs != nil {
+		start := time.Now()
+		defer func() { s.obs("put", time.Since(start).Seconds()) }()
+	}
 	if err := checkKey(key); err != nil {
 		return err
 	}

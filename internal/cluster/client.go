@@ -12,6 +12,7 @@ import (
 
 	"nbticache/internal/engine"
 	"nbticache/internal/httpapi"
+	"nbticache/internal/obs"
 )
 
 // shardClient speaks the nbtiserved node API (internal/httpapi) to a
@@ -21,6 +22,21 @@ type shardClient struct {
 	hc *http.Client
 	// maxForward caps one trace-content download (see traceContent).
 	maxForward int64
+	// reqSeconds times every shard request by operation; nil (Nop
+	// telemetry) records nothing. Set once by the coordinator before any
+	// request is issued.
+	reqSeconds *obs.HistogramVec
+}
+
+// observe starts timing one shard request; call the returned func when
+// it completes.
+func (sc *shardClient) observe(op string) func() {
+	if sc.reqSeconds == nil {
+		return func() {}
+	}
+	h := sc.reqSeconds.With(op)
+	start := time.Now()
+	return func() { h.Observe(time.Since(start).Seconds()) }
 }
 
 func newShardClient(hc *http.Client, maxForward int64) *shardClient {
@@ -91,6 +107,9 @@ func (sc *shardClient) doJSON(ctx context.Context, method, url string, body []by
 	if ctype != "" {
 		req.Header.Set("Content-Type", ctype)
 	}
+	// Propagate the dispatch span across the hop: the shard's submit
+	// handler extracts this header, so its engine spans join our trace.
+	obs.Inject(ctx, req.Header)
 	resp, err := sc.hc.Do(req)
 	if err != nil {
 		return err
@@ -111,6 +130,7 @@ func (sc *shardClient) doJSON(ctx context.Context, method, url string, body []by
 
 // submit posts a sub-sweep to a shard.
 func (sc *shardClient) submit(ctx context.Context, peer string, spec engine.SweepSpec) (httpapi.SubmitResponse, error) {
+	defer sc.observe("submit")()
 	body, err := json.Marshal(spec)
 	if err != nil {
 		return httpapi.SubmitResponse{}, err
@@ -122,6 +142,7 @@ func (sc *shardClient) submit(ctx context.Context, peer string, spec engine.Swee
 
 // sweep polls a shard sweep's progress and resolved results.
 func (sc *shardClient) sweep(ctx context.Context, peer, id string) (httpapi.SweepResponse, error) {
+	defer sc.observe("sweep_poll")()
 	var out httpapi.SweepResponse
 	err := sc.doJSON(ctx, http.MethodGet, peer+"/v1/sweeps/"+id, nil, "", &out)
 	return out, err
@@ -129,12 +150,14 @@ func (sc *shardClient) sweep(ctx context.Context, peer, id string) (httpapi.Swee
 
 // cancelSweep stops a shard sweep (best effort).
 func (sc *shardClient) cancelSweep(ctx context.Context, peer, id string) error {
+	defer sc.observe("sweep_cancel")()
 	return sc.doJSON(ctx, http.MethodDelete, peer+"/v1/sweeps/"+id, nil, "", nil)
 }
 
 // job resolves one completed job by content address; found is false on
 // a clean 404 (the shard is healthy, it just never ran the job).
 func (sc *shardClient) job(ctx context.Context, peer, id string) (*engine.JobResult, bool, error) {
+	defer sc.observe("job")()
 	var out engine.JobResult
 	err := sc.doJSON(ctx, http.MethodGet, peer+"/v1/jobs/"+id, nil, "", &out)
 	if err != nil {
@@ -150,6 +173,7 @@ func (sc *shardClient) job(ctx context.Context, peer, id string) (*engine.JobRes
 // traceInfo fetches an uploaded trace's metadata; found is false on a
 // clean 404.
 func (sc *shardClient) traceInfo(ctx context.Context, peer, id string) (engine.TraceInfo, bool, error) {
+	defer sc.observe("trace_info")()
 	var out engine.TraceInfo
 	err := sc.doJSON(ctx, http.MethodGet, peer+"/v1/traces/"+id, nil, "", &out)
 	if err != nil {
@@ -164,6 +188,7 @@ func (sc *shardClient) traceInfo(ctx context.Context, peer, id string) (engine.T
 
 // traceInfos lists a peer's uploaded traces.
 func (sc *shardClient) traceInfos(ctx context.Context, peer string) ([]engine.TraceInfo, error) {
+	defer sc.observe("trace_list")()
 	var out struct {
 		Traces []engine.TraceInfo `json:"traces"`
 	}
@@ -176,6 +201,7 @@ func (sc *shardClient) traceInfos(ctx context.Context, peer string) ([]engine.Tr
 // traceContent downloads a trace's canonical binary encoding; found is
 // false on a clean 404.
 func (sc *shardClient) traceContent(ctx context.Context, peer, id string) ([]byte, bool, error) {
+	defer sc.observe("trace_content")()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, peer+"/v1/traces/"+id+"/content", nil)
 	if err != nil {
 		return nil, false, err
@@ -206,7 +232,19 @@ func (sc *shardClient) traceContent(ctx context.Context, peer, id string) ([]byt
 
 // uploadTrace admits a canonical binary trace on a peer.
 func (sc *shardClient) uploadTrace(ctx context.Context, peer string, blob []byte) (httpapi.UploadResponse, error) {
+	defer sc.observe("trace_upload")()
 	var out httpapi.UploadResponse
 	err := sc.doJSON(ctx, http.MethodPost, peer+"/v1/traces", blob, "application/octet-stream", &out)
 	return out, err
+}
+
+// spans fetches every span a node recorded under a trace ID — the
+// coordinator's stitching read.
+func (sc *shardClient) spans(ctx context.Context, peer, traceID string) ([]obs.Span, error) {
+	defer sc.observe("spans")()
+	var out httpapi.SpansResponse
+	if err := sc.doJSON(ctx, http.MethodGet, peer+"/v1/spans/"+traceID, nil, "", &out); err != nil {
+		return nil, err
+	}
+	return out.Spans, nil
 }

@@ -19,12 +19,14 @@ import (
 )
 
 // canonicalResult is the byte form the determinism tests compare: the
-// full JSON result with the transport-dependent Cached flag cleared (a
-// re-run is a cache hit; the payload must still be identical).
+// full JSON result with the transport-dependent fields cleared: the
+// Cached flag (a re-run is a cache hit) and the wall-clock Timing
+// diagnostic. The scientific payload must still be identical.
 func canonicalResult(t *testing.T, r *engine.JobResult) []byte {
 	t.Helper()
 	cp := *r
 	cp.Cached = false
+	cp.Timing = nil
 	b, err := json.Marshal(cp)
 	if err != nil {
 		t.Fatal(err)

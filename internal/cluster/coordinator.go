@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
 	"net/url"
 	"sort"
@@ -13,6 +15,7 @@ import (
 	"time"
 
 	"nbticache/internal/engine"
+	"nbticache/internal/obs"
 )
 
 // Options configures a Coordinator.
@@ -36,6 +39,12 @@ type Options struct {
 	// shards' -max-trace-bytes, or large legitimately-admitted traces
 	// become unforwardable.
 	MaxForwardBytes int64
+	// Telemetry is the coordinator's metrics registry and tracer bundle.
+	// nil builds a live obs.New(); pass obs.Nop() to run uninstrumented.
+	Telemetry *obs.Telemetry
+	// Logger receives the coordinator's structured warnings (peer
+	// removals, routing stalls); nil discards them.
+	Logger *slog.Logger
 }
 
 // DefaultPollInterval paces shard sweep polling when
@@ -73,6 +82,9 @@ type shardState struct {
 type Coordinator struct {
 	client *shardClient
 	poll   time.Duration
+	tel    *obs.Telemetry
+	log    *slog.Logger
+	met    coordMetrics
 
 	lifeCtx  context.Context
 	lifeStop context.CancelFunc
@@ -120,10 +132,18 @@ func New(o Options) (*Coordinator, error) {
 	if o.PollInterval <= 0 {
 		o.PollInterval = DefaultPollInterval
 	}
+	if o.Telemetry == nil {
+		o.Telemetry = obs.New()
+	}
+	if o.Logger == nil {
+		o.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
 	ctx, stop := context.WithCancel(context.Background())
 	c := &Coordinator{
 		client:       newShardClient(o.Client, o.MaxForwardBytes),
 		poll:         o.PollInterval,
+		tel:          o.Telemetry,
+		log:          o.Logger,
 		lifeCtx:      ctx,
 		lifeStop:     stop,
 		ring:         NewRing(o.Replicas, peers...),
@@ -133,8 +153,13 @@ func New(o Options) (*Coordinator, error) {
 	for _, p := range peers {
 		c.shards[p] = &shardState{alive: true}
 	}
+	c.registerMetrics()
 	return c, nil
 }
+
+// Telemetry exposes the coordinator's telemetry bundle, so the HTTP
+// layer can serve its registry and tracer.
+func (c *Coordinator) Telemetry() *obs.Telemetry { return c.tel }
 
 // Close cancels every in-flight sweep and waits for their routing
 // goroutines to drain. Close is idempotent; Submit after Close fails.
@@ -196,6 +221,8 @@ func (c *Coordinator) failPeer(peer string) {
 		st.alive = false
 		c.ring.Remove(peer)
 		c.peerFailures.Add(1)
+		c.log.Warn("removing failed peer from ring",
+			"peer", peer, "peers_alive", c.ring.Len())
 	}
 }
 
@@ -246,6 +273,14 @@ func (c *Coordinator) Submit(ctx context.Context, spec engine.SweepSpec) (*Handl
 	c.wg.Add(1)
 	c.mu.Unlock()
 	c.sweepsTotal.Add(1)
+	// The sweep's root span: it joins the submitter's trace when ctx
+	// carries one (a tracing client sent traceparent) and roots a new
+	// trace otherwise. Every dispatch span — and, across the HTTP hop,
+	// every shard-side engine span — descends from it, which is what lets
+	// the spans endpoint stitch one tree for the whole distributed sweep.
+	_, h.span = c.tel.Tracer.StartSpan(ctx, "coordinator.sweep",
+		"sweep_id", h.ID, "jobs", itoa(len(jobs)))
+	h.tsc = h.span.Context()
 	go c.run(h)
 	return h, nil
 }
@@ -340,6 +375,19 @@ func (c *Coordinator) run(h *Handle) {
 // re-routes them on the post-failure ring.
 func (c *Coordinator) dispatch(h *Handle, peer string, slots []int) {
 	ctx := h.ctx
+	if c.met.dispatch != nil {
+		start := time.Now()
+		defer func() { c.met.dispatch.Observe(time.Since(start).Seconds()) }()
+	}
+	if h.tsc.Valid() {
+		// The dispatch span parents the shard's engine spans: the derived
+		// context carries it into every shard request, where doJSON
+		// injects it as the traceparent header.
+		var span *obs.ActiveSpan
+		ctx, span = c.tel.Tracer.StartSpan(obs.ContextWith(ctx, h.tsc),
+			"coordinator.dispatch", "peer", peer, "sweep_id", h.ID, "jobs", itoa(len(slots)))
+		defer span.End()
+	}
 	// Every distinct uploaded trace this group references must be
 	// resident on the shard before the sub-sweep submits.
 	need := make(map[string]bool)
@@ -573,6 +621,9 @@ const maxConcurrentForwards = 4
 // peer holds it, preserving the content address (the canonical binary
 // bytes are re-admitted, so the destination re-derives the same ID).
 func (c *Coordinator) forwardTrace(ctx context.Context, target, id string) error {
+	ctx, span := c.tel.Tracer.StartSpan(ctx, "coordinator.forward_trace",
+		"trace_id", id, "target", target)
+	defer span.End()
 	select {
 	case c.forwardSlots <- struct{}{}:
 		defer func() { <-c.forwardSlots }()

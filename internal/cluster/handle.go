@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"nbticache/internal/engine"
+	"nbticache/internal/obs"
 )
 
 // Handle tracks one sharded sweep: the coordinator's merge target. It
@@ -30,12 +31,20 @@ type Handle struct {
 	ctx    context.Context
 	cancel context.CancelFunc
 
+	// span is the sweep's root trace span (nil without a tracer); tsc is
+	// its identity, the ancestor of every dispatch span and — across the
+	// HTTP hop — every shard-side engine span. The span closes when the
+	// last slot merges.
+	span *obs.ActiveSpan
+	tsc  obs.SpanContext
+
 	mu        sync.Mutex
 	results   []*engine.JobResult
 	done      int
 	failed    int
 	canceled  int
 	cached    int
+	timing    engine.SweepTiming
 	cancelled bool
 	finished  chan struct{}
 }
@@ -61,6 +70,11 @@ func newHandle(id string, spec engine.SweepSpec, jobs []engine.JobSpec, ctx cont
 // Jobs returns the expanded, deduplicated job list (in submission order).
 func (h *Handle) Jobs() []engine.JobSpec { return h.jobs }
 
+// TraceID returns the merged sweep's trace identity ("" without a
+// tracer). The coordinator's spans endpoint stitches the cross-node
+// span tree for it.
+func (h *Handle) TraceID() string { return h.tsc.TraceID }
+
 // Cancel stops the sweep: per-shard sub-sweeps are cancelled (best
 // effort) and jobs not yet merged are recorded as cancelled. The sweep
 // still finishes (Wait returns) once every slot is resolved; merged
@@ -82,6 +96,15 @@ func (h *Handle) record(slot int, res *engine.JobResult) bool {
 	}
 	h.results[slot] = res
 	h.done++
+	if t := res.Timing; t != nil {
+		// Shard results carry their timing through the JSON merge, so the
+		// merged sweep aggregates the same decomposition a single node
+		// reports.
+		h.timing.QueueMs += t.QueueMs
+		h.timing.RunMs += t.ResolveMs + t.SimulateMs + t.ProjectMs
+		h.timing.PersistMs += t.PersistMs
+		h.timing.JobsTimed++
+	}
 	switch {
 	case res.Canceled:
 		h.canceled++
@@ -96,6 +119,7 @@ func (h *Handle) record(slot int, res *engine.JobResult) bool {
 	h.mu.Unlock()
 	if last {
 		h.cancel() // release the context; the sweep is over
+		h.span.End()
 		close(h.finished)
 	}
 	return true
@@ -127,6 +151,11 @@ func (h *Handle) Status() engine.SweepStatus {
 		Failed:    h.failed,
 		Canceled:  h.canceled,
 		Cached:    h.cached,
+		TraceID:   h.tsc.TraceID,
+	}
+	if h.timing.JobsTimed > 0 {
+		t := h.timing
+		st.Timing = &t
 	}
 	if h.done == len(h.jobs) {
 		st.State = "done"

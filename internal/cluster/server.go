@@ -4,11 +4,11 @@ import (
 	"bytes"
 	"encoding/json"
 	"errors"
-	"fmt"
 	"net/http"
 
 	"nbticache/internal/engine"
 	"nbticache/internal/httpapi"
+	"nbticache/internal/obs"
 	"nbticache/internal/trace"
 )
 
@@ -60,15 +60,28 @@ type Server struct {
 	sweeps *httpapi.Registry[*Handle]
 }
 
-// NewServer wraps a coordinator in the route table.
+// NewServer wraps a coordinator in the route table. The server shares
+// the coordinator's telemetry bundle: /metrics renders its registry
+// (plus the sweep-registry series registered here) and the spans
+// endpoint stitches trees from its tracer and the shards'.
 func NewServer(c *Coordinator, cfg ServerConfig) *Server {
 	cfg = cfg.withDefaults()
-	return &Server{
+	s := &Server{
 		coord:       c,
 		cfg:         cfg,
 		uploadSlots: make(chan struct{}, cfg.MaxConcurrentUploads),
 		sweeps:      httpapi.NewRegistry[*Handle](cfg.RetainSweeps),
 	}
+	if reg := c.tel.Metrics; reg != nil {
+		retained := reg.Gauge("nbtiserved_cluster_sweeps_retained", "Merged sweep handles resident in the registry.")
+		evicted := reg.Counter("nbtiserved_cluster_sweeps_evicted_total", "Finished merged sweeps evicted by retention.")
+		reg.OnCollect(func() {
+			r, e := s.sweeps.Counts()
+			retained.Set(float64(r))
+			evicted.Set(e)
+		})
+	}
+	return s
 }
 
 // Handler builds the route table.
@@ -76,6 +89,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/sweeps", s.submitSweep)
 	mux.HandleFunc("GET /v1/sweeps/{id}", s.getSweep)
+	mux.HandleFunc("GET /v1/sweeps/{id}/spans", s.getSweepSpans)
 	mux.HandleFunc("DELETE /v1/sweeps/{id}", s.cancelSweep)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.getJob)
 	mux.HandleFunc("POST /v1/traces", s.uploadTrace)
@@ -86,7 +100,7 @@ func (s *Server) Handler() http.Handler {
 	if s.cfg.EnablePprof {
 		httpapi.RegisterPprof(mux)
 	}
-	return mux
+	return httpapi.WithMetrics(s.coord.tel.Metrics, mux)
 }
 
 // submitSweep accepts the same engine.SweepSpec body a node does, but
@@ -288,60 +302,64 @@ func (s *Server) healthz(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
-// metrics serves the coordinator counters in Prometheus text exposition
-// format (plus a JSON variant via ?format=json), including the
-// per-shard routed/retried/merged series.
+// metrics serves the telemetry registry in Prometheus text exposition
+// format (plus a JSON variant via ?format=json). The registry's collect
+// hooks mirror the coordinator's Stats — per-shard {peer="..."} series
+// included — and the sweep registry's counts at scrape time, so every
+// series the hand-rolled exposition used to carry is still here under
+// the same names, alongside the request/dispatch histogram families.
 func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {
-	st := s.coord.Stats()
-	retained, evicted := s.sweeps.Counts()
 	if r.URL.Query().Get("format") == "json" {
+		retained, evicted := s.sweeps.Counts()
 		httpapi.WriteJSON(w, http.StatusOK, struct {
 			Stats
 			SweepsRetained int    `json:"sweeps_retained"`
 			SweepsEvicted  uint64 `json:"sweeps_evicted"`
-		}{st, retained, evicted})
+		}{s.coord.Stats(), retained, evicted})
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	for _, m := range []struct {
-		name, typ, help string
-		value           uint64
-	}{
-		{"nbtiserved_cluster_peers", "gauge", "Configured shard peers.", uint64(st.Peers)},
-		{"nbtiserved_cluster_peers_alive", "gauge", "Peers still in the ring.", uint64(st.AlivePeers)},
-		{"nbtiserved_cluster_sweeps_total", "counter", "Sharded sweeps submitted.", st.SweepsTotal},
-		{"nbtiserved_cluster_jobs_routed_total", "counter", "Job dispatches to shards.", st.JobsRouted},
-		{"nbtiserved_cluster_jobs_retried_total", "counter", "Accepted dispatches that re-dispatched an already-routed job (re-route after a peer failure, or a retry after a transient refusal).", st.JobsRetried},
-		{"nbtiserved_cluster_jobs_merged_total", "counter", "Job results merged from shards.", st.JobsMerged},
-		{"nbtiserved_cluster_jobs_failed_total", "counter", "Jobs settled with a permanent routing error.", st.JobsFailed},
-		{"nbtiserved_cluster_traces_forwarded_total", "counter", "Uploaded traces copied to a job's owning shard.", st.TracesForwarded},
-		{"nbtiserved_cluster_peer_failures_total", "counter", "Peers removed from the ring after a failure.", st.PeerFailures},
-		{"nbtiserved_cluster_sweeps_retained", "gauge", "Merged sweep handles resident in the registry.", uint64(retained)},
-		{"nbtiserved_cluster_sweeps_evicted_total", "counter", "Finished merged sweeps evicted by retention.", evicted},
-	} {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %d\n", m.name, m.help, m.name, m.typ, m.name, m.value)
-	}
-	for _, series := range []struct {
-		name, typ, help string
-		value           func(ShardStats) uint64
-	}{
-		{"nbtiserved_cluster_shard_alive", "gauge", "1 while the shard is in the ring.", func(sh ShardStats) uint64 { return b2u(sh.Alive) }},
-		{"nbtiserved_cluster_shard_jobs_routed_total", "counter", "Job dispatches accepted by this shard.", func(sh ShardStats) uint64 { return sh.Routed }},
-		{"nbtiserved_cluster_shard_jobs_retried_total", "counter", "Accepted dispatches that re-dispatched an already-routed job.", func(sh ShardStats) uint64 { return sh.Retried }},
-		{"nbtiserved_cluster_shard_jobs_merged_total", "counter", "Job results merged from this shard.", func(sh ShardStats) uint64 { return sh.Merged }},
-	} {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", series.name, series.help, series.name, series.typ)
-		for _, sh := range st.Shards {
-			fmt.Fprintf(w, "%s{peer=%q} %d\n", series.name, sh.Peer, series.value(sh))
-		}
-	}
+	_ = s.coord.tel.Metrics.WriteText(w)
 }
 
-func b2u(b bool) uint64 {
-	if b {
-		return 1
+// getSweepSpans serves the stitched span tree of one merged sweep: the
+// coordinator's own spans (sweep root, per-dispatch, trace forwards)
+// plus every span fragment the live shards recorded under the same
+// trace ID — one tree spanning the whole distributed execution,
+// correlated by the trace ID the dispatch requests propagated. Shards
+// that fail to answer are skipped (the tree is a diagnostic, and a
+// degraded cluster is exactly when it is wanted); dead peers' fragments
+// are unreachable and simply absent.
+func (s *Server) getSweepSpans(w http.ResponseWriter, r *http.Request) {
+	h, ok := s.sweeps.Lookup(r.PathValue("id"))
+	if !ok {
+		httpapi.WriteError(w, http.StatusNotFound, "no sweep %q", r.PathValue("id"))
+		return
 	}
-	return 0
+	tid := h.TraceID()
+	if tid == "" {
+		httpapi.WriteError(w, http.StatusNotFound, "sweep %q has no trace (tracing disabled)", h.ID)
+		return
+	}
+	spans := s.coord.tel.Tracer.Spans(tid)
+	seen := make(map[string]bool, len(spans))
+	for _, sp := range spans {
+		seen[sp.SpanID] = true
+	}
+	for _, peer := range s.coord.alivePeers() {
+		remote, err := s.coord.client.spans(r.Context(), peer, tid)
+		if err != nil {
+			continue
+		}
+		for _, sp := range remote {
+			if !seen[sp.SpanID] {
+				seen[sp.SpanID] = true
+				spans = append(spans, sp)
+			}
+		}
+	}
+	obs.SortSpans(spans)
+	httpapi.WriteJSON(w, http.StatusOK, httpapi.SpansResponse{TraceID: tid, Spans: spans})
 }
 
 // jobCandidates orders the live peers for a job lookup: owner first,

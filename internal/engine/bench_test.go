@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"testing"
 
+	"nbticache/internal/obs"
 	"nbticache/internal/workload"
 )
 
@@ -13,10 +14,17 @@ var benchSweep = SweepSpec{Benches: workload.Names(), Banks: []int{4, 8}}
 
 // runEngineSweep times one full sweep execution with the result cache
 // cleared each iteration (traces persist, so ns/op is pure simulation +
-// orchestration — the quantity a worker-pool change moves).
+// orchestration — the quantity a worker-pool change moves). The default
+// nil telemetry builds a live registry + tracer, so the headline numbers
+// include instrumentation cost exactly like a production node.
 func runEngineSweep(b *testing.B, workers int) {
 	b.Helper()
-	e, err := New(Options{Workers: workers, Gen: testGen})
+	runEngineSweepTel(b, workers, nil)
+}
+
+func runEngineSweepTel(b *testing.B, workers int, tel *obs.Telemetry) {
+	b.Helper()
+	e, err := New(Options{Workers: workers, Gen: testGen, Telemetry: tel})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -52,6 +60,15 @@ func runEngineSweep(b *testing.B, workers int) {
 func BenchmarkEngineSweep(b *testing.B) {
 	b.Run("serial", func(b *testing.B) { runEngineSweep(b, 1) })
 	b.Run("pooled", func(b *testing.B) { runEngineSweep(b, runtime.GOMAXPROCS(0)) })
+}
+
+// BenchmarkEngineSweepTelemetry pits the instrumented sweep path (live
+// registry + tracer, the default) against obs.Nop() on the same
+// workload, so the telemetry tax is a measured number PR over PR; the
+// overhead guard test asserts it stays within noise.
+func BenchmarkEngineSweepTelemetry(b *testing.B) {
+	b.Run("live", func(b *testing.B) { runEngineSweepTel(b, runtime.GOMAXPROCS(0), obs.New()) })
+	b.Run("nop", func(b *testing.B) { runEngineSweepTel(b, runtime.GOMAXPROCS(0), obs.Nop()) })
 }
 
 // BenchmarkWarmStart measures the persistence payoff path: opening an

@@ -8,11 +8,13 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"nbticache/internal/aging"
 	"nbticache/internal/cache"
 	"nbticache/internal/cas"
 	"nbticache/internal/core"
+	"nbticache/internal/obs"
 	"nbticache/internal/power"
 	"nbticache/internal/trace"
 	"nbticache/internal/workload"
@@ -48,6 +50,14 @@ type Options struct {
 	// MaxCachedResults bounds the job-result cache (oldest results are
 	// evicted past it); <= 0 means DefaultMaxCachedResults.
 	MaxCachedResults int
+	// Telemetry is the engine's recording surface: job-phase latency
+	// histograms, the Stats mirror on /metrics, per-job sweep spans, and
+	// blob-store latencies all land here. Nil builds a live obs.New()
+	// bundle (every engine is observable by default); pass obs.Nop() for
+	// a no-op recorder that drops every observation. Per-job phase
+	// timing (JobResult.Timing, sweep-status aggregates) is a core
+	// result field and stays on either way.
+	Telemetry *obs.Telemetry
 }
 
 // DefaultMaxStoredTraces is the uploaded-trace store bound when
@@ -103,6 +113,11 @@ type Engine struct {
 	wg        sync.WaitGroup
 	closed    atomic.Bool
 
+	// tel is never nil (obs.Nop() at minimum); met holds the resolved
+	// metric handles (all nil under Nop, where every call no-ops).
+	tel *obs.Telemetry
+	met engineMetrics
+
 	sweepSeq       atomic.Uint64
 	sweepsTotal    atomic.Uint64
 	jobsSubmitted  atomic.Uint64
@@ -143,6 +158,9 @@ func New(o Options) (*Engine, error) {
 	if o.MaxCachedResults <= 0 {
 		o.MaxCachedResults = DefaultMaxCachedResults
 	}
+	if o.Telemetry == nil {
+		o.Telemetry = obs.New()
+	}
 	// The persistence spine: one cas.Store per keyspace. Memory-only
 	// engines run the result cache over a MemStore (same code path, no
 	// disk) and skip the trace-blob layer entirely (the resident trace
@@ -178,11 +196,13 @@ func New(o Options) (*Engine, error) {
 		traceBlobs:  traceBlobs,
 		dataDir:     o.DataDir,
 		q:           newTaskQueue(),
+		tel:         o.Telemetry,
 	}
 	e.results = newBlobCache(resultStore, blobCodec[*JobResult]{
 		encode: encodeJobResult,
 		decode: decodeJobResult,
 	})
+	e.registerMetrics()
 	// Warm start: previously uploaded traces become resident (with
 	// their admission-time signatures) before the first request lands.
 	// Job results stay on disk and read through lazily.
@@ -192,6 +212,10 @@ func New(o Options) (*Engine, error) {
 
 // DataDir returns the engine's persistence root ("" when memory-only).
 func (e *Engine) DataDir() string { return e.dataDir }
+
+// Telemetry returns the engine's telemetry bundle (never nil). The HTTP
+// layers render its registry on /metrics and serve its tracer's spans.
+func (e *Engine) Telemetry() *obs.Telemetry { return e.tel }
 
 // Workers returns the pool bound.
 func (e *Engine) Workers() int { return e.workers }
@@ -259,13 +283,35 @@ func (e *Engine) RunJob(ctx context.Context, spec JobSpec) (*JobResult, error) {
 // them — while direct callers see a removed trace as unknown, exactly
 // like a new submission would.
 func (e *Engine) runJob(ctx context.Context, spec JobSpec, pinned bool) (*JobResult, error) {
+	return e.runJobTimed(ctx, spec, pinned, nil)
+}
+
+// runJobTimed is runJob with an optional phase clock. The persist phase
+// is the result-cache traversal minus the job's own computation: the
+// read-through Get, the codec, and the synchronous write-behind Put (or,
+// for a waiter, the wait on a concurrent leader).
+func (e *Engine) runJobTimed(ctx context.Context, spec JobSpec, pinned bool, pc *phaseClock) (*JobResult, error) {
 	spec = spec.Normalised()
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
+	doStart := time.Now()
+	var fillDur time.Duration
+	var fillEnd time.Time
 	res, cached, err := e.results.do(ctx, spec.ID(), func() (*JobResult, error) {
-		return e.simulate(ctx, spec, pinned)
+		fillStart := time.Now()
+		r, serr := e.simulate(ctx, spec, pinned, pc)
+		fillEnd = time.Now()
+		fillDur = fillEnd.Sub(fillStart)
+		return r, serr
 	})
+	if pc != nil {
+		start := doStart
+		if !fillEnd.IsZero() {
+			start = fillEnd
+		}
+		pc.add(phasePersist, start, time.Since(doStart)-fillDur)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -278,7 +324,7 @@ func (e *Engine) runJob(ctx context.Context, spec JobSpec, pinned bool) (*JobRes
 }
 
 // simulate is the uncached execution of one validated job.
-func (e *Engine) simulate(ctx context.Context, spec JobSpec, pinned bool) (*JobResult, error) {
+func (e *Engine) simulate(ctx context.Context, spec JobSpec, pinned bool, pc *phaseClock) (*JobResult, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -292,14 +338,17 @@ func (e *Engine) simulate(ctx context.Context, spec JobSpec, pinned bool) (*JobR
 	}
 	g := spec.Geometry()
 	run, _, err := e.runs.do(ctx, spec.runKey(), func() (*core.RunResult, error) {
+		resolveStart := time.Now()
 		tr, err := e.traceFor(ctx, spec, g, pinned)
 		if err != nil {
 			return nil, err
 		}
+		pc.add(phaseResolve, resolveStart, time.Since(resolveStart))
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		pc, err := core.New(core.Config{
+		simStart := time.Now()
+		sim, err := core.New(core.Config{
 			Geometry:    g,
 			Banks:       spec.Banks,
 			Policy:      kind,
@@ -314,15 +363,21 @@ func (e *Engine) simulate(ctx context.Context, spec JobSpec, pinned bool) (*JobR
 		// simulation allocates no per-access state at all.
 		buf := batchPool.Get().(*core.Batch)
 		defer batchPool.Put(buf)
-		return pc.RunBuffered(tr, buf)
+		res, err := sim.RunBuffered(tr, buf)
+		if err == nil {
+			pc.add(phaseSimulate, simStart, time.Since(simStart))
+		}
+		return res, err
 	})
 	if err != nil {
 		return nil, err
 	}
+	projStart := time.Now()
 	proj, err := core.ProjectAging(e.model, run.RegionSleepFractions(), kind, spec.Epochs, mode)
 	if err != nil {
 		return nil, err
 	}
+	pc.add(phaseProject, projStart, time.Since(projStart))
 	return &JobResult{ID: spec.ID(), Spec: spec, Run: run, Projection: proj}, nil
 }
 
@@ -508,10 +563,19 @@ func (e *Engine) Submit(ctx context.Context, spec SweepSpec) (*Handle, error) {
 		finished: make(chan struct{}),
 		eng:      e,
 	}
+	// The sweep span continues the submitter's trace when ctx carries one
+	// (a coordinator hop propagated via traceparent) and roots a new
+	// trace otherwise; it closes when the last job slot resolves. The
+	// span context rides on the handle, not on sctx: workers need it past
+	// the submitting request's lifetime.
+	_, h.span = e.tel.Tracer.StartSpan(ctx, "engine.sweep",
+		"sweep_id", h.ID, "jobs", fmt.Sprintf("%d", len(jobs)))
+	h.tsc = h.span.Context()
 	e.sweepsTotal.Add(1)
 	e.jobsSubmitted.Add(uint64(len(jobs)))
+	now := time.Now()
 	for i := range jobs {
-		e.q.push(&task{h: h, idx: i})
+		e.q.push(&task{h: h, idx: i, enq: now})
 	}
 	return h, nil
 }
@@ -521,10 +585,12 @@ func (e *Engine) Submit(ctx context.Context, spec SweepSpec) (*Handle, error) {
 // a worker's next job reuses the buffer its last job warmed.
 var batchPool = sync.Pool{New: func() any { return core.NewBatch(core.DefaultBatchSize) }}
 
-// task is one queued (sweep, job-index) pair.
+// task is one queued (sweep, job-index) pair. enq timestamps the push,
+// so the worker that pops it can report the queue wait.
 type task struct {
 	h   *Handle
 	idx int
+	enq time.Time
 }
 
 // worker pulls tasks until the queue is closed and drained. Tasks whose
@@ -532,27 +598,36 @@ type task struct {
 // simulating, so shutdown unblocks every waiter quickly.
 func (e *Engine) worker() {
 	defer e.wg.Done()
+	// One phase clock per worker, reset per job: timing a job costs no
+	// allocation beyond its retained JobTiming summary.
+	pc := new(phaseClock)
 	for {
 		t, ok := e.q.pop()
 		if !ok {
 			return
 		}
 		e.activeWorkers.Add(1)
-		e.execute(t)
+		e.execute(t, pc)
 		e.activeWorkers.Add(-1)
 	}
 }
 
-func (e *Engine) execute(t *task) {
+func (e *Engine) execute(t *task, pc *phaseClock) {
 	spec := t.h.jobs[t.idx]
-	res, err := e.runJob(t.h.ctx, spec, true)
-	if err != nil {
-		res = &JobResult{
-			ID: spec.ID(), Spec: spec, Err: err.Error(),
-			Canceled: errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded),
-		}
-	}
+	// Phase timing is a core result field — the cluster merges shard
+	// timings whatever the telemetry config — so the clock always runs;
+	// with a no-op recorder the observations are simply dropped, and the
+	// overhead guard holds that recording cost under 2%.
+	res := e.executeObserved(t, spec, pc)
 	t.h.record(t.idx, res, e)
+}
+
+// failedResult wraps a job execution error as its recorded result.
+func failedResult(spec JobSpec, err error) *JobResult {
+	return &JobResult{
+		ID: spec.ID(), Spec: spec, Err: err.Error(),
+		Canceled: errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded),
+	}
 }
 
 // taskQueue is an unbounded FIFO: Submit never blocks, and close wakes

@@ -314,6 +314,25 @@ type JobResult struct {
 	// Cached reports that the result was served from the engine cache
 	// rather than simulated for this request.
 	Cached bool `json:"cached,omitempty"`
+	// Timing is the wall-clock decomposition of this execution (sweep
+	// jobs on an instrumented engine only). It describes the serving,
+	// not the simulation point, so it is JSON-only: the persisted blob
+	// never carries it, and a cache hit reports the hit's own timing
+	// (queue + persist), not the original run's.
+	Timing *JobTiming `json:"timing,omitempty"`
+}
+
+// JobTiming is one job execution's per-phase wall time, milliseconds.
+// Phases that did not run this time (a cached result skips resolve,
+// simulate and project; a shared run skips resolve and simulate) are
+// zero.
+type JobTiming struct {
+	QueueMs    float64 `json:"queue_ms"`
+	ResolveMs  float64 `json:"resolve_ms,omitempty"`
+	SimulateMs float64 `json:"simulate_ms,omitempty"`
+	ProjectMs  float64 `json:"project_ms,omitempty"`
+	PersistMs  float64 `json:"persist_ms,omitempty"`
+	TotalMs    float64 `json:"total_ms"`
 }
 
 // Failed reports whether the job did not produce a result.

@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"sync"
+
+	"nbticache/internal/obs"
 )
 
 // Handle tracks one submitted sweep. It is safe for concurrent use:
@@ -23,18 +25,29 @@ type Handle struct {
 	ctx    context.Context
 	cancel context.CancelFunc
 
+	// span is the sweep's open trace span (nil without a tracer); tsc is
+	// its identity, the parent of every per-job span. The span closes
+	// when the last job slot resolves.
+	span *obs.ActiveSpan
+	tsc  obs.SpanContext
+
 	mu        sync.Mutex
 	results   []*JobResult
 	done      int
 	failed    int
 	canceled  int
 	cached    int
+	timing    SweepTiming
 	finished  chan struct{}
 	cancelled bool
 }
 
 // Jobs returns the expanded, deduplicated job list (in submission order).
 func (h *Handle) Jobs() []JobSpec { return h.jobs }
+
+// TraceID returns the sweep's trace identity ("" without a tracer). The
+// HTTP layer serves the recorded span tree for it.
+func (h *Handle) TraceID() string { return h.tsc.TraceID }
 
 // Cancel stops the sweep: jobs not yet started are recorded as
 // cancelled, and the sweep still finishes (Wait returns) once every job
@@ -56,6 +69,12 @@ func (h *Handle) record(idx int, res *JobResult, e *Engine) {
 	}
 	h.results[idx] = res
 	h.done++
+	if t := res.Timing; t != nil {
+		h.timing.QueueMs += t.QueueMs
+		h.timing.RunMs += t.ResolveMs + t.SimulateMs + t.ProjectMs
+		h.timing.PersistMs += t.PersistMs
+		h.timing.JobsTimed++
+	}
 	switch {
 	case res.Canceled:
 		h.canceled++
@@ -73,12 +92,25 @@ func (h *Handle) record(idx int, res *JobResult, e *Engine) {
 	h.mu.Unlock()
 	if last {
 		h.cancel() // release the context; the sweep is over
+		h.span.End()
 		// Release the sweep's trace pins before announcing completion,
 		// so a removal deferred behind this sweep is already final when
 		// Wait returns.
 		e.store.unpinAll(h.pinned)
 		close(h.finished)
 	}
+}
+
+// SweepTiming aggregates the per-job wall-clock decomposition across a
+// sweep's resolved slots, in milliseconds summed over JobsTimed jobs
+// (divide for per-job means). QueueMs is time spent waiting for a
+// worker, RunMs the computation itself (resolve + simulate + project),
+// PersistMs the result-cache traversal.
+type SweepTiming struct {
+	QueueMs   float64 `json:"queue_ms"`
+	RunMs     float64 `json:"run_ms"`
+	PersistMs float64 `json:"persist_ms"`
+	JobsTimed int     `json:"jobs_timed"`
 }
 
 // SweepStatus is a point-in-time progress snapshot.
@@ -91,6 +123,12 @@ type SweepStatus struct {
 	Failed    int    `json:"failed"`
 	Canceled  int    `json:"canceled"`
 	Cached    int    `json:"cached"`
+	// TraceID names the sweep's span tree (GET /v1/sweeps/{id}/spans);
+	// empty when tracing is disabled.
+	TraceID string `json:"trace_id,omitempty"`
+	// Timing aggregates per-job phase timings over the slots resolved so
+	// far; nil when no job reported timing (telemetry disabled).
+	Timing *SweepTiming `json:"timing,omitempty"`
 }
 
 // Status snapshots progress without blocking.
@@ -106,6 +144,11 @@ func (h *Handle) Status() SweepStatus {
 		Failed:    h.failed,
 		Canceled:  h.canceled,
 		Cached:    h.cached,
+		TraceID:   h.tsc.TraceID,
+	}
+	if h.timing.JobsTimed > 0 {
+		t := h.timing
+		st.Timing = &t
 	}
 	if h.done == len(h.jobs) {
 		st.State = "done"

@@ -16,6 +16,7 @@ import (
 	"net/http/pprof"
 
 	"nbticache/internal/engine"
+	"nbticache/internal/obs"
 	"nbticache/internal/trace"
 )
 
@@ -72,6 +73,7 @@ func (c Config) withDefaults() Config {
 type Server struct {
 	eng *engine.Engine
 	cfg Config
+	tel *obs.Telemetry
 
 	// uploadSlots is a semaphore over concurrent upload decodes.
 	uploadSlots chan struct{}
@@ -79,15 +81,29 @@ type Server struct {
 	sweeps *Registry[*engine.Handle]
 }
 
-// NewServer wraps an engine in the node route table.
+// NewServer wraps an engine in the node route table. The server shares
+// the engine's telemetry bundle: /metrics renders the engine's registry
+// (plus the sweep-registry series registered here) and the span
+// endpoints read the engine's tracer.
 func NewServer(eng *engine.Engine, cfg Config) *Server {
 	cfg = cfg.withDefaults()
-	return &Server{
+	s := &Server{
 		eng:         eng,
 		cfg:         cfg,
+		tel:         eng.Telemetry(),
 		uploadSlots: make(chan struct{}, cfg.MaxConcurrentUploads),
 		sweeps:      NewRegistry[*engine.Handle](cfg.RetainSweeps),
 	}
+	if reg := s.tel.Metrics; reg != nil {
+		retained := reg.Gauge("nbtiserved_sweeps_retained", "Sweep handles resident in the registry.")
+		evicted := reg.Counter("nbtiserved_sweeps_evicted_total", "Finished sweep handles evicted by retention.")
+		reg.OnCollect(func() {
+			r, e := s.sweeps.Counts()
+			retained.Set(float64(r))
+			evicted.Set(e)
+		})
+	}
+	return s
 }
 
 // Handler builds the route table.
@@ -95,7 +111,9 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/sweeps", s.submitSweep)
 	mux.HandleFunc("GET /v1/sweeps/{id}", s.getSweep)
+	mux.HandleFunc("GET /v1/sweeps/{id}/spans", s.getSweepSpans)
 	mux.HandleFunc("DELETE /v1/sweeps/{id}", s.cancelSweep)
+	mux.HandleFunc("GET /v1/spans/{traceid}", s.getTraceSpans)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.getJob)
 	mux.HandleFunc("POST /v1/traces", s.uploadTrace)
 	mux.HandleFunc("GET /v1/traces", s.listTraces)
@@ -107,7 +125,7 @@ func (s *Server) Handler() http.Handler {
 	if s.cfg.EnablePprof {
 		RegisterPprof(mux)
 	}
-	return mux
+	return WithMetrics(s.tel.Metrics, mux)
 }
 
 // RegisterPprof mounts the net/http/pprof handlers on mux, shared by the
@@ -157,7 +175,15 @@ func (s *Server) submitSweep(w http.ResponseWriter, r *http.Request) {
 		WriteError(w, http.StatusBadRequest, "bad sweep spec: %v", err)
 		return
 	}
-	h, err := s.eng.Submit(r.Context(), spec)
+	// A coordinator (or any tracing client) hands us its span context via
+	// the traceparent header; the sweep's span tree then joins that trace
+	// instead of rooting a new one, which is what lets the coordinator
+	// stitch one tree across shards.
+	ctx := r.Context()
+	if sc := obs.Extract(r.Header); sc.Valid() {
+		ctx = obs.ContextWith(ctx, sc)
+	}
+	h, err := s.eng.Submit(ctx, spec)
 	if err != nil {
 		WriteError(w, http.StatusUnprocessableEntity, "%v", err)
 		return
@@ -383,12 +409,16 @@ func (s *Server) healthz(w http.ResponseWriter, _ *http.Request) {
 	WriteJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
-// metrics serves the engine counters in Prometheus text exposition
-// format (plus a JSON variant via ?format=json).
+// metrics serves the telemetry registry in Prometheus text exposition
+// format (plus a JSON variant via ?format=json). The registry's collect
+// hooks mirror the engine's Stats and the sweep registry's counts at
+// scrape time, so every series the hand-rolled exposition used to carry
+// is still here — under the same names — alongside the histogram
+// families the registry owns outright.
 func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {
-	st := s.eng.Stats()
-	retained, evicted := s.sweeps.Counts()
 	if r.URL.Query().Get("format") == "json" {
+		st := s.eng.Stats()
+		retained, evicted := s.sweeps.Counts()
 		WriteJSON(w, http.StatusOK, struct {
 			engine.Stats
 			SweepsRetained int    `json:"sweeps_retained"`
@@ -397,45 +427,32 @@ func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	for _, m := range []struct {
-		name, typ, help string
-		value           uint64
-	}{
-		{"nbtiserved_workers", "gauge", "Worker pool size.", uint64(st.Workers)},
-		{"nbtiserved_queue_depth", "gauge", "Jobs waiting for a worker.", uint64(st.QueueDepth)},
-		{"nbtiserved_active_workers", "gauge", "Workers currently simulating.", uint64(st.ActiveWorkers)},
-		{"nbtiserved_sweeps_total", "counter", "Sweeps submitted.", st.SweepsTotal},
-		{"nbtiserved_jobs_submitted_total", "counter", "Job slots enqueued.", st.JobsSubmitted},
-		{"nbtiserved_jobs_completed_total", "counter", "Job slots resolved successfully.", st.JobsCompleted},
-		{"nbtiserved_jobs_failed_total", "counter", "Job slots resolved with an error.", st.JobsFailed},
-		{"nbtiserved_jobs_canceled_total", "counter", "Job slots resolved by cancellation.", st.JobsCanceled},
-		{"nbtiserved_cache_hits_total", "counter", "Result-cache hits.", st.CacheHits},
-		{"nbtiserved_cache_misses_total", "counter", "Result-cache misses.", st.CacheMisses},
-		{"nbtiserved_cached_results", "gauge", "Distinct results resident in the cache.", uint64(st.CachedResults)},
-		{"nbtiserved_runs_executed_total", "counter", "Trace simulations performed.", st.RunsExecuted},
-		{"nbtiserved_runs_shared_total", "counter", "Jobs that reused another job's simulation.", st.RunsShared},
-		{"nbtiserved_traces_built_total", "counter", "Synthetic traces generated.", st.TracesBuilt},
-		{"nbtiserved_traces_uploaded_total", "counter", "Real traces admitted via POST /v1/traces.", st.TracesUploaded},
-		{"nbtiserved_traces_stored", "gauge", "Uploaded traces resident in the store.", uint64(st.TracesStored)},
-		{"nbtiserved_sweeps_retained", "gauge", "Sweep handles resident in the registry.", uint64(retained)},
-		{"nbtiserved_sweeps_evicted_total", "counter", "Finished sweep handles evicted by retention.", evicted},
-		{"nbtiserved_persistent", "gauge", "1 when a data directory backs the engine.", b2u(st.Persistent)},
-		{"nbtiserved_persist_hits_total", "counter", "Blobs served from the persistence layer.", st.PersistHits},
-		{"nbtiserved_persist_misses_total", "counter", "Persistence reads that found nothing.", st.PersistMisses},
-		{"nbtiserved_persist_writes_total", "counter", "Blobs written through to the persistence layer.", st.PersistWrites},
-		{"nbtiserved_persist_write_failures_total", "counter", "Write-behinds that failed (value still served).", st.PersistWriteFailures},
-		{"nbtiserved_persist_evictions_total", "counter", "Result blobs evicted by the capacity bound.", st.PersistEvictions},
-		{"nbtiserved_persist_corruptions_total", "counter", "Blobs quarantined as corrupt (checksum or codec).", st.PersistCorruptions},
-		{"nbtiserved_result_blobs", "gauge", "Job-result blobs resident in the store.", uint64(st.ResultBlobs)},
-		{"nbtiserved_trace_blobs", "gauge", "Trace blobs resident in the store.", uint64(st.TraceBlobs)},
-	} {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %d\n", m.name, m.help, m.name, m.typ, m.name, m.value)
-	}
+	_ = s.tel.Metrics.WriteText(w)
 }
 
-func b2u(b bool) uint64 {
-	if b {
-		return 1
+// getSweepSpans serves the recorded span tree of one resident sweep:
+// the sweep span, one job span per executed slot, and the per-phase
+// children under each.
+func (s *Server) getSweepSpans(w http.ResponseWriter, r *http.Request) {
+	h, ok := s.sweeps.Lookup(r.PathValue("id"))
+	if !ok {
+		WriteError(w, http.StatusNotFound, "no sweep %q", r.PathValue("id"))
+		return
 	}
-	return 0
+	tid := h.TraceID()
+	if tid == "" {
+		WriteError(w, http.StatusNotFound, "sweep %q has no trace (tracing disabled)", h.ID)
+		return
+	}
+	WriteJSON(w, http.StatusOK, SpansResponse{TraceID: tid, Spans: s.tel.Tracer.Spans(tid)})
+}
+
+// getTraceSpans serves every span this node recorded under a raw trace
+// ID. This is the coordinator's stitching path: a distributed sweep
+// shares one trace ID across shards, and the coordinator collects each
+// shard's fragment here even after the shard's own sweep handle is
+// evicted.
+func (s *Server) getTraceSpans(w http.ResponseWriter, r *http.Request) {
+	tid := r.PathValue("traceid")
+	WriteJSON(w, http.StatusOK, SpansResponse{TraceID: tid, Spans: s.tel.Tracer.Spans(tid)})
 }

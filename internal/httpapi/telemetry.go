@@ -1,0 +1,57 @@
+package httpapi
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+
+	"nbticache/internal/obs"
+)
+
+// SpansResponse is the payload of the span endpoints (GET
+// /v1/sweeps/{id}/spans on nodes and coordinators, GET
+// /v1/spans/{traceid} on nodes): every recorded span of one trace,
+// sorted by start time. The coordinator's variant is the stitched
+// cross-node tree.
+type SpansResponse struct {
+	TraceID string     `json:"trace_id"`
+	Spans   []obs.Span `json:"spans"`
+}
+
+// WithMetrics wraps a route table in the request-duration middleware:
+// every request lands one observation in the
+// nbtiserved_http_request_seconds{route,code} histogram, labeled by the
+// mux pattern that served it (so path parameters do not explode the
+// label space) and the response status. A nil registry returns mux
+// unwrapped. Shared by the node and coordinator servers.
+func WithMetrics(reg *obs.Registry, mux *http.ServeMux) http.Handler {
+	if reg == nil {
+		return mux
+	}
+	hist := reg.HistogramVec("nbtiserved_http_request_seconds",
+		"HTTP request duration by route pattern and status code.", nil, "route", "code")
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Resolve the pattern without serving, so the label is known even
+		// when the handler panics or hijacks the writer.
+		_, pattern := mux.Handler(r)
+		if pattern == "" {
+			pattern = "unmatched"
+		}
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		mux.ServeHTTP(sw, r)
+		hist.With(pattern, strconv.Itoa(sw.code)).Observe(time.Since(start).Seconds())
+	})
+}
+
+// statusWriter captures the response status for the request-duration
+// label.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}

@@ -1,0 +1,380 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Lint checks a Prometheus text-exposition payload for the structural
+// rules a scraper depends on and returns every violation found:
+//
+//   - every line parses (comment, or sample with a numeric value)
+//   - HELP and TYPE appear at most once per family, before its samples
+//   - a family's lines are contiguous (no duplicate family blocks)
+//   - samples of a typed family use only that type's sample names
+//     (histogram: _bucket/_sum/_count)
+//   - histogram buckets are monotonically non-decreasing in le order,
+//     end with le="+Inf", and agree with _count
+//
+// It is deliberately promtool-free: the conformance test runs it
+// against /metrics in-process, so hand-authored series can never
+// silently break scrapers again.
+func Lint(r io.Reader) []error {
+	var errs []error
+	fail := func(line int, format string, args ...any) {
+		errs = append(errs, fmt.Errorf("line %d: "+format, append([]any{line}, args...)...))
+	}
+
+	type familyState struct {
+		helpSeen, typeSeen bool
+		typ                string
+		samples            int
+		lastLine           int
+		closed             bool // a different family's line appeared after this one
+		// histogram accounting, per label set (le stripped)
+		buckets map[string][]bucketSample
+		counts  map[string]uint64
+		sums    map[string]bool
+	}
+	families := make(map[string]*familyState)
+	var current string // family of the previous non-comment line block
+
+	getFam := func(name string) *familyState {
+		f, ok := families[name]
+		if !ok {
+			f = &familyState{buckets: make(map[string][]bucketSample), counts: make(map[string]uint64), sums: make(map[string]bool)}
+			families[name] = f
+		}
+		return f
+	}
+	enter := func(name string, line int) *familyState {
+		if current != "" && current != name {
+			families[current].closed = true
+		}
+		f := getFam(name)
+		if f.closed {
+			fail(line, "family %s reappears after other families (duplicate block)", name)
+			f.closed = false
+		}
+		current = name
+		f.lastLine = line
+		return f
+	}
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				continue // free-form comment
+			}
+			name := fields[2]
+			f := enter(name, lineNo)
+			switch fields[1] {
+			case "HELP":
+				if f.helpSeen {
+					fail(lineNo, "duplicate HELP for %s", name)
+				}
+				if f.samples > 0 {
+					fail(lineNo, "HELP for %s after its samples", name)
+				}
+				f.helpSeen = true
+			case "TYPE":
+				if f.typeSeen {
+					fail(lineNo, "duplicate TYPE for %s", name)
+				}
+				if f.samples > 0 {
+					fail(lineNo, "TYPE for %s after its samples", name)
+				}
+				if len(fields) < 4 {
+					fail(lineNo, "TYPE for %s missing a type", name)
+				} else {
+					switch fields[3] {
+					case "counter", "gauge", "histogram", "summary", "untyped":
+						f.typ = fields[3]
+					default:
+						fail(lineNo, "TYPE for %s is %q", name, fields[3])
+					}
+				}
+				f.typeSeen = true
+			}
+			continue
+		}
+
+		s, err := parseSample(line)
+		if err != nil {
+			fail(lineNo, "%v", err)
+			continue
+		}
+		fam, sample := s.name, ""
+		// A typed family's samples may carry the histogram/summary
+		// suffixes; fold them back onto the family name.
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			base := strings.TrimSuffix(s.name, suf)
+			if base != s.name {
+				if bf, ok := families[base]; ok && (bf.typ == "histogram" || bf.typ == "summary") {
+					fam, sample = base, suf
+				}
+				break
+			}
+		}
+		f := enter(fam, lineNo)
+		f.samples++
+		if f.typ == "histogram" {
+			switch sample {
+			case "_bucket":
+				le, rest, ok := extractLE(s.labels)
+				if !ok {
+					fail(lineNo, "%s_bucket without le label", fam)
+					continue
+				}
+				f.buckets[rest] = append(f.buckets[rest], bucketSample{le: le, count: uint64(s.value), line: lineNo})
+			case "_count":
+				_, rest, _ := extractLE(s.labels)
+				f.counts[rest] = uint64(s.value)
+			case "_sum":
+				_, rest, _ := extractLE(s.labels)
+				f.sums[rest] = true
+			default:
+				fail(lineNo, "histogram %s has plain sample %s", fam, s.name)
+			}
+		} else if sample != "" {
+			// fine: _sum etc. on a non-histogram family is just a name.
+			_ = sample
+		}
+	}
+	if err := sc.Err(); err != nil {
+		errs = append(errs, fmt.Errorf("reading exposition: %w", err))
+	}
+
+	// Cross-line histogram checks.
+	names := make([]string, 0, len(families))
+	for n := range families {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		f := families[n]
+		if f.typ != "histogram" {
+			continue
+		}
+		for labels, bs := range f.buckets {
+			last := bs[len(bs)-1]
+			if !strings.EqualFold(last.le, "+Inf") {
+				errs = append(errs, fmt.Errorf("histogram %s{%s}: final bucket le=%q, want +Inf", n, labels, last.le))
+			}
+			prevBound := -1e308
+			var prevCount uint64
+			for i, b := range bs {
+				bound, isInf := 1e308, strings.EqualFold(b.le, "+Inf")
+				if !isInf {
+					var err error
+					bound, err = strconv.ParseFloat(b.le, 64)
+					if err != nil {
+						errs = append(errs, fmt.Errorf("line %d: histogram %s: unparsable le=%q", b.line, n, b.le))
+						continue
+					}
+				}
+				if bound <= prevBound && i > 0 {
+					errs = append(errs, fmt.Errorf("line %d: histogram %s{%s}: le=%q not increasing", b.line, n, labels, b.le))
+				}
+				if b.count < prevCount {
+					errs = append(errs, fmt.Errorf("line %d: histogram %s{%s}: bucket count %d < previous %d (not cumulative)", b.line, n, labels, b.count, prevCount))
+				}
+				prevBound, prevCount = bound, b.count
+			}
+			if c, ok := f.counts[labels]; ok && c != last.count {
+				errs = append(errs, fmt.Errorf("histogram %s{%s}: _count %d != +Inf bucket %d", n, labels, c, last.count))
+			}
+			if !f.sums[labels] {
+				errs = append(errs, fmt.Errorf("histogram %s{%s}: missing _sum", n, labels))
+			}
+			if _, ok := f.counts[labels]; !ok {
+				errs = append(errs, fmt.Errorf("histogram %s{%s}: missing _count", n, labels))
+			}
+		}
+	}
+	return errs
+}
+
+type bucketSample struct {
+	le    string
+	count uint64
+	line  int
+}
+
+type parsedSample struct {
+	name   string
+	labels string // raw text between { and }, "" when unlabeled
+	value  float64
+}
+
+// parseSample parses `name{labels} value [timestamp]`.
+func parseSample(line string) (parsedSample, error) {
+	var s parsedSample
+	rest := line
+	if i := strings.IndexAny(rest, "{ \t"); i < 0 {
+		return s, fmt.Errorf("sample %q has no value", line)
+	} else {
+		s.name = rest[:i]
+		rest = rest[i:]
+	}
+	if !metricNameOK(s.name) {
+		return s, fmt.Errorf("bad metric name %q", s.name)
+	}
+	if strings.HasPrefix(rest, "{") {
+		end := findLabelEnd(rest)
+		if end < 0 {
+			return s, fmt.Errorf("unterminated label set in %q", line)
+		}
+		s.labels = rest[1:end]
+		rest = rest[end+1:]
+		if err := checkLabels(s.labels); err != nil {
+			return s, err
+		}
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return s, fmt.Errorf("sample %q: want `name value [timestamp]`", line)
+	}
+	v, err := parseValue(fields[0])
+	if err != nil {
+		return s, fmt.Errorf("sample %q: bad value: %v", line, err)
+	}
+	s.value = v
+	return s, nil
+}
+
+// findLabelEnd locates the closing brace, honouring quoted values.
+func findLabelEnd(s string) int {
+	inQuote, escaped := false, false
+	for i := 1; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case escaped:
+			escaped = false
+		case c == '\\':
+			escaped = true
+		case c == '"':
+			inQuote = !inQuote
+		case c == '}' && !inQuote:
+			return i
+		}
+	}
+	return -1
+}
+
+// checkLabels validates `a="x",b="y"` pair syntax.
+func checkLabels(s string) error {
+	if s == "" {
+		return nil
+	}
+	rest := s
+	for {
+		eq := strings.IndexByte(rest, '=')
+		if eq < 0 {
+			return fmt.Errorf("label pair %q missing '='", rest)
+		}
+		name := strings.TrimSpace(rest[:eq])
+		if name == "" {
+			return fmt.Errorf("empty label name in %q", s)
+		}
+		for i := 0; i < len(name); i++ {
+			c := name[i]
+			ok := c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (i > 0 && c >= '0' && c <= '9')
+			if !ok {
+				return fmt.Errorf("bad label name %q", name)
+			}
+		}
+		rest = rest[eq+1:]
+		if !strings.HasPrefix(rest, `"`) {
+			return fmt.Errorf("label %s value not quoted", name)
+		}
+		i := 1
+		for ; i < len(rest); i++ {
+			if rest[i] == '\\' {
+				i++
+				continue
+			}
+			if rest[i] == '"' {
+				break
+			}
+		}
+		if i >= len(rest) {
+			return fmt.Errorf("label %s value unterminated", name)
+		}
+		rest = rest[i+1:]
+		if rest == "" || rest == "," {
+			return nil
+		}
+		if !strings.HasPrefix(rest, ",") {
+			return fmt.Errorf("label pairs in %q not comma-separated", s)
+		}
+		rest = rest[1:]
+	}
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf", "Inf":
+		return 1e308, nil
+	case "-Inf":
+		return -1e308, nil
+	case "NaN":
+		return 0, nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// extractLE splits a raw label string into the le value and the
+// remaining labels (canonical text), ok=false when no le is present.
+func extractLE(labels string) (le, rest string, ok bool) {
+	if labels == "" {
+		return "", "", false
+	}
+	var kept []string
+	for _, pair := range splitPairs(labels) {
+		if strings.HasPrefix(pair, "le=") {
+			le = strings.Trim(pair[len("le="):], `"`)
+			ok = true
+			continue
+		}
+		kept = append(kept, pair)
+	}
+	return le, strings.Join(kept, ","), ok
+}
+
+// splitPairs splits label text on commas outside quotes.
+func splitPairs(s string) []string {
+	var out []string
+	start, inQuote, escaped := 0, false, false
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case escaped:
+			escaped = false
+		case c == '\\':
+			escaped = true
+		case c == '"':
+			inQuote = !inQuote
+		case c == ',' && !inQuote:
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}

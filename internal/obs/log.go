@@ -1,0 +1,23 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+)
+
+// NewLogger builds the daemon's structured logger. format selects the
+// handler: "text" (human-oriented key=value, the default) or "json"
+// (one JSON object per line, for log shippers). Unknown formats error
+// so a typo in -log-format fails at startup, not silently.
+func NewLogger(format string, w io.Writer) (*slog.Logger, error) {
+	opts := &slog.HandlerOptions{Level: slog.LevelInfo}
+	switch format {
+	case "", "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	default:
+		return nil, fmt.Errorf("obs: unknown log format %q (want text or json)", format)
+	}
+}

@@ -1,0 +1,552 @@
+// Package obs is the serving stack's shared telemetry subsystem: a
+// Prometheus-exposition metrics registry (counters, gauges, histograms,
+// labeled families), a lightweight in-process span tracer with
+// traceparent-style cross-node propagation, and the structured-logging
+// setup the daemon runs on. Every layer — engine, blob store, HTTP
+// surface, cluster coordinator — instruments itself against this one
+// package, so a sweep's latency can be decomposed per stage (queue,
+// decode, simulate, project, persist, route, merge) the same way the
+// paper decomposes aging stress per bank.
+//
+// Everything tolerates a nil receiver as a no-op: an engine built with
+// Nop() telemetry runs the exact uninstrumented hot path, which is what
+// the overhead-guard benchmark compares against.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Telemetry bundles the two recording surfaces a layer needs. A zero
+// Telemetry (Nop) disables both at near-zero cost.
+type Telemetry struct {
+	Metrics *Registry
+	Tracer  *Tracer
+}
+
+// New builds a live telemetry bundle.
+func New() *Telemetry {
+	return &Telemetry{Metrics: NewRegistry(), Tracer: NewTracer(TracerLimits{})}
+}
+
+// Nop returns a telemetry bundle that records nothing: every handle
+// minted from it is nil and every nil handle's method is a no-op.
+func Nop() *Telemetry { return &Telemetry{} }
+
+// DurationBuckets are the default latency buckets (seconds): 1µs to 60s
+// in decades, wide enough for a 3ns cache access rollup on one end and
+// a multi-second cluster sweep on the other.
+var DurationBuckets = []float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1, 10, 60}
+
+// Registry holds metric families and renders them in Prometheus text
+// exposition format. Families register once (idempotently: asking for
+// an already registered name with the same type and label set returns
+// the existing family; a conflicting re-registration panics, naming the
+// clash — that is a programming error, not an operational condition).
+// Safe for concurrent use.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	names    []string // registration order; exposition sorts
+	collects []func()
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// family is one metric name: type, help, and its samples by label value.
+type family struct {
+	name    string
+	typ     string // "counter" | "gauge" | "histogram"
+	help    string
+	labels  []string
+	buckets []float64 // histograms only
+
+	mu      sync.Mutex
+	samples map[string]any // labelKey -> *Counter | *Gauge | *Histogram
+	order   []string
+}
+
+// metricNameOK enforces the Prometheus data-model grammar
+// [a-zA-Z_:][a-zA-Z0-9_:]*.
+func metricNameOK(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || c == ':' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// labelNameOK enforces [a-zA-Z_][a-zA-Z0-9_]* and reserves the __
+// prefix and the histogram's own "le".
+func labelNameOK(s string) bool {
+	if s == "" || strings.HasPrefix(s, "__") || s == "le" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// register returns the family for name, creating it on first use.
+func (r *Registry) register(name, typ, help string, labels []string, buckets []float64) *family {
+	if !metricNameOK(name) {
+		panic(fmt.Sprintf("obs: bad metric name %q", name))
+	}
+	for _, l := range labels {
+		if !labelNameOK(l) {
+			panic(fmt.Sprintf("obs: bad label name %q on %s", l, name))
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		if f.typ != typ || !equalStrings(f.labels, labels) {
+			panic(fmt.Sprintf("obs: conflicting re-registration of %s (%s%v vs %s%v)",
+				name, f.typ, f.labels, typ, labels))
+		}
+		return f
+	}
+	f := &family{
+		name: name, typ: typ, help: help,
+		labels: append([]string(nil), labels...), buckets: buckets,
+		samples: make(map[string]any),
+	}
+	r.families[name] = f
+	r.names = append(r.names, name)
+	return f
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// OnCollect registers fn to run at the start of every exposition, so
+// gauges mirroring external state (queue depth, resident counts) are
+// refreshed at scrape time. Hooks must not call back into WriteText.
+func (r *Registry) OnCollect(fn func()) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.collects = append(r.collects, fn)
+	r.mu.Unlock()
+}
+
+// Counter registers (or finds) an unlabeled counter family and returns
+// its single sample.
+func (r *Registry) Counter(name, help string) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.CounterVec(name, help).With()
+}
+
+// CounterVec registers a labeled counter family.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	if r == nil {
+		return nil
+	}
+	return &CounterVec{fam: r.register(name, "counter", help, labels, nil)}
+}
+
+// Gauge registers (or finds) an unlabeled gauge family and returns its
+// single sample.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.GaugeVec(name, help).With()
+}
+
+// GaugeVec registers a labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	if r == nil {
+		return nil
+	}
+	return &GaugeVec{fam: r.register(name, "gauge", help, labels, nil)}
+}
+
+// Histogram registers (or finds) an unlabeled histogram family and
+// returns its single sample. Nil buckets select DurationBuckets.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	return r.HistogramVec(name, help, buckets).With()
+}
+
+// HistogramVec registers a labeled histogram family. Nil buckets select
+// DurationBuckets; buckets must be strictly increasing.
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	if r == nil {
+		return nil
+	}
+	if buckets == nil {
+		buckets = DurationBuckets
+	}
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i] <= buckets[i-1] {
+			panic(fmt.Sprintf("obs: %s buckets not strictly increasing at %d", name, i))
+		}
+	}
+	return &HistogramVec{fam: r.register(name, "histogram", help, labels, buckets)}
+}
+
+// labelKey canonicalises a label-value tuple into the map key. Values
+// arrive positionally, so the key is unambiguous without escaping.
+func labelKey(values []string) string {
+	return strings.Join(values, "\x00")
+}
+
+// sample resolves (creating on first use) the sample for a label-value
+// tuple. make builds the zero sample.
+func (f *family) sample(values []string, make func() any) any {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("obs: %s wants %d label values, got %d", f.name, len(f.labels), len(values)))
+	}
+	key := labelKey(values)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s, ok := f.samples[key]
+	if !ok {
+		s = make()
+		f.samples[key] = s
+		f.order = append(f.order, key)
+	}
+	return s
+}
+
+// CounterVec is a labeled counter family handle.
+type CounterVec struct{ fam *family }
+
+// With resolves the counter for a label-value tuple.
+func (v *CounterVec) With(values ...string) *Counter {
+	if v == nil {
+		return nil
+	}
+	return v.fam.sample(values, func() any { return &Counter{} }).(*Counter)
+}
+
+// Counter is a monotonically increasing sample.
+type Counter struct{ v atomic.Uint64 }
+
+// Add increments by delta (counts, not fractions).
+func (c *Counter) Add(delta uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(delta)
+}
+
+// Inc increments by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Set overwrites the count. It exists for mirroring an external
+// monotonic counter (an engine's atomic totals) into the exposition at
+// collect time; instrumentation code should use Add.
+func (c *Counter) Set(v uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Store(v)
+}
+
+// Value reads the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// GaugeVec is a labeled gauge family handle.
+type GaugeVec struct{ fam *family }
+
+// With resolves the gauge for a label-value tuple.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	if v == nil {
+		return nil
+	}
+	return v.fam.sample(values, func() any { return &Gauge{} }).(*Gauge)
+}
+
+// Gauge is a sample that can go up and down.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set overwrites the value.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add shifts the value by delta (negative deltas decrease).
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+delta)) {
+			return
+		}
+	}
+}
+
+// Value reads the current value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// HistogramVec is a labeled histogram family handle.
+type HistogramVec struct{ fam *family }
+
+// With resolves the histogram for a label-value tuple.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	if v == nil {
+		return nil
+	}
+	return v.fam.sample(values, func() any { return newHistogram(v.fam.buckets) }).(*Histogram)
+}
+
+// Histogram accumulates observations into fixed buckets. Counts are
+// per-bucket internally and cumulated at exposition; Observe is
+// lock-free (atomics only) so it can sit on the simulation hot path.
+type Histogram struct {
+	buckets []float64 // upper bounds, strictly increasing; +Inf implicit
+	counts  []atomic.Uint64
+	count   atomic.Uint64
+	sumBits atomic.Uint64 // math.Float64bits of the running sum
+}
+
+func newHistogram(buckets []float64) *Histogram {
+	return &Histogram{buckets: buckets, counts: make([]atomic.Uint64, len(buckets)+1)}
+}
+
+// Observe records one value (seconds, for latency families).
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// Latencies skew small: a forward scan exits on the first bound
+	// most observations fall under.
+	i := 0
+	for i < len(h.buckets) && v > h.buckets[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Count reads the total observation count.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum reads the running sum of observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// escapeLabelValue applies the exposition-format escapes for a quoted
+// label value: backslash, double-quote, newline.
+func escapeLabelValue(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var b strings.Builder
+	for _, c := range s {
+		switch c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(c)
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp applies the exposition-format escapes for a HELP line:
+// backslash and newline (quotes are legal there).
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// formatValue renders a sample value the way Prometheus expects.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case v == math.Trunc(v) && math.Abs(v) < 1e15:
+		return fmt.Sprintf("%d", int64(v))
+	default:
+		return fmt.Sprintf("%g", v)
+	}
+}
+
+// labelPairs renders {a="x",b="y"} for a family's label names and one
+// sample's values, with extra pairs (the histogram's le) appended.
+func labelPairs(names, values []string, extra ...string) string {
+	if len(names) == 0 && len(extra) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	pair := func(name, value string) {
+		if !first {
+			b.WriteByte(',')
+		}
+		first = false
+		b.WriteString(name)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(value))
+		b.WriteByte('"')
+	}
+	for i, n := range names {
+		pair(n, values[i])
+	}
+	for i := 0; i+1 < len(extra); i += 2 {
+		pair(extra[i], extra[i+1])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// WriteText renders every family in Prometheus text exposition format
+// (version 0.0.4): families sorted by name, HELP and TYPE once before
+// any sample, histogram buckets cumulative with an explicit +Inf bucket
+// plus _sum and _count. Collect hooks run first.
+func (r *Registry) WriteText(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	hooks := append([]func(){}, r.collects...)
+	fams := make([]*family, 0, len(r.names))
+	for _, n := range r.names {
+		fams = append(fams, r.families[n])
+	}
+	r.mu.Unlock()
+	for _, fn := range hooks {
+		fn()
+	}
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	for _, f := range fams {
+		if err := f.writeText(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (f *family) writeText(w io.Writer) error {
+	f.mu.Lock()
+	keys := append([]string(nil), f.order...)
+	samples := make([]any, len(keys))
+	for i, k := range keys {
+		samples[i] = f.samples[k]
+	}
+	f.mu.Unlock()
+	if len(samples) == 0 {
+		// A family with no samples yet still announces itself, so
+		// dashboards can discover the name before the first event.
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, escapeHelp(f.help), f.name, f.typ); err != nil {
+			return err
+		}
+		return nil
+	}
+	if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, escapeHelp(f.help), f.name, f.typ); err != nil {
+		return err
+	}
+	for i, key := range keys {
+		values := strings.Split(key, "\x00")
+		if key == "" {
+			values = nil
+		}
+		switch s := samples[i].(type) {
+		case *Counter:
+			if _, err := fmt.Fprintf(w, "%s%s %d\n", f.name, labelPairs(f.labels, values), s.Value()); err != nil {
+				return err
+			}
+		case *Gauge:
+			if _, err := fmt.Fprintf(w, "%s%s %s\n", f.name, labelPairs(f.labels, values), formatValue(s.Value())); err != nil {
+				return err
+			}
+		case *Histogram:
+			var cum uint64
+			for bi, bound := range s.buckets {
+				cum += s.counts[bi].Load()
+				if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+					f.name, labelPairs(f.labels, values, "le", formatValue(bound)), cum); err != nil {
+					return err
+				}
+			}
+			cum += s.counts[len(s.buckets)].Load()
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+				f.name, labelPairs(f.labels, values, "le", "+Inf"), cum); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", f.name, labelPairs(f.labels, values), formatValue(s.Sum())); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_count%s %d\n", f.name, labelPairs(f.labels, values), cum); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

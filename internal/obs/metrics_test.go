@@ -1,0 +1,170 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCounterGaugeExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_events_total", "Events seen.")
+	c.Add(3)
+	g := r.Gauge("test_depth", "Current depth.")
+	g.Set(2.5)
+	gv := r.GaugeVec("test_shard_alive", "Shard liveness.", "peer")
+	gv.With("http://a").Set(1)
+	gv.With("http://b").Set(0)
+
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP test_events_total Events seen.\n# TYPE test_events_total counter\ntest_events_total 3\n",
+		"# TYPE test_depth gauge\ntest_depth 2.5\n",
+		`test_shard_alive{peer="http://a"} 1`,
+		`test_shard_alive{peer="http://b"} 0`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+	if errs := Lint(strings.NewReader(out)); len(errs) > 0 {
+		t.Fatalf("lint: %v", errs)
+	}
+}
+
+func TestHistogramExposition(t *testing.T) {
+	r := NewRegistry()
+	h := r.HistogramVec("test_latency_seconds", "Op latency.", []float64{0.01, 0.1, 1}, "op")
+	h.With("get").Observe(0.005)
+	h.With("get").Observe(0.05)
+	h.With("get").Observe(5)
+	h.With("put").Observe(0.2)
+
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`test_latency_seconds_bucket{op="get",le="0.01"} 1`,
+		`test_latency_seconds_bucket{op="get",le="0.1"} 2`,
+		`test_latency_seconds_bucket{op="get",le="1"} 2`,
+		`test_latency_seconds_bucket{op="get",le="+Inf"} 3`,
+		`test_latency_seconds_count{op="get"} 3`,
+		`test_latency_seconds_bucket{op="put",le="+Inf"} 1`,
+		`test_latency_seconds_count{op="put"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+	if errs := Lint(strings.NewReader(out)); len(errs) > 0 {
+		t.Fatalf("lint: %v", errs)
+	}
+	if got := h.With("get").Sum(); got < 5.05 || got > 5.06 {
+		t.Errorf("sum = %v, want ~5.055", got)
+	}
+}
+
+func TestObserveBucketBoundaryIsInclusive(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_bound_seconds", "Boundary check.", []float64{1, 2})
+	h.Observe(1) // le="1" is <=, so this lands in the first bucket
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `test_bound_seconds_bucket{le="1"} 1`) {
+		t.Fatalf("v == bound must land in that bucket:\n%s", b.String())
+	}
+}
+
+func TestIdempotentAndConflictingRegistration(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("test_x_total", "X.")
+	b := r.Counter("test_x_total", "X.")
+	a.Inc()
+	b.Inc()
+	if a.Value() != 2 {
+		t.Fatalf("re-registration did not return the same sample (value %d)", a.Value())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("conflicting re-registration (counter -> gauge) did not panic")
+		}
+	}()
+	r.Gauge("test_x_total", "X.")
+}
+
+func TestOnCollectRefreshesAtScrape(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("test_live", "Refreshed at scrape.")
+	n := 0.0
+	r.OnCollect(func() { n += 1; g.Set(n) })
+	var b strings.Builder
+	_ = r.WriteText(&b)
+	b.Reset()
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "test_live 2") {
+		t.Fatalf("collect hook not run per scrape:\n%s", b.String())
+	}
+}
+
+func TestLabelValueEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("test_esc_total", "Escapes.", "p").With("a\"b\\c\nd").Inc()
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `test_esc_total{p="a\"b\\c\nd"} 1`
+	if !strings.Contains(b.String(), want) {
+		t.Fatalf("missing %q in:\n%s", want, b.String())
+	}
+	if errs := Lint(strings.NewReader(b.String())); len(errs) > 0 {
+		t.Fatalf("lint: %v", errs)
+	}
+}
+
+func TestNilRegistryIsNoop(t *testing.T) {
+	var r *Registry
+	r.Counter("x_total", "x").Inc()
+	r.Gauge("g", "g").Set(1)
+	r.Histogram("h", "h", nil).Observe(1)
+	r.OnCollect(func() {})
+	if err := r.WriteText(&strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+	var tr *Tracer
+	_, sp := tr.StartSpan(t.Context(), "noop")
+	sp.End()
+	tr.Record(Span{TraceID: "x"})
+	if got := tr.Spans("x"); got != nil {
+		t.Fatalf("nil tracer recorded %v", got)
+	}
+}
+
+func TestLintCatchesHandAuthoredBreakage(t *testing.T) {
+	cases := map[string]string{
+		"duplicate family block": "# HELP a_total A.\n# TYPE a_total counter\na_total 1\n# HELP b_total B.\n# TYPE b_total counter\nb_total 1\n# TYPE a_total counter\n",
+		"help after samples":     "# TYPE a_total counter\na_total 1\n# HELP a_total A.\n",
+		"bad value":              "# TYPE a_total counter\na_total banana\n",
+		"non-cumulative buckets": "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 5\n",
+		"missing +Inf":           "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_sum 1\nh_count 5\n",
+		"count mismatch":         "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 7\n",
+	}
+	for name, payload := range cases {
+		if errs := Lint(strings.NewReader(payload)); len(errs) == 0 {
+			t.Errorf("%s: lint found nothing wrong in:\n%s", name, payload)
+		}
+	}
+	clean := "# HELP a_total A.\n# TYPE a_total counter\na_total 1\n"
+	if errs := Lint(strings.NewReader(clean)); len(errs) > 0 {
+		t.Errorf("clean payload flagged: %v", errs)
+	}
+}

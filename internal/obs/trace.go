@@ -1,0 +1,506 @@
+package obs
+
+import (
+	"context"
+	"encoding/hex"
+	"fmt"
+	"math/rand/v2"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// SpanContext identifies a position in one distributed trace: the trace
+// it belongs to and the span that is current. The zero value means "no
+// trace".
+type SpanContext struct {
+	TraceID string // 32 lowercase hex chars
+	SpanID  string // 16 lowercase hex chars
+}
+
+// Valid reports whether the context names a trace.
+func (sc SpanContext) Valid() bool { return len(sc.TraceID) == 32 && len(sc.SpanID) == 16 }
+
+// Span is one completed, named, timed operation in a trace. Spans form
+// a tree through ParentID; a coordinator stitches the cross-node tree
+// by merging every node's spans for one TraceID.
+type Span struct {
+	TraceID    string            `json:"trace_id"`
+	SpanID     string            `json:"span_id"`
+	ParentID   string            `json:"parent_id,omitempty"`
+	Name       string            `json:"name"`
+	Start      time.Time         `json:"start"`
+	DurationMs float64           `json:"duration_ms"`
+	Attrs      map[string]string `json:"attrs,omitempty"`
+}
+
+// TracerLimits bounds the tracer's resident state; zero fields select
+// the defaults.
+type TracerLimits struct {
+	// MaxTraces caps distinct trace IDs retained; the oldest trace is
+	// evicted wholesale past it.
+	MaxTraces int
+	// MaxSpansPerTrace caps spans recorded per trace; excess spans are
+	// dropped and counted (see Dropped), so a runaway sweep cannot
+	// balloon the tracer.
+	MaxSpansPerTrace int
+}
+
+// Default tracer bounds. MaxTraces matches the servers' default
+// resident-sweep cap (httpapi.DefaultRetainSweeps): every sweep still
+// pollable has its spans, and retaining more would only grow the heap
+// the garbage collector walks alongside the simulation hot path.
+const (
+	DefaultMaxTraces        = 256
+	DefaultMaxSpansPerTrace = 16384
+)
+
+// Tracer records completed spans in bounded per-trace buffers. It is
+// safe for concurrent use; a nil *Tracer records nothing.
+//
+// Spans are stored compactly — raw 64-bit IDs, alternating attr
+// slices — and rendered to the wire Span shape only when a trace is
+// read. The tracer sits on every job's execution path and its buffers
+// are long-lived, so both the record-time allocation count and the
+// retained heap's GC scan footprint matter; hex strings and attr maps
+// would dominate each.
+type Tracer struct {
+	maxTraces int
+	maxSpans  int
+
+	mu      sync.Mutex
+	traces  map[string]*traceBuf
+	order   []string // insertion order, the eviction queue
+	dropped uint64
+
+	// Span names are low-cardinality ("engine.simulate", ...), so they
+	// are interned to indexes: a resident span then has at most one
+	// pointer word (attrs, usually nil) for the collector to trace.
+	names   []string
+	nameIdx map[string]uint32
+
+	// free recycles evicted traces' buffers into new ones: at steady
+	// state (a server evicting one old sweep per new sweep) recording
+	// allocates nothing and never regrows a buffer.
+	free []*traceBuf
+}
+
+// spanRec is the resident form of one span: interned name, nanosecond
+// start, raw IDs, attrs as a range into the trace's shared pool. The
+// struct holds no pointers, so the span arrays — by far the largest
+// resident allocations — are noscan: the garbage collector skips them
+// outright instead of walking hundreds of traces on every cycle.
+type spanRec struct {
+	id, parent uint64
+	startNs    int64
+	durMs      float64
+	name       uint32 // index into Tracer.names
+	attrOff    uint32 // range into traceBuf.attrs
+	attrLen    uint32
+}
+
+type traceBuf struct {
+	spans []spanRec
+	// attrs pools every span's alternating key, value strings; most
+	// spans contribute nothing, so the pointer-bearing slice stays small.
+	attrs   []string
+	dropped uint64
+}
+
+// addLocked appends one span to the buffer. Caller holds the lock.
+func (b *traceBuf) addLocked(rec spanRec, attrs []string) {
+	rec.attrOff = uint32(len(b.attrs))
+	rec.attrLen = uint32(len(attrs))
+	b.attrs = append(b.attrs, attrs...)
+	b.spans = append(b.spans, rec)
+}
+
+// recycleLocked resets the buffer for reuse under a new trace. The
+// attr pool is cleared first so recycled capacity cannot keep evicted
+// traces' strings alive. Caller holds the lock.
+func (b *traceBuf) recycleLocked() {
+	clear(b.attrs)
+	b.spans = b.spans[:0]
+	b.attrs = b.attrs[:0]
+	b.dropped = 0
+}
+
+// NewTracer builds a tracer.
+func NewTracer(l TracerLimits) *Tracer {
+	if l.MaxTraces <= 0 {
+		l.MaxTraces = DefaultMaxTraces
+	}
+	if l.MaxSpansPerTrace <= 0 {
+		l.MaxSpansPerTrace = DefaultMaxSpansPerTrace
+	}
+	return &Tracer{maxTraces: l.MaxTraces, maxSpans: l.MaxSpansPerTrace, traces: make(map[string]*traceBuf)}
+}
+
+// newID returns n random bytes as lowercase hex. math/rand/v2's global
+// generator is seeded per process and safe for concurrent use; span IDs
+// need uniqueness, not unpredictability.
+func newID(n int) string {
+	b := make([]byte, n)
+	for i := 0; i < n; i += 8 {
+		v := rand.Uint64()
+		for j := 0; j < 8 && i+j < n; j++ {
+			b[i+j] = byte(v >> (8 * j))
+		}
+	}
+	return hex.EncodeToString(b)
+}
+
+// NewTraceID mints a fresh 16-byte trace ID.
+func NewTraceID() string { return newID(16) }
+
+// NewID mints a fresh non-zero raw span ID (zero is reserved for "no
+// parent").
+func NewID() uint64 {
+	for {
+		if v := rand.Uint64(); v != 0 {
+			return v
+		}
+	}
+}
+
+// NewSpanID mints a fresh 8-byte span ID in wire form.
+func NewSpanID() string { return FormatID(NewID()) }
+
+// FormatID renders a raw span ID as 16 lowercase hex chars, the wire
+// form spans and traceparent headers carry.
+func FormatID(v uint64) string {
+	const digits = "0123456789abcdef"
+	var b [16]byte
+	for i := 15; i >= 0; i-- {
+		b[i] = digits[v&0xf]
+		v >>= 4
+	}
+	return string(b[:])
+}
+
+// ParseID parses a wire-form span ID; ok is false for empty, non-hex,
+// or zero IDs.
+func ParseID(s string) (uint64, bool) {
+	if s == "" {
+		return 0, false
+	}
+	v, err := strconv.ParseUint(s, 16, 64)
+	return v, err == nil && v != 0
+}
+
+// StartSpan opens a span as a child of the context's current span (or
+// as a new trace's root when the context carries none) and returns the
+// derived context carrying it. End the returned span to record it. A
+// nil tracer returns ctx unchanged and a nil *ActiveSpan (End no-ops).
+func (t *Tracer) StartSpan(ctx context.Context, name string, attrs ...string) (context.Context, *ActiveSpan) {
+	if t == nil {
+		return ctx, nil
+	}
+	parent := FromContext(ctx)
+	s := &ActiveSpan{
+		t:       t,
+		start:   time.Now(),
+		name:    name,
+		id:      NewID(),
+		traceID: parent.TraceID,
+	}
+	if parent.Valid() {
+		s.parent, _ = ParseID(parent.SpanID)
+	} else {
+		s.traceID = NewTraceID()
+	}
+	if len(attrs) > 0 {
+		s.attrs = append([]string(nil), attrs...)
+	}
+	return ContextWith(ctx, SpanContext{TraceID: s.traceID, SpanID: FormatID(s.id)}), s
+}
+
+// attrsToMap folds an alternating key, value slice into the wire map
+// (nil when empty).
+func attrsToMap(attrs []string) map[string]string {
+	if len(attrs) == 0 {
+		return nil
+	}
+	m := make(map[string]string, len(attrs)/2)
+	for i := 0; i+1 < len(attrs); i += 2 {
+		m[attrs[i]] = attrs[i+1]
+	}
+	return m
+}
+
+// ActiveSpan is an open span; End closes and records it.
+type ActiveSpan struct {
+	t       *Tracer
+	traceID string
+	id      uint64
+	parent  uint64
+	name    string
+	start   time.Time
+	attrs   []string
+}
+
+// Context returns the span's identity (for manual child construction).
+func (s *ActiveSpan) Context() SpanContext {
+	if s == nil {
+		return SpanContext{}
+	}
+	return SpanContext{TraceID: s.traceID, SpanID: FormatID(s.id)}
+}
+
+// SetAttr attaches an attribute. Not safe for concurrent use with End.
+func (s *ActiveSpan) SetAttr(k, v string) {
+	if s == nil {
+		return
+	}
+	s.attrs = append(s.attrs, k, v)
+}
+
+// End closes the span and records it.
+func (s *ActiveSpan) End() {
+	if s == nil {
+		return
+	}
+	s.t.RecordBatch(s.traceID, CompactSpan{
+		SpanID: s.id, ParentID: s.parent, Name: s.name,
+		Start: s.start, DurationMs: float64(time.Since(s.start)) / float64(time.Millisecond),
+		Attrs: s.attrs,
+	})
+}
+
+// CompactSpan is the allocation-lean record shape for hot-path batch
+// recording: raw 64-bit IDs (rendered as hex only when the trace is
+// read) and alternating key, value attrs. The engine assembles a job's
+// whole phase batch as CompactSpans and records it in one call.
+type CompactSpan struct {
+	SpanID     uint64
+	ParentID   uint64 // 0 = root
+	Name       string
+	Start      time.Time
+	DurationMs float64
+	Attrs      []string // alternating key, value; retained, not copied
+}
+
+// RecordBatch stores completed spans under one trace in a single lock
+// acquisition (a nil tracer drops them).
+func (t *Tracer) RecordBatch(traceID string, spans ...CompactSpan) {
+	if t == nil || traceID == "" || len(spans) == 0 {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	buf := t.bufFor(traceID)
+	for i := range spans {
+		sp := &spans[i]
+		if len(buf.spans) >= t.maxSpans {
+			buf.dropped++
+			t.dropped++
+			continue
+		}
+		buf.addLocked(spanRec{
+			id: sp.SpanID, parent: sp.ParentID, name: t.internLocked(sp.Name),
+			startNs: sp.Start.UnixNano(), durMs: sp.DurationMs,
+		}, sp.Attrs)
+	}
+}
+
+// internLocked resolves a span name to its table index. Caller holds
+// the lock.
+func (t *Tracer) internLocked(name string) uint32 {
+	if i, ok := t.nameIdx[name]; ok {
+		return i
+	}
+	if t.nameIdx == nil {
+		t.nameIdx = make(map[string]uint32)
+	}
+	i := uint32(len(t.names))
+	t.names = append(t.names, name)
+	t.nameIdx[name] = i
+	return i
+}
+
+// Record stores completed wire-form spans (a nil tracer drops them).
+// Spans must carry TraceID, SpanID, Name and Start; an unparsable span
+// ID gets a fresh one (the span is kept, its children orphan).
+func (t *Tracer) Record(spans ...Span) {
+	if t == nil || len(spans) == 0 {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, sp := range spans {
+		if sp.TraceID == "" {
+			continue
+		}
+		buf := t.bufFor(sp.TraceID)
+		if len(buf.spans) >= t.maxSpans {
+			buf.dropped++
+			t.dropped++
+			continue
+		}
+		id, ok := ParseID(sp.SpanID)
+		if !ok {
+			id = NewID()
+		}
+		parent, _ := ParseID(sp.ParentID)
+		var attrs []string
+		for k, v := range sp.Attrs {
+			attrs = append(attrs, k, v)
+		}
+		buf.addLocked(spanRec{
+			id: id, parent: parent, name: t.internLocked(sp.Name),
+			startNs: sp.Start.UnixNano(), durMs: sp.DurationMs,
+		}, attrs)
+	}
+}
+
+// bufFor resolves (or creates, evicting the oldest trace past the cap)
+// a trace's buffer. Caller holds the lock.
+func (t *Tracer) bufFor(traceID string) *traceBuf {
+	buf, ok := t.traces[traceID]
+	if !ok {
+		if n := len(t.free); n > 0 {
+			buf = t.free[n-1]
+			t.free = t.free[:n-1]
+		} else {
+			// Pre-size for a typical sweep's span count: append-doubling
+			// from zero would copy the buffer ~8 times on the engine hot
+			// path. Once traces cycle, recycled buffers arrive already
+			// grown to sweep size and recording stops allocating at all.
+			buf = &traceBuf{spans: make([]spanRec, 0, 64)}
+		}
+		t.traces[traceID] = buf
+		t.order = append(t.order, traceID)
+		for len(t.traces) > t.maxTraces && len(t.order) > 0 {
+			victim := t.order[0]
+			t.order = t.order[1:]
+			if v, ok := t.traces[victim]; ok {
+				t.dropped += uint64(len(v.spans))
+				delete(t.traces, victim)
+				v.recycleLocked()
+				t.free = append(t.free, v)
+			}
+		}
+	}
+	return buf
+}
+
+// Spans returns the recorded spans for a trace, sorted by start time
+// (ties by span ID, so the order is deterministic). The slice is a
+// copy.
+func (t *Tracer) Spans(traceID string) []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	buf, ok := t.traces[traceID]
+	var out []Span
+	if ok {
+		out = make([]Span, len(buf.spans))
+		for i, r := range buf.spans {
+			out[i] = Span{
+				TraceID: traceID, SpanID: FormatID(r.id), Name: t.names[r.name],
+				Start: time.Unix(0, r.startNs).UTC(), DurationMs: r.durMs,
+				Attrs: attrsToMap(buf.attrs[r.attrOff : r.attrOff+r.attrLen]),
+			}
+			if r.parent != 0 {
+				out[i].ParentID = FormatID(r.parent)
+			}
+		}
+	}
+	t.mu.Unlock()
+	SortSpans(out)
+	return out
+}
+
+// SortSpans orders spans by start time, ties broken by span ID — the
+// canonical order the spans endpoints serve, stable across merges.
+func SortSpans(spans []Span) {
+	sort.Slice(spans, func(i, j int) bool {
+		if !spans[i].Start.Equal(spans[j].Start) {
+			return spans[i].Start.Before(spans[j].Start)
+		}
+		return spans[i].SpanID < spans[j].SpanID
+	})
+}
+
+// Stats reports the tracer's resident and dropped span accounting.
+func (t *Tracer) Stats() (traces int, spans int, dropped uint64) {
+	if t == nil {
+		return 0, 0, 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, buf := range t.traces {
+		spans += len(buf.spans)
+	}
+	return len(t.traces), spans, t.dropped
+}
+
+// ctxKey carries the current SpanContext through a context chain.
+type ctxKey struct{}
+
+// ContextWith returns ctx carrying sc.
+func ContextWith(ctx context.Context, sc SpanContext) context.Context {
+	return context.WithValue(ctx, ctxKey{}, sc)
+}
+
+// FromContext extracts the current span context (zero when absent).
+func FromContext(ctx context.Context) SpanContext {
+	sc, _ := ctx.Value(ctxKey{}).(SpanContext)
+	return sc
+}
+
+// TraceparentHeader is the propagation header, W3C Trace Context
+// shaped: 00-<trace-id>-<span-id>-01.
+const TraceparentHeader = "traceparent"
+
+// Inject writes ctx's span context into h (no-op when ctx carries
+// none), so a cross-node HTTP hop continues the same trace.
+func Inject(ctx context.Context, h http.Header) {
+	sc := FromContext(ctx)
+	if !sc.Valid() {
+		return
+	}
+	h.Set(TraceparentHeader, fmt.Sprintf("00-%s-%s-01", sc.TraceID, sc.SpanID))
+}
+
+// Extract parses a traceparent header into a SpanContext, zero when
+// absent or malformed (a bad header must degrade to "new trace", never
+// to an error a client can feel).
+func Extract(h http.Header) SpanContext {
+	return ParseTraceparent(h.Get(TraceparentHeader))
+}
+
+// ParseTraceparent parses one traceparent value.
+func ParseTraceparent(v string) SpanContext {
+	parts := strings.Split(strings.TrimSpace(v), "-")
+	if len(parts) < 4 || parts[0] != "00" || len(parts[1]) != 32 || len(parts[2]) != 16 {
+		return SpanContext{}
+	}
+	if !isHex(parts[1]) || !isHex(parts[2]) || allZero(parts[1]) || allZero(parts[2]) {
+		return SpanContext{}
+	}
+	return SpanContext{TraceID: strings.ToLower(parts[1]), SpanID: strings.ToLower(parts[2])}
+}
+
+func isHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f' || c >= 'A' && c <= 'F') {
+			return false
+		}
+	}
+	return true
+}
+
+func allZero(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] != '0' {
+			return false
+		}
+	}
+	return true
+}

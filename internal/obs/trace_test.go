@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"context"
+	"net/http"
+	"testing"
+	"time"
+)
+
+func TestSpanTreeAndContext(t *testing.T) {
+	tr := NewTracer(TracerLimits{})
+	ctx, root := tr.StartSpan(context.Background(), "sweep", "sweep_id", "sweep-1")
+	_, child := tr.StartSpan(ctx, "job")
+	child.End()
+	root.End()
+
+	sc := root.Context()
+	if !sc.Valid() {
+		t.Fatal("root span context invalid")
+	}
+	spans := tr.Spans(sc.TraceID)
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	byName := map[string]Span{}
+	for _, s := range spans {
+		byName[s.Name] = s
+	}
+	if byName["job"].ParentID != byName["sweep"].SpanID {
+		t.Errorf("job parent %q, want sweep span %q", byName["job"].ParentID, byName["sweep"].SpanID)
+	}
+	if byName["sweep"].ParentID != "" {
+		t.Errorf("root has parent %q", byName["sweep"].ParentID)
+	}
+	if byName["job"].TraceID != sc.TraceID {
+		t.Errorf("child trace %q != %q", byName["job"].TraceID, sc.TraceID)
+	}
+	if byName["sweep"].Attrs["sweep_id"] != "sweep-1" {
+		t.Errorf("attrs lost: %v", byName["sweep"].Attrs)
+	}
+}
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	tr := NewTracer(TracerLimits{})
+	ctx, sp := tr.StartSpan(context.Background(), "origin")
+	h := make(http.Header)
+	Inject(ctx, h)
+	got := Extract(h)
+	want := sp.Context()
+	if got != want {
+		t.Fatalf("round trip %+v != %+v", got, want)
+	}
+	// A hop on the far side continues the same trace.
+	farCtx := ContextWith(context.Background(), got)
+	_, far := tr.StartSpan(farCtx, "remote")
+	far.End()
+	if fc := far.Context(); fc.TraceID != want.TraceID {
+		t.Errorf("remote span trace %q, want %q", fc.TraceID, want.TraceID)
+	}
+	sp.End()
+}
+
+func TestExtractRejectsMalformed(t *testing.T) {
+	for _, v := range []string{
+		"",
+		"garbage",
+		"00-short-beef-01",
+		"00-00000000000000000000000000000000-1111111111111111-01", // zero trace id
+		"00-1234567890abcdef1234567890abcdef-0000000000000000-01", // zero span id
+		"00-zzzz567890abcdef1234567890abcdef-1111111111111111-01", // non-hex
+	} {
+		h := make(http.Header)
+		if v != "" {
+			h.Set(TraceparentHeader, v)
+		}
+		if sc := Extract(h); sc.Valid() {
+			t.Errorf("Extract(%q) = %+v, want invalid", v, sc)
+		}
+	}
+	h := make(http.Header)
+	h.Set(TraceparentHeader, "00-1234567890abcdef1234567890abcdef-1111111111111111-01")
+	if sc := Extract(h); !sc.Valid() {
+		t.Error("well-formed traceparent rejected")
+	}
+}
+
+func TestTracerBounds(t *testing.T) {
+	tr := NewTracer(TracerLimits{MaxTraces: 2, MaxSpansPerTrace: 3})
+	for i := 0; i < 5; i++ {
+		tr.Record(Span{TraceID: "t1", SpanID: NewSpanID(), Name: "s", Start: time.Now()})
+	}
+	if got := len(tr.Spans("t1")); got != 3 {
+		t.Fatalf("per-trace cap: got %d spans, want 3", got)
+	}
+	tr.Record(Span{TraceID: "t2", SpanID: NewSpanID(), Name: "s", Start: time.Now()})
+	tr.Record(Span{TraceID: "t3", SpanID: NewSpanID(), Name: "s", Start: time.Now()})
+	if got := tr.Spans("t1"); got != nil {
+		t.Fatalf("oldest trace not evicted; still has %d spans", len(got))
+	}
+	traces, _, dropped := tr.Stats()
+	if traces != 2 || dropped == 0 {
+		t.Fatalf("stats: traces=%d dropped=%d", traces, dropped)
+	}
+}
+
+func TestSpansSortedDeterministically(t *testing.T) {
+	tr := NewTracer(TracerLimits{})
+	base := time.Now()
+	tr.Record(
+		Span{TraceID: "t", SpanID: "bb", Name: "late", Start: base.Add(time.Second)},
+		Span{TraceID: "t", SpanID: "aa", Name: "early", Start: base},
+	)
+	spans := tr.Spans("t")
+	if spans[0].Name != "early" || spans[1].Name != "late" {
+		t.Fatalf("order: %v", []string{spans[0].Name, spans[1].Name})
+	}
+}
