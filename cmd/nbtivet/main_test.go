@@ -1,0 +1,35 @@
+package main
+
+import (
+	"testing"
+
+	"nbticache/internal/analysis"
+)
+
+// TestRepoIsClean runs the full suite over every package in the module
+// — the exact work `nbtivet ./...` does — and fails on any finding.
+// This is the acceptance gate: a new violation of a hand-won invariant
+// must either be fixed or carry a reasoned //nbtivet:ignore directive
+// before it can land.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	units, err := analysis.Load("../..", "./...")
+	if err != nil {
+		t.Fatalf("loading module packages: %v", err)
+	}
+	if len(units) == 0 {
+		t.Fatal("loader returned no package units")
+	}
+	for _, u := range units {
+		diags, err := analysis.Run(u, analysis.All())
+		if err != nil {
+			t.Errorf("%s: %v", u.ImportPath, err)
+			continue
+		}
+		for _, d := range diags {
+			t.Errorf("%s", d)
+		}
+	}
+}

@@ -1,0 +1,197 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Allocbound is the PR 2 bug class made law: trace.ReadBinary used to
+// preallocate up to 2³² accesses (~100 GiB) straight from an untrusted
+// header count. The analyzer taints integers produced by wire decoders
+// — varint/uvarint readers, encoding/binary's Read and byte-order
+// Uint* accessors, and the repo's own blobReader-style helpers — and
+// flags any make() whose length or capacity derives from a tainted
+// value with no dominating bound check.
+//
+// A bound check is an if-condition comparing the tainted value with
+// <, >, <= or >= before the allocation; clamping through the min/max
+// builtins against an untainted operand also clears the taint (the
+// ReadAll prealloc idiom).
+var Allocbound = &Analyzer{
+	Name: "allocbound",
+	Doc: "report make() sized by a decoded untrusted integer (varint/binary header) " +
+		"that reaches the allocation with no dominating bound check",
+	Run: runAllocbound,
+}
+
+func runAllocbound(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			_, body := funcParts(n)
+			if body != nil {
+				checkAllocs(pass, body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// untrustedSource reports whether a call produces attacker-influenced
+// integers: its name (case-insensitively) mentions varint, or it is
+// one of encoding/binary's decode entry points, or a blobReader-style
+// helper (intFromU).
+func untrustedSource(info *types.Info, call *ast.CallExpr) bool {
+	f := callee(info, call)
+	if f == nil {
+		return false
+	}
+	name := f.Name()
+	lower := strings.ToLower(name)
+	if strings.Contains(lower, "varint") || name == "intFromU" {
+		return true
+	}
+	if calleePkgPath(f) == "encoding/binary" {
+		return name == "Read" || strings.HasPrefix(name, "Uint") || strings.HasPrefix(name, "ReadUint")
+	}
+	// ByteOrder method calls (binary.LittleEndian.Uint32 resolves to
+	// package encoding/binary already); methods on other decoders named
+	// Uint16/32/64 count too — they exist to pull wire integers.
+	if rn := recvNamed(f); rn != nil && (name == "Uint16" || name == "Uint32" || name == "Uint64") {
+		return true
+	}
+	return false
+}
+
+func checkAllocs(pass *Pass, body *ast.BlockStmt) {
+	info := pass.TypesInfo
+
+	// Pass 1: seed taint from untrusted decode calls, then propagate
+	// through assignments until fixpoint (bounded: taint only grows).
+	tainted := make(map[types.Object]bool)
+	for {
+		grew := false
+		ast.Inspect(body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			taintAll := false
+			if len(as.Rhs) == 1 {
+				if call, ok := unparen(as.Rhs[0]).(*ast.CallExpr); ok && untrustedSource(info, call) {
+					taintAll = true
+				}
+			}
+			for i, lhs := range as.Lhs {
+				id, ok := unparen(lhs).(*ast.Ident)
+				if !ok || id.Name == "_" {
+					continue
+				}
+				obj := info.Defs[id]
+				if obj == nil {
+					obj = info.Uses[id]
+				}
+				if obj == nil || tainted[obj] {
+					continue
+				}
+				dirty := taintAll
+				if !dirty && i < len(as.Rhs) && len(as.Rhs) == len(as.Lhs) {
+					dirty = taintedExpr(info, as.Rhs[i], tainted)
+				}
+				if dirty {
+					tainted[obj] = true
+					grew = true
+				}
+			}
+			return true
+		})
+		if !grew {
+			break
+		}
+	}
+	if len(tainted) == 0 {
+		return
+	}
+
+	// Pass 2: bound checks — the position after which each tainted
+	// object counts as range-checked.
+	checked := make(map[types.Object]token.Pos)
+	ast.Inspect(body, func(n ast.Node) bool {
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok {
+			return true
+		}
+		ast.Inspect(ifs.Cond, func(c ast.Node) bool {
+			cmp, ok := c.(*ast.BinaryExpr)
+			if !ok {
+				return true
+			}
+			switch cmp.Op {
+			case token.LSS, token.GTR, token.LEQ, token.GEQ:
+				used := make(map[types.Object]bool)
+				usedObjects(info, cmp, used)
+				for obj := range used {
+					if tainted[obj] {
+						if prev, ok := checked[obj]; !ok || ifs.Pos() < prev {
+							checked[obj] = ifs.Pos()
+						}
+					}
+				}
+			}
+			return true
+		})
+		return true
+	})
+
+	// Pass 3: allocations sized by still-unchecked taint.
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isBuiltinCall(info, call, "make") {
+			return true
+		}
+		for _, arg := range call.Args[1:] {
+			used := make(map[types.Object]bool)
+			collectTaintUses(info, arg, tainted, used)
+			for obj := range used {
+				pos, ok := checked[obj]
+				if !ok || pos > call.Pos() {
+					pass.Reportf(call.Pos(), "make() sized by %q, an untrusted decoded integer with no dominating bound check", obj.Name())
+					return true
+				}
+			}
+		}
+		return true
+	})
+}
+
+// taintedExpr reports whether e's value derives from tainted objects,
+// treating min/max against an untainted operand as a sanitiser.
+func taintedExpr(info *types.Info, e ast.Expr, tainted map[types.Object]bool) bool {
+	used := make(map[types.Object]bool)
+	collectTaintUses(info, e, tainted, used)
+	return len(used) > 0
+}
+
+// collectTaintUses gathers the tainted objects e actually exposes:
+// identifiers used anywhere inside it, except inside min()/max() calls
+// that also carry an untainted operand (those clamp the value).
+func collectTaintUses(info *types.Info, e ast.Expr, tainted, into map[types.Object]bool) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && (isBuiltinCall(info, call, "min") || isBuiltinCall(info, call, "max")) {
+			for _, arg := range call.Args {
+				if !taintedExpr(info, arg, tainted) {
+					return false // clamped by an untainted bound
+				}
+			}
+			return true
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := info.Uses[id]; obj != nil && tainted[obj] {
+				into[obj] = true
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,215 @@
+// Package analysistest runs nbtivet analyzers over small fixture
+// packages and checks their diagnostics against `// want` comments —
+// the same testing idiom as golang.org/x/tools/go/analysis/analysistest,
+// rebuilt on the standard library because this repo vendors nothing.
+//
+// Fixture layout mirrors x/tools: testdata/src/<pkg>/*.go. A line that
+// should be flagged carries a comment of the form
+//
+//	code() // want "regexp" "another regexp"
+//
+// with one quoted regexp per expected diagnostic on that line. Every
+// expectation must be matched and every diagnostic must be expected;
+// anything else fails the test. Suppression directives in fixtures are
+// honoured exactly as in production: a suppressed finding needs no
+// want, and a malformed directive surfaces as a "directive" diagnostic
+// that can itself be want-ed.
+//
+// Fixtures are type-checked with the standard library's source
+// importer, so they may import only the standard library.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"nbticache/internal/analysis"
+)
+
+// Run analyzes each fixture package under testdata/src with the given
+// analyzers and reports any mismatch against the fixtures' `// want`
+// expectations as test errors.
+func Run(t *testing.T, testdata string, analyzers []*analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	for _, pkg := range pkgs {
+		dir := filepath.Join(testdata, "src", pkg)
+		unit, err := loadFixture(dir, pkg)
+		if err != nil {
+			t.Errorf("%s: %v", pkg, err)
+			continue
+		}
+		diags, err := analysis.Run(unit, analyzers)
+		if err != nil {
+			t.Errorf("%s: %v", pkg, err)
+			continue
+		}
+		wants, err := collectWants(unit.Fset, unit.Files)
+		if err != nil {
+			t.Errorf("%s: %v", pkg, err)
+			continue
+		}
+		compare(t, pkg, diags, wants)
+	}
+}
+
+// loadFixture parses and type-checks one fixture directory as a single
+// package unit.
+func loadFixture(dir, pkg string) (*analysis.Unit, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	tpkg, err := conf.Check(pkg, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking fixture: %w", err)
+	}
+	return &analysis.Unit{
+		ImportPath: pkg,
+		Dir:        dir,
+		Fset:       fset,
+		Files:      files,
+		Pkg:        tpkg,
+		Info:       info,
+	}, nil
+}
+
+// want is one expected diagnostic: a compiled regexp anchored to a
+// file and line.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	text string
+}
+
+var wantRE = regexp.MustCompile(`// want (.*)$`)
+
+// collectWants extracts `// want "re" ...` expectations from every
+// comment in the fixture.
+func collectWants(fset *token.FileSet, files []*ast.File) ([]*want, error) {
+	var wants []*want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				patterns, err := splitQuoted(m[1])
+				if err != nil {
+					return nil, fmt.Errorf("%s: %w", pos, err)
+				}
+				if len(patterns) == 0 {
+					return nil, fmt.Errorf("%s: `// want` with no quoted pattern", pos)
+				}
+				for _, p := range patterns {
+					re, err := regexp.Compile(p)
+					if err != nil {
+						return nil, fmt.Errorf("%s: bad want pattern: %w", pos, err)
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re, text: p})
+				}
+			}
+		}
+	}
+	return wants, nil
+}
+
+// splitQuoted parses a sequence of Go-quoted strings: `"a" "b"`.
+func splitQuoted(s string) ([]string, error) {
+	var out []string
+	for {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			return out, nil
+		}
+		if s[0] != '"' {
+			return nil, fmt.Errorf("want patterns must be double-quoted, got %q", s)
+		}
+		end := -1
+		for i := 1; i < len(s); i++ {
+			if s[i] == '\\' {
+				i++
+				continue
+			}
+			if s[i] == '"' {
+				end = i
+				break
+			}
+		}
+		if end < 0 {
+			return nil, fmt.Errorf("unterminated want pattern in %q", s)
+		}
+		out = append(out, strings.ReplaceAll(s[1:end], `\"`, `"`))
+		s = s[end+1:]
+	}
+}
+
+// compare matches diagnostics against expectations one-to-one per
+// line, reporting unmatched members of either set.
+func compare(t *testing.T, pkg string, diags []analysis.Diagnostic, wants []*want) {
+	t.Helper()
+	used := make([]bool, len(diags))
+	sort.Slice(wants, func(i, j int) bool {
+		if wants[i].file != wants[j].file {
+			return wants[i].file < wants[j].file
+		}
+		return wants[i].line < wants[j].line
+	})
+	for _, w := range wants {
+		matched := false
+		for i, d := range diags {
+			if used[i] || d.Pos.Filename != w.file || d.Pos.Line != w.line {
+				continue
+			}
+			if w.re.MatchString(d.Analyzer + ": " + d.Message) {
+				used[i] = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: %s:%d: no diagnostic matching %q", pkg, filepath.Base(w.file), w.line, w.text)
+		}
+	}
+	for i, d := range diags {
+		if !used[i] {
+			t.Errorf("%s: unexpected diagnostic: %s", pkg, d)
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// ignorePrefix is the suppression directive marker. Full syntax:
+//
+//	//nbtivet:ignore <analyzer|all> <reason>
+//
+// The directive suppresses matching findings on its own line and on
+// the line directly below it (so it can sit above a long statement).
+// The reason is mandatory: a suppression that cannot say why it exists
+// is a finding, not an exemption.
+const ignorePrefix = "nbtivet:ignore"
+
+type directive struct {
+	file     string
+	line     int
+	analyzer string // "all" matches every analyzer
+}
+
+type directiveIndex map[string]map[int][]string // file -> line -> analyzer names
+
+func (idx directiveIndex) suppresses(d Diagnostic) bool {
+	lines := idx[d.Pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, l := range [2]int{d.Pos.Line, d.Pos.Line - 1} {
+		for _, name := range lines[l] {
+			if name == "all" || name == d.Analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// directives scans every comment in the unit for suppression
+// directives, returning the index plus diagnostics for malformed ones
+// (missing reason, unknown analyzer name).
+func directives(fset *token.FileSet, files []*ast.File, analyzers []*Analyzer) (directiveIndex, []Diagnostic) {
+	// Validate names against the full suite, not just the analyzers
+	// running now: `-only senterr` must not misreport a lockedio
+	// suppression as unknown.
+	known := make(map[string]bool, len(analyzers)+1)
+	known["all"] = true
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	idx := make(directiveIndex)
+	var bad []Diagnostic
+	report := func(pos token.Pos, msg string) {
+		bad = append(bad, Diagnostic{Analyzer: "directive", Pos: fset.Position(pos), Message: msg})
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//"+ignorePrefix)
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(text)
+				if len(fields) == 0 {
+					report(c.Pos(), "nbtivet:ignore needs an analyzer name and a reason")
+					continue
+				}
+				name := fields[0]
+				if !known[name] {
+					report(c.Pos(), "nbtivet:ignore names unknown analyzer "+name)
+					continue
+				}
+				if len(fields) < 2 {
+					report(c.Pos(), "nbtivet:ignore "+name+" needs a reason")
+					continue
+				}
+				p := fset.Position(c.Pos())
+				if idx[p.Filename] == nil {
+					idx[p.Filename] = make(map[int][]string)
+				}
+				idx[p.Filename][p.Line] = append(idx[p.Filename][p.Line], name)
+			}
+		}
+	}
+	return idx, bad
+}

@@ -1,0 +1,142 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// parseUnit type-checks one source string as a unit, for directive
+// tests that need precise control over comment placement.
+func parseUnit(t *testing.T, src string) *Unit {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	pkg, err := conf.Check("p", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Unit{ImportPath: "p", Fset: fset, Files: []*ast.File{f}, Pkg: pkg, Info: info}
+}
+
+const directiveSrc = `package p
+
+import "errors"
+
+var ErrX = errors.New("x")
+
+func f(err error) bool {
+	//nbtivet:ignore senterr
+	if err == ErrX {
+		return true
+	}
+	//nbtivet:ignore typos some reason
+	if err == ErrX {
+		return true
+	}
+	//nbtivet:ignore
+	return err != ErrX
+}
+`
+
+// TestMalformedDirectives checks that a directive without a reason or
+// with an unknown analyzer name is itself reported — and does not
+// suppress the finding it sits above.
+func TestMalformedDirectives(t *testing.T) {
+	unit := parseUnit(t, directiveSrc)
+	diags, err := Run(unit, []*Analyzer{Senterr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, d := range diags {
+		got = append(got, d.Analyzer+"@"+strconv.Itoa(d.Pos.Line))
+	}
+	want := []string{
+		"directive@8",  // senterr with no reason
+		"senterr@9",    // ...so the comparison still fires
+		"directive@12", // unknown analyzer name
+		"senterr@13",
+		"directive@16", // bare directive
+		"senterr@17",
+	}
+	if strings.Join(got, " ") != strings.Join(want, " ") {
+		t.Errorf("diagnostics = %v, want %v", got, want)
+	}
+}
+
+const suppressSrc = `package p
+
+import "errors"
+
+var ErrX = errors.New("x")
+
+func f(err error) bool {
+	//nbtivet:ignore senterr producer never wraps this sentinel
+	if err == ErrX {
+		return true
+	}
+	//nbtivet:ignore all fixture line exempt from the whole suite
+	if err == ErrX {
+		return true
+	}
+	if err == ErrX { //nbtivet:ignore senterr same-line placement works too
+		return true
+	}
+	return false
+}
+`
+
+// TestDirectiveSuppression checks both placements (line above, same
+// line) and the "all" wildcard.
+func TestDirectiveSuppression(t *testing.T) {
+	unit := parseUnit(t, suppressSrc)
+	diags, err := Run(unit, []*Analyzer{Senterr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Errorf("diagnostics = %v, want none", diags)
+	}
+}
+
+// TestOnlySubsetKeepsDirectiveVocabulary: running a subset of the suite
+// must not misreport a valid suppression naming another analyzer.
+func TestOnlySubsetKeepsDirectiveVocabulary(t *testing.T) {
+	unit := parseUnit(t, `package p
+
+import "sync"
+
+type s struct{ mu sync.Mutex }
+
+func (x *s) f() {
+	//nbtivet:ignore lockedio reason that names an analyzer outside the running subset
+	x.mu.Lock()
+	x.mu.Unlock()
+}
+`)
+	diags, err := Run(unit, []*Analyzer{Senterr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Errorf("diagnostics = %v, want none", diags)
+	}
+}

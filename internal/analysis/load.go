@@ -1,0 +1,195 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// A Unit is one type-checked package ready for analysis. Test variants
+// (the `p [p.test]` packages go list -test reports) are first-class
+// units: in-package test files are analyzed together with the package
+// they extend, and external `p_test` packages are their own unit.
+type Unit struct {
+	// ImportPath is the unit's identity as go list prints it, test
+	// decoration included.
+	ImportPath string
+	// ForTest is the import path of the package under test when this
+	// unit is a test variant, "" otherwise.
+	ForTest string
+	Dir     string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Pkg     *types.Package
+	Info    *types.Info
+}
+
+// listedPkg is the slice of `go list -json` output the loader reads.
+type listedPkg struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	ForTest    string
+	Standard   bool
+	DepOnly    bool
+}
+
+// Load lists, parses and type-checks the packages matching patterns
+// (plus their in-package and external test units), resolving imports
+// through the gc export data `go list -export` produces — the same
+// compiled artifacts the build uses, so no network or module proxy is
+// ever consulted.
+func Load(dir string, patterns ...string) ([]*Unit, error) {
+	pkgs, err := golist(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	// Export data indexes. A test variant of an imported package ("p
+	// [t.test]") must shadow the plain "p" when resolving imports of a
+	// unit in the same test graph, so variants index separately.
+	exports := make(map[string]string)             // plain import path -> export file
+	variants := make(map[string]map[string]string) // plain path -> ForTest -> export file
+	targets := make(map[string]bool)
+	var units []*listedPkg
+	for _, p := range pkgs {
+		plain := plainPath(p.ImportPath)
+		if p.ForTest == "" {
+			if p.Export != "" {
+				exports[plain] = p.Export
+			}
+		} else if p.Export != "" {
+			if variants[plain] == nil {
+				variants[plain] = make(map[string]string)
+			}
+			variants[plain][p.ForTest] = p.Export
+		}
+		if !p.DepOnly && !p.Standard && !strings.HasSuffix(p.ImportPath, ".test") {
+			targets[p.ImportPath] = true
+			units = append(units, p)
+		}
+	}
+
+	// An in-package test variant supersedes the plain package: its file
+	// list is the plain files plus the _test.go files, so analyzing
+	// both would duplicate every finding in the shared files.
+	superseded := make(map[string]bool)
+	for _, p := range units {
+		if p.ForTest != "" && plainPath(p.ImportPath) == p.ForTest {
+			superseded[p.ForTest] = true
+		}
+	}
+
+	fset := token.NewFileSet()
+	var out []*Unit
+	for _, p := range units {
+		if p.ForTest == "" && superseded[p.ImportPath] {
+			continue
+		}
+		u, err := check(fset, p, exports, variants)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, u)
+	}
+	return out, nil
+}
+
+// golist shells out to `go list -test -deps -export -json`, decoding
+// the JSON stream. dir anchors pattern resolution ("" = cwd).
+func golist(dir string, patterns []string) ([]*listedPkg, error) {
+	args := []string{
+		"list", "-test", "-deps", "-export",
+		"-json=ImportPath,Name,Dir,GoFiles,Export,ForTest,Standard,DepOnly",
+	}
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &stdout, &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %s: %w\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	dec := json.NewDecoder(&stdout)
+	var pkgs []*listedPkg
+	for {
+		p := new(listedPkg)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %w", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// plainPath strips go list's test decoration: "p [t.test]" -> "p".
+func plainPath(ip string) string {
+	if i := strings.IndexByte(ip, ' '); i >= 0 {
+		return ip[:i]
+	}
+	return ip
+}
+
+// check parses and type-checks one unit against the export indexes.
+func check(fset *token.FileSet, p *listedPkg, exports map[string]string, variants map[string]map[string]string) (*Unit, error) {
+	var files []*ast.File
+	for _, name := range p.GoFiles {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(p.Dir, name)
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("parsing %s: %w", path, err)
+		}
+		files = append(files, f)
+	}
+
+	lookup := func(path string) (io.ReadCloser, error) {
+		if p.ForTest != "" {
+			if ex, ok := variants[path][p.ForTest]; ok {
+				return os.Open(ex)
+			}
+		}
+		if ex, ok := exports[path]; ok {
+			return os.Open(ex)
+		}
+		return nil, fmt.Errorf("no export data for %q (importing from %s)", path, p.ImportPath)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "gc", lookup)}
+	pkg, err := conf.Check(plainPath(p.ImportPath), fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", p.ImportPath, err)
+	}
+	return &Unit{
+		ImportPath: p.ImportPath,
+		ForTest:    p.ForTest,
+		Dir:        p.Dir,
+		Fset:       fset,
+		Files:      files,
+		Pkg:        pkg,
+		Info:       info,
+	}, nil
+}

@@ -1,0 +1,134 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Nopsafe enforces internal/obs's documented contract: "everything
+// tolerates a nil receiver as a no-op", which is what lets an engine
+// built with obs.Nop() run the exact uninstrumented hot path. Any
+// exported pointer-receiver method on an exported obs type that reads
+// or writes receiver state must therefore open with the guard
+//
+//	if r == nil { return ... }
+//
+// (possibly as the first operand of an || chain). Methods that only
+// forward to other methods of the same receiver are exempt — the
+// callee guards. Unexported types and methods are exempt too: they run
+// behind guarded exported entry points, usually with the lock held.
+var Nopsafe = &Analyzer{
+	Name: "nopsafe",
+	Doc: "report exported obs handle methods that dereference a pointer receiver " +
+		"without the documented nil-receiver no-op guard",
+	Run: runNopsafe,
+}
+
+func runNopsafe(pass *Pass) error {
+	if pass.Pkg.Name() != "obs" {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil || !fd.Name.IsExported() {
+				continue
+			}
+			recv := fd.Recv.List[0]
+			star, ok := recv.Type.(*ast.StarExpr)
+			if !ok {
+				continue // value receivers copy; nil cannot reach them
+			}
+			tid, ok := star.X.(*ast.Ident)
+			if !ok || !tid.IsExported() {
+				continue
+			}
+			if len(recv.Names) == 0 {
+				continue // receiver unused entirely
+			}
+			recvObj := pass.TypesInfo.Defs[recv.Names[0]]
+			if recvObj == nil {
+				continue
+			}
+			if !derefsReceiver(pass.TypesInfo, fd, recvObj) {
+				continue
+			}
+			if !startsWithNilGuard(pass.TypesInfo, fd.Body, recvObj) {
+				pass.Reportf(fd.Name.Pos(), "(*%s).%s dereferences the receiver without the nil-receiver no-op guard", tid.Name, fd.Name.Name)
+			}
+		}
+	}
+	return nil
+}
+
+// derefsReceiver reports whether the method body reads receiver state:
+// a field selection on the receiver (method calls are fine — the
+// callee guards itself).
+func derefsReceiver(info *types.Info, fd *ast.FuncDecl, recvObj types.Object) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			if identObj(info, n.X) != recvObj {
+				return true
+			}
+			if sel, ok := info.Selections[n]; ok && sel.Kind() == types.FieldVal {
+				found = true
+				return false
+			}
+		case *ast.StarExpr:
+			if identObj(info, n.X) == recvObj {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// startsWithNilGuard reports whether the body's first statement is
+//
+//	if r == nil { ...; return }
+//
+// allowing `r == nil` to be any operand of a top-level || chain and
+// requiring the guarded block to end in a return.
+func startsWithNilGuard(info *types.Info, body *ast.BlockStmt, recvObj types.Object) bool {
+	if len(body.List) == 0 {
+		return false
+	}
+	ifs, ok := body.List[0].(*ast.IfStmt)
+	if !ok || ifs.Init != nil || len(ifs.Body.List) == 0 {
+		return false
+	}
+	if _, ok := ifs.Body.List[len(ifs.Body.List)-1].(*ast.ReturnStmt); !ok {
+		return false
+	}
+	return condHasNilCheck(info, ifs.Cond, recvObj)
+}
+
+func condHasNilCheck(info *types.Info, cond ast.Expr, recvObj types.Object) bool {
+	switch c := unparen(cond).(type) {
+	case *ast.BinaryExpr:
+		if c.Op == token.LOR {
+			return condHasNilCheck(info, c.X, recvObj) || condHasNilCheck(info, c.Y, recvObj)
+		}
+		if c.Op != token.EQL {
+			return false
+		}
+		isNil := func(e ast.Expr) bool {
+			id, ok := unparen(e).(*ast.Ident)
+			return ok && id.Name == "nil"
+		}
+		isRecv := func(e ast.Expr) bool {
+			id, ok := unparen(e).(*ast.Ident)
+			return ok && info.Uses[id] == recvObj
+		}
+		return isRecv(c.X) && isNil(c.Y) || isNil(c.X) && isRecv(c.Y)
+	}
+	return false
+}

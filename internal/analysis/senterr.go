@@ -1,0 +1,131 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Senterr enforces error-identity hygiene, the bug class PR 5's
+// sentinel refactor exposed: once a package wraps its sentinels with
+// fmt.Errorf("...: %w", err) — as core, pmu and trace all do — a
+// caller comparing with == silently stops matching. Two checks:
+//
+//  1. ==/!= against an exported package-level `Err*` sentinel. Those
+//     comparisons must be errors.Is so they survive wrapping. (io.EOF
+//     is deliberately out of scope: it is named EOF, and the Reader
+//     contract returns it unwrapped.)
+//  2. fmt.Errorf stringifying an error operand with a non-%w verb.
+//     That breaks the chain for every caller downstream; masking an
+//     error deliberately is legal but must say so with a directive.
+var Senterr = &Analyzer{
+	Name: "senterr",
+	Doc: "report ==/!= comparisons against exported Err* sentinels (use errors.Is) " +
+		"and fmt.Errorf stringifying an error without %w",
+	Run: runSenterr,
+}
+
+func runSenterr(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op != token.EQL && n.Op != token.NEQ {
+					return true
+				}
+				for _, side := range [2]ast.Expr{n.X, n.Y} {
+					if name, ok := sentinelErr(pass.TypesInfo, side); ok {
+						pass.Reportf(n.Pos(), "%s compared with %s; use errors.Is so the match survives wrapping", name, n.Op)
+						return true
+					}
+				}
+			case *ast.CallExpr:
+				checkErrorfVerbs(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// sentinelErr reports whether e references an exported package-level
+// error variable named Err*.
+func sentinelErr(info *types.Info, e ast.Expr) (string, bool) {
+	var id *ast.Ident
+	switch e := unparen(e).(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		if _, ok := unparen(e.X).(*ast.Ident); ok {
+			id = e.Sel
+		}
+	}
+	if id == nil {
+		return "", false
+	}
+	obj, ok := info.Uses[id].(*types.Var)
+	if !ok || obj.Pkg() == nil {
+		return "", false
+	}
+	if obj.Parent() != obj.Pkg().Scope() { // package-level only
+		return "", false
+	}
+	if !strings.HasPrefix(obj.Name(), "Err") || !isErrorType(obj.Type()) {
+		return "", false
+	}
+	return obj.Name(), true
+}
+
+// checkErrorfVerbs maps fmt.Errorf's format verbs to operands and
+// reports error operands rendered with anything but %w.
+func checkErrorfVerbs(pass *Pass, call *ast.CallExpr) {
+	f := callee(pass.TypesInfo, call)
+	if calleePkgPath(f) != "fmt" || f.Name() != "Errorf" || len(call.Args) < 2 {
+		return
+	}
+	format, ok := stringConstant(pass.TypesInfo, call.Args[0])
+	if !ok {
+		return
+	}
+	operands := call.Args[1:]
+	next := 0
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		// Flags, width, precision; '*' consumes an operand.
+		for i < len(format) && strings.ContainsRune("+-# 0123456789.", rune(format[i])) {
+			i++
+		}
+		for i < len(format) && format[i] == '*' {
+			next++
+			i++
+		}
+		if i >= len(format) {
+			break
+		}
+		verb := format[i]
+		if verb == '%' {
+			continue
+		}
+		if next < len(operands) && verb != 'w' {
+			arg := operands[next]
+			if t := pass.TypesInfo.Types[arg].Type; isErrorType(t) {
+				pass.Reportf(arg.Pos(), "error stringified with %%%c loses its identity; use %%w (or suppress if masking is the point)", verb)
+			}
+		}
+		next++
+	}
+}
+
+// stringConstant evaluates e to a compile-time string when possible.
+func stringConstant(info *types.Info, e ast.Expr) (string, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}

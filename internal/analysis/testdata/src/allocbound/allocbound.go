@@ -1,0 +1,64 @@
+// Fixture for the allocbound analyzer: allocations sized by decoded
+// untrusted integers.
+package allocbound
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+)
+
+const maxItems = 1 << 20
+
+var errTooBig = errors.New("allocbound: count exceeds limit")
+
+func unbounded(r *bufio.Reader) ([]byte, error) {
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, n) // want "allocbound: make.. sized by .n., an untrusted decoded integer"
+	return buf, nil
+}
+
+func bounded(r *bufio.Reader) ([]byte, error) {
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, err
+	}
+	if n > maxItems {
+		return nil, errTooBig
+	}
+	buf := make([]byte, n) // negative: dominated by the bound check
+	return buf, nil
+}
+
+func clamped(r *bufio.Reader) []uint64 {
+	n, _ := binary.ReadUvarint(r)
+	out := make([]uint64, 0, min(n, 1024)) // negative: min() against a constant clamps
+	return out
+}
+
+func header(b []byte) []byte {
+	if len(b) < 4 {
+		return nil
+	}
+	n := binary.LittleEndian.Uint32(b)
+	return make([]byte, n) // want "allocbound: make.. sized by .n., an untrusted decoded integer"
+}
+
+func derived(r *bufio.Reader) []byte {
+	n, _ := binary.ReadUvarint(r)
+	count := int(n)
+	return make([]byte, count) // want "allocbound: make.. sized by .count., an untrusted decoded integer"
+}
+
+func trusted(k int) []byte {
+	return make([]byte, k) // negative: no decode in sight
+}
+
+func suppressed(r *bufio.Reader) []byte {
+	n, _ := binary.ReadUvarint(r)
+	//nbtivet:ignore allocbound the reader is an in-process pipe from a trusted encoder in this fixture
+	return make([]byte, n)
+}

@@ -1,0 +1,67 @@
+// Fixture for the detmap analyzer: map iteration order leaking into
+// output, escaping slices, and string accumulation.
+package detmap
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+func sink(w io.Writer, m map[string]int) {
+	for k, v := range m { // want "detmap: map iteration order reaches fmt.Fprintf"
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+func escape(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want "detmap: map iteration order escapes through .keys."
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func sortedEscape(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m { // negative: the canonical collect-sort-iterate shape
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func concat(m map[string]int) string {
+	s := ""
+	for k := range m {
+		s += k // want "detmap: map iteration order is baked into string .s."
+	}
+	return s
+}
+
+func membership(m map[string]bool, xs []string) int {
+	n := 0
+	for _, x := range xs { // negative: slice range, map only probed
+		if m[x] {
+			n++
+		}
+	}
+	return n
+}
+
+func localOnly(m map[string]int) int {
+	total := 0
+	for _, v := range m { // negative: accumulation is order-independent and nothing escapes
+		total += v
+	}
+	return total
+}
+
+func suppressed(m map[string]int) []string {
+	var keys []string
+	//nbtivet:ignore detmap the caller treats this as a set and never observes order
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}

@@ -1,0 +1,41 @@
+// Fixture for the kernelpure analyzer. The package is named core so it
+// falls inside the kernel package set.
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func Spawn(xs []int) {
+	go func() { // want "kernelpure: goroutine spawned in kernel package core"
+		_ = xs
+	}()
+}
+
+func Stamp() int64 {
+	return time.Now().UnixNano() // want "kernelpure: time.Now in kernel package core"
+}
+
+func Jitter() float64 {
+	return rand.Float64() // want "kernelpure: math/rand in kernel package core"
+}
+
+func Keys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m { // want "kernelpure: map iteration in kernel package core"
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func Elapsed(a, b time.Time) time.Duration {
+	return b.Sub(a) // negative: pure arithmetic on values passed in
+}
+
+func Suppressed() float64 {
+	//nbtivet:ignore kernelpure fixed-seed source generating a reproducible synthetic workload
+	return rand.New(rand.NewSource(1)).Float64()
+}

@@ -1,0 +1,53 @@
+// Fixture for the nopsafe analyzer. The package is named obs because
+// the analyzer scopes itself to the telemetry package's documented
+// nil-receiver contract.
+package obs
+
+// Timer is an exported handle; its exported pointer methods must
+// tolerate a nil receiver.
+type Timer struct {
+	n        int
+	disabled bool
+}
+
+func (t *Timer) Count() int { // want "nopsafe: ..Timer..Count dereferences the receiver"
+	return t.n
+}
+
+func (t *Timer) Add(d int) { // want "nopsafe: ..Timer..Add dereferences the receiver"
+	t.n += d
+}
+
+func (t *Timer) Guarded() int {
+	if t == nil {
+		return 0
+	}
+	return t.n
+}
+
+func (t *Timer) GuardedChain() int {
+	if t == nil || t.disabled {
+		return 0
+	}
+	return t.n
+}
+
+func (t *Timer) Forward() int { // negative: method calls only; the callee guards
+	return t.Guarded()
+}
+
+func (t *Timer) reset() { // negative: unexported, runs behind guarded entry points
+	t.n = 0
+}
+
+//nbtivet:ignore nopsafe constructor-only path: every caller holds a freshly allocated handle
+func (t *Timer) Seed(n int) {
+	t.n = n
+}
+
+// buf is unexported; its methods are out of scope.
+type buf struct{ n int }
+
+func (b *buf) Grow() int { // negative: unexported type
+	return b.n
+}

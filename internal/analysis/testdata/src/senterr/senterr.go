@@ -1,0 +1,51 @@
+// Fixture for the senterr analyzer: sentinel comparisons and
+// fmt.Errorf verb hygiene.
+package senterr
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+// ErrClosed is an exported sentinel; comparisons against it must use
+// errors.Is.
+var ErrClosed = errors.New("senterr: closed")
+
+// errQuiet is unexported and out of scope for the Err* rule.
+var errQuiet = errors.New("senterr: quiet")
+
+func compare(err error) bool {
+	if err == ErrClosed { // want "senterr: ErrClosed compared with =="
+		return true
+	}
+	if err != ErrClosed { // want "senterr: ErrClosed compared with !="
+		return false
+	}
+	if errors.Is(err, ErrClosed) { // negative: the idiomatic form
+		return true
+	}
+	if err == io.EOF { // negative: EOF is not an Err* sentinel by contract
+		return true
+	}
+	if err == errQuiet { // negative: unexported name, no Err prefix
+		return true
+	}
+	//nbtivet:ignore senterr this sentinel is guaranteed unwrapped by the producer in this fixture
+	if err == ErrClosed {
+		return true
+	}
+	return false
+}
+
+func wrap(err error) error {
+	_ = fmt.Errorf("open failed: %v", err)            // want "senterr: error stringified with %v"
+	_ = fmt.Errorf("open failed: %s", err)            // want "senterr: error stringified with %s"
+	_ = fmt.Errorf("attempt %d failed: %v", 3, err)   // want "senterr: error stringified with %v"
+	_ = fmt.Errorf("%w: context: %v", ErrClosed, err) // want "senterr: error stringified with %v"
+	//nbtivet:ignore senterr masking is the point: the cause must not stay matchable
+	_ = fmt.Errorf("masked: %v", err)
+	_ = fmt.Errorf("count %d of %d", 1, 2)    // negative: no error operand
+	_ = fmt.Errorf("padded %6.2f", 1.0)       // negative: width/precision, no error
+	return fmt.Errorf("open failed: %w", err) // negative: identity preserved
+}

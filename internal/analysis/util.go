@@ -1,0 +1,129 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// unparen strips redundant parentheses.
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// callee resolves a call's target to its *types.Func (package function
+// or method), or nil for builtins, conversions, and indirect calls
+// through plain function values.
+func callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		f, _ := info.Uses[fun].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			f, _ := sel.Obj().(*types.Func)
+			return f
+		}
+		// Package-qualified call (pkg.Func).
+		f, _ := info.Uses[fun.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}
+
+// calleePkgPath returns the defining package path of a call's target
+// ("" when unresolved or universe-scoped).
+func calleePkgPath(f *types.Func) string {
+	if f == nil || f.Pkg() == nil {
+		return ""
+	}
+	return f.Pkg().Path()
+}
+
+// recvNamed returns the named type of a method's receiver, pointers
+// peeled, or nil for package functions.
+func recvNamed(f *types.Func) *types.Named {
+	if f == nil {
+		return nil
+	}
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// isMapType reports whether t's underlying type is a map.
+func isMapType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+var errorType = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+// isErrorType reports whether t implements the error interface.
+func isErrorType(t types.Type) bool {
+	return t != nil && types.Implements(t, errorType)
+}
+
+// usedObjects collects the objects of every identifier used inside e.
+func usedObjects(info *types.Info, e ast.Expr, into map[types.Object]bool) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := info.Uses[id]; obj != nil {
+				into[obj] = true
+			}
+		}
+		return true
+	})
+}
+
+// typeUnder returns e's underlying type, nil-safe.
+func typeUnder(info *types.Info, e ast.Expr) types.Type {
+	t := info.Types[e].Type
+	if t == nil {
+		return nil
+	}
+	return t.Underlying()
+}
+
+// isBuiltinCall reports whether call invokes the named builtin.
+func isBuiltinCall(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	obj := info.Uses[id]
+	if obj == nil {
+		return true // unresolved bare ident named like the builtin
+	}
+	_, isBuiltin := obj.(*types.Builtin)
+	return isBuiltin
+}
+
+// identObj resolves an expression to the object of its root identifier
+// (x in x, x.f, x[i]), or nil.
+func identObj(info *types.Info, e ast.Expr) types.Object {
+	switch e := unparen(e).(type) {
+	case *ast.Ident:
+		return info.Uses[e]
+	case *ast.SelectorExpr:
+		return identObj(info, e.X)
+	case *ast.IndexExpr:
+		return identObj(info, e.X)
+	}
+	return nil
+}

@@ -343,6 +343,7 @@ func (s *DiskStore) Put(key string, blob []byte) error {
 		// indexed by the next open, but this handle is done.
 		return ErrClosed
 	}
+	//nbtivet:ignore lockedio the lstat must be atomic with the index update: a concurrent Delete between check and insert would leave a dangling index entry (PR 4 race fix)
 	if _, err := os.Lstat(s.path(key)); errors.Is(err, fs.ErrNotExist) {
 		// A Delete (or eviction) of this key won the race between our
 		// rename and this index update: the file is already gone, and
@@ -430,6 +431,7 @@ func (s *DiskStore) evictLocked(keep string) {
 		if !ok || key == keep {
 			continue
 		}
+		//nbtivet:ignore lockedio unlink must be atomic with the index removal or a racing Put of the same key could index a file eviction then deletes
 		os.Remove(s.path(key))
 		delete(s.idx, key)
 		s.bytes -= e.size
@@ -460,6 +462,7 @@ func (s *DiskStore) Delete(key string) error {
 	if !ok {
 		return ErrNotFound
 	}
+	//nbtivet:ignore lockedio unlink must be atomic with the index removal: dropping the lock in between lets a racing Put re-index the doomed file (PR 4 race fix)
 	if err := os.Remove(s.path(key)); err != nil && !os.IsNotExist(err) {
 		return fmt.Errorf("cas: deleting blob: %w", err)
 	}

@@ -255,7 +255,10 @@ func (c *Coordinator) Submit(ctx context.Context, spec engine.SweepSpec) (*Handl
 			if err != nil {
 				// Some peer could not be checked: this is the cluster's
 				// problem, not a bad reference from the client.
-				return nil, fmt.Errorf("%w: cannot verify trace %q: %v", ErrPeerUnavailable, j.TraceID, err)
+				// Both %w: callers match ErrPeerUnavailable for the retry
+				// decision and the cause (e.g. context.DeadlineExceeded)
+				// for diagnosis.
+				return nil, fmt.Errorf("%w: cannot verify trace %q: %w", ErrPeerUnavailable, j.TraceID, err)
 			}
 			return nil, fmt.Errorf("cluster: unknown trace %q (upload it first)", j.TraceID)
 		}

@@ -59,8 +59,8 @@ type blobWriter struct {
 	tmp [binary.MaxVarintLen64]byte
 }
 
-func (w *blobWriter) raw(p []byte)   { w.buf = append(w.buf, p...) }
-func (w *blobWriter) byte(b byte)    { w.buf = append(w.buf, b) }
+func (w *blobWriter) raw(p []byte) { w.buf = append(w.buf, p...) }
+func (w *blobWriter) byte(b byte)  { w.buf = append(w.buf, b) }
 func (w *blobWriter) uvarint(v uint64) {
 	w.buf = append(w.buf, w.tmp[:binary.PutUvarint(w.tmp[:], v)]...)
 }
@@ -429,17 +429,22 @@ func decodeTraceBlob(key string, blob []byte) (*storedTrace, error) {
 	}
 	// The remainder is the canonical trace encoding; its byte budget
 	// (>= 3 bytes per access) bounds the decode.
+	// Both halves of these wraps are %w: a corrupt blob matches
+	// ErrBadBlob, and the decoder's own taxonomy (trace.ErrBadFormat)
+	// stays matchable through the chain — with %v it did not, and
+	// callers could not tell a malformed embedded trace from a
+	// mis-filed one.
 	d, err := trace.NewBinaryDecoder(bytes.NewReader(r.b))
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadBlob, err)
+		return nil, fmt.Errorf("%w: %w", ErrBadBlob, err)
 	}
 	tr, err := d.ReadAll(len(r.b)/3 + 1)
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadBlob, err)
+		return nil, fmt.Errorf("%w: %w", ErrBadBlob, err)
 	}
 	id, size, err := TraceContentID(tr)
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadBlob, err)
+		return nil, fmt.Errorf("%w: %w", ErrBadBlob, err)
 	}
 	if id != key {
 		return nil, fmt.Errorf("%w: blob is trace %s, filed under %s", ErrBadBlob, id, key)

@@ -2,6 +2,8 @@ package engine
 
 import (
 	"context"
+	"errors"
+	"io"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -9,6 +11,7 @@ import (
 	"testing"
 
 	"nbticache/internal/cache"
+	"nbticache/internal/trace"
 	"nbticache/internal/workload"
 )
 
@@ -97,6 +100,47 @@ func TestTraceBlobCodecRoundTrip(t *testing.T) {
 	}
 	if _, err := decodeTraceBlob("trace-0000", blob); err == nil {
 		t.Error("trace blob accepted under another content address")
+	}
+}
+
+// TestTraceBlobErrorChain: a blob whose embedded trace encoding is
+// corrupt must match both ErrBadBlob and the trace decoder's own
+// sentinel through one errors.Is chain. The chain used to break at the
+// engine layer — decodeTraceBlob wrapped the decoder error with %v —
+// so errors.Is(err, trace.ErrBadFormat) was silently false and callers
+// could not tell a malformed embedded trace from a misfiled one
+// (nbtivet senterr regression).
+func TestTraceBlobErrorChain(t *testing.T) {
+	e := testEngine(t, 1)
+	info, _, err := e.AddTrace(uploadableTrace(t, "chain", 900, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, ok := e.store.resolve(info.ID)
+	if !ok {
+		t.Fatal("stored trace vanished")
+	}
+	blob, err := encodeTraceBlob(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The canonical trace encoding sits at the tail of the blob;
+	// truncating it leaves the header and signature intact and makes
+	// only the embedded trace malformed.
+	_, err = decodeTraceBlob(info.ID, blob[:len(blob)-3])
+	if err == nil {
+		t.Fatal("truncated trace section decoded")
+	}
+	if !errors.Is(err, ErrBadBlob) {
+		t.Errorf("errors.Is(err, ErrBadBlob) = false for %v", err)
+	}
+	if !errors.Is(err, trace.ErrBadFormat) {
+		t.Errorf("errors.Is(err, trace.ErrBadFormat) = false for %v; the wrap chain is broken", err)
+	}
+	// The decoder's masking taxonomy must survive the extra layer: a
+	// truncation is malformed input, never a clean end-of-stream.
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Errorf("truncation leaked an io sentinel through the chain: %v", err)
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"hash"
 	"io"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -233,8 +234,8 @@ func (s *traceStore) pinAll(ids []string) error {
 // unpinAll releases one sweep's pins, completing any removal deferred
 // while the sweep was running.
 func (s *traceStore) unpinAll(ids []string) {
+	var reaped []string
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	for _, id := range ids {
 		if s.pins[id]--; s.pins[id] > 0 {
 			continue
@@ -242,16 +243,32 @@ func (s *traceStore) unpinAll(ids []string) {
 		delete(s.pins, id)
 		if s.condemned[id] {
 			s.reapLocked(id)
+			reaped = append(reaped, id)
 		}
 	}
+	s.mu.Unlock()
+	s.deleteBlobs(reaped)
 }
 
-// reapLocked finishes a removal: resident entry and persisted blob both
-// go.
+// reapLocked finishes a removal's in-memory half: the resident entry
+// goes now; the persisted blob is the caller's to delete via
+// deleteBlobs once the mutex is released. Blob deletion is disk I/O,
+// and doing it under s.mu would stall every concurrent lookup on the
+// filesystem (nbtivet lockedio, the PR 3 DiskStore lesson).
 func (s *traceStore) reapLocked(id string) {
 	delete(s.m, id)
 	delete(s.condemned, id)
-	if s.blobs != nil {
+}
+
+// deleteBlobs removes persisted blobs for already-reaped ids. Called
+// without s.mu held: once an id has left s.m it is invisible to
+// lookups and re-admission of the same content recreates the blob, so
+// there is no ordering hazard.
+func (s *traceStore) deleteBlobs(ids []string) {
+	if s.blobs == nil {
+		return
+	}
+	for _, id := range ids {
 		_ = s.blobs.Delete(id)
 	}
 }
@@ -262,15 +279,18 @@ func (s *traceStore) reapLocked(id string) {
 // the sweeps already holding it, fully reaped when the last finishes.
 func (s *traceStore) remove(id string) bool {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if _, ok := s.m[id]; !ok || s.condemned[id] {
+		s.mu.Unlock()
 		return false
 	}
 	if s.pins[id] > 0 {
 		s.condemned[id] = true
+		s.mu.Unlock()
 		return true
 	}
 	s.reapLocked(id)
+	s.mu.Unlock()
+	s.deleteBlobs([]string{id})
 	return true
 }
 
@@ -284,6 +304,10 @@ func (s *traceStore) infos() []TraceInfo {
 		}
 		out = append(out, st.info)
 	}
+	// The map walk above visits in random order; this listing is served
+	// as JSON by the HTTP API, and two identical stores must render the
+	// same bytes (nbtivet detmap).
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
 }
 

@@ -169,7 +169,15 @@ func Lint(r io.Reader) []error {
 		if f.typ != "histogram" {
 			continue
 		}
-		for labels, bs := range f.buckets {
+		// Sort the label sets so the lint report is stable across runs
+		// (nbtivet detmap): errs is returned to callers that diff it.
+		labelSets := make([]string, 0, len(f.buckets))
+		for labels := range f.buckets {
+			labelSets = append(labelSets, labels)
+		}
+		sort.Strings(labelSets)
+		for _, labels := range labelSets {
+			bs := f.buckets[labels]
 			last := bs[len(bs)-1]
 			if !strings.EqualFold(last.le, "+Inf") {
 				errs = append(errs, fmt.Errorf("histogram %s{%s}: final bucket le=%q, want +Inf", n, labels, last.le))
@@ -250,7 +258,8 @@ func parseSample(line string) (parsedSample, error) {
 	}
 	v, err := parseValue(fields[0])
 	if err != nil {
-		return s, fmt.Errorf("sample %q: bad value: %v", line, err)
+		// %w so errors.As can still surface the *strconv.NumError.
+		return s, fmt.Errorf("sample %q: bad value: %w", line, err)
 	}
 	s.value = v
 	return s, nil

@@ -346,6 +346,7 @@ func (t *Tracer) Record(spans ...Span) {
 		}
 		parent, _ := ParseID(sp.ParentID)
 		var attrs []string
+		//nbtivet:ignore detmap attr order is erased downstream: the exporter re-renders attrs as a map, so no observable ordering depends on this walk
 		for k, v := range sp.Attrs {
 			attrs = append(attrs, k, v)
 		}

@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -85,7 +86,8 @@ func TestQuantile(t *testing.T) {
 			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
 		}
 	}
-	if _, err := Quantile(nil, 0.5); err != ErrEmpty {
+	// errors.Is, not ==: the match must survive wrapping (nbtivet senterr).
+	if _, err := Quantile(nil, 0.5); !errors.Is(err, ErrEmpty) {
 		t.Errorf("Quantile(empty) err = %v, want ErrEmpty", err)
 	}
 	if _, err := Quantile(xs, 1.5); err == nil {
@@ -272,7 +274,8 @@ func TestPercentiles(t *testing.T) {
 			t.Errorf("Percentiles[%d] = %v, want %v", i, got[i], want[i])
 		}
 	}
-	if _, err := Percentiles(nil, 0.5); err != ErrEmpty {
+	// errors.Is, not ==: the match must survive wrapping (nbtivet senterr).
+	if _, err := Percentiles(nil, 0.5); !errors.Is(err, ErrEmpty) {
 		t.Errorf("err = %v, want ErrEmpty", err)
 	}
 	if _, err := Percentiles(xs, -0.1); err == nil {

@@ -125,6 +125,7 @@ func newTextDecoder(br *bufio.Reader) *Decoder {
 func badOrIO(err error, format string, args ...any) error {
 	msg := fmt.Sprintf(format, args...)
 	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, errVarintOverflow) {
+		//nbtivet:ignore senterr masking is the point: %w here would make errors.Is(err, io.EOF) true and corruption would read as clean end-of-stream
 		return fmt.Errorf("%w: %s: %v", ErrBadFormat, msg, err)
 	}
 	return fmt.Errorf("trace: read: %s: %w", msg, err)
@@ -199,6 +200,7 @@ func newBinaryDecoder(br *bufio.Reader) (*Decoder, error) {
 	}
 	d.name = string(name)
 	if err := checkName(d.name); err != nil {
+		//nbtivet:ignore senterr ErrBadFormat is the decoder's only public sentinel; the checkName detail is message-only by design
 		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
 	}
 	if d.fmt == formatBinaryV1 {
@@ -372,6 +374,7 @@ func (d *Decoder) nextText() (Access, error) {
 		var cycle, addr uint64
 		var kindStr string
 		if _, err := fmt.Sscanf(line, "%d %s %v", &cycle, &kindStr, &addr); err != nil {
+			//nbtivet:ignore senterr Sscanf failures can carry io.EOF; %w would make corruption match clean end-of-stream
 			return Access{}, fmt.Errorf("%w: line %d: %v", ErrBadFormat, d.lineNo, err)
 		}
 		var k Kind
@@ -388,6 +391,7 @@ func (d *Decoder) nextText() (Access, error) {
 	if err := d.sc.Err(); err != nil {
 		if errors.Is(err, bufio.ErrTooLong) {
 			// An over-long token is malformed input, not an I/O failure.
+			//nbtivet:ignore senterr deliberate demotion: bufio.ErrTooLong is reclassified as ErrBadFormat and must not stay matchable as an I/O error
 			return Access{}, fmt.Errorf("%w: line %d: %v", ErrBadFormat, d.lineNo+1, err)
 		}
 		return Access{}, fmt.Errorf("trace: read: %w", err)
@@ -408,11 +412,13 @@ func (d *Decoder) textHeader(line string) error {
 		// different content address — than its binary form. (checkName
 		// bans leading/trailing spaces, so line trimming loses nothing.)
 		if err := checkName(rest); err != nil {
+			//nbtivet:ignore senterr ErrBadFormat is the decoder's only public sentinel; the checkName detail is message-only by design
 			return fmt.Errorf("%w: line %d: %v", ErrBadFormat, d.lineNo, err)
 		}
 		d.name = rest
 	case "cycles":
 		if _, err := fmt.Sscanf(rest, "%d", &d.cycles); err != nil {
+			//nbtivet:ignore senterr Sscanf failures can carry io.EOF; %w would make corruption match clean end-of-stream
 			return fmt.Errorf("%w: line %d: cycles header: %v", ErrBadFormat, d.lineNo, err)
 		}
 	}
