@@ -35,6 +35,39 @@ func TestParse(t *testing.T) {
 	}
 }
 
+// -count=N output repeats each name; the aggregate must be the fastest
+// sample (a consistent snapshot of that run's fields), in
+// first-occurrence order, with samples counting the lines collapsed.
+func TestParseMinOfCounts(t *testing.T) {
+	const counted = `BenchmarkEngineSweep/serial-8	10	1900000 ns/op	800000 B/op	3600 allocs/op
+BenchmarkEngineSweep/pooled-8	10	1800000 ns/op	900000 B/op	3700 allocs/op
+BenchmarkEngineSweep/serial-8	10	1500000 ns/op	810000 B/op	3500 allocs/op
+BenchmarkEngineSweep/pooled-8	10	1850000 ns/op	910000 B/op	3800 allocs/op
+BenchmarkEngineSweep/serial-8	10	1700000 ns/op	820000 B/op	3550 allocs/op
+PASS
+`
+	got, err := Parse(strings.NewReader(counted))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("parsed %d results, want 2: %+v", len(got), got)
+	}
+	serial, pooled := got[0], got[1]
+	if serial.Name != "BenchmarkEngineSweep/serial" || pooled.Name != "BenchmarkEngineSweep/pooled" {
+		t.Fatalf("order not first-occurrence: %q, %q", serial.Name, pooled.Name)
+	}
+	if serial.NsPerOp != 1500000 || serial.Samples != 3 {
+		t.Errorf("serial = %+v, want min ns 1500000 over 3 samples", serial)
+	}
+	if serial.BytesPerOp != 810000 || serial.AllocsPerOp != 3500 {
+		t.Errorf("serial bytes/allocs %d/%d not from the min-ns sample", serial.BytesPerOp, serial.AllocsPerOp)
+	}
+	if pooled.NsPerOp != 1800000 || pooled.Samples != 2 {
+		t.Errorf("pooled = %+v, want min ns 1800000 over 2 samples", pooled)
+	}
+}
+
 func TestParseEmpty(t *testing.T) {
 	got, err := Parse(strings.NewReader("PASS\nok\tx\t1s\n"))
 	if err != nil {

@@ -24,6 +24,9 @@
 //     nil-receiver no-op guard.
 //   - kernelpure: wall-clock, randomness, map iteration or goroutine
 //     spawns inside the hot kernel packages (core, cache, pmu, index).
+//   - soalayout: per-element trace.Access construction or row-slice
+//     field gathers inside loops in core, cache, and pmu — the hidden
+//     transpose the columnar trace path (PR 8) exists to eliminate.
 //
 // Findings are suppressed per line with an explanation:
 //

@@ -9,6 +9,7 @@ func All() []*Analyzer {
 		Senterr,
 		Nopsafe,
 		Kernelpure,
+		Soalayout,
 	}
 }
 

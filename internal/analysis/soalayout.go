@@ -1,0 +1,139 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// soaPackages are the packages whose loops must consume columns, not
+// rows. They are the subset of the kernel set that actually touches
+// access streams — index computes placements and never sees a trace.
+var soaPackages = map[string]bool{
+	"core":  true,
+	"cache": true,
+	"pmu":   true,
+}
+
+// Soalayout keeps the hot kernel packages columnar. The columnar trace
+// path (SoA blobs, zero-transpose decode, batched kernels) exists
+// because row-at-a-time code — building one trace.Access per element,
+// or gathering .Cycle/.Addr/.Kind out of an []trace.Access inside a
+// loop — costs a hidden transpose per chunk and defeats the layout the
+// disk format, the decoder, and the kernel all share. The analyzer
+// flags both shapes inside for/range loops in core, cache, and pmu;
+// the deliberate row-compatibility paths (RunBuffered, RunMonolithic)
+// carry //nbtivet:ignore directives naming why they transpose.
+//
+// Field gathers are reported once per innermost loop, at the loop
+// statement, so one suppression directive covers the whole transpose.
+// Test files are exempt: tests and benchmarks build row fixtures.
+var Soalayout = &Analyzer{
+	Name: "soalayout",
+	Doc: "report per-element trace.Access construction and row-slice field gathers " +
+		"(.Cycle/.Addr/.Kind off an indexed []trace.Access) inside loops in the hot " +
+		"kernel packages (core, cache, pmu); hot paths consume columnar slices",
+	Run: runSoalayout,
+}
+
+func runSoalayout(pass *Pass) error {
+	if !soaPackages[pass.Pkg.Name()] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		filename := pass.Fset.Position(f.Pos()).Filename
+		if strings.HasSuffix(filepath.Base(filename), "_test.go") {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch l := n.(type) {
+			case *ast.ForStmt:
+				checkLoopBody(pass, l.Body, l.Pos())
+			case *ast.RangeStmt:
+				// A two-variable range over rows copies one Access per
+				// element before any field is read.
+				if l.Value != nil && isAccessSlice(pass.TypesInfo.Types[l.X].Type) {
+					pass.Reportf(l.Pos(), "range copies one trace.Access per element; iterate columnar slices (Cycles/Addrs/Kinds) instead")
+				}
+				checkLoopBody(pass, l.Body, l.Pos())
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkLoopBody scans one loop body, stopping at nested loops (each
+// loop owns its own findings, so a directive on the innermost loop is
+// enough). Access composite literals report per occurrence; field
+// gathers accumulate and report once at the loop statement.
+func checkLoopBody(pass *Pass, body *ast.BlockStmt, loopPos token.Pos) {
+	gathered := make(map[string]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			return false
+		case *ast.CompositeLit:
+			if isAccessNamed(pass.TypesInfo.Types[n].Type) {
+				pass.Reportf(n.Pos(), "trace.Access constructed per element inside a loop; append to columnar slices (trace.Columns) instead")
+			}
+		case *ast.SelectorExpr:
+			if idx, ok := unparen(n.X).(*ast.IndexExpr); ok {
+				if isAccessSlice(pass.TypesInfo.Types[idx.X].Type) {
+					gathered[n.Sel.Name] = true
+				}
+			}
+		}
+		return true
+	})
+	if len(gathered) > 0 {
+		fields := make([]string, 0, len(gathered))
+		for f := range gathered {
+			fields = append(fields, f)
+		}
+		sort.Strings(fields)
+		pass.Reportf(loopPos, "loop gathers %s element-by-element from []trace.Access; a hot path should consume columnar slices, a transpose belongs behind the row-compatibility API", strings.Join(fields, "/"))
+	}
+}
+
+// isAccessNamed matches the trace.Access row shape structurally — a
+// named struct called Access with Cycle and Addr fields — rather than
+// by package path, so fixtures (which may only import the standard
+// library) can declare their own.
+func isAccessNamed(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Name() != "Access" {
+		return false
+	}
+	st, ok := n.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	var cycle, addr bool
+	for i := 0; i < st.NumFields(); i++ {
+		switch st.Field(i).Name() {
+		case "Cycle":
+			cycle = true
+		case "Addr":
+			addr = true
+		}
+	}
+	return cycle && addr
+}
+
+// isAccessSlice reports whether t is a slice or array of Access rows.
+func isAccessSlice(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Slice:
+		return isAccessNamed(u.Elem())
+	case *types.Array:
+		return isAccessNamed(u.Elem())
+	}
+	return false
+}

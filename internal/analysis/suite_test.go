@@ -35,6 +35,10 @@ func TestKernelpure(t *testing.T) {
 	analysistest.Run(t, "testdata", []*analysis.Analyzer{analysis.Kernelpure}, "kernelpure")
 }
 
+func TestSoalayout(t *testing.T) {
+	analysistest.Run(t, "testdata", []*analysis.Analyzer{analysis.Soalayout}, "soalayout")
+}
+
 func TestByName(t *testing.T) {
 	found, unknown := analysis.ByName([]string{"senterr", "nosuch", "detmap"})
 	if len(found) != 2 || found[0].Name != "senterr" || found[1].Name != "detmap" {

@@ -1,0 +1,78 @@
+// Fixture for the soalayout analyzer. The package is named core so it
+// falls inside the columnar package set; Access mirrors the row shape
+// the real trace package defines (the analyzer matches structurally,
+// because fixtures may only import the standard library).
+package core
+
+// Access is the row type: one element per memory reference.
+type Access struct {
+	Cycle uint64
+	Addr  uint64
+	Kind  uint8
+}
+
+// Columns is the columnar layout loops are supposed to consume.
+type Columns struct {
+	Cycles []uint64
+	Addrs  []uint64
+	Kinds  []uint8
+}
+
+// ToRows rebuilds rows from columns — per-element construction in a loop.
+func ToRows(c Columns) []Access {
+	out := make([]Access, 0, len(c.Cycles))
+	for i := range c.Cycles {
+		out = append(out, Access{Cycle: c.Cycles[i], Addr: c.Addrs[i], Kind: c.Kinds[i]}) // want "soalayout: trace.Access constructed per element inside a loop"
+	}
+	return out
+}
+
+func Transpose(rows []Access, cycles, addrs []uint64) {
+	for i := range rows { // want "soalayout: loop gathers Addr/Cycle element-by-element"
+		cycles[i] = rows[i].Cycle
+		addrs[i] = rows[i].Addr
+	}
+}
+
+func SumKinds(rows []Access) uint64 {
+	var total uint64
+	for _, a := range rows { // want "soalayout: range copies one trace.Access per element"
+		total += uint64(a.Kind)
+	}
+	return total
+}
+
+// SumColumns is the negative: columnar consumption inside a loop is
+// exactly what the analyzer wants to see.
+func SumColumns(c Columns) uint64 {
+	var total uint64
+	for i := range c.Cycles {
+		total += c.Cycles[i] + c.Addrs[i]
+	}
+	return total
+}
+
+// One reports on one element outside any loop — a single row access is
+// not a layout problem.
+func One(rows []Access) uint64 {
+	return rows[0].Cycle
+}
+
+// InnermostOwns proves the nested-loop attribution: the gather is
+// reported at the inner loop, not the outer one.
+func InnermostOwns(chunks [][]Access, sink []uint64) {
+	for _, chunk := range chunks {
+		for i := range chunk { // want "soalayout: loop gathers Cycle element-by-element"
+			sink[i] = chunk[i].Cycle
+		}
+	}
+}
+
+// Suppressed is the directive case: a deliberate transpose carrying
+// its reason.
+func Suppressed(rows []Access, cycles []uint64) {
+	//nbtivet:ignore soalayout row-compatibility shim feeding the batched kernel from legacy input
+	for i := range rows {
+		cycles[i] = rows[i].Cycle
+	}
+}

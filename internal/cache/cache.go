@@ -136,7 +136,7 @@ func New(g Geometry) (*Cache, error) {
 	if tagBits < 64 {
 		tagMask = 1<<uint(tagBits) - 1
 	}
-	return &Cache{
+	c := &Cache{
 		geom:    g,
 		ways:    g.Ways,
 		offBits: uint(g.OffsetBits()),
@@ -144,8 +144,14 @@ func New(g Geometry) (*Cache, error) {
 		idxMask: uint64(g.Sets() - 1),
 		tagMask: tagMask,
 		tags:    make([]uint64, n),
-		stamp:   make([]uint64, n),
-	}, nil
+	}
+	// LRU stamps exist only for associative organisations; the
+	// direct-mapped path (the paper's architecture, built per bank per
+	// job on the sweep hot path) never touches them.
+	if g.Ways > 1 {
+		c.stamp = make([]uint64, n)
+	}
+	return c, nil
 }
 
 // Geometry returns the cache organisation.
@@ -229,6 +235,47 @@ func (c *Cache) AccessBatch(addrs []uint64) uint64 {
 		}
 	}
 	return hits
+}
+
+// DirectTags is the flattened tag store of a direct-mapped cache plus
+// its precomputed address splits — the view the fused simulation kernel
+// (internal/core) probes inline, one load and one compare per access,
+// without a per-element call. Tags aliases the cache's own store, so
+// Flush (and fills through the normal entry points) stay visible to the
+// view and vice versa. A kernel probing through the view must report
+// its lookup tallies back through AddBatchStats to keep Stats whole.
+type DirectTags struct {
+	// Tags is the live tag-word array: tag<<1|valid per line, 0 invalid.
+	Tags []uint64
+	// OffBits/IdxBits/IdxMask/TagMask are the address splits: for addr,
+	// la := addr >> OffBits; set := la & IdxMask;
+	// word := ((la>>IdxBits)&TagMask)<<1 | 1.
+	OffBits, IdxBits uint
+	IdxMask, TagMask uint64
+}
+
+// Direct returns the direct-mapped probe view. ok is false for a
+// set-associative organisation, whose way scan and LRU stamps cannot be
+// probed as a single tag word.
+func (c *Cache) Direct() (dt DirectTags, ok bool) {
+	if c.ways != 1 {
+		return DirectTags{}, false
+	}
+	return DirectTags{
+		Tags:    c.tags,
+		OffBits: c.offBits,
+		IdxBits: c.idxBits,
+		IdxMask: c.idxMask,
+		TagMask: c.tagMask,
+	}, true
+}
+
+// AddBatchStats folds lookups performed externally through a Direct
+// view into the hit/miss counters, exactly as AccessBatch tallies its
+// own loop.
+func (c *Cache) AddBatchStats(hits, misses uint64) {
+	c.hits += hits
+	c.misses += misses
 }
 
 // Contains reports presence without updating LRU or counters.

@@ -1,0 +1,38 @@
+package cas
+
+import "errors"
+
+// Blob is a read-only view of one stored payload whose backing memory
+// may be a file mapping rather than a heap buffer. It is the zero-copy
+// read path of DiskStore (see GetBlob): the caller decodes straight out
+// of Bytes and then Releases the view, instead of paying a full-frame
+// heap read for bytes it consumes once. Callers must not modify Bytes,
+// and must not touch it after Release.
+type Blob struct {
+	data    []byte
+	release func() error
+}
+
+// Bytes returns the payload. The slice is valid until Release.
+func (b *Blob) Bytes() []byte { return b.data }
+
+// Release returns the backing memory (unmapping it when mapped). It is
+// idempotent: the first call settles, later calls are no-ops.
+func (b *Blob) Release() error {
+	if b == nil {
+		return nil
+	}
+	if b.release == nil {
+		b.data = nil
+		return nil
+	}
+	rel := b.release
+	b.release = nil
+	b.data = nil
+	return rel()
+}
+
+// errMmapUnavailable marks a mapping attempt that should silently fall
+// back to an ordinary read: an unsupported platform, or a file shape
+// the platform cannot map. It is internal — GetBlob never surfaces it.
+var errMmapUnavailable = errors.New("cas: mmap unavailable")

@@ -1,0 +1,120 @@
+package cas
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"testing"
+)
+
+func TestGetBlobMatchesGet(t *testing.T) {
+	s, err := OpenDisk(t.TempDir(), Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	payload := bytes.Repeat([]byte("columnar bytes "), 1000)
+	if err := s.Put("trace-a", payload); err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.GetBlob("trace-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b.Bytes(), payload) {
+		t.Fatalf("GetBlob bytes differ from Put payload (%d vs %d bytes)", len(b.Bytes()), len(payload))
+	}
+	plain, err := s.Get("trace-a")
+	if err != nil || !bytes.Equal(plain, b.Bytes()) {
+		t.Fatalf("Get = %v, bytes equal = %v", err, bytes.Equal(plain, b.Bytes()))
+	}
+	if err := b.Release(); err != nil {
+		t.Fatalf("Release: %v", err)
+	}
+	if err := b.Release(); err != nil {
+		t.Fatalf("second Release: %v", err)
+	}
+	if b.Bytes() != nil {
+		t.Fatal("Bytes after Release should be nil")
+	}
+	var nilBlob *Blob
+	if err := nilBlob.Release(); err != nil {
+		t.Fatalf("nil Release: %v", err)
+	}
+}
+
+func TestGetBlobAbsentAndClosed(t *testing.T) {
+	s, err := OpenDisk(t.TempDir(), Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.GetBlob("trace-missing"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("GetBlob absent = %v, want ErrNotFound", err)
+	}
+	if _, err := s.GetBlob("bad key!"); !errors.Is(err, ErrBadKey) {
+		t.Fatalf("GetBlob bad key = %v, want ErrBadKey", err)
+	}
+	s.Close()
+	if _, err := s.GetBlob("trace-a"); !errors.Is(err, ErrClosed) {
+		t.Fatalf("GetBlob closed = %v, want ErrClosed", err)
+	}
+}
+
+// A corrupt frame read through GetBlob is quarantined exactly like a
+// corrupt frame read through Get: ErrNotFound now, a corruption count,
+// and the file moved aside.
+func TestGetBlobCorruptQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenDisk(dir, Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	if err := s.Put("trace-rot", []byte("soon to be flipped")); err != nil {
+		t.Fatal(err)
+	}
+	path := s.path("trace-rot")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 0xff // flip a checksum byte
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.GetBlob("trace-rot"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("GetBlob corrupt = %v, want ErrNotFound", err)
+	}
+	if got := s.Metrics().Corruptions; got != 1 {
+		t.Fatalf("Corruptions = %d, want 1", got)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("corrupt frame still at %s (err %v)", path, err)
+	}
+}
+
+// Deleting a key while a Blob is live must not invalidate the Blob: the
+// mapping (or fallback copy) pins the verified bytes, the delete only
+// unlinks the name.
+func TestGetBlobSurvivesDelete(t *testing.T) {
+	s, err := OpenDisk(t.TempDir(), Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	payload := bytes.Repeat([]byte{0x5a}, 8192)
+	if err := s.Put("trace-pinned", payload); err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.GetBlob("trace-pinned")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Release()
+	if err := s.Delete("trace-pinned"); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b.Bytes(), payload) {
+		t.Fatal("blob bytes changed after Delete")
+	}
+}

@@ -258,6 +258,12 @@ func (s *DiskStore) Get(key string) ([]byte, error) {
 	if !ok {
 		return nil, ErrNotFound
 	}
+	return s.readPlain(key, e)
+}
+
+// readPlain is Get's read half: a full heap read of the frame, payload
+// hash verified, misread frames diagnosed via corruptMiss.
+func (s *DiskStore) readPlain(key string, e *diskEntry) ([]byte, error) {
 	raw, err := os.ReadFile(s.path(key))
 	if err == nil {
 		if payload, perr := extractPayload(raw, key); perr == nil {
@@ -265,15 +271,74 @@ func (s *DiskStore) Get(key string) ([]byte, error) {
 			return payload, nil
 		}
 	}
-	// Unreadable or failed verification. If the key is still indexed,
-	// the store itself is damaged: quarantine and count. If it is not —
-	// a Delete or eviction raced this read — it is an ordinary miss.
+	s.corruptMiss(key, e)
+	return nil, ErrNotFound
+}
+
+// corruptMiss settles a read that could not be verified: if the key is
+// still indexed under the same entry, the store itself is damaged —
+// quarantine and count. If it is not, a Delete or eviction raced the
+// read and this is an ordinary miss.
+func (s *DiskStore) corruptMiss(key string, e *diskEntry) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if cur, ok := s.idx[key]; ok && cur == e {
 		s.dropCorruptLocked(key, e)
 	}
-	return nil, ErrNotFound
+}
+
+// GetBlob is Get's zero-copy variant: where the platform supports it,
+// the frame file is mapped read-only and the returned Blob's bytes
+// alias the mapping, so a large payload is decoded straight from the
+// page cache without a full-frame heap copy. Verification is identical
+// to Get — the payload hash is checked (from the mapped bytes) before
+// the Blob is returned, and an unverifiable frame is quarantined and
+// reported as ErrNotFound. Where mapping is unavailable the call
+// degrades to the plain read, so callers need no platform awareness
+// beyond Releasing the Blob when done.
+//
+// Concurrent Delete, eviction or re-Put of the key never invalidates a
+// returned Blob: deletes unlink the name and overwrites rename a fresh
+// file over it (frames are never truncated in place), so the mapping's
+// inode — already verified — lives until Release.
+func (s *DiskStore) GetBlob(key string) (*Blob, error) {
+	if s.obs != nil {
+		start := time.Now()
+		defer func() { s.obs("get", time.Since(start).Seconds()) }()
+	}
+	s.gets.Add(1)
+	if err := checkKey(key); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	e, ok := s.idx[key]
+	s.mu.Unlock()
+	if !ok {
+		return nil, ErrNotFound
+	}
+	raw, unmap, err := mmapFile(s.path(key))
+	if err != nil {
+		// Not mappable here (platform, empty file, transient open
+		// failure): the plain path settles it, including the
+		// corruption-vs-miss diagnosis if the file is truly unreadable.
+		payload, gerr := s.readPlain(key, e)
+		if gerr != nil {
+			return nil, gerr
+		}
+		return &Blob{data: payload}, nil
+	}
+	payload, perr := extractPayload(raw, key)
+	if perr != nil {
+		_ = unmap()
+		s.corruptMiss(key, e)
+		return nil, ErrNotFound
+	}
+	s.hits.Add(1)
+	return &Blob{data: payload, release: unmap}, nil
 }
 
 // extractPayload parses and verifies a full frame, returning the

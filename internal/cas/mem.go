@@ -19,6 +19,7 @@ type MemStore struct {
 	mu     sync.Mutex
 	m      map[string]*memEntry
 	order  []string // insertion order with tombstones, compacted lazily
+	dead   int      // tombstones in order (keys deleted or evicted)
 	closed bool
 	bytes  int64
 
@@ -112,19 +113,29 @@ func (s *MemStore) evictLocked(keep string) {
 		}
 		s.bytes -= int64(len(e.blob))
 		delete(s.m, key)
+		s.dead++
 		s.evictions.Add(1)
 	}
-	// Compact the scanned (now dead or kept) prefix only when it has
-	// grown past the live set, keeping eviction amortised O(1).
-	if len(s.order) > 2*(len(s.m)+1) {
-		live := s.order[:0]
-		for _, key := range s.order {
-			if _, ok := s.m[key]; ok {
-				live = append(live, key)
-			}
-		}
-		s.order = live
+	s.compactLocked()
+}
+
+// compactLocked rewrites order without its tombstones once they
+// outnumber the live set — a tombstone count, not a map probe per
+// element, decides, so a delete-heavy workload (a result cache reset
+// drops every key) cannot build an ever-growing dead prefix that every
+// later compaction rescans.
+func (s *MemStore) compactLocked() {
+	if s.dead <= len(s.m)+1 {
+		return
 	}
+	live := s.order[:0]
+	for _, key := range s.order {
+		if _, ok := s.m[key]; ok {
+			live = append(live, key)
+		}
+	}
+	s.order = live
+	s.dead = 0
 }
 
 // Delete implements Store.
@@ -143,7 +154,9 @@ func (s *MemStore) Delete(key string) error {
 	}
 	s.bytes -= int64(len(e.blob))
 	delete(s.m, key)
+	s.dead++
 	s.deletes.Add(1)
+	s.compactLocked()
 	return nil
 }
 

@@ -1,0 +1,38 @@
+//go:build linux
+
+package cas
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps path read-only in one piece. The returned unmap must be
+// called exactly once when the caller is done with data. A file the
+// platform cannot map (empty, or larger than the address space allows)
+// returns errMmapUnavailable so the caller falls back to a plain read.
+//
+// The mapping pins the inode, not the directory entry: a concurrent
+// Delete unlinks the name and an overwrite of the same key renames a
+// fresh temp file over it (DiskStore never truncates a frame in place),
+// so live mappings keep reading the bytes they verified.
+func mmapFile(path string) (data []byte, unmap func() error, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, nil, err
+	}
+	size := fi.Size()
+	if size <= 0 || size != int64(int(size)) {
+		return nil, nil, errMmapUnavailable
+	}
+	data, err = syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, errMmapUnavailable
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}

@@ -1,0 +1,10 @@
+//go:build !linux
+
+package cas
+
+// mmapFile on platforms without a wired-up mapping path reports
+// errMmapUnavailable, so GetBlob degrades to the plain read everywhere
+// mmap is not known to be safe.
+func mmapFile(string) ([]byte, func() error, error) {
+	return nil, nil, errMmapUnavailable
+}

@@ -10,6 +10,7 @@ import (
 	"nbticache/internal/aging"
 	"nbticache/internal/cache"
 	"nbticache/internal/index"
+	"nbticache/internal/pmu"
 	"nbticache/internal/trace"
 )
 
@@ -341,6 +342,143 @@ func FuzzBatchEquivalence(f *testing.F) {
 			t.Fatalf("scalar and batched diverge for cfg %+v batch %d", cfg, batchSize)
 		}
 	})
+}
+
+// TestFusedGeneralEquivalence is the kernel differential: the fused
+// single-pass kernel and the general scatter kernel must be
+// bit-identical on every direct-mapped configuration, including
+// partial application on unordered input.
+func TestFusedGeneralEquivalence(t *testing.T) {
+	g := cache.Geometry{Size: 16 * 1024, LineSize: 16, Ways: 1, AddressBits: 32}
+	seed := int64(100)
+	for _, pol := range []index.Kind{index.KindIdentity, index.KindProbing, index.KindScrambling} {
+		for _, banks := range []int{2, 4, 8} {
+			for _, ue := range []uint64{0, 1, 7, 100, 4097} {
+				cfg := Config{Geometry: g, Banks: banks, Policy: pol, UpdateEvery: ue}
+				seed++
+				tr := oracleTrace(seed, 5000, g)
+				fused, err := New(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !fused.fusable {
+					t.Fatal("direct-mapped config not fusable")
+				}
+				fres, err := fused.RunBuffered(tr, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				general, err := New(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				general.forceGeneral = true
+				gres, err := general.RunBuffered(tr, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				requireIdentical(t, "fused vs general", gres, fres)
+			}
+		}
+	}
+}
+
+// TestFusedGeneralPartialApplication pins that both kernels stop at the
+// same offending access, apply the same prefix, and leave the same
+// cursor state.
+func TestFusedGeneralPartialApplication(t *testing.T) {
+	g := cache.Geometry{Size: 1024, LineSize: 16, Ways: 1, AddressBits: 32}
+	cfg := Config{Geometry: g, Banks: 4, Policy: index.KindProbing, UpdateEvery: 5}
+	bad := oracleTrace(7, 200, g)
+	bad.Accesses[123].Cycle = 0 // out of order at index 123
+
+	run := func(force bool) (hits uint64, applied int, err error, after error) {
+		pc, nerr := New(cfg)
+		if nerr != nil {
+			t.Fatal(nerr)
+		}
+		pc.forceGeneral = force
+		hits, applied, err = pc.accessBatch(cyclesOf(bad), addrsOf(bad), kindsOf(bad))
+		// Probe the post-error cursor: the last applied cycle must still
+		// be enforced.
+		_, _, after = pc.Access(bad.Accesses[122].Cycle-1, 0x40, trace.Read)
+		return
+	}
+	fh, fa, ferr, fafter := run(false)
+	gh, ga, gerr, gafter := run(true)
+	if fa != 123 || ga != 123 {
+		t.Fatalf("applied: fused=%d general=%d, want 123", fa, ga)
+	}
+	if fh != gh {
+		t.Fatalf("hits diverge: fused=%d general=%d", fh, gh)
+	}
+	if !errors.Is(ferr, pmu.ErrUnordered) || !errors.Is(gerr, pmu.ErrUnordered) {
+		t.Fatalf("errors: fused=%v general=%v", ferr, gerr)
+	}
+	if ferr.Error() != gerr.Error() {
+		t.Fatalf("error text diverges:\nfused:   %v\ngeneral: %v", ferr, gerr)
+	}
+	if (fafter == nil) != (gafter == nil) {
+		t.Fatalf("post-error cursor diverges: fused=%v general=%v", fafter, gafter)
+	}
+}
+
+// TestRunColumnsEquivalence is the columnar↔row oracle: driving the
+// columnar form through RunColumns must be bit-identical to driving the
+// row form through RunBuffered, across batch sizes and update cadences,
+// for both kernels.
+func TestRunColumnsEquivalence(t *testing.T) {
+	g := cache.Geometry{Size: 16 * 1024, LineSize: 16, Ways: 1, AddressBits: 32}
+	assoc := cache.Geometry{Size: 16 * 1024, LineSize: 16, Ways: 2, AddressBits: 32}
+	seed := int64(200)
+	for _, geom := range []cache.Geometry{g, assoc} {
+		for _, ue := range []uint64{0, 3, 1023} {
+			for _, bs := range []int{1, 64, 4096, 10000} {
+				cfg := Config{Geometry: geom, Banks: 4, Policy: index.KindProbing, UpdateEvery: ue}
+				seed++
+				tr := oracleTrace(seed, 5000, geom)
+				rows := runBatchedOracle(t, cfg, tr, bs)
+				pc, err := New(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cols, err := pc.RunColumns(trace.FromRows(tr), NewBatch(bs))
+				if err != nil {
+					t.Fatal(err)
+				}
+				requireIdentical(t, "columns vs rows", rows, cols)
+
+				// The unchecked entry point must be bit-identical to the
+				// checked one on valid input (the only input it admits).
+				pcU, err := New(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				uncheck, err := pcU.RunColumnsUnchecked(trace.FromRows(tr), NewBatch(bs))
+				if err != nil {
+					t.Fatal(err)
+				}
+				requireIdentical(t, "unchecked vs checked", cols, uncheck)
+			}
+		}
+	}
+}
+
+// TestRunColumnsUncheckedLengthParity pins the one check the unchecked
+// path must keep: mismatched column lengths are rejected before the
+// kernel can index past a shorter column.
+func TestRunColumnsUncheckedLengthParity(t *testing.T) {
+	g := cache.Geometry{Size: 16 * 1024, LineSize: 16, Ways: 1, AddressBits: 32}
+	cfg := Config{Geometry: g, Banks: 4, Policy: index.KindProbing}
+	pc, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cols := trace.FromRows(oracleTrace(77, 100, g))
+	cols.Kinds = cols.Kinds[:len(cols.Kinds)-1]
+	if _, err := pc.RunColumnsUnchecked(cols, nil); err == nil {
+		t.Fatal("mismatched column lengths accepted")
+	}
 }
 
 // TestRunBufferedReuse pins buffer reuse across runs: the same Batch

@@ -139,15 +139,33 @@ type PartitionedCache struct {
 	// per batch segment.
 	untilUpdate uint64
 
+	// Fused-path state, present when every bank is direct-mapped (the
+	// paper's organisation): each bank's flattened tag-word array and
+	// the shared address splits, captured once at New from the cache's
+	// Direct views. The fused kernel decodes, accounts both PMUs, and
+	// probes the tag store in one walk over the batch columns, with no
+	// intermediate region/bank/scatter buffers at all.
+	fusable    bool
+	directTags [][]uint64
+	dOff, dIdx uint
+	dIdxMask   uint64
+	dTagMask   uint64
+	// forceGeneral disables the fused path (differential-test hook: the
+	// general scatter path and the fused walk must agree bit for bit).
+	forceGeneral bool
+
 	// Batch scratch, reused across AccessBatch calls: decoded regions
 	// and banks for the PMU feeds, and the flat per-bank address scatter
-	// for the cache sub-batches. RunBuffered lends a pooled Batch's
-	// columns here so engine-driven simulations allocate none of it.
+	// for the cache sub-batches — the general path's working set (the
+	// fused path needs none of it). RunBuffered and RunColumns lend a
+	// pooled Batch's columns here so engine-driven simulations allocate
+	// none of it.
 	regionBuf  []int32
 	bankBuf    []int32
 	scatterBuf []uint64
-	bankCount  []int32 // per-bank access count within one segment
-	bankPos    []int32 // per-bank scatter cursor within one segment
+	bankCount  []int32  // per-bank access count within one segment
+	bankPos    []int32  // per-bank scatter cursor within one segment
+	bankHits   []uint64 // fused path: per-bank hits within one call
 	// one-element buffers backing the scalar Access wrapper.
 	s1cycle, s1addr [1]uint64
 	s1kind          [1]trace.Kind
@@ -227,7 +245,21 @@ func New(cfg Config) (*PartitionedCache, error) {
 		bankTable:   make([]int32, cfg.Banks),
 		bankCount:   make([]int32, cfg.Banks),
 		bankPos:     make([]int32, cfg.Banks),
+		bankHits:    make([]uint64, cfg.Banks),
 		untilUpdate: cfg.UpdateEvery,
+	}
+	if dt, ok := banks[0].Direct(); ok {
+		// All banks share one geometry, so the splits come from bank 0
+		// and only the tag arrays are per-bank. The views alias each
+		// bank's live store: Update's flush clears them in place.
+		pc.directTags = make([][]uint64, cfg.Banks)
+		for i, b := range banks {
+			v, _ := b.Direct()
+			pc.directTags[i] = v.Tags
+		}
+		pc.dOff, pc.dIdx = dt.OffBits, dt.IdxBits
+		pc.dIdxMask, pc.dTagMask = dt.IdxMask, dt.TagMask
+		pc.fusable = true
 	}
 	pc.rebuildBankTable()
 	return pc, nil
@@ -305,6 +337,16 @@ func (pc *PartitionedCache) AccessBatch(cycles, addrs []uint64, kinds []trace.Ki
 
 // accessBatch additionally reports how many accesses were applied, so
 // Run can name the exact offending access in its error.
+//
+// Two interchangeable kernels implement it. The fused kernel (the
+// paper's direct-mapped organisation, no PMU histograms) performs the
+// region/bank decode, both PMUs' interval accounting, and the tag-store
+// probe in ONE walk over the batch columns — no region/bank buffers, no
+// scatter, no second or third pass over the cycle column. The general
+// kernel (set-associative banks, or idle histograms enabled) keeps the
+// decode + counting-scatter + per-bank sub-batch structure, with the
+// two PMU feeds fused into a single paired walk. A differential oracle
+// pins the two bit-identical.
 func (pc *PartitionedCache) accessBatch(cycles, addrs []uint64, kinds []trace.Kind) (hits uint64, applied int, err error) {
 	if pc.finished {
 		return 0, 0, ErrFinished
@@ -317,6 +359,128 @@ func (pc *PartitionedCache) accessBatch(cycles, addrs []uint64, kinds []trace.Ki
 	if n == 0 {
 		return 0, 0, nil
 	}
+	if pc.fusable && !pc.forceGeneral {
+		rf, rok := pc.regionPMU.BatchFeed()
+		bf, bok := pc.bankPMU.BatchFeed()
+		if rok && bok {
+			return pc.accessBatchFused(cycles, addrs, kinds, rf, bf)
+		}
+	}
+	return pc.accessBatchGeneral(cycles, addrs, kinds)
+}
+
+// accessBatchFused is the single-pass kernel: decode, dual PMU interval
+// accounting and direct-mapped tag probe per element, counters in
+// locals, one flush at the end. Segmentation at UpdateEvery boundaries
+// and partial application on a cycle-order violation are identical to
+// the general kernel.
+func (pc *PartitionedCache) accessBatchFused(cycles, addrs []uint64, kinds []trace.Kind, rf, bf pmu.Feed) (hits uint64, applied int, err error) {
+	n := len(addrs)
+	shift, mask, table := pc.regionShift, pc.regionMask, pc.bankTable
+	off, ib := pc.dOff, pc.dIdx
+	im, tm := pc.dIdxMask, pc.dTagMask
+	tags := pc.directTags
+	counts, bankHits := pc.bankCount, pc.bankHits
+	// Both PMUs carry the same Block Control threshold and, fed in
+	// lockstep, the same cursor.
+	be := rf.Breakeven
+	rl, ru, rs, ri, ra := rf.Last, rf.Useful, rf.Sleep, rf.Intervals, rf.Accesses
+	bl, bu, bs, bi, ba := bf.Last, bf.Useful, bf.Sleep, bf.Intervals, bf.Accesses
+	var reads, writes uint64
+	prev := rf.Cursor
+	i := 0
+	for i < n {
+		// Segment up to the next re-indexing boundary.
+		end := n
+		if pc.cfg.UpdateEvery > 0 && uint64(end-i) > pc.untilUpdate {
+			end = i + int(pc.untilUpdate)
+		}
+		j := i
+		var unordered bool
+		var badCycle uint64
+		for ; j < end; j++ {
+			c := cycles[j]
+			if c < prev {
+				unordered, badCycle = true, c
+				break
+			}
+			prev = c
+			a := addrs[j]
+			r := (a >> shift) & mask
+			b := table[r]
+			// Region PMU: close a >breakeven idle gap, stamp, count.
+			if s := rl[r]; c > s {
+				if gap := c - s; gap > be {
+					ru[r] += gap
+					rs[r] += gap - be
+					ri[r]++
+				}
+			}
+			rl[r] = c
+			ra[r]++
+			// Bank PMU, same accounting keyed by the physical bank.
+			if s := bl[b]; c > s {
+				if gap := c - s; gap > be {
+					bu[b] += gap
+					bs[b] += gap - be
+					bi[b]++
+				}
+			}
+			bl[b] = c
+			ba[b]++
+			// Direct-mapped probe: one load, one compare, fill on miss.
+			la := a >> off
+			word := ((la>>ib)&tm)<<1 | 1
+			t := tags[b]
+			if set := la & im; t[set] == word {
+				hits++
+				bankHits[b]++
+			} else {
+				t[set] = word
+			}
+			counts[b]++
+			if kinds[j] == trace.Write {
+				writes++
+			} else {
+				reads++
+			}
+		}
+		if unordered && err == nil {
+			err = fmt.Errorf("%w: access at cycle %d after cycle %d", pmu.ErrUnordered, badCycle, prev)
+		}
+		// The update countdown covers the accesses that were applied,
+		// even on a partial segment, so an error leaves the same state a
+		// scalar call sequence would have.
+		if pc.cfg.UpdateEvery > 0 {
+			pc.untilUpdate -= uint64(j - i)
+			if pc.untilUpdate == 0 {
+				pc.Update()
+			}
+		}
+		i = j
+		if err != nil {
+			break
+		}
+	}
+	// One flush: local tallies to the struct fields, the walk's cursor
+	// to both PMUs, per-bank lookups to the cache stats.
+	pc.reads += reads
+	pc.writes += writes
+	pc.regionPMU.EndFeed(prev)
+	pc.bankPMU.EndFeed(prev)
+	for b, cnt := range counts {
+		if cnt > 0 {
+			pc.banks[b].AddBatchStats(bankHits[b], uint64(cnt)-bankHits[b])
+			counts[b], bankHits[b] = 0, 0
+		}
+	}
+	return hits, i, err
+}
+
+// accessBatchGeneral is the scatter kernel: decode pass, stable
+// counting scatter into per-bank sub-batches, paired PMU walk.
+func (pc *PartitionedCache) accessBatchGeneral(cycles, addrs []uint64, kinds []trace.Kind) (hits uint64, applied int, err error) {
+	n := len(addrs)
 	if cap(pc.regionBuf) < n {
 		pc.regionBuf = make([]int32, n)
 		pc.bankBuf = make([]int32, n)
@@ -381,9 +545,8 @@ func (pc *PartitionedCache) accessBatch(cycles, addrs []uint64, kinds []trace.Ki
 			}
 			start += cnt
 		}
-		if err = pc.regionPMU.AccessBatch(regionBuf[i:j], cycles[i:j]); err == nil {
-			err = pc.bankPMU.AccessBatch(bankBuf[i:j], cycles[i:j])
-		}
+		// One paired walk feeds both PMUs from the decoded keys.
+		err = pmu.AccessBatchPair(pc.regionPMU, pc.bankPMU, regionBuf[i:j], bankBuf[i:j], cycles[i:j])
 		if err == nil && unordered {
 			err = fmt.Errorf("%w: access at cycle %d after cycle %d", pmu.ErrUnordered, badCycle, prev)
 		}

@@ -148,6 +148,7 @@ func (pc *PartitionedCache) RunBuffered(tr *trace.Trace, buf *Batch) (*RunResult
 	var hits uint64
 	for start := 0; start < len(acc); start += size {
 		chunk := acc[start:min(start+size, len(acc))]
+		//nbtivet:ignore soalayout RunBuffered IS the row-compatibility API; this transpose is its whole job, columnar callers use RunColumns
 		for k := range chunk {
 			buf.cycles[k] = chunk[k].Cycle
 			buf.addrs[k] = chunk[k].Addr
@@ -164,6 +165,64 @@ func (pc *PartitionedCache) RunBuffered(tr *trace.Trace, buf *Batch) (*RunResult
 		return nil, err
 	}
 	return pc.Result(tr.Name, hits)
+}
+
+// RunColumns drives a columnar trace through the cache — the native
+// hot path. The columns ARE the kernel's input layout, so each chunk is
+// three subslices handed straight to the batch kernel: no per-access
+// copy, no transposition, nothing materialised. buf (nil allocates one)
+// only sizes the chunking and lends the general kernel its scatter
+// scratch; the fused kernel needs neither.
+func (pc *PartitionedCache) RunColumns(c *trace.Columns, buf *Batch) (*RunResult, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return pc.runColumns(c, buf)
+}
+
+// RunColumnsUnchecked is RunColumns without the O(n) re-validation
+// pass, for callers holding columns already validated at creation (a
+// decoded blob, a transposed validated trace). Immutable columns run
+// many times pay validation once instead of per run — on a full sweep
+// the pass was ~10% of kernel time, re-checking what the decoders had
+// already proven. The kernel still enforces everything that matters
+// dynamically: column length parity here, cycle ordering and the span
+// bound in the walk itself. Only kind validity is trusted — an invalid
+// kind tallies as a read instead of erroring — so columns of unproven
+// provenance must go through RunColumns.
+func (pc *PartitionedCache) RunColumnsUnchecked(c *trace.Columns, buf *Batch) (*RunResult, error) {
+	if len(c.Addrs) != len(c.Cycles) || len(c.Kinds) != len(c.Cycles) {
+		return nil, fmt.Errorf("core: column length mismatch: %d cycles, %d addrs, %d kinds",
+			len(c.Cycles), len(c.Addrs), len(c.Kinds))
+	}
+	return pc.runColumns(c, buf)
+}
+
+func (pc *PartitionedCache) runColumns(c *trace.Columns, buf *Batch) (*RunResult, error) {
+	if c.Len() == 0 {
+		return nil, fmt.Errorf("core: empty trace")
+	}
+	if buf == nil || len(buf.cycles) == 0 {
+		buf = NewBatch(DefaultBatchSize)
+	}
+	size := len(buf.cycles)
+	if cap(pc.regionBuf) < size {
+		pc.regionBuf, pc.bankBuf, pc.scatterBuf = buf.regions, buf.banks, buf.scatter
+	}
+	n := c.Len()
+	var hits uint64
+	for start := 0; start < n; start += size {
+		end := min(start+size, n)
+		h, applied, err := pc.accessBatch(c.Cycles[start:end], c.Addrs[start:end], c.Kinds[start:end])
+		hits += h
+		if err != nil {
+			return nil, fmt.Errorf("core: access %d: %w", start+applied, err)
+		}
+	}
+	if err := pc.Finish(c.Span); err != nil {
+		return nil, err
+	}
+	return pc.Result(c.Name, hits)
 }
 
 // Result assembles the RunResult after Finish. hits is the hit count
@@ -263,6 +322,7 @@ func RunMonolithic(g cache.Geometry, tech power.Tech, tr *trace.Trace) (*Monolit
 	addrs := make([]uint64, min(DefaultBatchSize, len(acc)))
 	for start := 0; start < len(acc); start += len(addrs) {
 		chunk := acc[start:min(start+len(addrs), len(acc))]
+		//nbtivet:ignore soalayout monolithic baseline runs once per comparison off row input; not a sweep-rate path
 		for k := range chunk {
 			addrs[k] = chunk[k].Addr
 			if chunk[k].Kind == trace.Write {

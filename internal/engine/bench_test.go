@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"nbticache/internal/obs"
+	"nbticache/internal/trace"
 	"nbticache/internal/workload"
 )
 
@@ -71,11 +72,32 @@ func BenchmarkEngineSweepTelemetry(b *testing.B) {
 	b.Run("nop", func(b *testing.B) { runEngineSweepTel(b, runtime.GOMAXPROCS(0), obs.Nop()) })
 }
 
+// benchUploadTrace builds a deterministic mid-sized trace (64k accesses)
+// for the warm-start path, so "open+hit" pays a realistic trace-blob
+// reload — decode plus signature restore — not just a job-result read.
+func benchUploadTrace() *trace.Trace {
+	tr := &trace.Trace{Name: "warmstart-upload"}
+	var cycle uint64
+	for i := 0; i < 1<<16; i++ {
+		addr := uint64(i%4096)<<4 + uint64(i/4096)<<16
+		kind := trace.Read
+		if i%5 == 0 {
+			kind = trace.Write
+		}
+		tr.Append(cycle, addr, kind)
+		cycle += uint64(1 + i%3)
+		if i%512 == 0 {
+			cycle += 4096 // long idle gaps so the signature has sleep content
+		}
+	}
+	return tr
+}
+
 // BenchmarkWarmStart measures the persistence payoff path: opening an
-// engine on a populated data directory (trace reload included) and
-// resolving a previously simulated job from disk, against re-simulating
-// the same job cold. The gap between the two is what a restart no
-// longer costs.
+// engine on a populated data directory (uploaded-trace reload included)
+// and resolving previously simulated jobs from disk, against
+// re-simulating the same synthetic job cold. The gap between the two is
+// what a restart no longer costs.
 func BenchmarkWarmStart(b *testing.B) {
 	dir := b.TempDir()
 	spec := JobSpec{Bench: "sha", Banks: 4}
@@ -86,6 +108,14 @@ func BenchmarkWarmStart(b *testing.B) {
 	if _, err := seed.RunJob(context.Background(), spec); err != nil {
 		b.Fatal(err)
 	}
+	info, _, err := seed.AddTrace(benchUploadTrace())
+	if err != nil {
+		b.Fatal(err)
+	}
+	traceSpec := JobSpec{TraceID: info.ID, Banks: 4}
+	if _, err := seed.RunJob(context.Background(), traceSpec); err != nil {
+		b.Fatal(err)
+	}
 	seed.Close()
 
 	b.Run("open+hit", func(b *testing.B) {
@@ -94,12 +124,14 @@ func BenchmarkWarmStart(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			res, err := e.RunJob(context.Background(), spec)
-			if err != nil {
-				b.Fatal(err)
-			}
-			if !res.Cached {
-				b.Fatal("warm start missed the persisted result")
+			for _, s := range []JobSpec{spec, traceSpec} {
+				res, err := e.RunJob(context.Background(), s)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.Cached {
+					b.Fatal("warm start missed the persisted result")
+				}
 			}
 			e.Close()
 		}

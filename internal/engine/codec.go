@@ -31,15 +31,27 @@ import (
 // diagnostic enabled only by direct core use — engine results never
 // carry them — and are not persisted.
 //
-// Trace blob ("NBTB" v1): the admission-time Signature, then the
-// trace's canonical binary (v1) encoding via internal/trace's codec —
-// the exact bytes the content address hashes. Persisting the signature
-// next to the trace makes a warm start O(read) instead of O(re-measure).
+// Trace blob ("NBTC" v1, columnar): the admission-time Signature, then
+// the trace in struct-of-arrays column form — name, access count, span,
+// a delta-uvarint cycles column, a zig-zag-delta-varint addrs column,
+// and a run-length-encoded kinds column (internal/trace's column
+// codecs). The decoded columns are exactly the layout the batch kernel
+// consumes, so a warm start deserialises straight into simulation input
+// with zero per-access struct materialisation or transposition. The
+// blob stays self-verifying: the decoder re-derives the content address
+// by streaming the canonical row encoding from the columns
+// (WriteBinaryColumns emits byte-identical v1 bytes) through the hash.
+//
+// Trace blob ("NBTB" v1, legacy row form): the Signature, then the
+// trace's canonical binary (v1) encoding. Still decoded — stores
+// written by earlier versions warm-load with zero re-measurement — and
+// transcoded to NBTC on the next persist.
 
 const (
-	jobBlobMagic   = "NBJR"
-	traceBlobMagic = "NBTB"
-	blobVersion    = 1
+	jobBlobMagic      = "NBJR"
+	traceBlobMagic    = "NBTB" // legacy row-form trace blob (decode only)
+	traceBlobMagicCol = "NBTC" // columnar trace blob (current)
+	blobVersion       = 1
 )
 
 // ErrBadBlob is returned when a stored blob does not decode. The engine
@@ -383,33 +395,116 @@ func decodeProjection(r *blobReader) *core.Projection {
 
 // --- uploaded traces ---
 
-// encodeTraceBlob renders a stored trace's persistent form: the
-// signature measured at admission, then the canonical binary encoding
-// the content address hashes.
+// encodeTraceBlob renders a stored trace's persistent form (NBTC): the
+// signature measured at admission, then the trace's columns — each
+// encoded with the column codecs the warm start decodes straight into
+// kernel input.
 func encodeTraceBlob(st *storedTrace) ([]byte, error) {
 	if st == nil || st.info.Signature == nil {
 		return nil, fmt.Errorf("engine: unmeasured trace is not persistable")
 	}
-	w := &blobWriter{buf: make([]byte, 0, 256+st.tr.Len()*3)}
-	w.raw([]byte(traceBlobMagic))
+	c := st.cols
+	w := &blobWriter{buf: make([]byte, 0, 256+c.Len()*3)}
+	w.raw([]byte(traceBlobMagicCol))
 	w.byte(blobVersion)
 	sig := st.info.Signature
 	w.uvarint(uint64(sig.Banks))
 	w.f64s(sig.UsefulIdleness)
 	w.f64s(sig.SleepFractions)
 	w.uvarint(sig.Breakeven)
-	var enc bytes.Buffer
-	if err := trace.WriteBinary(&enc, st.tr); err != nil {
-		return nil, err
-	}
-	w.raw(enc.Bytes())
+	w.str(c.Name)
+	w.uvarint(uint64(c.Len()))
+	w.uvarint(c.Span)
+	w.buf = trace.AppendCyclesColumn(w.buf, c.Cycles)
+	w.buf = trace.AppendAddrsColumn(w.buf, c.Addrs)
+	w.buf = trace.AppendKindsColumn(w.buf, c.Kinds)
 	return w.buf, nil
 }
 
 // decodeTraceBlob parses a blob and verifies the embedded trace hashes
 // to key — the full content-address check, so a damaged or misfiled
-// trace never re-enters the store.
-func decodeTraceBlob(key string, blob []byte) (*storedTrace, error) {
+// trace never re-enters the store. Both formats decode; legacy reports
+// an NBTB (row-form) blob, which the caller transcodes to NBTC on its
+// next persist.
+func decodeTraceBlob(key string, blob []byte) (st *storedTrace, legacy bool, err error) {
+	if len(blob) >= len(traceBlobMagicCol) && string(blob[:len(traceBlobMagicCol)]) == traceBlobMagicCol {
+		st, err = decodeTraceBlobColumnar(key, blob)
+		return st, false, err
+	}
+	st, err = decodeTraceBlobLegacy(key, blob)
+	return st, true, err
+}
+
+// decodeTraceBlobColumnar parses the columnar (NBTC) form.
+func decodeTraceBlobColumnar(key string, blob []byte) (*storedTrace, error) {
+	r := &blobReader{b: blob[len(traceBlobMagicCol):]}
+	if v := r.byte(); v != blobVersion {
+		return nil, fmt.Errorf("%w: unsupported trace-blob version %d", ErrBadBlob, v)
+	}
+	sig := &workload.Signature{
+		Banks:          r.intFromU(),
+		UsefulIdleness: r.f64s(),
+		SleepFractions: r.f64s(),
+		Breakeven:      r.uvarint(),
+	}
+	name := r.str()
+	count := r.uvarint()
+	span := r.uvarint()
+	if r.err != nil {
+		return nil, r.err
+	}
+	// Bound the claimed count before any column sizes an allocation:
+	// each access costs at least one cycles-column byte and one
+	// addrs-column byte of the remaining payload.
+	if count*2 > uint64(len(r.b)) {
+		return nil, fmt.Errorf("%w: access count %d exceeds %d payload bytes", ErrBadBlob, count, len(r.b))
+	}
+	// The column decoders' own taxonomy (trace.ErrBadFormat) stays
+	// matchable through the %w-%w chains below, exactly like the legacy
+	// decoder's.
+	cycles, rest, err := trace.DecodeCyclesColumn(r.b, int(count))
+	if err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrBadBlob, err)
+	}
+	addrs, rest, err := trace.DecodeAddrsColumn(rest, int(count))
+	if err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrBadBlob, err)
+	}
+	kinds, rest, err := trace.DecodeKindsColumn(rest, int(count))
+	if err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrBadBlob, err)
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadBlob, len(rest))
+	}
+	cols := &trace.Columns{Name: name, Cycles: cycles, Addrs: addrs, Kinds: kinds, Span: span}
+	if err := cols.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrBadBlob, err)
+	}
+	id, size, err := ColumnsContentID(cols)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrBadBlob, err)
+	}
+	if id != key {
+		return nil, fmt.Errorf("%w: blob is trace %s, filed under %s", ErrBadBlob, id, key)
+	}
+	return &storedTrace{
+		info: TraceInfo{
+			ID:        id,
+			Name:      cols.Name,
+			Accesses:  cols.Len(),
+			Cycles:    cols.Span,
+			Density:   cols.Density(),
+			Bytes:     size,
+			Signature: sig,
+		},
+		cols: cols,
+	}, nil
+}
+
+// decodeTraceBlobLegacy parses the row-form (NBTB) blob written by
+// earlier versions, transposing into columns once at load.
+func decodeTraceBlobLegacy(key string, blob []byte) (*storedTrace, error) {
 	r := &blobReader{b: blob}
 	if len(blob) < len(traceBlobMagic)+1 || string(blob[:len(traceBlobMagic)]) != traceBlobMagic {
 		return nil, fmt.Errorf("%w: not a trace blob", ErrBadBlob)
@@ -459,6 +554,6 @@ func decodeTraceBlob(key string, blob []byte) (*storedTrace, error) {
 			Bytes:     size,
 			Signature: sig,
 		},
-		tr: tr,
+		cols: trace.FromRows(tr),
 	}, nil
 }

@@ -88,7 +88,7 @@ type Engine struct {
 	lifeCtx  context.Context
 	lifeStop context.CancelFunc
 
-	traces *flightCache[*trace.Trace]
+	traces *flightCache[*genTrace]
 	// store holds uploaded real traces, content-addressed and measured
 	// at admission (see store.go); with a data directory it writes
 	// through to traceBlobs and reloads from it at start.
@@ -129,6 +129,33 @@ type Engine struct {
 	tracesUploaded atomic.Uint64
 }
 
+// The default aging characterisation is memoised process-wide: building
+// it runs the SNM bisection calibration (~90ms), which dominated the
+// cost of opening an engine — a warm start that reads every blob from
+// disk is an order of magnitude cheaper than this one computation. The
+// model is immutable post-calibration and internally synchronised, so
+// sharing one across engines is safe.
+var (
+	defaultModelOnce sync.Once
+	defaultModel     *aging.Model
+	defaultModelErr  error
+)
+
+func defaultAgingModel() (*aging.Model, error) {
+	defaultModelOnce.Do(func() {
+		defaultModel, defaultModelErr = aging.New(aging.DefaultConfig())
+	})
+	return defaultModel, defaultModelErr
+}
+
+// genTrace is one generated benchmark trace in both layouts: the
+// columns the simulation path consumes, and the memoised row form the
+// public Trace API hands out (pointer-stable across calls).
+type genTrace struct {
+	rows *trace.Trace
+	cols *trace.Columns
+}
+
 // New builds an engine. The worker pool starts lazily on the first
 // Submit, so purely synchronous users (the experiment suite) never spawn
 // goroutines.
@@ -140,7 +167,7 @@ func New(o Options) (*Engine, error) {
 		o.Workers = runtime.GOMAXPROCS(0)
 	}
 	if o.Model == nil {
-		m, err := aging.New(aging.DefaultConfig())
+		m, err := defaultAgingModel()
 		if err != nil {
 			return nil, err
 		}
@@ -189,7 +216,7 @@ func New(o Options) (*Engine, error) {
 		gen:         o.Gen,
 		lifeCtx:     ctx,
 		lifeStop:    stop,
-		traces:      newFlightCache[*trace.Trace](),
+		traces:      newFlightCache[*genTrace](),
 		store:       newTraceStore(o.MaxStoredTraces, traceBlobs),
 		runs:        newFlightCache[*core.RunResult](),
 		resultStore: resultStore,
@@ -246,10 +273,31 @@ func (e *Engine) Close() {
 
 // Trace returns the generated trace for a benchmark and geometry,
 // building and caching it on first use. Concurrent requests for the
-// same trace generate it once.
+// same trace generate it once. The returned row form is memoised
+// (pointer-stable across calls); simulation itself runs on the
+// columnar twin via traceColumns.
 func (e *Engine) Trace(ctx context.Context, bench string, g cache.Geometry) (*trace.Trace, error) {
+	gt, err := e.genTraceFor(ctx, bench, g)
+	if err != nil {
+		return nil, err
+	}
+	return gt.rows, nil
+}
+
+// traceColumns is Trace's columnar twin — the form the simulation path
+// consumes directly, so a cached generated trace is re-simulated with
+// zero transposition.
+func (e *Engine) traceColumns(ctx context.Context, bench string, g cache.Geometry) (*trace.Columns, error) {
+	gt, err := e.genTraceFor(ctx, bench, g)
+	if err != nil {
+		return nil, err
+	}
+	return gt.cols, nil
+}
+
+func (e *Engine) genTraceFor(ctx context.Context, bench string, g cache.Geometry) (*genTrace, error) {
 	key := fmt.Sprintf("%s|%d|%d", bench, g.Size/1024, g.LineSize)
-	tr, _, err := e.traces.do(ctx, key, func() (*trace.Trace, error) {
+	gt, _, err := e.traces.do(ctx, key, func() (*genTrace, error) {
 		p, ok := workload.ByName(bench)
 		if !ok {
 			return nil, fmt.Errorf("engine: unknown benchmark %q", bench)
@@ -260,10 +308,16 @@ func (e *Engine) Trace(ctx context.Context, bench string, g cache.Geometry) (*tr
 		if err != nil {
 			return nil, err
 		}
+		// Validated once here, at build: every later simulation of this
+		// cached trace runs the unchecked columnar path on the strength
+		// of this check (like decoded blobs, which validate at decode).
+		if err := t.Validate(); err != nil {
+			return nil, fmt.Errorf("engine: generated trace %q: %w", bench, err)
+		}
 		e.tracesBuilt.Add(1)
-		return t, nil
+		return &genTrace{rows: t, cols: trace.FromRows(t)}, nil
 	})
-	return tr, err
+	return gt, err
 }
 
 // RunJob executes one job synchronously on the caller's goroutine,
@@ -295,12 +349,15 @@ func (e *Engine) runJobTimed(ctx context.Context, spec JobSpec, pinned bool, pc 
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
+	// One ID derivation serves the cache key and the result (it is a
+	// canonical-string hash, measurable at sweep job rates).
+	id := spec.ID()
 	doStart := time.Now()
 	var fillDur time.Duration
 	var fillEnd time.Time
-	res, cached, err := e.results.do(ctx, spec.ID(), func() (*JobResult, error) {
+	res, cached, err := e.results.do(ctx, id, func() (*JobResult, error) {
 		fillStart := time.Now()
-		r, serr := e.simulate(ctx, spec, pinned, pc)
+		r, serr := e.simulate(ctx, id, spec, pinned, pc)
 		fillEnd = time.Now()
 		fillDur = fillEnd.Sub(fillStart)
 		return r, serr
@@ -323,8 +380,9 @@ func (e *Engine) runJobTimed(ctx context.Context, spec JobSpec, pinned bool, pc 
 	return res, nil
 }
 
-// simulate is the uncached execution of one validated job.
-func (e *Engine) simulate(ctx context.Context, spec JobSpec, pinned bool, pc *phaseClock) (*JobResult, error) {
+// simulate is the uncached execution of one validated job. id is
+// spec.ID(), derived once by the caller.
+func (e *Engine) simulate(ctx context.Context, id string, spec JobSpec, pinned bool, pc *phaseClock) (*JobResult, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -358,12 +416,16 @@ func (e *Engine) simulate(ctx context.Context, spec JobSpec, pinned bool, pc *ph
 		if err != nil {
 			return nil, err
 		}
-		// The decoded trace feeds the batch kernel in pooled chunk
-		// buffers, reused across jobs and workers: a sweep's thousandth
-		// simulation allocates no per-access state at all.
+		// The trace's columns feed the batch kernel by slicing; the
+		// pooled chunk buffer only sizes the chunking and lends scratch,
+		// so a sweep's thousandth simulation allocates no per-access
+		// state at all — and copies none either.
 		buf := batchPool.Get().(*core.Batch)
 		defer batchPool.Put(buf)
-		res, err := sim.RunBuffered(tr, buf)
+		// Unchecked is sound here: every column source in this engine —
+		// decoded blob, admitted upload, generated trace — validated at
+		// creation, and the columns are immutable thereafter.
+		res, err := sim.RunColumnsUnchecked(tr, buf)
 		if err == nil {
 			pc.add(phaseSimulate, simStart, time.Since(simStart))
 		}
@@ -378,7 +440,7 @@ func (e *Engine) simulate(ctx context.Context, spec JobSpec, pinned bool, pc *ph
 		return nil, err
 	}
 	pc.add(phaseProject, projStart, time.Since(projStart))
-	return &JobResult{ID: spec.ID(), Spec: spec, Run: run, Projection: proj}, nil
+	return &JobResult{ID: id, Spec: spec, Run: run, Projection: proj}, nil
 }
 
 // traceFor resolves a job's workload: an uploaded trace by content
@@ -386,7 +448,7 @@ func (e *Engine) simulate(ctx context.Context, spec JobSpec, pinned bool, pc *ph
 // otherwise. pinned selects the condemned-tolerant lookup (sweep
 // workers whose sweep pinned the trace at submission); unpinned callers
 // see a removed trace as unknown.
-func (e *Engine) traceFor(ctx context.Context, spec JobSpec, g cache.Geometry, pinned bool) (*trace.Trace, error) {
+func (e *Engine) traceFor(ctx context.Context, spec JobSpec, g cache.Geometry, pinned bool) (*trace.Columns, error) {
 	if spec.TraceID != "" {
 		var st *storedTrace
 		var ok bool
@@ -398,9 +460,9 @@ func (e *Engine) traceFor(ctx context.Context, spec JobSpec, g cache.Geometry, p
 		if !ok {
 			return nil, fmt.Errorf("engine: unknown trace %q (upload it first)", spec.TraceID)
 		}
-		return st.tr, nil
+		return st.cols, nil
 	}
-	return e.Trace(ctx, spec.Bench, g)
+	return e.traceColumns(ctx, spec.Bench, g)
 }
 
 // Job returns the cached result for a job ID, if that job has completed

@@ -15,6 +15,7 @@ import (
 	"encoding/hex"
 	"fmt"
 	"strings"
+	"sync"
 
 	"nbticache/internal/aging"
 	"nbticache/internal/cache"
@@ -160,17 +161,46 @@ func (j JobSpec) workloadKey() string {
 	return "b:" + j.Bench
 }
 
+// idCache memoises JobSpec.ID by raw (pre-normalisation) spec. The
+// derivation is pure, and the dominant workload resubmits identical
+// grids — every sweep iteration re-expands the same points to hit the
+// result cache — so after the first pass each ID is a read-locked map
+// hit instead of a Sprintf + SHA-256. JobSpec is comparable, so the
+// spec itself is the key; two spellings of one normalised point just
+// occupy two entries. The cache is reset at the bound rather than
+// evicted — IDs re-derive in one pass — so adversarial spec churn
+// (the HTTP API mints these) is capped at idCacheMax entries.
+var idCache struct {
+	mu sync.RWMutex
+	m  map[JobSpec]string
+}
+
+const idCacheMax = 1 << 13
+
 // ID returns the job's content address: a stable hash of the normalised
 // spec. Equal points get equal IDs regardless of which defaults were
 // spelled out, and the ID doubles as the HTTP resource name
 // (/v1/jobs/{id}). Trace-backed jobs hash the trace's content address,
 // so the job ID is itself content-addressed end to end.
 func (j JobSpec) ID() string {
+	idCache.mu.RLock()
+	id, ok := idCache.m[j]
+	idCache.mu.RUnlock()
+	if ok {
+		return id
+	}
 	n := j.Normalised()
 	canon := fmt.Sprintf("v2|%s|%d|%d|%d|%s|%s|%d|%d",
 		n.workloadKey(), n.SizeKB, n.LineBytes, n.Banks, n.Policy, n.Mode, n.Epochs, n.UpdateEvery)
 	sum := sha256.Sum256([]byte(canon))
-	return "job-" + hex.EncodeToString(sum[:8])
+	id = "job-" + hex.EncodeToString(sum[:8])
+	idCache.mu.Lock()
+	if idCache.m == nil || len(idCache.m) >= idCacheMax {
+		idCache.m = make(map[JobSpec]string, 256)
+	}
+	idCache.m[j] = id
+	idCache.mu.Unlock()
+	return id
 }
 
 // runKey is the run-cache address: the trace simulation depends on the
@@ -210,8 +240,55 @@ type SweepSpec struct {
 	Epochs int `json:"epochs,omitempty"`
 }
 
+// expandCache memoises axis-only sweep expansions, keyed by a canonical
+// rendering of the axes. Sweeps are resubmitted verbatim by design —
+// every poll-and-rerun client replays the same grid to hit the result
+// cache — and each replay otherwise pays the full normalise + validate
+// + dedup pass over the cartesian product. Specs with an explicit Jobs
+// list skip the cache (arbitrary content, no resubmission pattern).
+// Like idCache, the map is reset at its bound instead of evicted, so
+// API-minted spec churn cannot grow it without limit.
+var expandCache struct {
+	mu sync.RWMutex
+	m  map[string][]JobSpec
+}
+
+const expandCacheMax = 256
+
+func (s SweepSpec) axisKey() string {
+	return fmt.Sprintf("%q|%q|%v|%v|%v|%q|%q|%d",
+		s.Benches, s.TraceIDs, s.SizesKB, s.LineBytes, s.Banks, s.Policies, s.Modes, s.Epochs)
+}
+
 // Expand resolves the spec into its deduplicated, validated job list.
 func (s SweepSpec) Expand() ([]JobSpec, error) {
+	cacheable := len(s.Jobs) == 0
+	var key string
+	if cacheable {
+		key = s.axisKey()
+		expandCache.mu.RLock()
+		cached, ok := expandCache.m[key]
+		expandCache.mu.RUnlock()
+		if ok {
+			// Callers receive a private copy: the cluster coordinator
+			// shards the slice and tests append to it.
+			return append([]JobSpec(nil), cached...), nil
+		}
+	}
+	out, err := s.expand()
+	if err != nil || !cacheable {
+		return out, err
+	}
+	expandCache.mu.Lock()
+	if expandCache.m == nil || len(expandCache.m) >= expandCacheMax {
+		expandCache.m = make(map[string][]JobSpec, 16)
+	}
+	expandCache.m[key] = append([]JobSpec(nil), out...)
+	expandCache.mu.Unlock()
+	return out, nil
+}
+
+func (s SweepSpec) expand() ([]JobSpec, error) {
 	var jobs []JobSpec
 	jobs = append(jobs, s.Jobs...)
 

@@ -88,17 +88,20 @@ func TestTraceBlobCodecRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := decodeTraceBlob(info.ID, blob)
+	got, legacy, err := decodeTraceBlob(info.ID, blob)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if legacy {
+		t.Error("freshly encoded blob reported as legacy format")
 	}
 	if !reflect.DeepEqual(got.info, st.info) {
 		t.Errorf("info round trip:\ngot  %+v\nwant %+v", got.info, st.info)
 	}
-	if !reflect.DeepEqual(got.tr, st.tr) {
-		t.Error("trace accesses did not round trip")
+	if !reflect.DeepEqual(got.cols, st.cols) {
+		t.Error("trace columns did not round trip")
 	}
-	if _, err := decodeTraceBlob("trace-0000", blob); err == nil {
+	if _, _, err := decodeTraceBlob("trace-0000", blob); err == nil {
 		t.Error("trace blob accepted under another content address")
 	}
 }
@@ -124,10 +127,10 @@ func TestTraceBlobErrorChain(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// The canonical trace encoding sits at the tail of the blob;
-	// truncating it leaves the header and signature intact and makes
-	// only the embedded trace malformed.
-	_, err = decodeTraceBlob(info.ID, blob[:len(blob)-3])
+	// The trace columns sit at the tail of the blob; truncating them
+	// leaves the header and signature intact and makes only the embedded
+	// trace malformed.
+	_, _, err = decodeTraceBlob(info.ID, blob[:len(blob)-3])
 	if err == nil {
 		t.Fatal("truncated trace section decoded")
 	}

@@ -49,9 +49,13 @@ type TraceInfo struct {
 	Signature *workload.Signature `json:"signature"`
 }
 
+// storedTrace holds a resident uploaded trace in columnar (SoA) form —
+// the batch kernel's native input layout, so a stored trace feeds
+// simulation by slicing its columns, never by materialising Access
+// structs.
 type storedTrace struct {
 	info TraceInfo
-	tr   *trace.Trace
+	cols *trace.Columns
 }
 
 // ErrTraceStoreFull is returned by AddTrace when admitting another
@@ -97,11 +101,25 @@ func newTraceStore(max int, blobs cas.Store) *traceStore {
 	}
 }
 
+// blobMapper is the zero-copy read capability a persistent layer may
+// offer (cas.DiskStore does): the blob's bytes arrive as a released-
+// when-done view — a file mapping on platforms that support it — so a
+// warm start decodes trace columns straight from the page cache instead
+// of through a full-frame heap copy. The capability is optional by type
+// assertion; cas.Store itself stays unchanged.
+type blobMapper interface {
+	GetBlob(key string) (*cas.Blob, error)
+}
+
 // load warms the resident map from the persistent layer, oldest blob
 // first, up to the admission bound (blobs past it stay on disk,
 // unlisted, until slots free up and they are re-uploaded). Blobs that
 // fail the typed decode are deleted and counted; the store's own
 // checksum layer has already quarantined anything it could detect.
+// Legacy row-form (NBTB) blobs warm-load with zero re-measurement —
+// the signature rides in the blob — and are transcoded to the columnar
+// (NBTC) form in place, so the one-time transposition cost never
+// recurs on later starts.
 func (s *traceStore) load() {
 	if s.blobs == nil {
 		return
@@ -110,19 +128,41 @@ func (s *traceStore) load() {
 	if err != nil {
 		return
 	}
+	mapper, _ := s.blobs.(blobMapper)
 	for _, st := range list {
 		if len(s.m) >= s.max {
 			return
 		}
-		blob, err := s.blobs.Get(st.Key)
+		// Prefer the mapped read: the columnar decode copies everything it
+		// keeps (columns are fresh slices, names fresh strings), so the
+		// mapping is released the moment decode settles.
+		var blob []byte
+		var mapped *cas.Blob
+		if mapper != nil {
+			if mapped, err = mapper.GetBlob(st.Key); err == nil {
+				blob = mapped.Bytes()
+			}
+		} else {
+			blob, err = s.blobs.Get(st.Key)
+		}
 		if err != nil {
 			continue // quarantined or vanished; counted by the store
 		}
-		entry, err := decodeTraceBlob(st.Key, blob)
+		entry, legacy, err := decodeTraceBlob(st.Key, blob)
+		_ = mapped.Release()
 		if err != nil {
 			s.corrupt.Add(1)
 			_ = s.blobs.Delete(st.Key)
 			continue
+		}
+		if legacy {
+			// Transcode on persist: Put replaces the frame atomically
+			// (temp + rename), so a crash mid-transcode leaves either
+			// form intact, never a torn blob. Failure is benign — the
+			// legacy blob still decodes next start.
+			if nbtc, err := encodeTraceBlob(entry); err == nil {
+				_ = s.blobs.Put(st.Key, nbtc)
+			}
 		}
 		s.m[st.Key] = entry
 	}
@@ -344,6 +384,20 @@ func TraceContentID(tr *trace.Trace) (string, int64, error) {
 	return "trace-" + hex.EncodeToString(sum[:16]), cw.n, nil
 }
 
+// ColumnsContentID is TraceContentID over the columnar form: the
+// canonical row encoding streams straight from the columns into the
+// hash (WriteBinaryColumns is byte-identical to WriteBinary), so the
+// same trace gets the same address from either representation, without
+// materialising a row form to compute it.
+func ColumnsContentID(c *trace.Columns) (string, int64, error) {
+	cw := &countingWriter{h: sha256.New()}
+	if err := c.WriteBinaryColumns(cw); err != nil {
+		return "", 0, err
+	}
+	sum := cw.h.Sum(nil)
+	return "trace-" + hex.EncodeToString(sum[:16]), cw.n, nil
+}
+
 // signatureGeometry is the admission-measurement configuration: the
 // paper's default geometry and bank count (signatures at banks=4 are the
 // Table-I granularity Profile derivation expects).
@@ -385,14 +439,10 @@ func (e *Engine) AddTrace(tr *trace.Trace) (TraceInfo, bool, error) {
 		if err != nil {
 			return nil, fmt.Errorf("engine: measuring trace %q: %w", tr.Name, err)
 		}
-		// Store a private copy: the caller keeps ownership of tr, and a
-		// later mutation must not desynchronise the stored accesses from
-		// the content address and signature measured here.
-		tr := &trace.Trace{
-			Name:     tr.Name,
-			Accesses: append([]trace.Access(nil), tr.Accesses...),
-			Cycles:   tr.Cycles,
-		}
+		// The stored columns are a private transposition: the caller
+		// keeps ownership of tr, and a later mutation cannot
+		// desynchronise the stored accesses from the content address and
+		// signature measured here.
 		return &storedTrace{
 			info: TraceInfo{
 				ID:        id,
@@ -403,7 +453,7 @@ func (e *Engine) AddTrace(tr *trace.Trace) (TraceInfo, bool, error) {
 				Bytes:     size,
 				Signature: sig,
 			},
-			tr: tr,
+			cols: trace.FromRows(tr),
 		}, nil
 	})
 	if err != nil {
@@ -466,16 +516,19 @@ func (e *Engine) WriteTrace(w io.Writer, id string) (found bool, err error) {
 	if !ok {
 		return false, nil
 	}
-	return true, trace.WriteBinary(w, st.tr)
+	// The canonical bytes stream straight from the stored columns — the
+	// forwarding path shares the hot path's zero-materialisation rule.
+	return true, st.cols.WriteBinaryColumns(w)
 }
 
 // storedTraceByID resolves an uploaded trace's accesses, including
 // condemned entries (test hook; production lookups go through
 // traceStore.get/resolve with explicit pin semantics — see traceFor).
+// The row form is materialised per call.
 func (e *Engine) storedTraceByID(id string) (*trace.Trace, bool) {
 	st, ok := e.store.resolve(id)
 	if !ok {
 		return nil, ok
 	}
-	return st.tr, true
+	return st.cols.Rows(), true
 }

@@ -163,6 +163,117 @@ func (p *PMU) AccessBatch(banks []int32, cycles []uint64) error {
 	return nil
 }
 
+// AccessBatchPair records one ordered access stream into two PMUs in a
+// single pass: pa keyed by aKeys[i], pb keyed by bKeys[i], both at
+// cycles[i]. The partitioned-cache kernel feeds its region- and
+// bank-keyed PMUs from the same decoded batch, and walking the cycle
+// column once for both halves the interval-accounting cost of what used
+// to be two full AccessBatch passes. Validation matches AccessBatch
+// (bare sentinels from the hot loop); on error, both PMUs have applied
+// every element before the offending one and neither has applied it.
+func AccessBatchPair(pa, pb *PMU, aKeys, bKeys []int32, cycles []uint64) error {
+	if pa.finished || pb.finished {
+		return ErrFinished
+	}
+	if len(aKeys) != len(cycles) || len(bKeys) != len(cycles) {
+		return fmt.Errorf("pmu: batch length mismatch: %d/%d keys, %d cycles",
+			len(aKeys), len(bKeys), len(cycles))
+	}
+	na, nb := int32(pa.banks), int32(pb.banks)
+	beA, beB := pa.breakeven, pb.breakeven
+	curA, curB := pa.cursor, pb.cursor
+	lastA, usefulA, sleepA, intervalsA, accA := pa.last, pa.useful, pa.sleep, pa.intervals, pa.accesses
+	lastB, usefulB, sleepB, intervalsB, accB := pb.last, pb.useful, pb.sleep, pb.intervals, pb.accesses
+	for i, c := range cycles {
+		ka, kb := aKeys[i], bKeys[i]
+		if uint32(ka) >= uint32(na) || uint32(kb) >= uint32(nb) {
+			pa.cursor, pb.cursor = curA, curB
+			return ErrBankRange
+		}
+		if c < curA || c < curB {
+			pa.cursor, pb.cursor = curA, curB
+			return ErrUnordered
+		}
+		curA, curB = c, c
+		if s := lastA[ka]; c > s {
+			gap := c - s
+			if pa.histOn {
+				pa.hist[ka].Add(float64(gap))
+			}
+			if gap > beA {
+				usefulA[ka] += gap
+				sleepA[ka] += gap - beA
+				intervalsA[ka]++
+			}
+		}
+		lastA[ka] = c
+		accA[ka]++
+		if s := lastB[kb]; c > s {
+			gap := c - s
+			if pb.histOn {
+				pb.hist[kb].Add(float64(gap))
+			}
+			if gap > beB {
+				usefulB[kb] += gap
+				sleepB[kb] += gap - beB
+				intervalsB[kb]++
+			}
+		}
+		lastB[kb] = c
+		accB[kb]++
+	}
+	pa.cursor, pb.cursor = curA, curB
+	return nil
+}
+
+// Feed is a PMU's per-bank accounting state as plain slices: the view a
+// fused kernel walk (core's batched simulation loop) uses to account
+// idle intervals inline with the decode pass that produces the bank
+// keys, instead of materialising key buffers and walking the cycle
+// column again per PMU. The slices alias the PMU's own arrays. The
+// contract mirrors AccessBatch: feed only cycle-ordered accesses with
+// in-range keys, apply exactly the AccessBatch per-element accounting,
+// and report the cycle of the last applied access through EndFeed when
+// the walk stops (normally or at its first out-of-order element).
+type Feed struct {
+	// Last[b] is bank b's most-recent-access cycle; Useful, Sleep and
+	// Intervals accumulate >Breakeven idle gaps exactly as AccessBatch
+	// does; Accesses counts references.
+	Last, Useful, Sleep, Intervals, Accesses []uint64
+	// Breakeven is the sleep threshold in cycles.
+	Breakeven uint64
+	// Cursor is the cycle-order bound the first fed access must meet.
+	Cursor uint64
+}
+
+// BatchFeed returns the accounting view for a fused walk, or ok=false
+// when the PMU cannot be fed externally: after Finish, or with per-gap
+// histograms enabled (a fused walk does not maintain them, so those
+// runs take the AccessBatch path).
+func (p *PMU) BatchFeed() (f Feed, ok bool) {
+	if p.finished || p.histOn {
+		return Feed{}, false
+	}
+	return Feed{
+		Last:      p.last,
+		Useful:    p.useful,
+		Sleep:     p.sleep,
+		Intervals: p.intervals,
+		Accesses:  p.accesses,
+		Breakeven: p.breakeven,
+		Cursor:    p.cursor,
+	}, true
+}
+
+// EndFeed closes a fused walk, advancing the cursor to the cycle of the
+// last access the walk applied. A cursor at or behind the current one
+// is a no-op (a walk that applied nothing must not regress it).
+func (p *PMU) EndFeed(cursor uint64) {
+	if cursor > p.cursor {
+		p.cursor = cursor
+	}
+}
+
 // closeInterval accounts the idle gap ending now for the bank. Banks
 // never touched idle from cycle 0 (their last-access cycle is 0).
 func (p *PMU) closeInterval(bank int, now uint64) {

@@ -1,0 +1,161 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func columnsTrace(seed int64, n int) *Trace {
+	rng := rand.New(rand.NewSource(seed))
+	tr := &Trace{Name: "columns-roundtrip"}
+	cycle := uint64(rng.Intn(3))
+	addr := uint64(rng.Intn(1 << 20))
+	for i := 0; i < n; i++ {
+		kind := Read
+		if rng.Intn(4) == 0 {
+			kind = Write
+		}
+		tr.Accesses = append(tr.Accesses, Access{Cycle: cycle, Addr: addr, Kind: kind})
+		cycle += uint64(rng.Intn(5))
+		switch rng.Intn(4) {
+		case 0:
+			addr = uint64(rng.Uint64()) // arbitrary jumps, including wraparound deltas
+		case 1:
+			addr -= uint64(rng.Intn(256)) // negative strides
+		default:
+			addr += uint64(rng.Intn(64))
+		}
+	}
+	tr.Cycles = cycle + 1 + uint64(rng.Intn(100))
+	return tr
+}
+
+func TestColumnsRowsRoundTrip(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		tr := columnsTrace(seed, 500)
+		cols := FromRows(tr)
+		if err := cols.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		back := cols.Rows()
+		if !reflect.DeepEqual(tr, back) {
+			t.Fatalf("seed %d: rows->columns->rows changed the trace", seed)
+		}
+		if cols.Len() != tr.Len() || cols.Density() != tr.Density() {
+			t.Fatalf("seed %d: shape diverged", seed)
+		}
+	}
+}
+
+// TestWriteBinaryColumnsCanonical pins the contract content addressing
+// rests on: the columnar writer emits byte-for-byte the canonical v1
+// encoding WriteBinary produces from the row form.
+func TestWriteBinaryColumnsCanonical(t *testing.T) {
+	for seed := int64(10); seed < 16; seed++ {
+		tr := columnsTrace(seed, 777)
+		var rows, cols bytes.Buffer
+		if err := WriteBinary(&rows, tr); err != nil {
+			t.Fatal(err)
+		}
+		if err := FromRows(tr).WriteBinaryColumns(&cols); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(rows.Bytes(), cols.Bytes()) {
+			t.Fatalf("seed %d: columnar v1 encoding diverges from row encoding", seed)
+		}
+	}
+	// Empty trace too (header-only encoding).
+	empty := &Trace{Name: "e"}
+	var rows, cols bytes.Buffer
+	if err := WriteBinary(&rows, empty); err != nil {
+		t.Fatal(err)
+	}
+	if err := FromRows(empty).WriteBinaryColumns(&cols); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(rows.Bytes(), cols.Bytes()) {
+		t.Fatal("empty trace: columnar v1 encoding diverges from row encoding")
+	}
+}
+
+func TestColumnCodecRoundTrip(t *testing.T) {
+	for seed := int64(20); seed < 25; seed++ {
+		cols := FromRows(columnsTrace(seed, 333))
+		var payload []byte
+		payload = AppendCyclesColumn(payload, cols.Cycles)
+		payload = AppendAddrsColumn(payload, cols.Addrs)
+		payload = AppendKindsColumn(payload, cols.Kinds)
+
+		cycles, rest, err := DecodeCyclesColumn(payload, cols.Len())
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs, rest, err := DecodeAddrsColumn(rest, cols.Len())
+		if err != nil {
+			t.Fatal(err)
+		}
+		kinds, rest, err := DecodeKindsColumn(rest, cols.Len())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rest) != 0 {
+			t.Fatalf("%d trailing bytes", len(rest))
+		}
+		if !reflect.DeepEqual(cycles, cols.Cycles) || !reflect.DeepEqual(addrs, cols.Addrs) || !reflect.DeepEqual(kinds, cols.Kinds) {
+			t.Fatalf("seed %d: column round-trip diverged", seed)
+		}
+	}
+}
+
+func TestColumnDecodeRejectsMalformed(t *testing.T) {
+	// Counts exceeding the bytes present must fail before allocating.
+	if _, _, err := DecodeCyclesColumn([]byte{1, 2}, 3); !errors.Is(err, ErrBadFormat) {
+		t.Fatalf("oversized cycle count: %v", err)
+	}
+	if _, _, err := DecodeAddrsColumn([]byte{1}, 2); !errors.Is(err, ErrBadFormat) {
+		t.Fatalf("oversized addr count: %v", err)
+	}
+	// Truncated varints.
+	if _, _, err := DecodeCyclesColumn([]byte{0x80, 0x80}, 2); !errors.Is(err, ErrBadFormat) {
+		t.Fatalf("truncated cycle varint: %v", err)
+	}
+	// Kind runs: zero-length, overshooting, missing kind byte, invalid kind.
+	if _, _, err := DecodeKindsColumn([]byte{0, 0}, 1); !errors.Is(err, ErrBadFormat) {
+		t.Fatalf("zero-length run: %v", err)
+	}
+	if _, _, err := DecodeKindsColumn([]byte{5, 0}, 3); !errors.Is(err, ErrBadFormat) {
+		t.Fatalf("overshooting run: %v", err)
+	}
+	if _, _, err := DecodeKindsColumn([]byte{2}, 2); !errors.Is(err, ErrBadFormat) {
+		t.Fatalf("missing kind byte: %v", err)
+	}
+	if _, _, err := DecodeKindsColumn([]byte{1, 9}, 1); !errors.Is(err, ErrBadFormat) {
+		t.Fatalf("invalid kind: %v", err)
+	}
+}
+
+func TestColumnsValidate(t *testing.T) {
+	good := FromRows(columnsTrace(1, 50))
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	ragged := &Columns{Name: "r", Cycles: []uint64{1, 2}, Addrs: []uint64{1}, Kinds: []Kind{Read, Read}, Span: 3}
+	if err := ragged.Validate(); err == nil {
+		t.Fatal("ragged columns accepted")
+	}
+	unordered := &Columns{Name: "u", Cycles: []uint64{5, 3}, Addrs: []uint64{0, 0}, Kinds: []Kind{Read, Read}, Span: 9}
+	if !errors.Is(unordered.Validate(), ErrUnordered) {
+		t.Fatal("unordered columns accepted")
+	}
+	badKind := &Columns{Name: "k", Cycles: []uint64{1}, Addrs: []uint64{0}, Kinds: []Kind{Kind(7)}, Span: 2}
+	if err := badKind.Validate(); err == nil {
+		t.Fatal("invalid kind accepted")
+	}
+	shortSpan := &Columns{Name: "s", Cycles: []uint64{4}, Addrs: []uint64{0}, Kinds: []Kind{Read}, Span: 4}
+	if err := shortSpan.Validate(); err == nil {
+		t.Fatal("uncovered span accepted")
+	}
+}
