@@ -25,6 +25,17 @@
 // from a failed peer to the next ring owner. /metrics then reports the
 // routing counters, including per-shard routed/retried/merged series.
 //
+// Membership is elastic: a health-probe loop evicts unresponsive peers
+// (after consecutive failures, never on one transient miss) and
+// re-admits recovered ones, replaying the results their disk stores
+// already hold into open sweeps. New nodes join a running coordinator
+// at runtime by starting with -join http://coordinator -advertise
+// http://self. With -replicas N, merged job results are written through
+// to N ring owners so a dead node's results stay readable. A
+// coordinator started with -data-dir checkpoints every in-flight sweep
+// and resumes unfinished ones on restart, recovering already-merged
+// jobs from the shard caches instead of re-simulating them.
+//
 //	POST   /v1/sweeps       submit a sweep (engine.SweepSpec JSON) -> 202 {id, job_ids}
 //	GET    /v1/sweeps/{id}  progress + resolved results
 //	DELETE /v1/sweeps/{id}  cancel
@@ -90,6 +101,10 @@ func main() {
 	peers := flag.String("peers", "", "comma-separated shard base URLs; when set, run as a cluster coordinator over them instead of a simulation node")
 	ringReplicas := flag.Int("ring-replicas", cluster.DefaultReplicas, "coordinator mode: consistent-hash virtual nodes per peer")
 	pollInterval := flag.Duration("poll-interval", cluster.DefaultPollInterval, "coordinator mode: per-shard sweep poll cadence")
+	replicas := flag.Int("replicas", 1, "coordinator mode: ring owners each job result is written to (1 = no replication)")
+	healthInterval := flag.Duration("health-interval", cluster.DefaultHealthInterval, "coordinator mode: membership health-probe cadence (negative disables the probe loop)")
+	join := flag.String("join", "", "node mode: coordinator base URL to announce this node to at startup (elastic join; requires -advertise)")
+	advertise := flag.String("advertise", "", "node mode: this node's base URL as peers should reach it, announced via -join")
 	logFormat := flag.String("log-format", "text", "structured log encoding: text or json")
 	flag.Parse()
 
@@ -110,11 +125,12 @@ func main() {
 	if *peers != "" {
 		// Node-only flags have no effect on a coordinator (it holds no
 		// engine); dropping them silently would let an operator believe
-		// e.g. -data-dir was persisting coordinator state.
+		// e.g. -max-traces was bounding coordinator state. (-data-dir IS
+		// meaningful here: it persists sweep checkpoints for resume.)
 		var ignored []string
 		flag.Visit(func(f *flag.Flag) {
 			switch f.Name {
-			case "workers", "quick", "data-dir", "max-traces", "max-results":
+			case "workers", "quick", "max-traces", "max-results", "join", "advertise":
 				ignored = append(ignored, "-"+f.Name)
 			}
 		})
@@ -123,9 +139,12 @@ func main() {
 				"flags", strings.Join(ignored, ", "))
 		}
 		coord, err := cluster.New(cluster.Options{
-			Peers:        strings.Split(*peers, ","),
-			Replicas:     *ringReplicas,
-			PollInterval: *pollInterval,
+			Peers:          strings.Split(*peers, ","),
+			Replicas:       *ringReplicas,
+			PollInterval:   *pollInterval,
+			HealthInterval: *healthInterval,
+			OwnerReplicas:  *replicas,
+			DataDir:        *dataDir,
 			// Forwarded traces were admitted under the shards' upload
 			// cap; mirror it (x2 slack for wire-format differences).
 			MaxForwardBytes: 2 * *maxTraceBytes,
@@ -134,26 +153,45 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		handler = cluster.NewServer(coord, cluster.ServerConfig{
+		csrv := cluster.NewServer(coord, cluster.ServerConfig{
 			MaxTraceBytes: *maxTraceBytes,
 			RetainSweeps:  *retainSweeps,
 			EnablePprof:   *pprofOn,
-		}).Handler()
+		})
+		if *dataDir != "" {
+			// Resume the sweeps a previous coordinator left checkpointed
+			// before the listener opens, and adopt their handles so
+			// pre-restart clients' polls keep answering.
+			resumed, err := coord.Resume(context.Background())
+			if err != nil {
+				fatal(err)
+			}
+			for _, h := range resumed {
+				csrv.Adopt(h)
+				logger.Info("resumed sweep", "sweep_id", h.ID, "jobs", len(h.Jobs()))
+			}
+			logger.Info("sweep-state persistence enabled", "dir", *dataDir, "resumed", len(resumed))
+		}
+		handler = csrv.Handler()
 		shutdown = coord.Close
-		logger.Info("coordinator mode", "peers", len(coord.Peers()))
+		logger.Info("coordinator mode", "peers", len(coord.Peers()),
+			"owner_replicas", *replicas, "health_interval", (*healthInterval).String())
 	} else {
 		// The symmetric silent-drop guard: coordinator-only flags do
 		// nothing without -peers.
 		var ignored []string
 		flag.Visit(func(f *flag.Flag) {
 			switch f.Name {
-			case "ring-replicas", "poll-interval":
+			case "ring-replicas", "poll-interval", "replicas", "health-interval":
 				ignored = append(ignored, "-"+f.Name)
 			}
 		})
 		if len(ignored) > 0 {
 			logger.Warn("node mode ignores coordinator-only flags (set -peers to run a coordinator)",
 				"flags", strings.Join(ignored, ", "))
+		}
+		if *join != "" && *advertise == "" {
+			fatal(errors.New("-join requires -advertise (the URL peers reach this node at cannot be guessed from -addr)"))
 		}
 		opts := engine.Options{
 			Workers:          *workers,
@@ -198,6 +236,38 @@ func main() {
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 	logger.Info("listening", "addr", *addr)
+
+	if *join != "" && *peers == "" {
+		// Elastic join: announce this node to the coordinator until it
+		// answers, then keep re-announcing at a slow cadence. Announcing
+		// is idempotent on the coordinator, and the re-announce means a
+		// coordinator restarted without this node in its -peers list
+		// learns it again within a beat.
+		go func() {
+			hc := &http.Client{Timeout: 10 * time.Second}
+			announced := false
+			for {
+				if err := cluster.Announce(ctx, hc, *join, *advertise); err != nil {
+					if ctx.Err() != nil {
+						return
+					}
+					logger.Warn("join announce failed; retrying", "coordinator", *join, "err", err)
+				} else if !announced {
+					announced = true
+					logger.Info("joined cluster", "coordinator", *join, "advertise", *advertise)
+				}
+				delay := 15 * time.Second
+				if !announced {
+					delay = 2 * time.Second
+				}
+				select {
+				case <-ctx.Done():
+					return
+				case <-time.After(delay):
+				}
+			}
+		}()
+	}
 
 	select {
 	case err := <-errc:

@@ -10,6 +10,7 @@ func All() []*Analyzer {
 		Nopsafe,
 		Kernelpure,
 		Soalayout,
+		Ringchurn,
 	}
 }
 

@@ -39,6 +39,10 @@ func TestSoalayout(t *testing.T) {
 	analysistest.Run(t, "testdata", []*analysis.Analyzer{analysis.Soalayout}, "soalayout")
 }
 
+func TestRingchurn(t *testing.T) {
+	analysistest.Run(t, "testdata", []*analysis.Analyzer{analysis.Ringchurn}, "ringchurn")
+}
+
 func TestByName(t *testing.T) {
 	found, unknown := analysis.ByName([]string{"senterr", "nosuch", "detmap"})
 	if len(found) != 2 || found[0].Name != "senterr" || found[1].Name != "detmap" {

@@ -1,0 +1,101 @@
+// Fixture for the ringchurn analyzer. The package mirrors the cluster
+// package's shape structurally (the analyzer matches a named "Ring"
+// with an "Owners" method, because fixtures may only import the
+// standard library): a guarded mutate API is the one sanctioned write
+// path to the live ring.
+package cluster
+
+import "sync"
+
+// Ring is the consistent-hash ring stand-in: the Owners method is what
+// marks it Ring-shaped for the analyzer.
+type Ring struct {
+	nodes map[string]bool
+}
+
+func NewRing(replicas int, nodes ...string) *Ring {
+	r := &Ring{nodes: make(map[string]bool)}
+	for _, n := range nodes {
+		r.Add(n) // constructor: sanctioned
+	}
+	return r
+}
+
+func (r *Ring) Add(node string)    { r.nodes[node] = true }
+func (r *Ring) Remove(node string) { delete(r.nodes, node) }
+
+func (r *Ring) Owners(key string, n int) []string { return nil }
+
+// Rebuild is a Ring method: Ring's own methods may self-mutate.
+func (r *Ring) Rebuild(nodes []string) {
+	for _, n := range nodes {
+		r.Add(n)
+	}
+}
+
+// NotRing has Add/Remove but no Owners: not Ring-shaped, never flagged.
+type NotRing struct{}
+
+func (NotRing) Add(string)    {}
+func (NotRing) Remove(string) {}
+
+type Coordinator struct {
+	mu   sync.Mutex
+	ring *Ring
+}
+
+type ringOp int
+
+const (
+	ringAdd ringOp = iota
+	ringRemove
+)
+
+// mutateRing is the guarded mutation API — the one sanctioned live-ring
+// write path outside the Ring itself.
+func (c *Coordinator) mutateRing(op ringOp, peer string) {
+	if op == ringAdd {
+		c.ring.Add(peer)
+	} else {
+		c.ring.Remove(peer)
+	}
+}
+
+// evict routes through the guarded API: the negative case.
+func (c *Coordinator) evict(peer string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.mutateRing(ringRemove, peer)
+	var nr NotRing
+	nr.Remove(peer) // not a Ring: fine
+}
+
+// adoptDirect bypasses the bookkeeping: the positive cases.
+func (c *Coordinator) adoptDirect(peer string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ring.Add(peer)    // want "ringchurn: Ring.Add outside the guarded ring-mutation API"
+	c.ring.Remove(peer) // want "ringchurn: Ring.Remove outside the guarded ring-mutation API"
+}
+
+// churnAsync shows closures inheriting the enclosing function's
+// verdict: a goroutine churning the ring is still churn.
+func (c *Coordinator) churnAsync(peer string) {
+	go func() {
+		c.ring.Remove(peer) // want "ringchurn: Ring.Remove outside the guarded ring-mutation API"
+	}()
+}
+
+// rebuildSnapshot is the suppression case: mutating a throwaway ring
+// that never serves traffic is deliberate, and says so.
+func rebuildSnapshot(peers []string) *Ring {
+	r := NewRing(0)
+	for _, p := range peers {
+		//nbtivet:ignore ringchurn snapshot ring under construction, not the live ring
+		r.Add(p)
+	}
+	return r
+}
+
+// Owners-less lookups on the real Ring are of course fine.
+func owners(r *Ring, key string) []string { return r.Owners(key, 2) }

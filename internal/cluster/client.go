@@ -170,6 +170,33 @@ func (sc *shardClient) job(ctx context.Context, peer, id string) (*engine.JobRes
 	return &out, true, nil
 }
 
+// health probes a peer's liveness endpoint.
+func (sc *shardClient) health(ctx context.Context, peer string) error {
+	defer sc.observe("health")()
+	return sc.doJSON(ctx, http.MethodGet, peer+"/healthz", nil, "", nil)
+}
+
+// inventory lists the job-result and trace content addresses a peer
+// already holds — the rejoin replay's source of truth.
+func (sc *shardClient) inventory(ctx context.Context, peer string) (httpapi.InventoryResponse, error) {
+	defer sc.observe("inventory")()
+	var out httpapi.InventoryResponse
+	err := sc.doJSON(ctx, http.MethodGet, peer+"/v1/cluster/inventory", nil, "", &out)
+	return out, err
+}
+
+// putJob writes a completed job result through to a replica owner. The
+// receiving engine re-derives the content address and rejects a
+// mismatch, so a corrupt write-through cannot poison a replica's cache.
+func (sc *shardClient) putJob(ctx context.Context, peer string, res *engine.JobResult) error {
+	defer sc.observe("job_put")()
+	body, err := json.Marshal(res)
+	if err != nil {
+		return err
+	}
+	return sc.doJSON(ctx, http.MethodPut, peer+"/v1/jobs/"+res.ID, body, "application/json", nil)
+}
+
 // traceInfo fetches an uploaded trace's metadata; found is false on a
 // clean 404.
 func (sc *shardClient) traceInfo(ctx context.Context, peer, id string) (engine.TraceInfo, bool, error) {

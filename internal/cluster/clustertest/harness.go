@@ -1,15 +1,22 @@
-// Package clustertest is the in-process cluster test harness: it stands
-// up N real nbtiserved nodes — each a live engine behind an
-// httptest.Server serving the full internal/httpapi route table, with
-// its own temporary data directory — plus a cluster.Coordinator over
-// them, entirely inside one test process. Nodes can be killed mid-sweep
-// to exercise re-routing, and every node's engine stays reachable
-// in-process so tests can assert on shard-local state (stored traces,
-// counters) that the HTTP surface would hide.
+// Package clustertest is the in-process cluster fault-injection
+// harness: it stands up N real nbtiserved nodes — each a live engine
+// behind an httptest.Server serving the full internal/httpapi route
+// table, with its own temporary data directory — plus a
+// cluster.Coordinator over them, entirely inside one test process.
+// Fault injection covers the scenarios elastic membership is proven
+// by: Kill (crash a node), Restart (bring it back on the same address
+// with the same data dir, so its disk CAS survives), Partition (the
+// node answers 503 to everything — reachable but unhealthy), StartNode
+// (a brand-new node for runtime join), and coordinator restart via
+// CoordinatorAt over a shared state directory. Every node's engine
+// stays reachable in-process so tests can assert on shard-local state
+// (stored traces, counters) that the HTTP surface would hide.
 package clustertest
 
 import (
 	"fmt"
+	"net"
+	"net/http"
 	"net/http/httptest"
 	"sync"
 	"testing"
@@ -35,40 +42,182 @@ type Options struct {
 	// PollInterval is the coordinator's shard poll cadence; <= 0 means
 	// 25ms (fast, suited to in-process latencies).
 	PollInterval time.Duration
+	// HealthInterval is the coordinator's membership probe cadence;
+	// 0 means 50ms (fast rejoin for in-process latencies), negative
+	// disables the health loop.
+	HealthInterval time.Duration
+	// Replicas is the coordinator's owner-replication factor; <= 1
+	// means no replication.
+	Replicas int
 }
 
 // Node is one in-process nbtiserved instance.
 type Node struct {
 	// Name labels the node in test output ("node0", ...).
 	Name string
-	// URL is the node's base URL, the coordinator's peer address.
+	// URL is the node's base URL, the coordinator's peer address. It
+	// survives Restart: the listener rebinds the same address.
 	URL string
 	// Engine is the node's live engine, reachable in-process for
-	// shard-local assertions.
+	// shard-local assertions. Restart replaces it (the old one is
+	// closed); read it after the restart you scripted, not across it.
 	Engine *engine.Engine
-	// DataDir is the node's private persistence root (a temp dir).
+	// DataDir is the node's private persistence root (a temp dir),
+	// shared across Restart — that continuity is what the rejoin
+	// inventory replay proves out.
 	DataDir string
 
-	ts   *httptest.Server
-	once sync.Once
+	cl   *Cluster
+	addr string // host:port, for rebinding on Restart
+
+	mu          sync.Mutex
+	ts          *httptest.Server
+	dead        bool
+	partitioned bool
+}
+
+// handler wraps a node's route table with the partition fault: while
+// partitioned, every request — health probes included — answers 503,
+// which to the coordinator is a reachable-but-unhealthy peer.
+func (n *Node) handler(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n.mu.Lock()
+		part := n.partitioned
+		n.mu.Unlock()
+		if part {
+			w.Header().Set("Retry-After", "1")
+			httpapi.WriteError(w, http.StatusServiceUnavailable, "partitioned (clustertest fault)")
+			return
+		}
+		h.ServeHTTP(w, r)
+	})
 }
 
 // Kill force-closes the node's listener and engine, as close to a
 // crash as an in-process node gets: established connections break, new
-// ones are refused, in-flight jobs cancel. Idempotent; the harness
-// kills every surviving node at cleanup.
+// ones are refused, in-flight jobs cancel. Idempotent. Restart brings
+// the node back.
 func (n *Node) Kill() {
-	n.once.Do(func() {
-		n.ts.CloseClientConnections()
-		n.ts.Close()
-		n.Engine.Close()
-	})
+	n.mu.Lock()
+	if n.dead {
+		n.mu.Unlock()
+		return
+	}
+	n.dead = true
+	ts, eng := n.ts, n.Engine
+	// Close outside the node lock: Server.Close waits for in-flight
+	// requests, and an in-flight request (a health probe, say) takes
+	// n.mu in the partition wrapper — holding the lock here deadlocks
+	// the two.
+	n.mu.Unlock()
+	ts.CloseClientConnections()
+	ts.Close()
+	eng.Close()
+}
+
+// Restart brings a killed node back on the same address with the same
+// data directory: a fresh engine warm-starts from the node's disk CAS
+// (results and traces computed before the kill are resident again) and
+// a new listener rebinds the crashed one's port, so the coordinator's
+// stored peer URL works unchanged. The kernel can lag releasing the
+// port after a close, so the rebind retries briefly.
+func (n *Node) Restart(tb testing.TB) {
+	tb.Helper()
+	n.mu.Lock()
+	dead := n.dead
+	addr := n.addr
+	n.mu.Unlock()
+	if !dead {
+		tb.Fatalf("%s: Restart of a live node (Kill it first)", n.Name)
+	}
+	// Build the replacement outside the node lock: the rebind can take
+	// a while, and the partition wrapper must stay responsive meanwhile.
+	// Tests drive each node from one goroutine, so dead cannot flip
+	// between the check and the install below.
+	eng, err := n.cl.newEngine(n.DataDir)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	var ln net.Listener
+	for attempt := 0; ; attempt++ {
+		ln, err = net.Listen("tcp", addr)
+		if err == nil {
+			break
+		}
+		if attempt >= 40 {
+			eng.Close()
+			tb.Fatalf("%s: rebinding %s: %v", n.Name, addr, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	ts := httptest.NewUnstartedServer(n.handler(httpapi.NewServer(eng, httpapi.Config{}).Handler()))
+	ts.Listener.Close()
+	ts.Listener = ln
+	ts.Start()
+	n.mu.Lock()
+	n.Engine = eng
+	n.ts = ts
+	n.dead = false
+	n.mu.Unlock()
+}
+
+// Partition toggles the node's 503 fault: on=true makes every request
+// (health probes included) answer 503 until Partition(false). The
+// process stays up — engine state is untouched — which models a node
+// behind a sick load balancer or an overloaded peer, and exercises the
+// evict-then-rejoin path without losing the listener.
+func (n *Node) Partition(on bool) {
+	n.mu.Lock()
+	n.partitioned = on
+	n.mu.Unlock()
 }
 
 // Cluster is a set of harness nodes.
 type Cluster struct {
 	Nodes []*Node
 	opts  Options
+}
+
+// newEngine builds one node engine with the cluster's shared
+// configuration — identical across nodes and across Restart, which is
+// the content-addressed determinism contract.
+func (cl *Cluster) newEngine(dir string) (*engine.Engine, error) {
+	return engine.New(engine.Options{
+		Workers: cl.opts.Workers,
+		DataDir: dir,
+		Gen: func(g cache.Geometry) workload.GenParams {
+			if cl.opts.GenDelay > 0 {
+				time.Sleep(cl.opts.GenDelay)
+			}
+			return workload.GenParams{Geometry: g, Phases: 16, AccessesPerPhase: 64}
+		},
+	})
+}
+
+// StartNode adds one more node to the cluster at runtime — not known
+// to any existing coordinator, which is the point: tests announce it
+// through the join endpoint and watch the ring grow.
+func (cl *Cluster) StartNode(tb testing.TB) *Node {
+	tb.Helper()
+	i := len(cl.Nodes)
+	dir := tb.TempDir()
+	eng, err := cl.newEngine(dir)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	node := &Node{
+		Name:    fmt.Sprintf("node%d", i),
+		Engine:  eng,
+		DataDir: dir,
+		cl:      cl,
+	}
+	ts := httptest.NewServer(node.handler(httpapi.NewServer(eng, httpapi.Config{}).Handler()))
+	node.ts = ts
+	node.URL = ts.URL
+	node.addr = ts.Listener.Addr().String()
+	tb.Cleanup(node.Kill)
+	cl.Nodes = append(cl.Nodes, node)
+	return node
 }
 
 // Start builds n nodes, each with its own temp data directory and an
@@ -82,32 +231,12 @@ func Start(tb testing.TB, n int, opts Options) *Cluster {
 	if opts.PollInterval <= 0 {
 		opts.PollInterval = 25 * time.Millisecond
 	}
+	if opts.HealthInterval == 0 {
+		opts.HealthInterval = 50 * time.Millisecond
+	}
 	cl := &Cluster{opts: opts}
 	for i := 0; i < n; i++ {
-		dir := tb.TempDir()
-		eng, err := engine.New(engine.Options{
-			Workers: opts.Workers,
-			DataDir: dir,
-			Gen: func(g cache.Geometry) workload.GenParams {
-				if opts.GenDelay > 0 {
-					time.Sleep(opts.GenDelay)
-				}
-				return workload.GenParams{Geometry: g, Phases: 16, AccessesPerPhase: 64}
-			},
-		})
-		if err != nil {
-			tb.Fatal(err)
-		}
-		ts := httptest.NewServer(httpapi.NewServer(eng, httpapi.Config{}).Handler())
-		node := &Node{
-			Name:    fmt.Sprintf("node%d", i),
-			URL:     ts.URL,
-			Engine:  eng,
-			DataDir: dir,
-			ts:      ts,
-		}
-		tb.Cleanup(node.Kill)
-		cl.Nodes = append(cl.Nodes, node)
+		cl.StartNode(tb)
 	}
 	return cl
 }
@@ -132,12 +261,25 @@ func (cl *Cluster) ByURL(url string) *Node {
 }
 
 // Coordinator builds a coordinator over every node, tuned for
-// in-process latencies, and registers its teardown on tb.
+// in-process latencies, and registers its teardown on tb. Sweep state
+// is memory-only; use CoordinatorAt to script a coordinator restart.
 func (cl *Cluster) Coordinator(tb testing.TB) *cluster.Coordinator {
 	tb.Helper()
+	return cl.CoordinatorAt(tb, "")
+}
+
+// CoordinatorAt is Coordinator with a persistence root for the
+// coordinator's sweep state. Two sequential CoordinatorAt calls over
+// the same dir script a coordinator restart: close the first, build
+// the second, Resume. Empty dir means memory-only.
+func (cl *Cluster) CoordinatorAt(tb testing.TB, dataDir string) *cluster.Coordinator {
+	tb.Helper()
 	c, err := cluster.New(cluster.Options{
-		Peers:        cl.URLs(),
-		PollInterval: cl.opts.PollInterval,
+		Peers:          cl.URLs(),
+		PollInterval:   cl.opts.PollInterval,
+		HealthInterval: cl.opts.HealthInterval,
+		OwnerReplicas:  cl.opts.Replicas,
+		DataDir:        dataDir,
 	})
 	if err != nil {
 		tb.Fatal(err)

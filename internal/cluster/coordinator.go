@@ -8,22 +8,26 @@ import (
 	"log/slog"
 	"net/http"
 	"net/url"
+	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"nbticache/internal/cas"
 	"nbticache/internal/engine"
 	"nbticache/internal/obs"
 )
 
 // Options configures a Coordinator.
 type Options struct {
-	// Peers are the shard base URLs ("http://host:port"). At least one
-	// is required; duplicates collapse. The set is fixed for the
-	// coordinator's lifetime — peers that fail are removed from the
-	// ring (their keys fall to the next owner) and never rejoin.
+	// Peers are the initial shard base URLs ("http://host:port"). At
+	// least one is required; duplicates collapse. Membership is elastic
+	// past this seed: peers that fail are removed from the ring (their
+	// keys fall to the next owner) but stay known, the health-check
+	// loop re-admits them when they answer again, and Join adds new
+	// peers at runtime.
 	Peers []string
 	// Client issues the shard requests; nil selects a default with a
 	// 2-minute per-request timeout.
@@ -45,6 +49,26 @@ type Options struct {
 	// Logger receives the coordinator's structured warnings (peer
 	// removals, routing stalls); nil discards them.
 	Logger *slog.Logger
+	// HealthInterval paces the membership health-check loop that probes
+	// every known peer — evicted ones included, which is the rejoin
+	// path. 0 means DefaultHealthInterval; negative disables the loop
+	// (membership then changes only through dispatch failures and Join).
+	HealthInterval time.Duration
+	// EvictAfterProbes is how many consecutive failed health probes
+	// evict a live peer from the ring. One transient timeout or 5xx
+	// must never cost a healthy peer its keyspace share, so this is
+	// always at least 2; <= 0 means DefaultEvictAfterProbes.
+	EvictAfterProbes int
+	// OwnerReplicas turns Ring.Owners succession into replicated
+	// ownership: every merged job result is written through to this
+	// many ring owners, so one node dying loses no cached work. <= 1
+	// disables replication (the dispatch owner alone holds the result).
+	OwnerReplicas int
+	// DataDir persists the coordinator's sweep state (spec, shard
+	// assignments, merged job IDs — a versioned blob per in-flight
+	// sweep under <DataDir>/sweeps) so a restarted coordinator can
+	// Resume the sweeps a crash orphaned. Empty means memory-only.
+	DataDir string
 }
 
 // DefaultPollInterval paces shard sweep polling when
@@ -63,10 +87,15 @@ var errTraceUnavailable = errors.New("cluster: trace unavailable")
 var ErrPeerUnavailable = errors.New("cluster: peer unavailable")
 
 // shardState is one peer's routing bookkeeping, guarded by the
-// coordinator mutex.
+// coordinator mutex. A peer that fails keeps its entry with alive=false
+// — that record is what the health loop re-admits on recovery.
 type shardState struct {
-	alive  bool
-	routed uint64
+	alive bool
+	// probeFails counts consecutive failed health probes; eviction
+	// waits for evictAfter of them, so a single transient timeout or
+	// 5xx never costs a healthy peer its ring share.
+	probeFails int
+	routed     uint64
 	// retried counts jobs dispatched to this peer as a re-route (the
 	// job had already been dispatched elsewhere).
 	retried uint64
@@ -80,11 +109,14 @@ type shardState struct {
 // per-shard results into a single Handle, and re-routes jobs from a
 // failed peer to the next ring owner. It is safe for concurrent use.
 type Coordinator struct {
-	client *shardClient
-	poll   time.Duration
-	tel    *obs.Telemetry
-	log    *slog.Logger
-	met    coordMetrics
+	client     *shardClient
+	poll       time.Duration
+	health     time.Duration
+	evictAfter int
+	replicas   int // owner-replication factor (<= 1: no replication)
+	tel        *obs.Telemetry
+	log        *slog.Logger
+	met        coordMetrics
 
 	lifeCtx  context.Context
 	lifeStop context.CancelFunc
@@ -92,12 +124,21 @@ type Coordinator struct {
 	closed   atomic.Bool
 	seq      atomic.Uint64
 
-	// forwardSlots is a semaphore over in-flight trace forwards.
+	// stateStore persists one versioned sweep-state blob per in-flight
+	// sweep (nil without Options.DataDir).
+	stateStore cas.Store
+
+	// forwardSlots is a semaphore over in-flight trace forwards;
+	// replicaSlots bounds replica write-throughs the same way.
 	forwardSlots chan struct{}
+	replicaSlots chan struct{}
 
 	mu     sync.Mutex
 	ring   *Ring
 	shards map[string]*shardState
+	// handles tracks the open (still-routing) sweeps, so a rejoining
+	// peer's inventory replay knows which pending slots it can resolve.
+	handles map[string]*Handle
 
 	sweepsTotal     atomic.Uint64
 	jobsRouted      atomic.Uint64
@@ -106,6 +147,14 @@ type Coordinator struct {
 	jobsFailed      atomic.Uint64
 	tracesForwarded atomic.Uint64
 	peerFailures    atomic.Uint64
+
+	ringJoins            atomic.Uint64
+	ringRejoins          atomic.Uint64
+	replicaWrites        atomic.Uint64
+	replicaWriteFailures atomic.Uint64
+	replicaReads         atomic.Uint64
+	sweepsResumed        atomic.Uint64
+	jobsRecovered        atomic.Uint64
 }
 
 // New builds a coordinator over the given peers. The peers are not
@@ -114,14 +163,16 @@ type Coordinator struct {
 func New(o Options) (*Coordinator, error) {
 	peers := make([]string, 0, len(o.Peers))
 	seen := make(map[string]bool)
-	for _, p := range o.Peers {
-		p = strings.TrimRight(strings.TrimSpace(p), "/")
-		if p == "" || seen[p] {
-			continue
+	for _, raw := range o.Peers {
+		p, err := normalizePeer(raw)
+		if err != nil {
+			if strings.TrimSpace(raw) == "" {
+				continue
+			}
+			return nil, err
 		}
-		u, err := url.Parse(p)
-		if err != nil || (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
-			return nil, fmt.Errorf("cluster: peer %q is not an http(s) base URL", p)
+		if seen[p] {
+			continue
 		}
 		seen[p] = true
 		peers = append(peers, p)
@@ -132,29 +183,70 @@ func New(o Options) (*Coordinator, error) {
 	if o.PollInterval <= 0 {
 		o.PollInterval = DefaultPollInterval
 	}
+	if o.HealthInterval == 0 {
+		o.HealthInterval = DefaultHealthInterval
+	}
+	if o.EvictAfterProbes <= 0 {
+		o.EvictAfterProbes = DefaultEvictAfterProbes
+	}
+	if o.EvictAfterProbes < 2 {
+		// A single failed probe is indistinguishable from one dropped
+		// packet; eviction below two consecutive failures would churn
+		// the ring on noise.
+		o.EvictAfterProbes = 2
+	}
 	if o.Telemetry == nil {
 		o.Telemetry = obs.New()
 	}
 	if o.Logger == nil {
 		o.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
+	var stateStore cas.Store
+	if o.DataDir != "" {
+		var err error
+		stateStore, err = cas.OpenDisk(filepath.Join(o.DataDir, "sweeps"), cas.Limits{})
+		if err != nil {
+			return nil, fmt.Errorf("cluster: opening sweep-state dir: %w", err)
+		}
+	}
 	ctx, stop := context.WithCancel(context.Background())
 	c := &Coordinator{
 		client:       newShardClient(o.Client, o.MaxForwardBytes),
 		poll:         o.PollInterval,
+		health:       o.HealthInterval,
+		evictAfter:   o.EvictAfterProbes,
+		replicas:     o.OwnerReplicas,
 		tel:          o.Telemetry,
 		log:          o.Logger,
 		lifeCtx:      ctx,
 		lifeStop:     stop,
+		stateStore:   stateStore,
 		ring:         NewRing(o.Replicas, peers...),
 		shards:       make(map[string]*shardState, len(peers)),
+		handles:      make(map[string]*Handle),
 		forwardSlots: make(chan struct{}, maxConcurrentForwards),
+		replicaSlots: make(chan struct{}, maxConcurrentReplicas),
 	}
 	for _, p := range peers {
 		c.shards[p] = &shardState{alive: true}
 	}
 	c.registerMetrics()
+	if c.health > 0 {
+		c.wg.Add(1)
+		go c.healthLoop()
+	}
 	return c, nil
+}
+
+// normalizePeer canonicalises one peer base URL the way New always has:
+// trimmed, no trailing slash, http(s) scheme with a host.
+func normalizePeer(p string) (string, error) {
+	p = strings.TrimRight(strings.TrimSpace(p), "/")
+	u, err := url.Parse(p)
+	if p == "" || err != nil || (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+		return "", fmt.Errorf("cluster: peer %q is not an http(s) base URL", p)
+	}
+	return p, nil
 }
 
 // Telemetry exposes the coordinator's telemetry bundle, so the HTTP
@@ -177,6 +269,11 @@ func (c *Coordinator) Close() {
 	}
 	c.lifeStop()
 	c.wg.Wait()
+	if c.stateStore != nil {
+		// The persist loops have drained: every interrupted sweep has
+		// its final checkpoint on disk for the next coordinator's Resume.
+		_ = c.stateStore.Close()
+	}
 }
 
 // Peers lists the configured peers, sorted.
@@ -213,13 +310,17 @@ func (c *Coordinator) ringLen() int {
 }
 
 // failPeer removes a peer from the ring after a transport-level (or
-// 5xx) failure; its keyspace share falls to the next ring owners.
+// 5xx) failure on the dispatch path; its keyspace share falls to the
+// next ring owners so the routing loop can make progress immediately.
+// The peer stays known: the health-check loop re-admits it the moment
+// it answers a probe again.
 func (c *Coordinator) failPeer(peer string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if st := c.shards[peer]; st != nil && st.alive {
 		st.alive = false
-		c.ring.Remove(peer)
+		st.probeFails = 0
+		c.mutateRing(ringRemove, peer)
 		c.peerFailures.Add(1)
 		c.log.Warn("removing failed peer from ring",
 			"peer", peer, "peers_alive", c.ring.Len())
@@ -274,7 +375,14 @@ func (c *Coordinator) Submit(ctx context.Context, spec engine.SweepSpec) (*Handl
 		return nil, fmt.Errorf("cluster: coordinator closed")
 	}
 	c.wg.Add(1)
+	c.handles[h.ID] = h
+	if c.stateStore != nil {
+		c.wg.Add(1) // the sweep's persist loop, in the same Close barrier
+	}
 	c.mu.Unlock()
+	if c.stateStore != nil {
+		go c.persistLoop(h)
+	}
 	c.sweepsTotal.Add(1)
 	// The sweep's root span: it joins the submitter's trace when ctx
 	// carries one (a tracing client sent traceparent) and roots a new
@@ -319,6 +427,11 @@ const maxStalledRounds = 5
 // maxStalledRounds with a backoff between attempts).
 func (c *Coordinator) run(h *Handle) {
 	defer c.wg.Done()
+	defer func() {
+		c.mu.Lock()
+		delete(c.handles, h.ID)
+		c.mu.Unlock()
+	}()
 	stalled := 0
 	for h.ctx.Err() == nil {
 		pending := h.unresolved()
@@ -469,6 +582,7 @@ func (c *Coordinator) dispatch(h *Handle, peer string, slots []int) {
 			retried++
 		}
 	}
+	h.setAssigned(slots, peer)
 	c.jobsRouted.Add(uint64(len(slots)))
 	c.jobsRetried.Add(uint64(retried))
 	c.mu.Lock()
@@ -513,14 +627,7 @@ func (c *Coordinator) dispatch(h *Handle, peer string, slots []int) {
 			if !ok {
 				continue
 			}
-			if h.record(slot, jr) {
-				c.jobsMerged.Add(1)
-				c.mu.Lock()
-				if st := c.shards[peer]; st != nil {
-					st.merged++
-				}
-				c.mu.Unlock()
-			}
+			c.mergeResult(h, slot, peer, jr, false)
 		}
 		if sw.Status.State != "running" {
 			return
@@ -543,14 +650,7 @@ func (c *Coordinator) recoverJobs(ctx context.Context, h *Handle, peer string, s
 		if err != nil || !found {
 			continue
 		}
-		if h.record(s, res) {
-			c.jobsMerged.Add(1)
-			c.mu.Lock()
-			if st := c.shards[peer]; st != nil {
-				st.merged++
-			}
-			c.mu.Unlock()
-		}
+		c.mergeResult(h, s, peer, res, false)
 	}
 }
 
@@ -687,6 +787,22 @@ type Stats struct {
 	TracesForwarded uint64       `json:"traces_forwarded"`
 	PeerFailures    uint64       `json:"peer_failures"`
 	Shards          []ShardStats `json:"shards"`
+
+	// Elastic-membership and HA counters. RingJoins counts new peers
+	// admitted at runtime, RingRejoins health-loop re-admissions of a
+	// previously evicted peer. ReplicaWrites/ReplicaWriteFailures count
+	// replicated result write-throughs; ReplicaReads counts job reads
+	// served by a non-primary ring owner. SweepsResumed counts sweeps a
+	// restarted coordinator picked back up, and JobsRecovered the slots
+	// those sweeps (or a rejoining peer's inventory replay) resolved
+	// from an existing cache entry instead of a fresh dispatch.
+	RingJoins            uint64 `json:"ring_joins"`
+	RingRejoins          uint64 `json:"ring_rejoins"`
+	ReplicaWrites        uint64 `json:"replica_writes"`
+	ReplicaWriteFailures uint64 `json:"replica_write_failures"`
+	ReplicaReads         uint64 `json:"replica_reads"`
+	SweepsResumed        uint64 `json:"sweeps_resumed"`
+	JobsRecovered        uint64 `json:"jobs_recovered"`
 }
 
 // Stats snapshots the counters.
@@ -717,5 +833,13 @@ func (c *Coordinator) Stats() Stats {
 		TracesForwarded: c.tracesForwarded.Load(),
 		PeerFailures:    c.peerFailures.Load(),
 		Shards:          shards,
+
+		RingJoins:            c.ringJoins.Load(),
+		RingRejoins:          c.ringRejoins.Load(),
+		ReplicaWrites:        c.replicaWrites.Load(),
+		ReplicaWriteFailures: c.replicaWriteFailures.Load(),
+		ReplicaReads:         c.replicaReads.Load(),
+		SweepsResumed:        c.sweepsResumed.Load(),
+		JobsRecovered:        c.jobsRecovered.Load(),
 	}
 }

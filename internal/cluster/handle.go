@@ -3,6 +3,7 @@ package cluster
 import (
 	"context"
 	"errors"
+	"sort"
 	"sync"
 
 	"nbticache/internal/engine"
@@ -27,6 +28,10 @@ type Handle struct {
 	// round that owns the slot, so no lock is needed beyond the rounds'
 	// own ordering.
 	attempts []int
+	// assigned is the peer each slot was last dispatched to (guarded by
+	// mu — the persist loop reads it concurrently for the sweep-state
+	// checkpoint).
+	assigned []string
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -56,6 +61,7 @@ func newHandle(id string, spec engine.SweepSpec, jobs []engine.JobSpec, ctx cont
 		jobs:     jobs,
 		slot:     make(map[string]int, len(jobs)),
 		attempts: make([]int, len(jobs)),
+		assigned: make([]string, len(jobs)),
 		ctx:      ctx,
 		cancel:   cancel,
 		results:  make([]*engine.JobResult, len(jobs)),
@@ -123,6 +129,49 @@ func (h *Handle) record(slot int, res *engine.JobResult) bool {
 		close(h.finished)
 	}
 	return true
+}
+
+// setAssigned records which peer a dispatch group went to, for the
+// sweep-state checkpoint's shard-assignment map.
+func (h *Handle) setAssigned(slots []int, peer string) {
+	h.mu.Lock()
+	for _, s := range slots {
+		h.assigned[s] = peer
+	}
+	h.mu.Unlock()
+}
+
+// clientCancelled reports whether Cancel was called on this handle (a
+// deliberate client cancellation, as opposed to a coordinator shutdown
+// settling the slots).
+func (h *Handle) clientCancelled() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.cancelled
+}
+
+// snapshotState captures the sweep's persistable state: spec, the
+// shard-assignment map, and the job IDs merged so far with a successful
+// result (failed/cancelled slots re-dispatch on resume rather than
+// resurrecting a maybe-transient error).
+func (h *Handle) snapshotState() sweepState {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	st := sweepState{
+		Handle: h.ID,
+		Spec:   h.Spec,
+		Assign: make(map[string]string),
+	}
+	for i, r := range h.results {
+		if r != nil && r.Err == "" && !r.Canceled {
+			st.Merged = append(st.Merged, h.jobs[i].ID())
+		}
+		if h.assigned[i] != "" {
+			st.Assign[h.jobs[i].ID()] = h.assigned[i]
+		}
+	}
+	sort.Strings(st.Merged)
+	return st
 }
 
 // unresolved snapshots the slots still waiting for a result.

@@ -124,3 +124,117 @@ func TestRingOwnersSuccession(t *testing.T) {
 		t.Fatal("empty ring claimed an owner")
 	}
 }
+
+// TestRingChurnProperty is the elastic-membership property: under a
+// random (seeded, reproducible) churn sequence of adds, removes, and
+// re-adds, the ring (a) keeps every member's share of the keyspace
+// within the pinned [0.5, 2.0]x fair-share band at every step, and
+// (b) maps each membership SET to one owner assignment — bit for bit —
+// no matter the mutation path that produced it. (b) is what makes
+// rejoin cheap: a peer coming back after any interleaving of churn
+// re-owns exactly the keys it would have owned had it never left.
+func TestRingChurnProperty(t *testing.T) {
+	keys := ringKeys(20000)
+	pool := make([]string, 10)
+	for i := range pool {
+		pool[i] = fmt.Sprintf("http://shard-%d:8080", i)
+	}
+
+	ownerMap := func(r *Ring) map[string]string {
+		m := make(map[string]string, len(keys))
+		for _, k := range keys {
+			owner, ok := r.Owner(k)
+			if !ok {
+				t.Fatal("no owner on a non-empty ring")
+			}
+			m[k] = owner
+		}
+		return m
+	}
+	fingerprint := func(r *Ring) string {
+		names := r.Nodes() // sorted
+		return fmt.Sprintf("%q", names)
+	}
+
+	// Deterministic churn: a multiplicative LCG drives the choices, so
+	// a failure reproduces without seed plumbing.
+	rnd := uint64(0x9E3779B97F4A7C15)
+	next := func(n int) int {
+		rnd = rnd*6364136223846793005 + 1442695040888963407
+		return int((rnd >> 33) % uint64(n))
+	}
+
+	r := NewRing(0, pool[0], pool[1], pool[2])
+	in := map[string]bool{pool[0]: true, pool[1]: true, pool[2]: true}
+	seen := make(map[string]map[string]string) // membership set -> owner map
+
+	for step := 0; step < 80; step++ {
+		p := pool[next(len(pool))]
+		switch {
+		case !in[p]:
+			r.Add(p) // covers both first-time adds and re-adds
+			in[p] = true
+		case r.Len() > 2:
+			r.Remove(p)
+			delete(in, p)
+		default:
+			continue // keep >= 2 members so shares stay meaningful
+		}
+
+		m := ownerMap(r)
+
+		// (a) balance at every step of the churn.
+		mean := float64(len(keys)) / float64(r.Len())
+		counts := make(map[string]int)
+		for _, owner := range m {
+			counts[owner]++
+		}
+		for node, got := range counts {
+			if share := float64(got) / mean; share < 0.5 || share > 2.0 {
+				t.Fatalf("step %d (%d members): %s owns %.2fx the fair share, want within [0.5, 2.0]",
+					step, r.Len(), node, share)
+			}
+		}
+
+		// (b) same membership set => bit-identical ownership, whatever
+		// churn led there.
+		fp := fingerprint(r)
+		if prev, ok := seen[fp]; ok {
+			for _, k := range keys {
+				if m[k] != prev[k] {
+					t.Fatalf("step %d: membership %s reached again but key %s moved %s -> %s",
+						step, fp, k, prev[k], m[k])
+				}
+			}
+		} else {
+			seen[fp] = m
+		}
+	}
+	if len(seen) < 10 {
+		t.Fatalf("churn visited only %d membership sets; the property was tested too vacuously", len(seen))
+	}
+
+	// The sharp rejoin case, explicitly: remove a member, churn others,
+	// bring it back, undo the interim churn — ownership is restored bit
+	// for bit.
+	base := ownerMap(r)
+	victim := r.Nodes()[0]
+	outsider := ""
+	for _, p := range pool {
+		if !in[p] {
+			outsider = p
+			break
+		}
+	}
+	r.Remove(victim)
+	if outsider != "" {
+		r.Add(outsider)
+		r.Remove(outsider)
+	}
+	r.Add(victim)
+	for _, k := range keys {
+		if owner, _ := r.Owner(k); owner != base[k] {
+			t.Fatalf("key %s owned by %s after remove/churn/re-add, originally %s", k, owner, base[k])
+		}
+	}
+}

@@ -95,6 +95,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/traces", s.uploadTrace)
 	mux.HandleFunc("GET /v1/traces", s.listTraces)
 	mux.HandleFunc("GET /v1/traces/{id}", s.getTrace)
+	mux.HandleFunc("POST /v1/cluster/join", s.joinCluster)
 	mux.HandleFunc("GET /healthz", s.healthz)
 	mux.HandleFunc("GET /metrics", s.metrics)
 	if s.cfg.EnablePprof {
@@ -135,6 +136,33 @@ func (s *Server) submitSweep(w http.ResponseWriter, r *http.Request) {
 	httpapi.WriteJSON(w, http.StatusAccepted, httpapi.SubmitResponse{ID: h.ID, Total: len(jobs), JobIDs: ids})
 }
 
+// Adopt registers a resumed sweep handle (from Coordinator.Resume) in
+// the server's registry, so clients polling a pre-restart sweep ID keep
+// getting answers from the restarted coordinator.
+func (s *Server) Adopt(h *Handle) {
+	s.sweeps.Add(h.ID, h)
+}
+
+// joinCluster admits (or re-admits) an announcing node to the ring —
+// the runtime half of elastic membership; nodes started with -join
+// POST here until it succeeds.
+func (s *Server) joinCluster(w http.ResponseWriter, r *http.Request) {
+	var req JoinRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		httpapi.WriteError(w, http.StatusBadRequest, "bad join request: %v", err)
+		return
+	}
+	joined, err := s.coord.Join(req.Peer)
+	if err != nil {
+		httpapi.WriteError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	st := s.coord.Stats()
+	httpapi.WriteJSON(w, http.StatusOK, JoinResponse{Joined: joined, Peers: st.AlivePeers})
+}
+
 // getSweep reports the merged progress and any merged results.
 func (s *Server) getSweep(w http.ResponseWriter, r *http.Request) {
 	h, ok := s.sweeps.Lookup(r.PathValue("id"))
@@ -167,13 +195,18 @@ func (s *Server) getJob(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var probeErr error
-	for _, peer := range cands {
+	for i, peer := range cands {
 		res, found, err := s.coord.client.job(r.Context(), peer, id)
 		if err != nil {
 			probeErr = err
 			continue
 		}
 		if found {
+			if i > 0 {
+				// Served by a ring successor, not the primary owner:
+				// replicated ownership (or a past re-route) paying off.
+				s.coord.replicaReads.Add(1)
+			}
 			httpapi.WriteJSON(w, http.StatusOK, res)
 			return
 		}

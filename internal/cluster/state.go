@@ -1,0 +1,262 @@
+package cluster
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"nbticache/internal/engine"
+)
+
+// Sweep-state blob framing: a 4-byte magic, a version byte, then the
+// JSON-encoded sweepState. The payload is JSON rather than the trace
+// blobs' packed columns because sweep state is tiny (a spec and some ID
+// lists), written once per poll tick — framing discipline matters here,
+// encoding density does not.
+const (
+	stateBlobMagic   = "NBSS"
+	stateBlobVersion = 1
+)
+
+// ErrBadState marks a sweep-state blob that cannot be decoded: wrong
+// magic, unknown version, truncation, malformed payload, or a payload
+// whose re-derived content address mismatches the key it was stored
+// under. Resume quarantines such blobs (deletes them and continues)
+// rather than resurrecting a sweep from bytes it cannot trust.
+var ErrBadState = errors.New("cluster: bad sweep-state blob")
+
+// sweepState is one in-flight sweep's persistable checkpoint: enough
+// for a restarted coordinator to rebuild the handle, recover merged
+// results from the shard caches, and re-dispatch only the remainder.
+type sweepState struct {
+	// Handle is the sweep's public ID ("csweep-N"); Resume reuses it so
+	// clients polling across the restart keep their handle.
+	Handle string `json:"handle"`
+	// Spec is the submitted spec, verbatim — Expand is deterministic,
+	// so the restarted coordinator rebuilds the identical job list.
+	Spec engine.SweepSpec `json:"spec"`
+	// Assign maps job ID -> the peer it was last dispatched to
+	// (diagnostic; resume re-routes on the live ring regardless).
+	Assign map[string]string `json:"assign,omitempty"`
+	// Merged lists the job IDs already merged with a successful result,
+	// sorted. Resume recovers these from the shard caches instead of
+	// re-dispatching them — the zero-re-simulation guarantee.
+	Merged []string `json:"merged,omitempty"`
+}
+
+// stateKey derives a sweep's state-blob key from its spec's canonical
+// JSON — content-addressed like everything else in the CAS, so decode
+// can re-derive it and reject a blob claiming to be a sweep it is not.
+// Two sweeps with byte-equal specs share a key; their checkpoints are
+// interchangeable by construction.
+func stateKey(spec engine.SweepSpec) string {
+	canon, err := json.Marshal(spec)
+	if err != nil {
+		// SweepSpec is plain data (strings, ints, slices); Marshal
+		// cannot fail on it. Keep the signature clean.
+		panic(fmt.Sprintf("cluster: marshaling sweep spec: %v", err))
+	}
+	sum := sha256.Sum256(canon)
+	return "sweep-" + hex.EncodeToString(sum[:8])
+}
+
+// encodeSweepState frames a checkpoint for the CAS.
+func encodeSweepState(st sweepState) ([]byte, error) {
+	payload, err := json.Marshal(st)
+	if err != nil {
+		return nil, err
+	}
+	blob := make([]byte, 0, len(stateBlobMagic)+1+len(payload))
+	blob = append(blob, stateBlobMagic...)
+	blob = append(blob, stateBlobVersion)
+	return append(blob, payload...), nil
+}
+
+// decodeSweepState parses a sweep-state blob stored under key, with the
+// same error-chain discipline as the job/trace codecs: every failure is
+// ErrBadState, wrapping the cause where there is one, and the payload's
+// re-derived content address must match the key it was filed under.
+func decodeSweepState(key string, blob []byte) (sweepState, error) {
+	if len(blob) < len(stateBlobMagic)+1 {
+		return sweepState{}, fmt.Errorf("%w: truncated header (%d bytes)", ErrBadState, len(blob))
+	}
+	if string(blob[:len(stateBlobMagic)]) != stateBlobMagic {
+		return sweepState{}, fmt.Errorf("%w: bad magic %q", ErrBadState, blob[:len(stateBlobMagic)])
+	}
+	if v := blob[len(stateBlobMagic)]; v != stateBlobVersion {
+		return sweepState{}, fmt.Errorf("%w: unsupported version %d", ErrBadState, v)
+	}
+	var st sweepState
+	if err := json.Unmarshal(blob[len(stateBlobMagic)+1:], &st); err != nil {
+		return sweepState{}, fmt.Errorf("%w: %w", ErrBadState, err)
+	}
+	if st.Handle == "" {
+		return sweepState{}, fmt.Errorf("%w: missing handle ID", ErrBadState)
+	}
+	if derived := stateKey(st.Spec); derived != key {
+		return sweepState{}, fmt.Errorf("%w: content address %s does not match key %s", ErrBadState, derived, key)
+	}
+	return st, nil
+}
+
+// persistLoop checkpoints one sweep's state to the CAS for the life of
+// the sweep: an immediate checkpoint on submit (so even an instant
+// crash can resume), then one per poll tick in which the merged count
+// moved. On finish, a deliberately cancelled or cleanly completed sweep
+// deletes its blob; a sweep settled by coordinator shutdown keeps its
+// final checkpoint — that blob is exactly what the next coordinator's
+// Resume picks up.
+func (c *Coordinator) persistLoop(h *Handle) {
+	defer c.wg.Done()
+	key := stateKey(h.Spec)
+	lastMerged := -1
+	persist := func() {
+		st := h.snapshotState()
+		if len(st.Merged) == lastMerged {
+			return
+		}
+		lastMerged = len(st.Merged)
+		if err := c.persistState(st, key); err != nil {
+			c.log.Warn("sweep-state checkpoint failed", "sweep_id", h.ID, "error", err)
+		}
+	}
+	persist()
+	ticker := time.NewTicker(c.poll)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			persist()
+		case <-h.finished:
+			status := h.Status()
+			switch {
+			case h.clientCancelled():
+				// The client gave the sweep up; resuming it after a
+				// restart would countermand them.
+				_ = c.stateStore.Delete(key)
+			case status.Canceled > 0:
+				// Settled by shutdown, not answered: the final
+				// checkpoint is the resume point.
+				persist()
+			default:
+				_ = c.stateStore.Delete(key)
+			}
+			return
+		}
+	}
+}
+
+func (c *Coordinator) persistState(st sweepState, key string) error {
+	blob, err := encodeSweepState(st)
+	if err != nil {
+		return err
+	}
+	return c.stateStore.Put(key, blob)
+}
+
+// Resume rebuilds the sweeps a previous coordinator's shutdown (or
+// crash) left checkpointed in DataDir and restarts their routing loops:
+// already-merged job IDs are recovered from the shard caches (no
+// re-simulation), the remainder re-dispatches on the live ring.
+// Undecodable blobs are quarantined (deleted, logged, skipped) — cf.
+// the disk CAS, which already quarantines checksum-corrupt files below
+// this layer. Call it once, after New and before serving; the returned
+// handles are live (pass them to Server.Adopt so clients can poll
+// them).
+func (c *Coordinator) Resume(ctx context.Context) ([]*Handle, error) {
+	if c.stateStore == nil {
+		return nil, nil
+	}
+	stats, err := c.stateStore.List()
+	if err != nil {
+		return nil, fmt.Errorf("cluster: listing sweep state: %w", err)
+	}
+	var handles []*Handle
+	for _, stat := range stats {
+		blob, err := c.stateStore.Get(stat.Key)
+		if err != nil {
+			c.log.Warn("unreadable sweep-state blob, skipping", "key", stat.Key, "error", err)
+			continue
+		}
+		st, err := decodeSweepState(stat.Key, blob)
+		if err != nil {
+			c.log.Warn("quarantining bad sweep-state blob", "key", stat.Key, "error", err)
+			_ = c.stateStore.Delete(stat.Key)
+			continue
+		}
+		h, err := c.resumeSweep(ctx, st)
+		if err != nil {
+			c.log.Warn("cannot resume sweep", "sweep_id", st.Handle, "error", err)
+			_ = c.stateStore.Delete(stat.Key)
+			continue
+		}
+		handles = append(handles, h)
+	}
+	return handles, nil
+}
+
+// resumeSweep rebuilds one checkpointed sweep and restarts its loops.
+func (c *Coordinator) resumeSweep(ctx context.Context, st sweepState) (*Handle, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	jobs, err := st.Spec.Expand()
+	if err != nil {
+		return nil, fmt.Errorf("re-expanding spec: %w", err)
+	}
+	// Reusing the persisted handle ID keeps pre-restart clients' polls
+	// working; bumping seq past it keeps new submissions from colliding.
+	if n, err := strconv.ParseUint(strings.TrimPrefix(st.Handle, "csweep-"), 10, 64); err == nil {
+		for {
+			cur := c.seq.Load()
+			if cur >= n || c.seq.CompareAndSwap(cur, n) {
+				break
+			}
+		}
+	}
+	sctx, cancel := context.WithCancel(c.lifeCtx)
+	h := newHandle(st.Handle, st.Spec, jobs, sctx, cancel)
+	c.mu.Lock()
+	if c.closed.Load() {
+		c.mu.Unlock()
+		cancel()
+		return nil, fmt.Errorf("cluster: coordinator closed")
+	}
+	c.wg.Add(2) // resumeRun + persistLoop, inside the Close barrier
+	c.handles[h.ID] = h
+	c.mu.Unlock()
+	c.sweepsResumed.Add(1)
+	c.sweepsTotal.Add(1)
+	_, h.span = c.tel.Tracer.StartSpan(ctx, "coordinator.sweep",
+		"sweep_id", h.ID, "jobs", itoa(len(jobs)), "resumed", "true")
+	h.tsc = h.span.Context()
+	go c.persistLoop(h)
+	go c.resumeRun(h, st.Merged)
+	return h, nil
+}
+
+// resumeRun recovers the checkpoint's already-merged results from the
+// shard caches — cached reads, never re-simulation — then falls into
+// the normal routing loop for whatever remains (including any merged
+// ID that could not be recovered: its slot is simply still unresolved,
+// and the owning shard's content-addressed cache answers the re-dispatch
+// without re-running the simulation anyway).
+func (c *Coordinator) resumeRun(h *Handle, merged []string) {
+	for _, id := range merged {
+		if h.ctx.Err() != nil {
+			break
+		}
+		slot, ok := h.slot[id]
+		if !ok {
+			continue
+		}
+		c.recoverResult(h.ctx, h, slot)
+	}
+	c.run(h) // does wg.Done and handle dereg
+}

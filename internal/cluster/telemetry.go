@@ -44,6 +44,13 @@ func (c *Coordinator) registerMetrics() {
 		{"nbtiserved_cluster_jobs_failed_total", "counter", "Jobs settled with a permanent routing error.", func(s Stats) float64 { return float64(s.JobsFailed) }},
 		{"nbtiserved_cluster_traces_forwarded_total", "counter", "Uploaded traces copied to a job's owning shard.", func(s Stats) float64 { return float64(s.TracesForwarded) }},
 		{"nbtiserved_cluster_peer_failures_total", "counter", "Peers removed from the ring after a failure.", func(s Stats) float64 { return float64(s.PeerFailures) }},
+		{"nbtiserved_cluster_ring_joins_total", "counter", "New peers admitted to the ring at runtime.", func(s Stats) float64 { return float64(s.RingJoins) }},
+		{"nbtiserved_cluster_ring_rejoins_total", "counter", "Evicted peers re-admitted to the ring (health-loop recovery or re-announce).", func(s Stats) float64 { return float64(s.RingRejoins) }},
+		{"nbtiserved_cluster_replica_writes_total", "counter", "Job results written through to a replica owner.", func(s Stats) float64 { return float64(s.ReplicaWrites) }},
+		{"nbtiserved_cluster_replica_write_failures_total", "counter", "Replica write-throughs that failed (best-effort; the authoritative copy already merged).", func(s Stats) float64 { return float64(s.ReplicaWriteFailures) }},
+		{"nbtiserved_cluster_replica_reads_total", "counter", "Job reads served by a ring successor instead of the primary owner.", func(s Stats) float64 { return float64(s.ReplicaReads) }},
+		{"nbtiserved_cluster_sweeps_resumed_total", "counter", "Checkpointed sweeps resumed after a coordinator restart.", func(s Stats) float64 { return float64(s.SweepsResumed) }},
+		{"nbtiserved_cluster_jobs_recovered_total", "counter", "Sweep slots resolved from an existing shard cache entry (rejoin replay or resume) instead of a fresh dispatch.", func(s Stats) float64 { return float64(s.JobsRecovered) }},
 	}
 	sets := make([]func(Stats), 0, len(rows))
 	for _, row := range rows {

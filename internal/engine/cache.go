@@ -106,6 +106,16 @@ func (c *blobCache[V]) get(key string) (V, bool) {
 	return v, true
 }
 
+// put stores a value directly, bypassing single-flight — the import
+// path for values computed elsewhere (a replica write-through).
+func (c *blobCache[V]) put(key string, v V) error {
+	blob, err := c.codec.encode(v)
+	if err != nil {
+		return err
+	}
+	return c.store.Put(key, blob)
+}
+
 // reset drops every stored value. In-flight computations are
 // unaffected; their results land in the store when they settle.
 func (c *blobCache[V]) reset() {

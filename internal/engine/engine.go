@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"path/filepath"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -470,6 +471,53 @@ func (e *Engine) traceFor(ctx context.Context, spec JobSpec, g cache.Geometry, p
 // engine, under any previous engine that shared the data directory.
 func (e *Engine) Job(id string) (*JobResult, bool) {
 	return e.results.get(id)
+}
+
+// ImportResult admits a job result computed elsewhere into this
+// engine's result cache — the receiving half of the cluster's
+// replicated write-through. Only complete successful results are
+// importable, and the result's ID must equal its spec's re-derived
+// content address: a corrupted or forged result cannot poison the
+// cache under a key it does not answer for. created reports whether
+// the result was new here (false: an equal result was already cached,
+// which by content addressing is the same result).
+func (e *Engine) ImportResult(res *JobResult) (created bool, err error) {
+	if res == nil || res.Err != "" || res.Canceled || res.Run == nil || res.Projection == nil {
+		return false, fmt.Errorf("engine: only complete successful results are importable")
+	}
+	spec := res.Spec.Normalised()
+	if res.ID != spec.ID() {
+		return false, fmt.Errorf("engine: result ID %s does not match its spec (derives %s)", res.ID, spec.ID())
+	}
+	if _, ok := e.results.get(res.ID); ok {
+		return false, nil
+	}
+	// Imported results carry no local timing or cache provenance.
+	cp := *res
+	cp.Spec = spec
+	cp.Cached = false
+	cp.Timing = nil
+	if err := e.results.put(res.ID, &cp); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// ResultIDs lists the content addresses of every completed job result
+// this engine holds (memory or disk), sorted — the inventory a
+// rejoining cluster node advertises so already-computed work is
+// discovered instead of re-simulated.
+func (e *Engine) ResultIDs() []string {
+	list, err := e.resultStore.List()
+	if err != nil {
+		return nil
+	}
+	ids := make([]string, 0, len(list))
+	for _, st := range list {
+		ids = append(ids, st.Key)
+	}
+	sort.Strings(ids)
+	return ids
 }
 
 // ResetRuns drops completed simulation results — including persisted

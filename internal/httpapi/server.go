@@ -115,6 +115,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/sweeps/{id}", s.cancelSweep)
 	mux.HandleFunc("GET /v1/spans/{traceid}", s.getTraceSpans)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.getJob)
+	mux.HandleFunc("PUT /v1/jobs/{id}", s.putJob)
+	mux.HandleFunc("GET /v1/cluster/inventory", s.getInventory)
 	mux.HandleFunc("POST /v1/traces", s.uploadTrace)
 	mux.HandleFunc("GET /v1/traces", s.listTraces)
 	mux.HandleFunc("GET /v1/traces/{id}", s.getTrace)
@@ -403,6 +405,55 @@ func (s *Server) getJob(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	WriteJSON(w, http.StatusOK, res)
+}
+
+// putJob admits a job result computed elsewhere into this node's
+// content-addressed cache — the receiving end of the coordinator's
+// replicated write-through. The engine re-derives the spec's content
+// address and rejects a body that does not answer for the path ID, so
+// a replica cannot be poisoned. 201 on first admission, 200 when the
+// result was already cached (write-throughs are idempotent).
+func (s *Server) putJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	var res engine.JobResult
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20))
+	if err := dec.Decode(&res); err != nil {
+		WriteError(w, http.StatusBadRequest, "bad job result: %v", err)
+		return
+	}
+	if res.ID != id {
+		WriteError(w, http.StatusUnprocessableEntity, "body ID %q does not match path ID %q", res.ID, id)
+		return
+	}
+	created, err := s.eng.ImportResult(&res)
+	if err != nil {
+		WriteError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	code := http.StatusOK
+	if created {
+		code = http.StatusCreated
+	}
+	WriteJSON(w, code, map[string]any{"id": id, "created": created})
+}
+
+// InventoryResponse lists the content addresses a node already holds —
+// what a rejoining peer advertises so the coordinator resolves pending
+// work from its cache instead of re-simulating.
+type InventoryResponse struct {
+	Jobs   []string `json:"jobs"`
+	Traces []string `json:"traces"`
+}
+
+// getInventory reports this node's resident job-result and trace
+// content addresses, both sorted.
+func (s *Server) getInventory(w http.ResponseWriter, _ *http.Request) {
+	infos := s.eng.TraceInfos()
+	traces := make([]string, 0, len(infos))
+	for _, info := range infos {
+		traces = append(traces, info.ID)
+	}
+	WriteJSON(w, http.StatusOK, InventoryResponse{Jobs: s.eng.ResultIDs(), Traces: traces})
 }
 
 func (s *Server) healthz(w http.ResponseWriter, _ *http.Request) {
