@@ -2,7 +2,8 @@
 // sweep spec (explicit jobs and/or cartesian axes over workload ×
 // geometry × banks × policy × sleep mode), the engine fans it out on a
 // bounded worker pool with content-addressed result caching, and clients
-// poll for per-job lifetimes, energy and idleness.
+// stream per-job lifetimes, energy and idleness as they complete (or
+// poll, which stays supported).
 //
 // Real address traces upload through POST /v1/traces (binary or text
 // wire format, decoded incrementally in bounded memory): admission
@@ -21,7 +22,9 @@
 // each sweep's job space across the peer nbtiserved nodes by
 // consistent-hash ownership of the job content addresses, forwards
 // uploaded traces to the shard that owns their jobs on demand, merges
-// per-shard progress and results into one sweep, and re-routes jobs
+// per-shard progress and results into one sweep — consuming each
+// shard's completion stream, degrading to status polls for shards
+// without streaming — and re-routes jobs
 // from a failed peer to the next ring owner. /metrics then reports the
 // routing counters, including per-shard routed/retried/merged series.
 //
@@ -38,6 +41,7 @@
 //
 //	POST   /v1/sweeps       submit a sweep (engine.SweepSpec JSON) -> 202 {id, job_ids}
 //	GET    /v1/sweeps/{id}  progress + resolved results
+//	GET    /v1/sweeps/{id}/events  per-job completions as Server-Sent Events (resume with Last-Event-ID)
 //	DELETE /v1/sweeps/{id}  cancel
 //	GET    /v1/jobs/{id}    one job by content address
 //	POST   /v1/traces       upload a trace -> 201 {id, signature, ...}
@@ -55,6 +59,7 @@
 //	curl -s -X POST localhost:8080/v1/sweeps \
 //	  -d '{"benches":["sha","gsme"],"banks":[2,4,8,16],"policies":["identity","probing"]}'
 //	curl -s localhost:8080/v1/sweeps/sweep-1
+//	curl -sN localhost:8080/v1/sweeps/sweep-1/events   # stream completions as they merge
 //	curl -s --data-binary @app.trace localhost:8080/v1/traces
 //	curl -s -X POST localhost:8080/v1/sweeps -d '{"trace_ids":["trace-<hex>"],"banks":[2,4,8]}'
 //

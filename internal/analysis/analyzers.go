@@ -11,6 +11,7 @@ func All() []*Analyzer {
 		Kernelpure,
 		Soalayout,
 		Ringchurn,
+		Streamflush,
 	}
 }
 

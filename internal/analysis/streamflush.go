@@ -1,0 +1,191 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Streamflush is the PR 10 push-dataplane lesson: a handler that
+// asserts its http.ResponseWriter to http.Flusher is a streaming
+// handler, and a streaming handler that buffers is a poll loop with
+// extra steps — every event written must be flushed before the next
+// one, or the client sees nothing until the response ends. Worse, a
+// stream write made while a mutex is held turns a slow client into a
+// server-wide stall (the write blocks on the peer's TCP window with
+// the lock pinned).
+//
+// Inside any function that contains a `w.(http.Flusher)` assertion the
+// analyzer flags, on the asserted writer:
+//
+//   - a Write (or fmt.Fprint*) with no Flush() call before the next
+//     write or the end of the function, and
+//   - a Write executed between a sync.Mutex/RWMutex Lock and its
+//     Unlock (a deferred Unlock holds to the end of the function).
+//
+// The scan is linear within the function body and does not follow
+// calls; nested function literals have their own timeline and are only
+// scanned if they assert a Flusher themselves.
+var Streamflush = &Analyzer{
+	Name: "streamflush",
+	Doc: "report streaming handlers (http.Flusher asserted) that skip a Flush after an event write " +
+		"or write to the stream while a mutex is held",
+	Run: runStreamflush,
+}
+
+func runStreamflush(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if _, body := funcParts(n); body != nil {
+				checkStreamflush(pass, body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// flusherAssert recognises `<expr>.(http.Flusher)` and returns the
+// asserted writer expression's source form.
+func flusherAssert(info *types.Info, e ast.Expr) (writer string, ok bool) {
+	ta, isTA := unparen(e).(*ast.TypeAssertExpr)
+	if !isTA || ta.Type == nil {
+		return "", false
+	}
+	tv, found := info.Types[ta.Type]
+	if !found {
+		return "", false
+	}
+	named, isNamed := tv.Type.(*types.Named)
+	if !isNamed || named.Obj().Pkg() == nil {
+		return "", false
+	}
+	if named.Obj().Pkg().Path() != "net/http" || named.Obj().Name() != "Flusher" {
+		return "", false
+	}
+	return types.ExprString(ta.X), true
+}
+
+type streamEvent struct {
+	pos  token.Pos
+	kind int // 0 lock, 1 unlock, 2 deferred unlock, 3 stream write, 4 flush
+	key  string
+}
+
+func checkStreamflush(pass *Pass, body *ast.BlockStmt) {
+	info := pass.TypesInfo
+
+	// Pass 1: collect the asserted writers. No assertion, no streaming
+	// handler, nothing to check.
+	writers := make(map[string]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if e, ok := n.(ast.Expr); ok {
+			if w, ok := flusherAssert(info, e); ok {
+				writers[w] = true
+			}
+		}
+		return true
+	})
+	if len(writers) == 0 {
+		return
+	}
+
+	// Pass 2: the event timeline — stream writes, flushes, mutex
+	// windows — in source order, lockedio-style.
+	var events []streamEvent
+	var walk func(n ast.Node, deferred bool)
+	walk = func(n ast.Node, deferred bool) {
+		ast.Inspect(n, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				return false // its body is someone else's timeline
+			case *ast.DeferStmt:
+				walk(n.Call, true)
+				return false
+			case *ast.CallExpr:
+				if key, locks, ok := mutexOp(info, n); ok {
+					kind := 1
+					if locks {
+						kind = 0
+					} else if deferred {
+						kind = 2
+					}
+					events = append(events, streamEvent{pos: n.Pos(), kind: kind, key: key})
+					return true
+				}
+				if w, ok := streamWrite(writers, n); ok {
+					events = append(events, streamEvent{pos: n.Pos(), kind: 3, key: w})
+					return true
+				}
+				if sel, ok := unparen(n.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Flush" && len(n.Args) == 0 {
+					// Any zero-arg Flush() clears the pending write: the
+					// analyzer checks the write→flush rhythm, not which buffer
+					// the flush drains.
+					events = append(events, streamEvent{pos: n.Pos(), kind: 4})
+				}
+			}
+			return true
+		})
+	}
+	walk(body, false)
+
+	sort.Slice(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+	depth := make(map[string]int)
+	held := 0
+	var pending *streamEvent
+	for i := range events {
+		ev := &events[i]
+		switch ev.kind {
+		case 0:
+			depth[ev.key]++
+			held++
+		case 1:
+			if depth[ev.key] > 0 {
+				depth[ev.key]--
+				held--
+			}
+		case 2:
+			// Deferred unlock: the window stays open to function end.
+		case 3:
+			if held > 0 {
+				pass.Reportf(ev.pos, "stream write to %s while a mutex is held; a slow client stalls the lock", ev.key)
+			}
+			if pending != nil {
+				pass.Reportf(pending.pos, "stream write to %s is never flushed before the next write; call Flush() after each event", pending.key)
+			}
+			pending = ev
+		case 4:
+			pending = nil
+		}
+	}
+	if pending != nil {
+		pass.Reportf(pending.pos, "stream write to %s is never flushed before the handler returns", pending.key)
+	}
+}
+
+// streamWrite recognises a write to one of the asserted writers:
+// `<w>.Write(...)` / `<w>.WriteString(...)` or a fmt.Fprint* call with
+// <w> as its destination.
+func streamWrite(writers map[string]bool, call *ast.CallExpr) (string, bool) {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	switch sel.Sel.Name {
+	case "Write", "WriteString":
+		if w := types.ExprString(sel.X); writers[w] {
+			return w, true
+		}
+	case "Fprint", "Fprintf", "Fprintln":
+		if id, ok := unparen(sel.X).(*ast.Ident); ok && id.Name == "fmt" && len(call.Args) > 0 {
+			if w := types.ExprString(call.Args[0]); writers[w] {
+				return w, true
+			}
+		}
+	}
+	return "", false
+}

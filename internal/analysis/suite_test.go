@@ -43,6 +43,10 @@ func TestRingchurn(t *testing.T) {
 	analysistest.Run(t, "testdata", []*analysis.Analyzer{analysis.Ringchurn}, "ringchurn")
 }
 
+func TestStreamflush(t *testing.T) {
+	analysistest.Run(t, "testdata", []*analysis.Analyzer{analysis.Streamflush}, "streamflush")
+}
+
 func TestByName(t *testing.T) {
 	found, unknown := analysis.ByName([]string{"senterr", "nosuch", "detmap"})
 	if len(found) != 2 || found[0].Name != "senterr" || found[1].Name != "detmap" {

@@ -1,0 +1,97 @@
+// Fixture for the streamflush analyzer: handlers that assert their
+// ResponseWriter to http.Flusher are streaming handlers, and every
+// event written must be flushed — outside any mutex window.
+package stream
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+)
+
+type hub struct {
+	mu     sync.Mutex
+	events [][]byte
+}
+
+// goodStream is the sanctioned rhythm: snapshot under the lock, write
+// and flush outside it, one flush per event.
+func goodStream(w http.ResponseWriter, h *hub) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		return
+	}
+	h.mu.Lock()
+	evs := h.events
+	h.mu.Unlock()
+	for _, ev := range evs {
+		w.Write(ev)
+		fl.Flush()
+	}
+}
+
+// unflushedBetween buffers the first event until the second write.
+func unflushedBetween(w http.ResponseWriter, h *hub) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		return
+	}
+	w.Write([]byte("a")) // want "streamflush: stream write to w is never flushed before the next write"
+	w.Write([]byte("b"))
+	fl.Flush()
+}
+
+// unflushedAtEnd buffers the last event forever.
+func unflushedAtEnd(w http.ResponseWriter) {
+	if _, ok := w.(http.Flusher); !ok {
+		return
+	}
+	w.Write([]byte("a")) // want "streamflush: stream write to w is never flushed before the handler returns"
+}
+
+// lockedWrite pins the mutex-window rule: the write blocks on the
+// client's TCP window with h.mu held.
+func lockedWrite(w http.ResponseWriter, h *hub) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		return
+	}
+	h.mu.Lock()
+	for _, ev := range h.events {
+		w.Write(ev) // want "streamflush: stream write to w while a mutex is held"
+		fl.Flush()
+	}
+	h.mu.Unlock()
+}
+
+// deferredLockedWrite holds the window to function end via defer.
+func deferredLockedWrite(w http.ResponseWriter, h *hub) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	fmt.Fprintf(w, "event: %d\n\n", len(h.events)) // want "streamflush: stream write to w while a mutex is held"
+	fl.Flush()
+}
+
+// plainHandler never asserts a Flusher: buffered writes are the normal
+// request/response shape, not a finding.
+func plainHandler(w http.ResponseWriter) {
+	w.Write([]byte("a"))
+	w.Write([]byte("b"))
+}
+
+// suppressed documents a deliberate exception.
+func suppressed(w http.ResponseWriter, h *hub) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		return
+	}
+	h.mu.Lock()
+	//nbtivet:ignore streamflush the fixture pins that a justified suppression silences the window rule
+	w.Write([]byte("a"))
+	h.mu.Unlock()
+	fl.Flush()
+}

@@ -104,6 +104,15 @@ type Store interface {
 	// context error settles only the waiters that are themselves
 	// cancelled — a live waiter takes over and fills again. ctx bounds
 	// the wait on a leader, never the caller's own fill.
+	//
+	// The store write is behind the fill asynchronously: GetOrFill
+	// returns as soon as fill completes, and durability follows in the
+	// background. A filled blob is never invisible in the interim —
+	// Get and GetOrFill serve it from a pending overlay until the
+	// write lands — but List/Stat/inventory views only see landed
+	// blobs, and Close waits for every outstanding write, so a
+	// reopened store holds everything a closed one computed. Both
+	// built-in stores expose Drain() to wait explicitly.
 	GetOrFill(ctx context.Context, key string, fill FillFunc) (blob []byte, hit bool, err error)
 	// Metrics snapshots the counters.
 	Metrics() Metrics

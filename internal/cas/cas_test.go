@@ -220,6 +220,36 @@ func TestGetOrFillSingleFlight(t *testing.T) {
 	})
 }
 
+// TestGetOrFillWriteBehind: the durable put runs behind the fill, but a
+// filled blob is never invisible — Get serves it from the pending
+// overlay until the write lands, and Drain waits for durability.
+func TestGetOrFillWriteBehind(t *testing.T) {
+	stores(t, func(t *testing.T, s Store) {
+		blob, hit, err := s.GetOrFill(context.Background(), "job-wb", func() ([]byte, error) {
+			return []byte("behind"), nil
+		})
+		if err != nil || hit || string(blob) != "behind" {
+			t.Fatalf("fill = %q, hit %v, %v", blob, hit, err)
+		}
+		// Immediately readable, whether or not the put has landed yet.
+		got, err := s.Get("job-wb")
+		if err != nil || string(got) != "behind" {
+			t.Fatalf("Get right after fill = %q, %v", got, err)
+		}
+		// And a second GetOrFill must not re-run fill in the window.
+		if _, hit, err := s.GetOrFill(context.Background(), "job-wb", func() ([]byte, error) {
+			t.Error("fill re-ran for a filled key")
+			return nil, nil
+		}); err != nil || !hit {
+			t.Fatalf("read-through = hit %v, %v", hit, err)
+		}
+		s.(interface{ Drain() }).Drain()
+		if m := s.Metrics(); m.Puts != 1 || m.Entries != 1 {
+			t.Errorf("after drain: puts %d entries %d, want 1/1", m.Puts, m.Entries)
+		}
+	})
+}
+
 func TestGetOrFillFailureNotCached(t *testing.T) {
 	stores(t, func(t *testing.T, s Store) {
 		boom := errors.New("boom")

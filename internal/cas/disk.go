@@ -20,9 +20,12 @@ import (
 
 // DiskStore is the durable Store: one file per content address,
 // written crash-safely (temp file in the same directory, fsync, atomic
-// rename, directory fsync) so a visible blob is always complete. Every
-// blob is framed with its key and a SHA-256 of the payload; a frame
-// that fails verification — at open or at read — is quarantined into a
+// rename, directory fsync) so a visible blob is always complete. Put
+// pays the fsync pair inline; the GetOrFill write-behind defers it to
+// a group commit at Drain/Close (see putBehind) so a filled value's
+// durability cost never sits on its completion path. Every blob is
+// framed with its key and a SHA-256 of the payload; a frame that fails
+// verification — at open or at read — is quarantined into a
 // subdirectory instead of served, so bit rot degrades to a cache miss,
 // never to wrong data or a refused startup.
 //
@@ -39,11 +42,12 @@ type DiskStore struct {
 	fl     flightGroup
 	obs    OpObserver
 
-	mu     sync.Mutex
-	idx    map[string]*diskEntry
-	order  []string // oldest first (mtime at open, insertion after)
-	closed bool
-	bytes  int64
+	mu       sync.Mutex
+	idx      map[string]*diskEntry
+	order    []string // oldest first (mtime at open, insertion after)
+	unsynced []string // relaxed writes awaiting the next group commit
+	closed   bool
+	bytes    int64
 
 	gets, hits, puts, putFailures, deletes, evictions, corruptions atomic.Uint64
 }
@@ -256,6 +260,13 @@ func (s *DiskStore) Get(key string) ([]byte, error) {
 	e, ok := s.idx[key]
 	s.mu.Unlock()
 	if !ok {
+		// A blob computed by GetOrFill whose write-behind has not landed
+		// yet is served from the pending overlay — a filled value is
+		// never invisible to readers.
+		if blob, pok := s.fl.pendingBlob(key); pok {
+			s.hits.Add(1)
+			return blob, nil
+		}
 		return nil, ErrNotFound
 	}
 	return s.readPlain(key, e)
@@ -318,6 +329,12 @@ func (s *DiskStore) GetBlob(key string) (*Blob, error) {
 	e, ok := s.idx[key]
 	s.mu.Unlock()
 	if !ok {
+		// Same overlay read-through as Get: an unlanded write-behind is
+		// served from memory (nothing to map yet).
+		if blob, pok := s.fl.pendingBlob(key); pok {
+			s.hits.Add(1)
+			return &Blob{data: blob}, nil
+		}
 		return nil, ErrNotFound
 	}
 	raw, unmap, err := mmapFile(s.path(key))
@@ -382,6 +399,25 @@ func (s *DiskStore) dropCorruptLocked(key string, e *diskEntry) {
 // one key carry identical content-addressed bytes, so last-rename-wins
 // is harmless).
 func (s *DiskStore) Put(key string, blob []byte) error {
+	return s.putFrame(key, blob, true)
+}
+
+// putBehind is the write-behind variant GetOrFill's background persist
+// uses: the frame is written and renamed into place but not fsynced —
+// the blob is immediately readable and survives a process exit, and a
+// machine crash in the window loses at most the unsynced frames, each
+// of which the checksum quarantines back into a cache miss at the next
+// open (never wrong data). Durability is group-committed instead:
+// Drain/Close fsync every relaxed frame and the directory once, so the
+// per-blob fsync pair leaves the completion path without leaving the
+// store's close-to-open contract.
+func (s *DiskStore) putBehind(key string, blob []byte) error {
+	return s.putFrame(key, blob, false)
+}
+
+// putFrame is Put's body; sync selects crash-durable (fsync file +
+// directory) or relaxed group-committed writing.
+func (s *DiskStore) putFrame(key string, blob []byte, sync bool) error {
 	if s.obs != nil {
 		start := time.Now()
 		defer func() { s.obs("put", time.Since(start).Seconds()) }()
@@ -398,7 +434,7 @@ func (s *DiskStore) Put(key string, blob []byte) error {
 	if closed {
 		return ErrClosed
 	}
-	if err := s.writeFile(key, encodeFrame(key, blob)); err != nil {
+	if err := s.writeFile(key, encodeFrame(key, blob), sync); err != nil {
 		return err
 	}
 	s.mu.Lock()
@@ -407,6 +443,9 @@ func (s *DiskStore) Put(key string, blob []byte) error {
 		// Closed while writing; the frame is on disk and will be
 		// indexed by the next open, but this handle is done.
 		return ErrClosed
+	}
+	if !sync {
+		s.unsynced = append(s.unsynced, key)
 	}
 	//nbtivet:ignore lockedio the lstat must be atomic with the index update: a concurrent Delete between check and insert would leave a dangling index entry (PR 4 race fix)
 	if _, err := os.Lstat(s.path(key)); errors.Is(err, fs.ErrNotExist) {
@@ -446,7 +485,7 @@ func encodeFrame(key string, blob []byte) []byte {
 	return append(frame, sum[:]...)
 }
 
-func (s *DiskStore) writeFile(key string, frame []byte) error {
+func (s *DiskStore) writeFile(key string, frame []byte, sync bool) error {
 	tmp, err := os.CreateTemp(s.dir, tmpPrefix+"*")
 	if err != nil {
 		return fmt.Errorf("cas: creating temp blob: %w", err)
@@ -456,9 +495,11 @@ func (s *DiskStore) writeFile(key string, frame []byte) error {
 		tmp.Close()
 		return fmt.Errorf("cas: writing blob: %w", err)
 	}
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		return fmt.Errorf("cas: syncing blob: %w", err)
+	if sync {
+		if err := tmp.Sync(); err != nil {
+			tmp.Close()
+			return fmt.Errorf("cas: syncing blob: %w", err)
+		}
 	}
 	if err := tmp.Close(); err != nil {
 		return fmt.Errorf("cas: closing blob: %w", err)
@@ -466,7 +507,45 @@ func (s *DiskStore) writeFile(key string, frame []byte) error {
 	if err := os.Rename(tmp.Name(), s.path(key)); err != nil {
 		return fmt.Errorf("cas: publishing blob: %w", err)
 	}
+	if !sync {
+		return nil
+	}
 	return s.syncDir()
+}
+
+// syncPending group-commits every relaxed write since the last commit:
+// each unsynced frame is fsynced, then the directory once — N+1 fsyncs
+// for N blobs, against the 2N the per-put path would have paid, and all
+// of them off the fill's completion path. A frame already evicted or
+// deleted is skipped; a frame that cannot be synced is counted as a put
+// failure (the blob is still readable, it is just not crash-durable).
+func (s *DiskStore) syncPending() {
+	s.mu.Lock()
+	pending := s.unsynced
+	s.unsynced = nil
+	s.mu.Unlock()
+	if len(pending) == 0 {
+		return
+	}
+	synced := false
+	for _, key := range pending {
+		f, err := os.Open(s.path(key))
+		if err != nil {
+			if !os.IsNotExist(err) {
+				s.putFailures.Add(1)
+			}
+			continue
+		}
+		if err := f.Sync(); err != nil {
+			s.putFailures.Add(1)
+		} else {
+			synced = true
+		}
+		f.Close()
+	}
+	if synced {
+		_ = s.syncDir()
+	}
 }
 
 // syncDir persists the directory entry itself, so the rename survives a
@@ -575,7 +654,7 @@ func (s *DiskStore) GetOrFill(ctx context.Context, key string, fill FillFunc) ([
 	if err := checkKey(key); err != nil {
 		return nil, false, err
 	}
-	return s.fl.do(ctx, key, s.Get, s.Put, func() { s.putFailures.Add(1) }, fill)
+	return s.fl.do(ctx, key, s.Get, s.putBehind, func() { s.putFailures.Add(1) }, fill)
 }
 
 // Metrics implements Store.
@@ -603,9 +682,23 @@ func (s *DiskStore) Dir() string { return s.dir }
 // before the store is shared across goroutines.
 func (s *DiskStore) SetObserver(fn OpObserver) { s.obs = fn }
 
-// Close implements Store: the index is released; blobs stay on disk for
-// the next open.
+// Drain blocks until every write-behind from a completed GetOrFill fill
+// has landed on disk, then group-commits their durability (see
+// syncPending). Callers about to reason about the resident set — List
+// for an inventory, a reset that must not race a late put back in — or
+// about to snapshot the directory drain first.
+func (s *DiskStore) Drain() {
+	s.fl.drain()
+	s.syncPending()
+}
+
+// Close implements Store: outstanding write-behinds are drained and
+// group-committed (so a reopened store sees everything this one
+// computed), then the index is released; blobs stay on disk for the
+// next open.
 func (s *DiskStore) Close() error {
+	s.fl.drain()
+	s.syncPending()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.closed = true

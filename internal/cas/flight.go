@@ -12,9 +12,25 @@ import (
 // semantics: one leader computes, waiters share, failures are not
 // cached, a leader's cancellation never contaminates a live waiter, and
 // a panicking fill still settles its waiters before re-raising.
+//
+// The write-behind is asynchronous: the leader (and its waiters) are
+// released the moment fill completes, and the durable put runs in a
+// background goroutine. Until the put lands the blob is held in the
+// pending overlay, which the stores' read paths consult, so a computed
+// value is never invisible — a reader sees it from the overlay or from
+// the store, with no gap between. drain blocks until every outstanding
+// put has settled; stores call it from Close (so a reopened store sees
+// everything a closed one computed) and expose it as Drain for callers
+// about to reason about the store's resident set.
 type flightGroup struct {
 	mu       sync.Mutex
 	inflight map[string]*flightCall
+	// pending maps keys to blobs whose background put has not landed
+	// yet; persists counts outstanding puts (same-key overlaps count
+	// individually, the map entry dedups).
+	pending  map[string][]byte
+	persists int
+	idle     *sync.Cond // signals persists reaching zero; lazily built
 }
 
 type flightCall struct {
@@ -73,29 +89,89 @@ func (g *flightGroup) do(ctx context.Context, key string, get func(string) ([]by
 					close(c.done)
 					panic(r)
 				}
+				if c.err == nil {
+					// The pending entry must be visible before the
+					// in-flight entry is released: a caller arriving
+					// between the two would otherwise miss in the store
+					// and recompute a value that already exists.
+					g.beginPersist(key, c.blob)
+				}
 				g.settle(key, c)
 				close(c.done)
+				if c.err == nil {
+					// Write-behind, genuinely behind: the computation is
+					// already served, durability happens off the caller's
+					// critical path (concurrent puts of distinct keys
+					// overlap their fsyncs). A failed store write must not
+					// fail the computation — the value exists, it is just
+					// not durable. The failure is counted so operators
+					// see it.
+					go g.finishPersist(key, c.blob, put, onPutFailure)
+				}
 			}()
 			c.blob, c.err = fill()
-			if c.err == nil {
-				// Write-behind: a failed store write must not fail the
-				// computation — the value exists, it is just not durable.
-				// The failure is counted so operators see it.
-				if perr := put(key, c.blob); perr != nil && onPutFailure != nil {
-					onPutFailure()
-				}
-			}
 		}()
 		return c.blob, false, c.err
 	}
 }
 
 // settle removes the in-flight entry; the value (if any) now lives in
-// the backing store, so later callers read through instead of waiting.
+// the backing store or the pending overlay, so later callers read
+// through instead of waiting.
 func (g *flightGroup) settle(key string, c *flightCall) {
 	g.mu.Lock()
 	if g.inflight[key] == c {
 		delete(g.inflight, key)
+	}
+	g.mu.Unlock()
+}
+
+// beginPersist publishes a filled blob into the pending overlay before
+// its background put starts.
+func (g *flightGroup) beginPersist(key string, blob []byte) {
+	g.mu.Lock()
+	if g.pending == nil {
+		g.pending = make(map[string][]byte)
+	}
+	g.pending[key] = blob
+	g.persists++
+	g.mu.Unlock()
+}
+
+// finishPersist runs one write-behind to completion and retires its
+// overlay entry. Removing the entry when an overlapping put of the same
+// key is still outstanding is harmless: equal keys address equal
+// content, so whichever put landed already serves the same bytes.
+func (g *flightGroup) finishPersist(key string, blob []byte, put func(string, []byte) error, onPutFailure func()) {
+	if perr := put(key, blob); perr != nil && onPutFailure != nil {
+		onPutFailure()
+	}
+	g.mu.Lock()
+	delete(g.pending, key)
+	g.persists--
+	if g.persists == 0 && g.idle != nil {
+		g.idle.Broadcast()
+	}
+	g.mu.Unlock()
+}
+
+// pendingBlob returns the overlay blob for key, if a write-behind for
+// it is still outstanding. Callers must not modify the returned slice.
+func (g *flightGroup) pendingBlob(key string) ([]byte, bool) {
+	g.mu.Lock()
+	blob, ok := g.pending[key]
+	g.mu.Unlock()
+	return blob, ok
+}
+
+// drain blocks until every outstanding write-behind has settled.
+func (g *flightGroup) drain() {
+	g.mu.Lock()
+	for g.persists > 0 {
+		if g.idle == nil {
+			g.idle = sync.NewCond(&g.mu)
+		}
+		g.idle.Wait()
 	}
 	g.mu.Unlock()
 }

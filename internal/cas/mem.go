@@ -59,6 +59,13 @@ func (s *MemStore) Get(key string) ([]byte, error) {
 	}
 	e, ok := s.m[key]
 	if !ok {
+		// A blob computed by GetOrFill whose write-behind has not landed
+		// yet is served from the pending overlay — a filled value is
+		// never invisible to readers.
+		if blob, pok := s.fl.pendingBlob(key); pok {
+			s.hits.Add(1)
+			return blob, nil
+		}
 		return nil, ErrNotFound
 	}
 	s.hits.Add(1)
@@ -218,8 +225,14 @@ func (s *MemStore) Metrics() Metrics {
 	}
 }
 
-// Close implements Store: the map is released; later calls fail.
+// Drain blocks until every write-behind from a completed GetOrFill fill
+// has landed in the map. See DiskStore.Drain.
+func (s *MemStore) Drain() { s.fl.drain() }
+
+// Close implements Store: outstanding write-behinds are drained, then
+// the map is released; later calls fail.
 func (s *MemStore) Close() error {
+	s.fl.drain()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.closed = true

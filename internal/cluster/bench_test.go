@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"testing"
+	"time"
 
 	"nbticache/internal/cluster/clustertest"
 	"nbticache/internal/engine"
@@ -11,10 +12,14 @@ import (
 
 // BenchmarkClusterSweep measures a fixed sweep end to end through the
 // coordinator against 1 and 3 in-process shards: the 1-shard case
-// prices the coordination overhead (HTTP hops, polling, merge), the
+// prices the coordination overhead (HTTP hops, streaming merge), the
 // 3-shard case shows what the sharded fan-out buys once per-job
 // simulation dominates it. Every iteration drops the shards' result
-// caches so the work is re-simulated, not replayed.
+// caches so the work is re-simulated, not replayed. Alongside ns/op,
+// the secondary lat-ns/job metric is the mean submit→merge completion
+// latency observed through the sweep's event subscription — the
+// number the push dataplane exists to shrink (a poll-based merge path
+// floors it at the poll cadence regardless of job cost).
 func BenchmarkClusterSweep(b *testing.B) {
 	spec := engine.SweepSpec{
 		Name:    "bench",
@@ -26,6 +31,8 @@ func BenchmarkClusterSweep(b *testing.B) {
 			cl := clustertest.Start(b, shards, clustertest.Options{Workers: 2})
 			c := cl.Coordinator(b)
 			ctx := context.Background()
+			var jobLat time.Duration
+			jobs := 0
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				b.StopTimer()
@@ -33,13 +40,32 @@ func BenchmarkClusterSweep(b *testing.B) {
 					n.Engine.ResetRuns()
 				}
 				b.StartTimer()
-				res, err := c.Sweep(ctx, spec)
+				start := time.Now()
+				h, err := c.Submit(ctx, spec)
+				if err != nil {
+					b.Fatal(err)
+				}
+				backlog, live, cancel := h.EventsFrom(0)
+				for range backlog {
+					jobLat += time.Since(start)
+					jobs++
+				}
+				for range live {
+					jobLat += time.Since(start)
+					jobs++
+				}
+				cancel()
+				res, err := h.Wait(ctx)
 				if err != nil {
 					b.Fatal(err)
 				}
 				if res.Status.Failed != 0 || res.Status.Canceled != 0 {
 					b.Fatalf("sweep did not complete cleanly: %+v", res.Status)
 				}
+			}
+			b.StopTimer()
+			if jobs > 0 {
+				b.ReportMetric(float64(jobLat.Nanoseconds())/float64(jobs), "lat-ns/job")
 			}
 		})
 	}

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"time"
 
 	"nbticache/internal/engine"
@@ -20,6 +21,11 @@ import (
 // so one client serves every shard and survives membership changes.
 type shardClient struct {
 	hc *http.Client
+	// streamHC issues the long-lived event-stream requests: same
+	// transport as hc but no overall timeout, which would otherwise
+	// sever every stream outliving hc's per-request deadline. Stream
+	// liveness is enforced by the stall watchdog instead.
+	streamHC *http.Client
 	// maxForward caps one trace-content download (see traceContent).
 	maxForward int64
 	// reqSeconds times every shard request by operation; nil (Nop
@@ -49,7 +55,73 @@ func newShardClient(hc *http.Client, maxForward int64) *shardClient {
 		// generous for default-configured clusters.
 		maxForward = 2 * httpapi.DefaultMaxTraceBytes
 	}
-	return &shardClient{hc: hc, maxForward: maxForward}
+	streamHC := &http.Client{Transport: hc.Transport, Jar: hc.Jar}
+	return &shardClient{hc: hc, streamHC: streamHC, maxForward: maxForward}
+}
+
+// streamStallTimeout severs an event stream with no bytes at all (the
+// server heartbeats idle streams every DefaultEventHeartbeat, so a live
+// connection is never silent this long); the consumer then degrades to
+// polling.
+const streamStallTimeout = 2 * time.Minute
+
+// eventStream is one open shard completion feed.
+type eventStream struct {
+	body     io.ReadCloser
+	er       *httpapi.EventReader
+	stop     context.CancelFunc
+	watchdog *time.Timer
+}
+
+// next returns the stream's next frame.
+func (s *eventStream) next() (httpapi.EventFrame, error) { return s.er.Next() }
+
+// Close severs the stream and disarms the watchdog. Idempotent.
+func (s *eventStream) Close() {
+	s.watchdog.Stop()
+	s.stop()
+	_ = s.body.Close()
+}
+
+// openEvents opens a shard sub-sweep's completion stream at cursor
+// `from`. Failure to open — the route 404ing on a shard that predates
+// (or disables) streaming included — is the caller's cue to degrade to
+// the poll loop. The returned stream's reads are bounded by a stall
+// watchdog: a connection silent past streamStallTimeout (heartbeats
+// count as activity) is cancelled, surfacing as a read error.
+func (sc *shardClient) openEvents(ctx context.Context, peer, id string, from int) (*eventStream, error) {
+	defer sc.observe("sweep_events")()
+	sctx, cancel := context.WithCancel(ctx)
+	req, err := http.NewRequestWithContext(sctx, http.MethodGet, peer+"/v1/sweeps/"+id+"/events", nil)
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	if from > 0 {
+		req.Header.Set("Last-Event-ID", strconv.Itoa(from))
+	}
+	obs.Inject(ctx, req.Header)
+	resp, err := sc.streamHC.Do(req)
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		var apiErr httpapi.APIError
+		_ = json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&apiErr)
+		resp.Body.Close()
+		cancel()
+		return nil, &statusError{Code: resp.StatusCode, Msg: apiErr.Error}
+	}
+	es := &eventStream{
+		body: resp.Body,
+		er:   httpapi.NewEventReader(resp.Body),
+		stop: cancel,
+	}
+	es.watchdog = time.AfterFunc(streamStallTimeout, cancel)
+	es.er.OnActivity = func() { es.watchdog.Reset(streamStallTimeout) }
+	return es, nil
 }
 
 // statusError is a peer's own non-2xx answer, as opposed to a transport

@@ -359,22 +359,18 @@ func TestCoordinatorHTTP(t *testing.T) {
 		t.Fatalf("submit: %d %+v", resp.StatusCode, sub)
 	}
 
-	deadline := time.Now().Add(2 * time.Minute)
+	// Stream the completion feed instead of polling on a fixed cadence:
+	// the events route pushes each merge and terminates with the final
+	// status, so the test wakes exactly when the sweep does.
+	if st := streamUntilDone(t, ts.URL, sub.ID); st.State != "done" || st.Failed != 0 {
+		t.Fatalf("merged sweep: %+v", st)
+	}
 	var sweep struct {
 		Status engine.SweepStatus  `json:"status"`
 		Jobs   []*engine.JobResult `json:"jobs"`
 	}
-	for {
-		if code := getJSON(t, ts.URL+"/v1/sweeps/"+sub.ID, &sweep); code != http.StatusOK {
-			t.Fatalf("poll status %d", code)
-		}
-		if sweep.Status.State != "running" {
-			break
-		}
-		if time.Now().After(deadline) {
-			t.Fatalf("sweep stuck: %+v", sweep.Status)
-		}
-		time.Sleep(20 * time.Millisecond)
+	if code := getJSON(t, ts.URL+"/v1/sweeps/"+sub.ID, &sweep); code != http.StatusOK {
+		t.Fatalf("final status %d", code)
 	}
 	if sweep.Status.State != "done" || sweep.Status.Failed != 0 {
 		t.Fatalf("merged sweep: %+v", sweep.Status)

@@ -49,6 +49,11 @@ type Options struct {
 	// Replicas is the coordinator's owner-replication factor; <= 1
 	// means no replication.
 	Replicas int
+	// StreamlessNodes lists node indexes (start order) whose API server
+	// is built with event streaming disabled — modeling a shard that
+	// predates the push dataplane, so the coordinator must degrade to
+	// the poll loop for it. The knob survives Restart.
+	StreamlessNodes []int
 }
 
 // Node is one in-process nbtiserved instance.
@@ -69,6 +74,9 @@ type Node struct {
 
 	cl   *Cluster
 	addr string // host:port, for rebinding on Restart
+	// noStreaming builds this node's API server with event streaming
+	// disabled (see Options.StreamlessNodes); constant across Restart.
+	noStreaming bool
 
 	mu          sync.Mutex
 	ts          *httptest.Server
@@ -139,18 +147,21 @@ func (n *Node) Restart(tb testing.TB) {
 		tb.Fatal(err)
 	}
 	var ln net.Listener
+	rebind := time.Now()
 	for attempt := 0; ; attempt++ {
 		ln, err = net.Listen("tcp", addr)
 		if err == nil {
 			break
 		}
-		if attempt >= 40 {
+		if time.Since(rebind) > 10*time.Second {
 			eng.Close()
 			tb.Fatalf("%s: rebinding %s: %v", n.Name, addr, err)
 		}
-		time.Sleep(50 * time.Millisecond)
+		// The bind itself is the readiness signal; retry tightly instead
+		// of sleeping a blind fixed cadence.
+		time.Sleep(time.Millisecond)
 	}
-	ts := httptest.NewUnstartedServer(n.handler(httpapi.NewServer(eng, httpapi.Config{}).Handler()))
+	ts := httptest.NewUnstartedServer(n.handler(httpapi.NewServer(eng, n.apiConfig()).Handler()))
 	ts.Listener.Close()
 	ts.Listener = ln
 	ts.Start()
@@ -159,6 +170,39 @@ func (n *Node) Restart(tb testing.TB) {
 	n.ts = ts
 	n.dead = false
 	n.mu.Unlock()
+	// Return only once the node demonstrably serves requests, so tests
+	// never race Restart against their first post-restart call.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(n.URL + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			tb.Fatalf("%s: restarted node never became healthy (last err %v)", n.Name, err)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// SeverConnections force-closes every established client connection to
+// the node — in-flight event streams included — without touching the
+// listener or the engine: the very next request succeeds. This is the
+// mid-sweep stream-sever fault the poll-fallback path is proven by.
+func (n *Node) SeverConnections() {
+	n.mu.Lock()
+	ts := n.ts
+	n.mu.Unlock()
+	ts.CloseClientConnections()
+}
+
+// apiConfig is the node's httpapi configuration — identical across
+// Restart, like the engine configuration.
+func (n *Node) apiConfig() httpapi.Config {
+	return httpapi.Config{DisableStreaming: n.noStreaming}
 }
 
 // Partition toggles the node's 503 fault: on=true makes every request
@@ -211,7 +255,12 @@ func (cl *Cluster) StartNode(tb testing.TB) *Node {
 		DataDir: dir,
 		cl:      cl,
 	}
-	ts := httptest.NewServer(node.handler(httpapi.NewServer(eng, httpapi.Config{}).Handler()))
+	for _, idx := range cl.opts.StreamlessNodes {
+		if idx == i {
+			node.noStreaming = true
+		}
+	}
+	ts := httptest.NewServer(node.handler(httpapi.NewServer(eng, node.apiConfig()).Handler()))
 	node.ts = ts
 	node.URL = ts.URL
 	node.addr = ts.Listener.Addr().String()

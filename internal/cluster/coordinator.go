@@ -155,6 +155,13 @@ type Coordinator struct {
 	replicaReads         atomic.Uint64
 	sweepsResumed        atomic.Uint64
 	jobsRecovered        atomic.Uint64
+
+	// Push-dataplane counters: streams opened to shards, job results
+	// merged off those streams, and dispatches that degraded to the
+	// poll loop (stream unavailable or severed).
+	streamsOpened  atomic.Uint64
+	eventsStreamed atomic.Uint64
+	fallbackPolls  atomic.Uint64
 }
 
 // New builds a coordinator over the given peers. The peers are not
@@ -485,9 +492,10 @@ func (c *Coordinator) run(h *Handle) {
 }
 
 // dispatch routes one group of jobs to its owning shard: forward any
-// referenced traces the shard is missing, submit the sub-sweep, poll
-// it, and merge results into the handle as they resolve. On a peer
-// failure the unmerged slots stay unresolved — the routing loop
+// referenced traces the shard is missing, submit the sub-sweep, consume
+// its completion stream (degrading to the poll loop when the shard has
+// no stream), and merge results into the handle as they resolve. On a
+// peer failure the unmerged slots stay unresolved — the routing loop
 // re-routes them on the post-failure ring.
 func (c *Coordinator) dispatch(h *Handle, peer string, slots []int) {
 	ctx := h.ctx
@@ -592,6 +600,19 @@ func (c *Coordinator) dispatch(h *Handle, peer string, slots []int) {
 	}
 	c.mu.Unlock()
 
+	// Push first: consume the shard's completion stream and merge events
+	// the moment they arrive, so sweep latency is the shards' compute
+	// time rather than a multiple of the poll cadence. The poll loop
+	// below survives as the degraded path — taken when the shard has no
+	// stream (it predates streaming, or runs with it disabled) or the
+	// stream is severed mid-sweep — with the PR 9 failure semantics
+	// (eviction recovery, transient backoff, peer failure) intact, since
+	// its first poll re-classifies whatever condition broke the stream.
+	if c.streamSubSweep(ctx, h, peer, sub.ID) {
+		return
+	}
+	c.fallbackPolls.Add(1)
+
 	ticker := time.NewTicker(c.poll)
 	defer ticker.Stop()
 	for {
@@ -637,6 +658,58 @@ func (c *Coordinator) dispatch(h *Handle, peer string, slots []int) {
 			c.cancelRemote(peer, sub.ID)
 			return
 		case <-ticker.C:
+		}
+	}
+}
+
+// streamSubSweep consumes one shard sub-sweep's completion stream,
+// merging job events into the handle as they arrive. It reports whether
+// the dispatch is settled — the sub-sweep reached a terminal state (the
+// `done` frame) or the sweep was cancelled. false means the stream
+// could not be opened or was severed mid-sweep; the caller degrades to
+// the poll loop, whose error classification preserves the established
+// recovery semantics for whatever condition broke the stream.
+func (c *Coordinator) streamSubSweep(ctx context.Context, h *Handle, peer, subID string) bool {
+	es, err := c.client.openEvents(ctx, peer, subID, 0)
+	if err != nil {
+		if ctx.Err() != nil {
+			c.cancelRemote(peer, subID)
+			return true
+		}
+		return false
+	}
+	defer es.Close()
+	c.streamsOpened.Add(1)
+	for {
+		frame, err := es.next()
+		if err != nil {
+			if ctx.Err() != nil {
+				c.cancelRemote(peer, subID)
+				return true
+			}
+			return false // severed mid-sweep: degrade to polling
+		}
+		switch frame.Event {
+		case "job":
+			ev, err := frame.JobEvent()
+			if err != nil || ev.Job == nil || ev.Job.Canceled {
+				// A shard-side cancellation is not an answer (the slot
+				// stays unresolved and re-routes, exactly as on the poll
+				// path); a malformed frame is skipped — later frames, the
+				// done status, or the poll fallback still converge.
+				continue
+			}
+			slot, ok := h.slot[ev.Job.ID]
+			if !ok {
+				continue
+			}
+			if c.mergeResult(h, slot, peer, ev.Job, false) {
+				c.eventsStreamed.Add(1)
+			}
+		case "done":
+			if st, err := frame.DoneStatus(); err == nil && st.State != "running" {
+				return true
+			}
 		}
 	}
 }
@@ -803,6 +876,14 @@ type Stats struct {
 	ReplicaReads         uint64 `json:"replica_reads"`
 	SweepsResumed        uint64 `json:"sweeps_resumed"`
 	JobsRecovered        uint64 `json:"jobs_recovered"`
+
+	// Push-dataplane counters. StreamsOpened counts shard completion
+	// streams consumed, EventsStreamed the job results merged off them,
+	// and FallbackPolls the dispatches that degraded to the poll loop
+	// (shard without streaming, or a stream severed mid-sweep).
+	StreamsOpened  uint64 `json:"streams_opened"`
+	EventsStreamed uint64 `json:"events_streamed"`
+	FallbackPolls  uint64 `json:"fallback_polls"`
 }
 
 // Stats snapshots the counters.
@@ -841,5 +922,9 @@ func (c *Coordinator) Stats() Stats {
 		ReplicaReads:         c.replicaReads.Load(),
 		SweepsResumed:        c.sweepsResumed.Load(),
 		JobsRecovered:        c.jobsRecovered.Load(),
+
+		StreamsOpened:  c.streamsOpened.Load(),
+		EventsStreamed: c.eventsStreamed.Load(),
+		FallbackPolls:  c.fallbackPolls.Load(),
 	}
 }

@@ -461,6 +461,92 @@ func TestReplicatedOwnership(t *testing.T) {
 	}
 }
 
+// TestStreamSeverFallsBackToPolling is the push-dataplane degradation
+// scenario: one shard runs with event streaming disabled (a node that
+// predates the feature) and the live shard streams are severed
+// mid-sweep. The coordinator must degrade those dispatches to the
+// status poll loop, finish the sweep byte-identical to the 1-shard
+// reference, and never re-simulate a job merged before the sever —
+// i.e. falling off the stream costs latency, not work.
+func TestStreamSeverFallsBackToPolling(t *testing.T) {
+	spec := elasticSpec("stream-sever")
+	want := referenceResults(t, spec)
+
+	// Node 2 is built with streaming disabled, so its dispatch counts a
+	// fallback poll from the start; nodes 0 and 1 stream until severed.
+	cl := clustertest.Start(t, 3, clustertest.Options{
+		GenDelay:        50 * time.Millisecond,
+		StreamlessNodes: []int{2},
+	})
+	c := cl.Coordinator(t)
+	h, err := c.Submit(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := len(h.Jobs())
+
+	// Wait for a live stream and at least one merged result, mid-sweep.
+	waitFor(t, time.Minute, func() bool {
+		st := c.Stats()
+		return st.StreamsOpened >= 1 && st.JobsMerged >= 1 && h.Status().State == "running"
+	}, "no mid-sweep sever window (stream open + >= 1 merge)")
+
+	// Snapshot the protected set and the per-node run counters, then
+	// keep severing established connections — event streams included —
+	// until a dispatch demonstrably degrades to polling. The listeners
+	// stay up, so health probes (fresh connections) keep passing: no
+	// eviction, no re-route, just a stream falling back.
+	runsAtSever := make(map[string]uint64)
+	for _, n := range cl.Nodes {
+		runsAtSever[n.Name] = n.Engine.Stats().RunsExecuted
+	}
+	mergedAtSever := 0
+	for _, r := range h.Results() {
+		if r != nil && r.Err == "" && !r.Canceled {
+			mergedAtSever++
+		}
+	}
+	for c.Stats().FallbackPolls == 0 && h.Status().State == "running" {
+		cl.Nodes[0].SeverConnections()
+		cl.Nodes[1].SeverConnections()
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+	res, err := h.Wait(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status.State != "done" || res.Status.Failed != 0 || res.Status.Canceled != 0 {
+		t.Fatalf("sweep did not complete cleanly across the sever: %+v", res.Status)
+	}
+	assertByteIdentical(t, want, resultsByID(t, res))
+
+	st := c.Stats()
+	if st.StreamsOpened < 1 {
+		t.Errorf("streams opened = %d, want >= 1 (push path never engaged)", st.StreamsOpened)
+	}
+	if st.FallbackPolls < 1 {
+		t.Errorf("fallback polls = %d, want >= 1 (no dispatch degraded)", st.FallbackPolls)
+	}
+	if st.JobsMerged != uint64(total) {
+		t.Errorf("merged %d results, want %d", st.JobsMerged, total)
+	}
+
+	// Zero re-simulation of already-merged jobs, by counters: the sever
+	// breaks connections, not nodes, so post-sever simulations anywhere
+	// are bounded by the unmerged remainder.
+	var postSeverRuns uint64
+	for _, n := range cl.Nodes {
+		postSeverRuns += n.Engine.Stats().RunsExecuted - runsAtSever[n.Name]
+	}
+	if maxNew := uint64(total - mergedAtSever); postSeverRuns > maxNew {
+		t.Errorf("post-sever simulations = %d, want <= %d (total %d - %d merged before the sever): an already-merged job was re-simulated",
+			postSeverRuns, maxNew, total, mergedAtSever)
+	}
+}
+
 // waitFor polls cond until it holds or the deadline passes.
 func waitFor(t *testing.T, d time.Duration, cond func() bool, msg string) {
 	t.Helper()

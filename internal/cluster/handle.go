@@ -43,6 +43,12 @@ type Handle struct {
 	span *obs.ActiveSpan
 	tsc  obs.SpanContext
 
+	// events is the merged sweep's completion log: every slot merged from
+	// any shard is appended in merge order, which is what the
+	// coordinator's own /v1/sweeps/{id}/events route serves — shard
+	// streams stitched into one client-facing feed.
+	events *engine.EventLog
+
 	mu        sync.Mutex
 	results   []*engine.JobResult
 	done      int
@@ -66,6 +72,7 @@ func newHandle(id string, spec engine.SweepSpec, jobs []engine.JobSpec, ctx cont
 		cancel:   cancel,
 		results:  make([]*engine.JobResult, len(jobs)),
 		finished: make(chan struct{}),
+		events:   engine.NewEventLog(),
 	}
 	for i, j := range jobs {
 		h.slot[j.ID()] = i
@@ -121,14 +128,26 @@ func (h *Handle) record(slot int, res *engine.JobResult) bool {
 			h.cached++
 		}
 	}
+	// Append under h.mu so the event's Seq always equals the done count
+	// it advanced to (the log has its own lock and never calls back).
+	h.events.Append(res)
 	last := h.done == len(h.jobs)
 	h.mu.Unlock()
 	if last {
 		h.cancel() // release the context; the sweep is over
 		h.span.End()
 		close(h.finished)
+		h.events.Close()
 	}
 	return true
+}
+
+// EventsFrom subscribes to the merged sweep's completion feed at cursor
+// `from`, with engine.Handle.EventsFrom's exact contract — the two
+// handles implementing one subscription surface is what lets the
+// streaming HTTP layer serve either.
+func (h *Handle) EventsFrom(from int) (backlog []engine.SweepEvent, live <-chan engine.SweepEvent, cancel func()) {
+	return h.events.EventsFrom(from)
 }
 
 // setAssigned records which peer a dispatch group went to, for the

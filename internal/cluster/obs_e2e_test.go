@@ -10,7 +10,6 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
-	"time"
 
 	"nbticache/internal/cluster"
 	"nbticache/internal/cluster/clustertest"
@@ -106,19 +105,17 @@ func TestClusterSpanStitching(t *testing.T) {
 		t.Fatalf("submit status %d", resp.StatusCode)
 	}
 
-	var sweep httpapi.SweepResponse
-	deadline := time.Now().Add(time.Minute)
-	for {
-		obsGetJSON(t, srv.URL+"/v1/sweeps/"+sub.ID, &sweep)
-		if sweep.Status.State == "done" {
-			break
-		}
-		if sweep.Status.State != "running" || time.Now().After(deadline) {
-			t.Fatalf("sweep did not complete: %+v", sweep.Status)
-		}
-		time.Sleep(20 * time.Millisecond)
+	// Stream the completion feed instead of polling on a fixed cadence;
+	// the terminal frame carries the merged status.
+	if st := streamUntilDone(t, srv.URL, sub.ID); st.State != "done" {
+		t.Fatalf("sweep did not complete: %+v", st)
 	}
+	var sweep httpapi.SweepResponse
+	obsGetJSON(t, srv.URL+"/v1/sweeps/"+sub.ID, &sweep)
 	st := sweep.Status
+	if st.State != "done" {
+		t.Fatalf("sweep did not complete: %+v", st)
+	}
 	if st.Failed != 0 {
 		t.Fatalf("merged sweep has %d failed jobs", st.Failed)
 	}

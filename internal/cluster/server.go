@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"time"
 
 	"nbticache/internal/engine"
 	"nbticache/internal/httpapi"
@@ -30,6 +31,12 @@ type ServerConfig struct {
 	// EnablePprof mounts the runtime profiling handlers under
 	// /debug/pprof/, exactly like the node server's option.
 	EnablePprof bool
+	// EventHeartbeat is the merged-sweep event stream's idle heartbeat
+	// cadence; <= 0 selects httpapi.DefaultEventHeartbeat.
+	EventHeartbeat time.Duration
+	// DisableStreaming turns off GET /v1/sweeps/{id}/events (404),
+	// exactly like the node server's option.
+	DisableStreaming bool
 }
 
 func (c ServerConfig) withDefaults() ServerConfig {
@@ -57,7 +64,8 @@ type Server struct {
 	// uploadSlots is a semaphore over concurrent upload decodes.
 	uploadSlots chan struct{}
 
-	sweeps *httpapi.Registry[*Handle]
+	sweeps    *httpapi.Registry[*Handle]
+	streamMet *httpapi.StreamMetrics
 }
 
 // NewServer wraps a coordinator in the route table. The server shares
@@ -72,6 +80,7 @@ func NewServer(c *Coordinator, cfg ServerConfig) *Server {
 		uploadSlots: make(chan struct{}, cfg.MaxConcurrentUploads),
 		sweeps:      httpapi.NewRegistry[*Handle](cfg.RetainSweeps),
 	}
+	s.streamMet = httpapi.NewStreamMetrics(c.tel.Metrics)
 	if reg := c.tel.Metrics; reg != nil {
 		retained := reg.Gauge("nbtiserved_cluster_sweeps_retained", "Merged sweep handles resident in the registry.")
 		evicted := reg.Counter("nbtiserved_cluster_sweeps_evicted_total", "Finished merged sweeps evicted by retention.")
@@ -89,6 +98,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/sweeps", s.submitSweep)
 	mux.HandleFunc("GET /v1/sweeps/{id}", s.getSweep)
+	mux.HandleFunc("GET /v1/sweeps/{id}/events", s.streamSweep)
 	mux.HandleFunc("GET /v1/sweeps/{id}/spans", s.getSweepSpans)
 	mux.HandleFunc("DELETE /v1/sweeps/{id}", s.cancelSweep)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.getJob)
@@ -171,6 +181,23 @@ func (s *Server) getSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	httpapi.WriteJSON(w, http.StatusOK, httpapi.SweepResponse{Status: h.Status(), Jobs: h.Results()})
+}
+
+// streamSweep serves the merged sweep's completion feed — the
+// client-facing half of the push dataplane: results merged from any
+// shard (streamed or polled) re-emit here in merge order, in the same
+// SSE wire format the shards speak, so one decoder serves both hops.
+func (s *Server) streamSweep(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.DisableStreaming {
+		httpapi.WriteError(w, http.StatusNotFound, "sweep event streaming disabled")
+		return
+	}
+	h, ok := s.sweeps.Lookup(r.PathValue("id"))
+	if !ok {
+		httpapi.WriteError(w, http.StatusNotFound, "no sweep %q", r.PathValue("id"))
+		return
+	}
+	httpapi.StreamSweep(w, r, h, s.cfg.EventHeartbeat, s.streamMet)
 }
 
 // cancelSweep stops a running merged sweep (per-shard sub-sweeps are

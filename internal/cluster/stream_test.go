@@ -1,0 +1,72 @@
+package cluster_test
+
+import (
+	"net/http"
+	"strconv"
+	"testing"
+
+	"nbticache/internal/engine"
+	"nbticache/internal/httpapi"
+)
+
+// openEventStream opens a sweep's completion feed at cursor `from` and
+// returns a reader over its frames plus a closer for the response body.
+func openEventStream(t *testing.T, base, id string, from int) (*httpapi.EventReader, func()) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, base+"/v1/sweeps/"+id+"/events", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	if from > 0 {
+		req.Header.Set("Last-Event-ID", strconv.Itoa(from))
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("open event stream: %v", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		resp.Body.Close()
+		t.Fatalf("open event stream: status %d", resp.StatusCode)
+	}
+	return httpapi.NewEventReader(resp.Body), func() { resp.Body.Close() }
+}
+
+// streamUntilDone consumes GET {base}/v1/sweeps/{id}/events until the
+// terminal "done" frame and returns the status it carries — the
+// push-based replacement for the fixed-cadence status poll loops these
+// tests used to run. Every "job" frame on the way is decoded (the
+// stream must be well-formed end to end) and counted against the
+// terminal status.
+func streamUntilDone(t *testing.T, base, id string) engine.SweepStatus {
+	t.Helper()
+	er, closeBody := openEventStream(t, base, id, 0)
+	defer closeBody()
+	seen := 0
+	for {
+		f, err := er.Next()
+		if err != nil {
+			t.Fatalf("event stream after %d job frames: %v", seen, err)
+		}
+		switch f.Event {
+		case "job":
+			ev, err := f.JobEvent()
+			if err != nil {
+				t.Fatalf("job frame %d: %v", seen+1, err)
+			}
+			if ev.Seq != seen+1 {
+				t.Fatalf("job frame seq %d, want %d (dense merge cursor)", ev.Seq, seen+1)
+			}
+			seen++
+		case "done":
+			st, err := f.DoneStatus()
+			if err != nil {
+				t.Fatalf("done frame: %v", err)
+			}
+			if got := st.Completed + st.Failed + st.Canceled; got != seen {
+				t.Fatalf("streamed %d job frames, terminal status accounts for %d: %+v", seen, got, st)
+			}
+			return st
+		}
+	}
+}

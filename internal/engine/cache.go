@@ -118,7 +118,15 @@ func (c *blobCache[V]) put(key string, v V) error {
 
 // reset drops every stored value. In-flight computations are
 // unaffected; their results land in the store when they settle.
+// Outstanding write-behinds are drained first: a pending put landing
+// after the deletes below would silently resurrect a value the caller
+// meant to drop (benchmarks reset between iterations to force
+// re-simulation — a resurrected result would turn them into cache
+// reads).
 func (c *blobCache[V]) reset() {
+	if d, ok := c.store.(interface{ Drain() }); ok {
+		d.Drain()
+	}
 	list, err := c.store.List()
 	if err != nil {
 		return

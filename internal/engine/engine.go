@@ -272,6 +272,20 @@ func (e *Engine) Close() {
 	}
 }
 
+// Drain blocks until every completed result and trace blob has landed
+// in its store. Persistence is write-behind — a job's completion is
+// visible (and its sweep event fires) before its blob is durable — so
+// callers about to inspect the data directory or reason about the
+// store-resident inventory drain first. Close drains implicitly.
+func (e *Engine) Drain() {
+	if d, ok := e.resultStore.(interface{ Drain() }); ok {
+		d.Drain()
+	}
+	if d, ok := e.traceBlobs.(interface{ Drain() }); ok {
+		d.Drain()
+	}
+}
+
 // Trace returns the generated trace for a benchmark and geometry,
 // building and caching it on first use. Concurrent requests for the
 // same trace generate it once. The returned row form is memoised
@@ -671,6 +685,7 @@ func (e *Engine) Submit(ctx context.Context, spec SweepSpec) (*Handle, error) {
 		ctx:      sctx,
 		cancel:   cancel,
 		finished: make(chan struct{}),
+		events:   NewEventLog(),
 		eng:      e,
 	}
 	// The sweep span continues the submitter's trace when ctx carries one

@@ -1,0 +1,136 @@
+package engine
+
+import "sync"
+
+// SweepEvent is one resolved job slot in a sweep's merge order. Seq is
+// the merged-count cursor after this event (1-based, dense): a consumer
+// that has seen Seq=k has seen every earlier completion, so k is the
+// resume cursor the streaming HTTP surface round-trips as the SSE event
+// id / `Last-Event-ID`. Job is the full result — streamed merges carry
+// the same payload the poll path read back, so a coordinator consuming
+// the stream merges byte-identical state.
+type SweepEvent struct {
+	Seq int        `json:"seq"`
+	Job *JobResult `json:"job"`
+}
+
+// eventSub is one subscriber's bounded delivery channel.
+type eventSub struct {
+	ch chan SweepEvent
+	// gone marks the channel closed (lagged consumer, cancel, or sweep
+	// end) so it is never closed twice.
+	gone bool
+}
+
+// subBuffer is each subscriber's channel capacity. A consumer that
+// falls further behind than this is coalesced: its channel is closed
+// and it resyncs from the log via EventsFrom with its last-seen cursor
+// (the backlog replay re-delivers everything it missed). The merge path
+// itself never blocks on a slow consumer.
+const subBuffer = 128
+
+// EventLog is a sweep's append-only completion log plus its live
+// subscriber registry. It has its own lock — callers may append while
+// holding a handle's mutex; the log never calls back out.
+type EventLog struct {
+	mu     sync.Mutex
+	events []SweepEvent
+	subs   map[int]*eventSub
+	nextID int
+	closed bool
+}
+
+// Append records one completion (assigning the next Seq) and fans it
+// out to live subscribers without blocking: a subscriber whose buffer
+// is full is dropped (channel closed) and must resync from the log.
+func (l *EventLog) Append(res *JobResult) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	ev := SweepEvent{Seq: len(l.events) + 1, Job: res}
+	l.events = append(l.events, ev)
+	for id, s := range l.subs {
+		if s.gone {
+			continue
+		}
+		select {
+		case s.ch <- ev:
+		default:
+			s.gone = true
+			close(s.ch)
+			delete(l.subs, id)
+		}
+	}
+}
+
+// Close ends the log: every live subscriber's channel closes after the
+// events already buffered drain. Idempotent.
+func (l *EventLog) Close() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return
+	}
+	l.closed = true
+	for id, s := range l.subs {
+		if !s.gone {
+			s.gone = true
+			close(s.ch)
+		}
+		delete(l.subs, id)
+	}
+}
+
+// EventsFrom subscribes at cursor `from` (events already logged past it
+// come back as the backlog slice; later ones arrive on the channel).
+// The channel closes when the sweep finishes or the subscriber lags —
+// the consumer distinguishes the two by whether its cursor reached the
+// sweep's total, and resubscribes from its cursor to resync after a
+// lag. cancel releases the subscription (idempotent, safe after close).
+func (l *EventLog) EventsFrom(from int) (backlog []SweepEvent, live <-chan SweepEvent, cancel func()) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if from < 0 {
+		from = 0
+	}
+	if from > len(l.events) {
+		from = len(l.events)
+	}
+	backlog = make([]SweepEvent, len(l.events)-from)
+	copy(backlog, l.events[from:])
+	s := &eventSub{ch: make(chan SweepEvent, subBuffer)}
+	if l.closed {
+		s.gone = true
+		close(s.ch)
+		return backlog, s.ch, func() {}
+	}
+	id := l.nextID
+	l.nextID++
+	l.subs[id] = s
+	return backlog, s.ch, func() {
+		l.mu.Lock()
+		defer l.mu.Unlock()
+		if cur, ok := l.subs[id]; ok && cur == s {
+			if !s.gone {
+				s.gone = true
+				close(s.ch)
+			}
+			delete(l.subs, id)
+		}
+	}
+}
+
+// NewEventLog builds an empty log ready for subscribers.
+func NewEventLog() *EventLog {
+	return &EventLog{subs: make(map[int]*eventSub)}
+}
+
+// EventsFrom subscribes to the sweep's completion feed at cursor
+// `from` (0 replays from the start): completions already merged come
+// back immediately as backlog, later ones arrive on live in merge
+// order. The channel closes when the sweep finishes — or earlier if the
+// subscriber falls more than a buffer behind, in which case its cursor
+// is still short of Status().Total and it should resubscribe from that
+// cursor to resync. cancel releases the subscription.
+func (h *Handle) EventsFrom(from int) (backlog []SweepEvent, live <-chan SweepEvent, cancel func()) {
+	return h.events.EventsFrom(from)
+}

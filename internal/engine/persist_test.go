@@ -168,6 +168,8 @@ func TestEngineWarmRestart(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Persistence is write-behind: drain before counting landed blobs.
+	e1.Drain()
 	if st := e1.Stats(); !st.Persistent || st.ResultBlobs != 2 || st.TraceBlobs != 1 {
 		t.Fatalf("pre-restart persistence state: %+v", st)
 	}

@@ -31,6 +31,11 @@ type Handle struct {
 	span *obs.ActiveSpan
 	tsc  obs.SpanContext
 
+	// events is the sweep's completion log: every resolved slot is
+	// appended in merge order and fanned out to EventsFrom subscribers
+	// (the streaming HTTP surface).
+	events *EventLog
+
 	mu        sync.Mutex
 	results   []*JobResult
 	done      int
@@ -88,6 +93,9 @@ func (h *Handle) record(idx int, res *JobResult, e *Engine) {
 		}
 		e.jobsCompleted.Add(1)
 	}
+	// Append under h.mu so the event's Seq always equals the done count
+	// it advanced to (the log has its own lock and never calls back).
+	h.events.Append(res)
 	last := h.done == len(h.jobs)
 	h.mu.Unlock()
 	if last {
@@ -98,6 +106,7 @@ func (h *Handle) record(idx int, res *JobResult, e *Engine) {
 		// Wait returns.
 		e.store.unpinAll(h.pinned)
 		close(h.finished)
+		h.events.Close()
 	}
 }
 

@@ -14,6 +14,7 @@ import (
 	"mime"
 	"net/http"
 	"net/http/pprof"
+	"time"
 
 	"nbticache/internal/engine"
 	"nbticache/internal/obs"
@@ -40,6 +41,14 @@ type Config struct {
 	// profiles expose internals, so the operator opts in per process
 	// (-pprof on nbtiserved).
 	EnablePprof bool
+	// EventHeartbeat is the sweep event stream's idle heartbeat cadence
+	// (SSE comments that keep proxies from reaping a quiet stream);
+	// <= 0 selects DefaultEventHeartbeat.
+	EventHeartbeat time.Duration
+	// DisableStreaming turns off GET /v1/sweeps/{id}/events (the route
+	// answers 404), modelling a node that predates the streaming
+	// surface; clients are expected to degrade to status polling.
+	DisableStreaming bool
 }
 
 // Defaults substituted for non-positive Config fields.
@@ -78,7 +87,8 @@ type Server struct {
 	// uploadSlots is a semaphore over concurrent upload decodes.
 	uploadSlots chan struct{}
 
-	sweeps *Registry[*engine.Handle]
+	sweeps    *Registry[*engine.Handle]
+	streamMet *StreamMetrics
 }
 
 // NewServer wraps an engine in the node route table. The server shares
@@ -94,6 +104,7 @@ func NewServer(eng *engine.Engine, cfg Config) *Server {
 		uploadSlots: make(chan struct{}, cfg.MaxConcurrentUploads),
 		sweeps:      NewRegistry[*engine.Handle](cfg.RetainSweeps),
 	}
+	s.streamMet = NewStreamMetrics(s.tel.Metrics)
 	if reg := s.tel.Metrics; reg != nil {
 		retained := reg.Gauge("nbtiserved_sweeps_retained", "Sweep handles resident in the registry.")
 		evicted := reg.Counter("nbtiserved_sweeps_evicted_total", "Finished sweep handles evicted by retention.")
@@ -111,6 +122,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/sweeps", s.submitSweep)
 	mux.HandleFunc("GET /v1/sweeps/{id}", s.getSweep)
+	mux.HandleFunc("GET /v1/sweeps/{id}/events", s.streamSweep)
 	mux.HandleFunc("GET /v1/sweeps/{id}/spans", s.getSweepSpans)
 	mux.HandleFunc("DELETE /v1/sweeps/{id}", s.cancelSweep)
 	mux.HandleFunc("GET /v1/spans/{traceid}", s.getTraceSpans)

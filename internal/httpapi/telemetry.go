@@ -55,3 +55,13 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.code = code
 	w.ResponseWriter.WriteHeader(code)
 }
+
+// Flush forwards to the wrapped writer so streaming handlers (the sweep
+// event feed) still see an http.Flusher through the middleware; without
+// this the embedded-interface wrapper would hide the capability and
+// every event would sit in the response buffer until the stream closed.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
